@@ -1,0 +1,128 @@
+// BDD substrate ablation (enables Table II): dynamic variable reordering by
+// sifting (Rudell [31]) vs the initial order, on function families with a
+// known ordering story, plus google-benchmark timings of the core BDD
+// operations and of sifting itself.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bdd/bdd.hpp"
+#include "bdd/reorder.hpp"
+#include "cfsm/random.hpp"
+#include "cfsm/reactive.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace polis;
+
+// Σ x_i·y_i with x-block before y-block: exponential, interleaving: linear.
+bdd::Bdd disjoint_ands(bdd::BddManager& mgr, int k) {
+  bdd::Bdd f = mgr.zero();
+  for (int i = 0; i < k; ++i) f = f | (mgr.var(i) & mgr.var(i + k));
+  return f;
+}
+
+void report_sift_effect() {
+  std::cout << "Sifting effect on BDD size (nodes)\n";
+  Table table({"function", "vars", "initial", "sifted", "reduction"});
+
+  for (int k : {4, 6, 8, 10}) {
+    bdd::BddManager mgr(2 * k);
+    bdd::Bdd f = disjoint_ands(mgr, k);
+    const size_t before = mgr.node_count(f);
+    bdd::SiftOptions options;
+    options.passes = 2;
+    const size_t after = bdd::sift(mgr, options);
+    table.add_row({"sum of x_i&y_i (k=" + std::to_string(k) + ")",
+                   std::to_string(2 * k), std::to_string(before),
+                   std::to_string(after),
+                   fixed(100.0 * (1.0 - static_cast<double>(after) /
+                                            static_cast<double>(before)),
+                         1) + "%"});
+  }
+
+  // Random CFSM characteristic functions with the constrained sift used by
+  // the synthesis flow.
+  Rng rng(97);
+  for (int i = 0; i < 4; ++i) {
+    cfsm::RandomCfsmOptions options;
+    options.num_inputs = 4;
+    options.num_rules = 6;
+    const cfsm::Cfsm m = cfsm::random_cfsm(rng, options, "chi" + std::to_string(i));
+    bdd::BddManager mgr;
+    cfsm::ReactiveFunction rf(m, mgr);
+    const size_t before = mgr.node_count(rf.chi());
+    const size_t after = bdd::sift(mgr, rf.precedence_outputs_after_support());
+    table.add_row({"CFSM χ #" + std::to_string(i),
+                   std::to_string(mgr.num_vars()), std::to_string(before),
+                   std::to_string(after),
+                   fixed(100.0 * (1.0 - static_cast<double>(after) /
+                                            static_cast<double>(before)),
+                         1) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_BddIte(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  bdd::BddManager mgr(n);
+  Rng rng(1);
+  std::vector<bdd::Bdd> funcs;
+  for (int i = 0; i < n; ++i) funcs.push_back(mgr.var(i));
+  for (auto _ : state) {
+    bdd::Bdd f = funcs[static_cast<size_t>(rng.uniform(0, n - 1))] &
+                 funcs[static_cast<size_t>(rng.uniform(0, n - 1))];
+    f = f | funcs[static_cast<size_t>(rng.uniform(0, n - 1))];
+    benchmark::DoNotOptimize(f.raw_index());
+    funcs.push_back(std::move(f));
+    if (funcs.size() > 256) funcs.resize(static_cast<size_t>(n));
+  }
+}
+BENCHMARK(BM_BddIte)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BddSmooth(benchmark::State& state) {
+  const int k = 6;
+  bdd::BddManager mgr(2 * k);
+  bdd::Bdd f = disjoint_ands(mgr, k);
+  std::vector<int> vars{0, 2, 4};
+  for (auto _ : state) {
+    bdd::Bdd g = mgr.smooth(f, vars);
+    benchmark::DoNotOptimize(g.raw_index());
+  }
+}
+BENCHMARK(BM_BddSmooth);
+
+void BM_Sift(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    bdd::BddManager mgr(2 * k);
+    bdd::Bdd f = disjoint_ands(mgr, k);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(bdd::sift(mgr));
+  }
+}
+BENCHMARK(BM_Sift)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_CharacteristicFunction(benchmark::State& state) {
+  Rng rng(11);
+  const cfsm::Cfsm m = cfsm::random_cfsm(rng);
+  for (auto _ : state) {
+    bdd::BddManager mgr;
+    cfsm::ReactiveFunction rf(m, mgr);
+    benchmark::DoNotOptimize(rf.chi().raw_index());
+  }
+}
+BENCHMARK(BM_CharacteristicFunction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_sift_effect();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// §V-B extension ablation: the copy-in data-flow optimization the paper
+// announces as work in progress ("detect write-before-read cases that
+// require such buffering, and reduce ROM and RAM, as well as CPU time").
+// For each system CFSM: ROM bytes, RAM bytes (memory slots × int size) and
+// max reaction cycles with full buffering vs hazard-only buffering.
+#include <iostream>
+
+#include "cfsm/reactive.hpp"
+#include "core/systems.hpp"
+#include "sgraph/build.hpp"
+#include "sgraph/dataflow.hpp"
+#include "util/table.hpp"
+#include "vm/machine.hpp"
+
+int main() {
+  using namespace polis;
+  const vm::TargetProfile target = vm::hc11_like();
+
+  std::cout << "Copy-in data-flow optimization (§V-B future work, "
+               "implemented)\n";
+  Table table({"CFSM", "buffered", "ROM full/opt", "RAM full/opt",
+               "maxcyc full/opt"});
+
+  long long rom_full = 0;
+  long long rom_opt = 0;
+  long long ram_full = 0;
+  long long ram_opt = 0;
+
+  auto modules = systems::dashboard_modules();
+  for (const auto& m : systems::shock_modules()) modules.push_back(m);
+
+  for (const auto& m : modules) {
+    bdd::BddManager mgr;
+    cfsm::ReactiveFunction rf(*m, mgr);
+    const sgraph::Sgraph g = sgraph::build_sgraph(
+        rf, sgraph::OrderingScheme::kSiftOutputsAfterSupport);
+    const vm::SymbolInfo syms = vm::SymbolInfo::from(*m);
+
+    const vm::CompiledReaction full = vm::compile(g, syms);
+    vm::CompileOptions opt_options;
+    opt_options.optimize_copy_in = true;
+    const vm::CompiledReaction opt = vm::compile(g, syms, opt_options);
+
+    const auto t_full = vm::measure_timing(full, target, *m, 1u << 20);
+    const auto t_opt = vm::measure_timing(opt, target, *m, 1u << 20);
+
+    const long long rf1 = full.program.size_bytes(target);
+    const long long rf2 = opt.program.size_bytes(target);
+    const long long ra1 =
+        static_cast<long long>(full.program.slot_names.size()) * target.int_size;
+    const long long ra2 =
+        static_cast<long long>(opt.program.slot_names.size()) * target.int_size;
+    rom_full += rf1;
+    rom_opt += rf2;
+    ram_full += ra1;
+    ram_opt += ra2;
+
+    table.add_row(
+        {m->name(),
+         std::to_string(opt.copy_in.size()) + "/" +
+             std::to_string(full.copy_in.size()),
+         std::to_string(rf1) + "/" + std::to_string(rf2),
+         std::to_string(ra1) + "/" + std::to_string(ra2),
+         std::to_string(t_full->max_cycles) + "/" +
+             std::to_string(t_opt->max_cycles)});
+  }
+  table.add_separator();
+  table.add_row({"TOTAL", "",
+                 std::to_string(rom_full) + "/" + std::to_string(rom_opt),
+                 std::to_string(ram_full) + "/" + std::to_string(ram_opt),
+                 ""});
+  table.print(std::cout);
+
+  std::cout << "\nROM saved "
+            << fixed(100.0 * (1.0 - static_cast<double>(rom_opt) /
+                                        static_cast<double>(rom_full)),
+                     1)
+            << "%, RAM saved "
+            << fixed(100.0 * (1.0 - static_cast<double>(ram_opt) /
+                                        static_cast<double>(ram_full)),
+                     1)
+            << "% — behaviour verified unchanged by the test suite.\n";
+  return 0;
+}

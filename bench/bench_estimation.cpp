@@ -1,0 +1,96 @@
+// §III-C validation at scale: estimation accuracy and speed over a corpus
+// of random CFSMs.
+//
+//   * accuracy  — distribution of size / max-cycle estimation error vs the
+//                 VM measurement, and the bracket property
+//                 min_est ≤ measured_min ≤ measured_max ≤ max_est (up to
+//                 layout noise);
+//   * speed     — the point of §III-C: estimation is a graph traversal,
+//                 orders of magnitude cheaper than compile-and-measure.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "cfsm/random.hpp"
+#include "cfsm/reactive.hpp"
+#include "estim/calibrate.hpp"
+#include "estim/estimate.hpp"
+#include "sgraph/build.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "vm/machine.hpp"
+
+int main() {
+  using namespace polis;
+  const estim::CostModel model = estim::calibrate(vm::hc11_like());
+
+  const int kCorpus = 60;
+  Rng rng(20240601);
+
+  std::vector<double> size_errors;
+  std::vector<double> time_errors;
+  int bracket_ok = 0;
+  double estimate_seconds = 0;
+  double measure_seconds = 0;
+
+  for (int i = 0; i < kCorpus; ++i) {
+    cfsm::RandomCfsmOptions options;
+    options.num_inputs = 2 + i % 3;
+    options.num_rules = 3 + i % 4;
+    const cfsm::Cfsm m = cfsm::random_cfsm(rng, options, "c" + std::to_string(i));
+    bdd::BddManager mgr;
+    cfsm::ReactiveFunction rf(m, mgr);
+    const sgraph::Sgraph g = sgraph::build_sgraph(
+        rf, sgraph::OrderingScheme::kSiftOutputsAfterSupport);
+    const vm::CompiledReaction cr = vm::compile(g, vm::SymbolInfo::from(m));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const estim::Estimate e = estim::estimate(g, model, estim::context_for(m));
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto timing = vm::measure_timing(cr, vm::hc11_like(), m, 1u << 20);
+    const auto t2 = std::chrono::steady_clock::now();
+    estimate_seconds += std::chrono::duration<double>(t1 - t0).count();
+    measure_seconds += std::chrono::duration<double>(t2 - t1).count();
+    if (!timing) continue;
+
+    const long long measured_size = cr.program.size_bytes(vm::hc11_like());
+    size_errors.push_back(
+        100.0 *
+        std::abs(static_cast<double>(e.size_bytes - measured_size)) /
+        static_cast<double>(measured_size));
+    time_errors.push_back(
+        100.0 *
+        std::abs(static_cast<double>(e.max_cycles - timing->max_cycles)) /
+        static_cast<double>(timing->max_cycles));
+    const bool bracket = e.min_cycles <= timing->min_cycles + 4 &&
+                         e.max_cycles >= timing->max_cycles - 4;
+    if (bracket) ++bracket_ok;
+  }
+
+  auto stats_of = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const double mean =
+        std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+    return std::tuple<double, double, double>(mean, v[v.size() / 2], v.back());
+  };
+  const auto [smean, smed, smax] = stats_of(size_errors);
+  const auto [tmean, tmed, tmax] = stats_of(time_errors);
+
+  std::cout << "Estimation accuracy over " << size_errors.size()
+            << " random CFSMs (hc11 target)\n";
+  Table table({"metric", "mean err%", "median err%", "max err%"});
+  table.add_row({"code size", fixed(smean, 1), fixed(smed, 1), fixed(smax, 1)});
+  table.add_row(
+      {"max cycles", fixed(tmean, 1), fixed(tmed, 1), fixed(tmax, 1)});
+  table.print(std::cout);
+
+  std::cout << "bracket property (min_est <= measured <= max_est): "
+            << bracket_ok << "/" << size_errors.size() << "\n";
+  std::cout << "estimation time " << fixed(1e3 * estimate_seconds, 2)
+            << " ms vs exhaustive measurement " << fixed(1e3 * measure_seconds, 2)
+            << " ms ("
+            << fixed(measure_seconds / std::max(estimate_seconds, 1e-9), 0)
+            << "x) — estimation is a single graph traversal (§III-C).\n";
+  return 0;
+}

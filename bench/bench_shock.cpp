@@ -1,0 +1,103 @@
+// §V-B: the shock absorber controller redesign. Reproduces the paper's
+// reported quantities: synthesized ROM and RAM including the generated RTOS
+// (the paper: 13,622 bytes ROM / 1,553 bytes RAM vs the 32K/8K hand design)
+// and the I/O latency requirement check (the paper: a 12 µs spec met by
+// both implementations). Our absolute numbers live on the VM target; the
+// reproducible shape is "synthesized build is a small fraction of the
+// hand-design budget and meets the latency spec with margin".
+#include <algorithm>
+#include <iostream>
+
+#include "core/synthesis.hpp"
+#include "core/systems.hpp"
+#include "estim/calibrate.hpp"
+#include "rtos/codegen.hpp"
+#include "rtos/rtos.hpp"
+#include "rtos/tasks.hpp"
+#include "rtos/trace.hpp"
+#include "util/table.hpp"
+#include "vm/machine.hpp"
+
+int main() {
+  using namespace polis;
+
+  const auto net = systems::shock_network();
+  const estim::CostModel model = estim::calibrate(vm::hc11_like());
+  const vm::TargetProfile target = vm::hc11_like();
+  const long long kControlPeriod = 4000;
+  const long long kLatencyBudget = 6000;  // cycles: the 12 µs-spec analogue
+
+  std::cout << "Shock absorber controller (§V-B) — synthesized footprint and "
+               "latency\n";
+
+  rtos::RtosConfig config;
+  config.policy = rtos::RtosConfig::Policy::kRoundRobin;  // as in the paper
+  rtos::RtosSimulation sim(*net, config);
+
+  Table table({"component", "ROM bytes", "RAM bytes"});
+  long long rom = 0;
+  long long ram = 0;
+  for (const cfsm::Instance& inst : net->instances()) {
+    SynthesisOptions options;
+    options.cost_model = &model;
+    const SynthesisResult r = synthesize(inst.machine, options);
+    const long long task_ram =
+        static_cast<long long>(r.compiled->program.slot_names.size()) *
+        target.int_size;
+    rom += r.vm_size_bytes;
+    ram += task_ram;
+    table.add_row({inst.name, std::to_string(r.vm_size_bytes),
+                   std::to_string(task_ram)});
+    sim.set_task(inst.name, rtos::vm_task(r.compiled, target, inst.machine));
+  }
+
+  // Generated RTOS footprint: the scheduler core plus per-task flag arrays
+  // (presence byte + value word per net per task, §IV-B).
+  const long long rtos_ram = static_cast<long long>(
+      net->instances().size() * net->nets().size() * (1 + target.int_size));
+  const long long rtos_rom =
+      static_cast<long long>(rtos::generate_rtos_c(*net, config).size() / 8);
+  rom += rtos_rom;
+  ram += rtos_ram;
+  table.add_separator();
+  table.add_row({"generated RTOS", std::to_string(rtos_rom),
+                 std::to_string(rtos_ram)});
+  table.add_row({"TOTAL", std::to_string(rom), std::to_string(ram)});
+  table.print(std::cout);
+
+  const long long hand_rom = 32 * 1024;
+  const long long hand_ram = 8 * 1024;
+  std::cout << "hand design budget: " << hand_rom << " ROM / " << hand_ram
+            << " RAM -> synthesized uses "
+            << fixed(100.0 * static_cast<double>(rom) / hand_rom, 1)
+            << "% ROM, "
+            << fixed(100.0 * static_cast<double>(ram) / hand_ram, 1)
+            << "% RAM\n\n";
+
+  // --- Latency check ------------------------------------------------------------
+  Rng rng(99);
+  const long long horizon = 1'000'000;
+  auto events = rtos::merge_traces({
+      rtos::periodic_trace({"ctrl_tick", kControlPeriod, 0, 0.0, 1}, horizon),
+      rtos::periodic_trace({"accel_in", 1300, 250, 0.15, 16}, horizon, &rng),
+      {{{250'000, "mode_btn", 0}, {700'000, "mode_btn", 0}}},
+  });
+  const rtos::SimStats stats = sim.run(events);
+
+  Table lat_table({"output", "samples", "avg latency", "worst latency",
+                   "budget", "verdict"});
+  for (const auto& [out, lat] : stats.input_to_output_latency) {
+    long long sum = 0;
+    for (long long v : lat) sum += v;
+    const long long worst = *std::max_element(lat.begin(), lat.end());
+    lat_table.add_row(
+        {out, std::to_string(lat.size()),
+         fixed(static_cast<double>(sum) / static_cast<double>(lat.size()), 0),
+         std::to_string(worst), std::to_string(kLatencyBudget),
+         worst <= kLatencyBudget ? "MET" : "MISSED"});
+  }
+  lat_table.print(std::cout);
+  std::cout << "CPU utilization " << fixed(100 * stats.utilization(), 1)
+            << "%, " << stats.reactions_run << " reactions\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Synthesis-flow timing (the "time" column of Table III, and the paper's
+// point that per-CFSM synthesis is fast): google-benchmark timings of each
+// pipeline stage — characteristic function construction, constrained
+// sifting, s-graph build, VM compilation, C generation, estimation — on the
+// dashboard CFSMs.
+#include <benchmark/benchmark.h>
+
+#include "bdd/reorder.hpp"
+#include "cfsm/reactive.hpp"
+#include "codegen/c_codegen.hpp"
+#include "core/synthesis.hpp"
+#include "core/systems.hpp"
+#include "estim/calibrate.hpp"
+#include "sgraph/build.hpp"
+#include "vm/compile.hpp"
+
+namespace {
+
+using namespace polis;
+
+std::shared_ptr<const cfsm::Cfsm> module(size_t index) {
+  static const auto modules = systems::dashboard_modules();
+  return modules[index % modules.size()];
+}
+
+void BM_CharFunction(benchmark::State& state) {
+  const auto m = module(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    bdd::BddManager mgr;
+    cfsm::ReactiveFunction rf(*m, mgr);
+    benchmark::DoNotOptimize(rf.chi().raw_index());
+  }
+  state.SetLabel(m->name());
+}
+BENCHMARK(BM_CharFunction)->DenseRange(0, 5);
+
+void BM_ConstrainedSift(benchmark::State& state) {
+  const auto m = module(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    bdd::BddManager mgr;
+    cfsm::ReactiveFunction rf(*m, mgr);
+    benchmark::DoNotOptimize(
+        bdd::sift(mgr, rf.precedence_outputs_after_support()));
+  }
+  state.SetLabel(m->name());
+}
+BENCHMARK(BM_ConstrainedSift)->DenseRange(0, 5);
+
+void BM_SgraphBuild(benchmark::State& state) {
+  const auto m = module(static_cast<size_t>(state.range(0)));
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(*m, mgr);
+  for (auto _ : state) {
+    const sgraph::Sgraph g = sgraph::build_sgraph(
+        rf, sgraph::OrderingScheme::kCurrent);
+    benchmark::DoNotOptimize(g.num_nodes());
+  }
+  state.SetLabel(m->name());
+}
+BENCHMARK(BM_SgraphBuild)->DenseRange(0, 5);
+
+void BM_VmCompile(benchmark::State& state) {
+  const auto m = module(static_cast<size_t>(state.range(0)));
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(*m, mgr);
+  const sgraph::Sgraph g = sgraph::build_sgraph(
+      rf, sgraph::OrderingScheme::kSiftOutputsAfterSupport);
+  const vm::SymbolInfo syms = vm::SymbolInfo::from(*m);
+  for (auto _ : state) {
+    const vm::CompiledReaction cr = vm::compile(g, syms);
+    benchmark::DoNotOptimize(cr.program.code.size());
+  }
+  state.SetLabel(m->name());
+}
+BENCHMARK(BM_VmCompile)->DenseRange(0, 5);
+
+void BM_CGeneration(benchmark::State& state) {
+  const auto m = module(static_cast<size_t>(state.range(0)));
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(*m, mgr);
+  const sgraph::Sgraph g = sgraph::build_sgraph(
+      rf, sgraph::OrderingScheme::kSiftOutputsAfterSupport);
+  for (auto _ : state) {
+    const std::string c = codegen::generate_c(g, *m);
+    benchmark::DoNotOptimize(c.size());
+  }
+  state.SetLabel(m->name());
+}
+BENCHMARK(BM_CGeneration)->DenseRange(0, 5);
+
+void BM_Estimation(benchmark::State& state) {
+  static const estim::CostModel model = estim::calibrate(vm::hc11_like());
+  const auto m = module(static_cast<size_t>(state.range(0)));
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(*m, mgr);
+  const sgraph::Sgraph g = sgraph::build_sgraph(
+      rf, sgraph::OrderingScheme::kSiftOutputsAfterSupport);
+  const estim::EstimateContext ctx = estim::context_for(*m);
+  for (auto _ : state) {
+    const estim::Estimate e = estim::estimate(g, model, ctx);
+    benchmark::DoNotOptimize(e.size_bytes);
+  }
+  state.SetLabel(m->name());
+}
+BENCHMARK(BM_Estimation)->DenseRange(0, 5);
+
+void BM_FullSynthesis(benchmark::State& state) {
+  static const estim::CostModel model = estim::calibrate(vm::hc11_like());
+  const auto m = module(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    SynthesisOptions options;
+    options.cost_model = &model;
+    const SynthesisResult r = synthesize(m, options);
+    benchmark::DoNotOptimize(r.vm_size_bytes);
+  }
+  state.SetLabel(m->name());
+}
+BENCHMARK(BM_FullSynthesis)->DenseRange(0, 5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

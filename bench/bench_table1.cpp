@@ -1,0 +1,65 @@
+// Table I (§V-A): results of the cost/performance estimation procedure on
+// the dashboard CFSMs — estimated vs measured code size (bytes) and maximum
+// clock cycles per transition, with the estimation error.
+//
+// The paper measured with the INTROL compiler + a 68HC11 cycle calculator;
+// here "measured" is the cycle-counted VM binary (see DESIGN.md). Absolute
+// numbers differ from the paper's testbed; the reproducible quantity is the
+// estimation accuracy (the paper's errors are within a few percent).
+#include <cstdio>
+#include <iostream>
+
+#include "core/synthesis.hpp"
+#include "core/systems.hpp"
+#include "estim/calibrate.hpp"
+#include "util/table.hpp"
+#include "vm/machine.hpp"
+
+namespace {
+
+void run_for_target(const polis::vm::TargetProfile& target) {
+  using namespace polis;
+  const estim::CostModel model = estim::calibrate(target);
+
+  std::cout << "\nTable I — cost/performance estimation vs measurement ("
+            << target.name << " target)\n";
+  Table table({"CFSM", "est size", "meas size", "err%", "est max cyc",
+               "meas max cyc", "err%"});
+
+  double worst_size_err = 0;
+  double worst_time_err = 0;
+  for (const auto& m : systems::dashboard_modules()) {
+    SynthesisOptions options;
+    options.target = target;
+    options.cost_model = &model;
+    const SynthesisResult r = synthesize(m, options);
+    const auto timing = vm::measure_timing(*r.compiled, target, *m);
+
+    const double size_err =
+        100.0 * (static_cast<double>(r.estimate.size_bytes) -
+                 static_cast<double>(r.vm_size_bytes)) /
+        static_cast<double>(r.vm_size_bytes);
+    const double time_err =
+        100.0 * (static_cast<double>(r.estimate.max_cycles) -
+                 static_cast<double>(timing->max_cycles)) /
+        static_cast<double>(timing->max_cycles);
+    worst_size_err = std::max(worst_size_err, std::abs(size_err));
+    worst_time_err = std::max(worst_time_err, std::abs(time_err));
+
+    table.add_row({m->name(), std::to_string(r.estimate.size_bytes),
+                   std::to_string(r.vm_size_bytes), fixed(size_err, 1),
+                   std::to_string(r.estimate.max_cycles),
+                   std::to_string(timing->max_cycles), fixed(time_err, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "worst estimation error: size " << fixed(worst_size_err, 1)
+            << "%, max cycles " << fixed(worst_time_err, 1) << "%\n";
+}
+
+}  // namespace
+
+int main() {
+  run_for_target(polis::vm::hc11_like());
+  run_for_target(polis::vm::risc32_like());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// The car dashboard controller (paper §V-A): synthesize every CFSM of the
+// network, print the per-module synthesis summary, then run the whole
+// network under the generated RTOS with VM-backed tasks and report what the
+// driver would see.
+#include <algorithm>
+#include <iostream>
+
+#include "core/synthesis.hpp"
+#include "core/systems.hpp"
+#include "estim/calibrate.hpp"
+#include "rtos/rtos.hpp"
+#include "rtos/tasks.hpp"
+#include "rtos/trace.hpp"
+#include "util/table.hpp"
+#include "vm/machine.hpp"
+
+int main() {
+  using namespace polis;
+
+  const auto network = systems::dash_network();
+  const estim::CostModel model = estim::calibrate(vm::hc11_like());
+
+  std::cout << "Dashboard controller: " << network->instances().size()
+            << " CFSMs, inputs:";
+  for (const auto& in : network->external_inputs()) std::cout << ' ' << in;
+  std::cout << ", outputs:";
+  for (const auto& out : network->external_outputs()) std::cout << ' ' << out;
+  std::cout << "\n\n";
+
+  // --- Per-module synthesis ----------------------------------------------------
+  Table table({"instance", "module", "s-graph", "code bytes", "min cyc",
+               "max cyc"});
+  rtos::RtosConfig config;  // round-robin, interrupts
+  rtos::RtosSimulation sim(*network, config);
+  long long total_bytes = 0;
+  for (const cfsm::Instance& inst : network->instances()) {
+    SynthesisOptions options;
+    options.cost_model = &model;
+    const SynthesisResult r = synthesize(inst.machine, options);
+    total_bytes += r.vm_size_bytes;
+    table.add_row({inst.name, inst.machine->name(),
+                   std::to_string(r.graph->num_reachable()),
+                   std::to_string(r.vm_size_bytes),
+                   std::to_string(r.estimate.min_cycles),
+                   std::to_string(r.estimate.max_cycles)});
+    sim.set_task(inst.name,
+                 rtos::vm_task(r.compiled, vm::hc11_like(), inst.machine));
+  }
+  table.print(std::cout);
+  std::cout << "total synthesized code: " << total_bytes << " bytes\n\n";
+
+  // --- Drive it ------------------------------------------------------------------
+  // A short trip: accelerating wheel pulses, steady engine, key on at start,
+  // belt fastened late.
+  Rng rng(2024);
+  const long long horizon = 400'000;
+  auto events = rtos::merge_traces({
+      rtos::periodic_trace({"wheel_raw", 350, 0, 0.05, 1}, horizon, &rng),
+      rtos::periodic_trace({"engine_raw", 600, 17, 0.05, 1}, horizon, &rng),
+      rtos::periodic_trace({"timer", 5000, 100, 0.0, 1}, horizon),
+      {{{20, "key_on", 0}, {120'000, "belt_on", 0}}},
+  });
+  std::cout << "simulating " << events.size()
+            << " environment events under the generated RTOS (round-robin, "
+               "interrupt delivery)...\n";
+  const rtos::SimStats stats = sim.run(events);
+
+  std::cout << "  simulated time      : " << stats.end_time << " cycles\n";
+  std::cout << "  reactions executed  : " << stats.reactions_run << " ("
+            << stats.empty_reactions << " empty)\n";
+  std::cout << "  CPU utilization     : " << fixed(100 * stats.utilization(), 1)
+            << "%\n";
+
+  std::map<std::string, int> counts;
+  for (const rtos::ObservedEmission& e : stats.outputs) counts[e.net]++;
+  std::cout << "  outputs observed    :";
+  for (const auto& [net, n] : counts) std::cout << ' ' << net << "=" << n;
+  std::cout << "\n";
+  for (const auto& [net, lat] : stats.input_to_output_latency) {
+    const long long worst = *std::max_element(lat.begin(), lat.end());
+    std::cout << "  worst latency to " << net << ": " << worst << " cycles\n";
+  }
+  for (const auto& [net, lost] : stats.lost_events)
+    std::cout << "  lost events on " << net << ": " << lost
+              << " (1-place buffers, §II-D)\n";
+
+  const bool alarm = counts.count("alarm") != 0;
+  std::cout << "\nThe seat-belt alarm " << (alarm ? "fired" : "did not fire")
+            << " before the belt was fastened.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// A microwave oven controller (the paper's motivating consumer-appliance
+// domain, §I-A): synthesize the four CFSMs, run a cooking scenario under the
+// generated RTOS with VM-backed tasks, and dump a VCD waveform of the
+// schedule and the event traffic (viewable in GTKWave).
+#include <fstream>
+#include <iostream>
+
+#include "core/synthesis.hpp"
+#include "core/systems.hpp"
+#include "estim/calibrate.hpp"
+#include "rtos/rtos.hpp"
+#include "rtos/tasks.hpp"
+#include "rtos/vcd.hpp"
+#include "util/table.hpp"
+#include "vm/machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace polis;
+  const std::string vcd_path = argc > 1 ? argv[1] : "microwave.vcd";
+
+  const auto net = systems::microwave_network();
+  const estim::CostModel model = estim::calibrate(vm::hc11_like());
+
+  rtos::RtosConfig config;
+  config.collect_log = true;  // for the VCD
+  rtos::RtosSimulation sim(*net, config);
+
+  Table table({"task", "module", "code bytes", "WCET (cycles)"});
+  for (const cfsm::Instance& inst : net->instances()) {
+    SynthesisOptions options;
+    options.cost_model = &model;
+    options.optimize_copy_in = true;
+    const SynthesisResult r = synthesize(inst.machine, options);
+    table.add_row({inst.name, inst.machine->name(),
+                   std::to_string(r.vm_size_bytes),
+                   std::to_string(r.estimate.max_cycles)});
+    sim.set_task(inst.name,
+                 rtos::vm_task(r.compiled, vm::hc11_like(), inst.machine));
+  }
+  table.print(std::cout);
+
+  // Scenario: the cook enters 3 minutes, starts, opens the door mid-cook,
+  // closes it, restarts for the remaining time... then lets it finish.
+  std::vector<rtos::ExternalEvent> events = {
+      {1'000, "digit", 3},        // "3 minutes"
+      {2'000, "start_btn", 0},    // go
+      {10'000, "tick", 0},        // minute 1 elapses
+      {15'000, "door_open", 0},   // peek at the food (heat must stop)
+      {18'000, "door_closed", 0},
+      {20'000, "digit", 2},       // re-enter 2 minutes
+      {21'000, "start_btn", 0},
+      {30'000, "tick", 0},
+      {40'000, "tick", 0},        // done + beep here
+  };
+  const rtos::SimStats stats = sim.run(events);
+
+  std::cout << "\nscenario timeline (external outputs):\n";
+  for (const rtos::ObservedEmission& e : stats.outputs)
+    std::cout << "  t=" << e.time << "  " << e.net << " = " << e.value
+              << "  (from " << e.producer << ")\n";
+
+  std::ofstream vcd(vcd_path);
+  rtos::write_vcd(*net, stats, vcd);
+  std::cout << "\nwrote waveform with " << stats.log.size() << " log events"
+            << " to " << vcd_path << " (open with gtkwave)\n";
+  return 0;
+}

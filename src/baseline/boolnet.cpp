@@ -1,0 +1,189 @@
+#include "baseline/boolnet.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace polis::baseline {
+
+namespace {
+
+sgraph::ActionOp to_action_op(const cfsm::ReactiveFunction& rf,
+                              const cfsm::ActionVariable& av) {
+  sgraph::ActionOp op;
+  switch (av.kind) {
+    case cfsm::ActionVariable::Kind::kConsume:
+      op.kind = sgraph::ActionOp::Kind::kConsume;
+      break;
+    case cfsm::ActionVariable::Kind::kAssignState:
+      op.kind = sgraph::ActionOp::Kind::kAssignVar;
+      op.target = av.target;
+      op.value = av.value;
+      break;
+    case cfsm::ActionVariable::Kind::kEmit: {
+      const cfsm::Signal* sig = rf.machine().find_output(av.target);
+      POLIS_CHECK(sig != nullptr);
+      op.kind = sig->is_pure() ? sgraph::ActionOp::Kind::kEmitPure
+                               : sgraph::ActionOp::Kind::kEmitValued;
+      op.target = av.target;
+      op.value = av.value;
+      break;
+    }
+  }
+  return op;
+}
+
+}  // namespace
+
+BoolnetProgram build_boolnet(cfsm::ReactiveFunction& rf) {
+  bdd::BddManager& mgr = rf.manager();
+
+  // Output functions, with reference counts over the shared BDD.
+  std::vector<bdd::Bdd> roots;
+  for (const cfsm::ActionVariable& a : rf.actions())
+    roots.push_back(rf.output_function(a.bdd_var));
+
+  std::unordered_map<std::uint32_t, int> refs;
+  {
+    std::vector<bdd::Bdd> stack = roots;
+    std::unordered_map<std::uint32_t, bool> visited;
+    for (const bdd::Bdd& r : roots) refs[r.raw_index()]++;
+    while (!stack.empty()) {
+      const bdd::Bdd n = stack.back();
+      stack.pop_back();
+      if (n.is_constant() || visited[n.raw_index()]) continue;
+      visited[n.raw_index()] = true;
+      const bdd::Bdd hi = n.high();
+      const bdd::Bdd lo = n.low();
+      refs[hi.raw_index()]++;
+      refs[lo.raw_index()]++;
+      stack.push_back(hi);
+      stack.push_back(lo);
+    }
+  }
+
+  BoolnetProgram out;
+  std::unordered_map<std::uint32_t, expr::ExprRef> node_expr;  // temps by ref
+  int next_temp = 0;
+
+  // expr_of inlines single-use nodes and references temps for shared ones;
+  // defining a temp appends its step (children first, so steps are ordered).
+  auto expr_of = [&](const bdd::Bdd& n, auto&& self) -> expr::ExprRef {
+    if (n.is_zero()) return expr::constant(0);
+    if (n.is_one()) return expr::constant(1);
+    auto it = node_expr.find(n.raw_index());
+    if (it != node_expr.end()) return it->second;
+
+    const expr::ExprRef cond = rf.test_of(n.top_var()).predicate;
+    const expr::ExprRef hi = self(n.high(), self);
+    const expr::ExprRef lo = self(n.low(), self);
+    expr::ExprRef body;
+    if (hi->op() == expr::Op::kConst && lo->op() == expr::Op::kConst) {
+      body = hi->value() != 0 ? cond : expr::lnot(cond);
+    } else if (hi->op() == expr::Op::kConst && hi->value() != 0) {
+      body = expr::lor(cond, lo);
+    } else if (hi->op() == expr::Op::kConst) {
+      body = expr::land(expr::lnot(cond), lo);
+    } else if (lo->op() == expr::Op::kConst && lo->value() == 0) {
+      body = expr::land(cond, hi);
+    } else if (lo->op() == expr::Op::kConst) {
+      body = expr::lor(expr::lnot(cond), hi);
+    } else {
+      body = expr::ite(cond, hi, lo);
+    }
+
+    expr::ExprRef result = body;
+    if (refs[n.raw_index()] > 1) {
+      const std::string temp = "__t" + std::to_string(next_temp++);
+      out.steps.push_back(BoolnetStep{temp, body});
+      out.shared_nodes++;
+      result = expr::var(temp);
+    }
+    node_expr.emplace(n.raw_index(), result);
+    return result;
+  };
+
+  for (size_t i = 0; i < rf.actions().size(); ++i) {
+    const expr::ExprRef guard = expr_of(roots[i], expr_of);
+    const sgraph::ActionOp op = to_action_op(rf, rf.actions()[i]);
+    if (guard->op() == expr::Op::kConst && guard->value() == 0)
+      continue;  // never executes
+    out.actions.emplace_back(
+        op, guard->op() == expr::Op::kConst ? nullptr : guard);
+  }
+  (void)mgr;
+  return out;
+}
+
+estim::Estimate estimate_boolnet(const BoolnetProgram& program,
+                                 const estim::CostModel& m,
+                                 const estim::EstimateContext& ctx) {
+  double size = m.sz_func_enter + ctx.num_state_vars * m.sz_copy_in_per_var +
+                m.sz_func_return;
+  double fixed = m.cyc_func_enter + ctx.num_state_vars * m.cyc_copy_in_per_var +
+                 m.cyc_func_return;
+  double variable_min = 0;
+  double variable_max = 0;
+
+  for (const BoolnetStep& s : program.steps) {
+    size += estim::expr_bytes(*s.value, m, ctx) + m.sz_assign_store;
+    fixed += estim::expr_cycles(*s.value, m, ctx) + m.cyc_assign_store;
+  }
+  for (const auto& [op, guard] : program.actions) {
+    double act_cycles = 0;
+    double act_bytes = 0;
+    switch (op.kind) {
+      case sgraph::ActionOp::Kind::kConsume:
+        act_cycles = m.cyc_consume;
+        act_bytes = m.sz_consume;
+        break;
+      case sgraph::ActionOp::Kind::kEmitPure:
+        act_cycles = m.cyc_assign_emit;
+        act_bytes = m.sz_assign_emit;
+        break;
+      case sgraph::ActionOp::Kind::kEmitValued:
+        act_cycles = m.cyc_assign_emit + m.cyc_assign_emit_value +
+                     estim::expr_cycles(*op.value, m, ctx);
+        act_bytes = m.sz_assign_emit + m.sz_assign_emit_value +
+                    estim::expr_bytes(*op.value, m, ctx);
+        break;
+      case sgraph::ActionOp::Kind::kAssignVar:
+        act_cycles =
+            estim::expr_cycles(*op.value, m, ctx) + m.cyc_assign_store;
+        act_bytes = estim::expr_bytes(*op.value, m, ctx) + m.sz_assign_store;
+        break;
+    }
+    if (guard == nullptr) {
+      fixed += act_cycles;
+      size += act_bytes;
+    } else {
+      const double g = estim::expr_cycles(*guard, m, ctx);
+      size += estim::expr_bytes(*guard, m, ctx) + m.sz_branch + act_bytes;
+      variable_min += g + m.cyc_test_edge_false;
+      variable_max += g + m.cyc_test_edge_true + act_cycles;
+    }
+  }
+
+  estim::Estimate e;
+  e.size_bytes = static_cast<long long>(std::llround(size));
+  e.min_cycles = static_cast<long long>(std::llround(fixed + variable_min));
+  e.max_cycles = static_cast<long long>(std::llround(fixed + variable_max));
+  return e;
+}
+
+std::string boolnet_to_c(const BoolnetProgram& program) {
+  std::ostringstream os;
+  for (const BoolnetStep& s : program.steps)
+    os << "  int " << s.temp << " = " << expr::to_c(*s.value) << ";\n";
+  for (const auto& [op, guard] : program.actions) {
+    os << "  ";
+    if (guard != nullptr) os << "if (" << expr::to_c(*guard) << ") ";
+    os << op.label() << ";\n";
+  }
+  return os.str();
+}
+
+}  // namespace polis::baseline

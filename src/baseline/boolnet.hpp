@@ -1,0 +1,45 @@
+// Outputs-before-inputs code generation through a shared Boolean network —
+// the analogue of ESTEREL v5's circuit-based compilation with Boolean-
+// circuit optimisation (§III-B3c, Table III row "ESTEREL_OPT").
+//
+// Every action variable's output function g_z is taken as a BDD; BDD nodes
+// shared between (or within) the g_z become temporary C variables, and each
+// action is guarded by its root expression. The resulting program has no
+// TEST vertices: all executions take the same time apart from the guarded
+// action bodies — the paper's "absolute exactness in execution time
+// prediction" property.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cfsm/reactive.hpp"
+#include "estim/estimate.hpp"
+#include "sgraph/sgraph.hpp"
+
+namespace polis::baseline {
+
+struct BoolnetStep {
+  std::string temp;       // temporary variable name
+  expr::ExprRef value;    // over tests and earlier temps
+};
+
+struct BoolnetProgram {
+  std::vector<BoolnetStep> steps;
+  /// Action plus its guard expression (over tests/temps); constant-true
+  /// guards are represented as nullptr.
+  std::vector<std::pair<sgraph::ActionOp, expr::ExprRef>> actions;
+  size_t shared_nodes = 0;  // BDD nodes promoted to temps
+};
+
+BoolnetProgram build_boolnet(cfsm::ReactiveFunction& rf);
+
+/// Cost of the straight-line Boolean-network program under the cost model.
+estim::Estimate estimate_boolnet(const BoolnetProgram& program,
+                                 const estim::CostModel& model,
+                                 const estim::EstimateContext& context);
+
+/// C rendering (for inspection and the examples).
+std::string boolnet_to_c(const BoolnetProgram& program);
+
+}  // namespace polis::baseline

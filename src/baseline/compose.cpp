@@ -1,0 +1,251 @@
+#include "baseline/compose.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace polis::baseline {
+
+namespace {
+
+using StateMap = std::map<std::string, std::int64_t>;
+
+std::string composed_var(const std::string& instance, const std::string& var) {
+  return instance + "__" + var;
+}
+
+/// One synchronous tick: every instance reacts once, in topological order,
+/// with internal events delivered instantly downstream.
+struct TickResult {
+  std::vector<std::pair<std::string, std::int64_t>> external_emissions;
+  StateMap next_state;
+};
+
+class Composer {
+ public:
+  Composer(const cfsm::Network& network) : network_(&network) {
+    nets_ = network.nets();
+    topo_ = network.topological_order();
+    for (const auto& [name, net] : nets_) {
+      if (net.producers.empty() && !net.consumers.empty())
+        external_inputs_.push_back(name);
+      if (!net.producers.empty() && net.consumers.empty())
+        external_outputs_.push_back(name);
+    }
+  }
+
+  bool valid() const {
+    if (topo_.empty() && !network_->instances().empty()) return false;
+    for (const auto& [name, net] : nets_)
+      if (net.producers.size() > 1) return false;
+    return true;
+  }
+
+  const std::vector<std::string>& external_inputs() const {
+    return external_inputs_;
+  }
+  const std::vector<std::string>& external_outputs() const {
+    return external_outputs_;
+  }
+  const std::map<std::string, cfsm::Net>& nets() const { return nets_; }
+
+  StateMap initial_state() const {
+    StateMap st;
+    for (const cfsm::Instance& inst : network_->instances())
+      for (const auto& [name, v] : inst.machine->initial_state())
+        st[composed_var(inst.name, name)] = v;
+    return st;
+  }
+
+  TickResult tick(const StateMap& state, const cfsm::Snapshot& ext) const {
+    // Pending events per net within this tick.
+    std::map<std::string, std::pair<bool, std::int64_t>> pending;
+    for (const auto& [net, present] : ext.present)
+      if (present) pending[net] = {true, ext.value_of(net)};
+
+    TickResult out;
+    out.next_state = state;
+    for (const std::string& inst_name : topo_) {
+      const cfsm::Instance& inst = network_->instance(inst_name);
+      cfsm::Snapshot snap;
+      for (const cfsm::Signal& in : inst.machine->inputs()) {
+        auto it = pending.find(inst.net_of(in.name));
+        if (it == pending.end() || !it->second.first) continue;
+        snap.present[in.name] = true;
+        if (!in.is_pure()) snap.value[in.name] = it->second.second;
+      }
+      if (snap.present.empty()) continue;  // not enabled: no reaction (§IV-A)
+      StateMap local;
+      for (const cfsm::StateVar& v : inst.machine->state())
+        local[v.name] = state.at(composed_var(inst_name, v.name));
+      const cfsm::Reaction r = inst.machine->react(snap, local);
+      for (const auto& [name, v] : r.next_state)
+        out.next_state[composed_var(inst_name, name)] = v;
+      for (const auto& [port, value] : r.emissions) {
+        const std::string& net = inst.net_of(port);
+        const cfsm::Net& info = nets_.at(net);
+        if (info.consumers.empty()) {
+          out.external_emissions.emplace_back(net, value);
+        } else {
+          pending[net] = {true, value};
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  const cfsm::Network* network_;
+  std::map<std::string, cfsm::Net> nets_;
+  std::vector<std::string> topo_;
+  std::vector<std::string> external_inputs_;
+  std::vector<std::string> external_outputs_;
+};
+
+}  // namespace
+
+std::optional<ComposeResult> synchronous_compose(
+    const cfsm::Network& network, const ComposeOptions& options) {
+  Composer composer(network);
+  if (!composer.valid()) return std::nullopt;
+
+  // External snapshot space (presence per input net; value when valued).
+  struct Dim {
+    std::string net;
+    bool is_value;
+    std::uint64_t radix;
+  };
+  std::vector<Dim> dims;
+  std::uint64_t snapshots = 1;
+  for (const std::string& net : composer.external_inputs()) {
+    const cfsm::Net& info = composer.nets().at(net);
+    dims.push_back({net, false, 2});
+    snapshots *= 2;
+    if (info.domain > 1) {
+      dims.push_back({net, true, static_cast<std::uint64_t>(info.domain)});
+      snapshots *= static_cast<std::uint64_t>(info.domain);
+    }
+    if (snapshots > options.explosion_limit) return std::nullopt;
+  }
+
+  // BFS over reachable composed states, producing one fully-specified rule
+  // per (state, canonical snapshot).
+  std::vector<cfsm::Rule> rules;
+  std::set<StateMap> seen;
+  std::deque<StateMap> queue;
+  const StateMap init = composer.initial_state();
+  seen.insert(init);
+  queue.push_back(init);
+  std::set<std::string> rule_keys;
+
+  while (!queue.empty()) {
+    const StateMap state = queue.front();
+    queue.pop_front();
+    if (static_cast<std::uint64_t>(seen.size()) * snapshots >
+        options.explosion_limit)
+      return std::nullopt;
+
+    std::vector<std::uint64_t> counter(dims.size(), 0);
+    for (std::uint64_t it = 0; it < snapshots; ++it) {
+      cfsm::Snapshot snap;
+      for (size_t d = 0; d < dims.size(); ++d) {
+        if (dims[d].is_value) {
+          snap.value[dims[d].net] = static_cast<std::int64_t>(counter[d]);
+        } else {
+          snap.present[dims[d].net] = counter[d] != 0;
+        }
+      }
+      // Canonicalise: values of absent events are irrelevant.
+      std::string key;
+      for (const auto& [k, v] : state) key += k + "=" + std::to_string(v) + ";";
+      for (size_t d = 0; d < dims.size(); ++d) {
+        const bool present = snap.present.count(dims[d].net) != 0 &&
+                             snap.present.at(dims[d].net);
+        if (dims[d].is_value) {
+          key += present ? std::to_string(snap.value[dims[d].net]) : "-";
+        } else {
+          key += present ? "1" : "0";
+        }
+        key += ",";
+      }
+      const bool fresh = rule_keys.insert(key).second;
+      bool any_present = false;
+      for (const auto& [net, p] : snap.present) {
+        (void)net;
+        any_present = any_present || p;
+      }
+
+      const TickResult t = composer.tick(state, snap);
+      if (seen.insert(t.next_state).second) queue.push_back(t.next_state);
+      // The RTOS only runs the task when some event is present (§IV-A), so
+      // the all-absent snapshot needs no rule.
+      if (!fresh || !any_present) goto next_snapshot;
+
+      {
+        // Guard: exact cube over presence flags, values of present valued
+        // inputs, and the composed state.
+        expr::ExprRef guard = expr::constant(1);
+        for (const std::string& net : composer.external_inputs()) {
+          const bool present =
+              snap.present.count(net) != 0 && snap.present.at(net);
+          guard = expr::land(guard, present
+                                        ? cfsm::presence(net)
+                                        : expr::lnot(cfsm::presence(net)));
+          const cfsm::Net& info = composer.nets().at(net);
+          if (present && info.domain > 1) {
+            guard = expr::land(
+                guard, expr::eq(cfsm::value_of(net),
+                                expr::constant(snap.value.at(net))));
+          }
+        }
+        for (const auto& [var, v] : state)
+          guard = expr::land(guard,
+                             expr::eq(expr::var(var), expr::constant(v)));
+
+        cfsm::Rule rule;
+        rule.guard = guard;
+        for (const auto& [net, value] : t.external_emissions) {
+          const cfsm::Net& info = composer.nets().at(net);
+          rule.emits.push_back(cfsm::Emit{
+              net, info.domain > 1 ? expr::constant(value) : nullptr});
+        }
+        for (const auto& [var, v] : t.next_state) {
+          if (state.at(var) != v)
+            rule.assigns.push_back(cfsm::Assign{var, expr::constant(v)});
+        }
+        rules.push_back(std::move(rule));
+      }
+    next_snapshot:
+      for (size_t d = 0; d < dims.size(); ++d) {
+        if (++counter[d] < dims[d].radix) break;
+        counter[d] = 0;
+      }
+    }
+  }
+
+  // Interface of the composed machine.
+  std::vector<cfsm::Signal> inputs;
+  for (const std::string& net : composer.external_inputs())
+    inputs.push_back(cfsm::Signal{net, composer.nets().at(net).domain});
+  std::vector<cfsm::Signal> outputs;
+  for (const std::string& net : composer.external_outputs())
+    outputs.push_back(cfsm::Signal{net, composer.nets().at(net).domain});
+  std::vector<cfsm::StateVar> state_vars;
+  for (const cfsm::Instance& inst : network.instances())
+    for (const cfsm::StateVar& v : inst.machine->state())
+      state_vars.push_back(cfsm::StateVar{
+          composed_var(inst.name, v.name), v.domain, v.init});
+
+  ComposeResult result;
+  result.reachable_states = seen.size();
+  result.rules = rules.size();
+  result.machine = std::make_shared<cfsm::Cfsm>(
+      network.name() + "_composed", std::move(inputs), std::move(outputs),
+      std::move(state_vars), std::move(rules));
+  return result;
+}
+
+}  // namespace polis::baseline

@@ -1,0 +1,40 @@
+// Synchronous composition of a CFSM network into a single explicit FSM —
+// the baseline the paper compares against (§II-A1, §V Table III): ESTEREL-
+// style whole-design compilation, where internal communication disappears
+// (zero-delay within a tick) at the price of an explicit product state
+// space and correspondingly larger code.
+//
+// The network's internal-signal graph must be acyclic; instances react in
+// topological order inside each tick and internal emissions are delivered
+// instantaneously downstream. The composed machine is produced as an
+// ordinary Cfsm (one fully-specified rule per reachable (state, snapshot)
+// class), so the entire synthesis pipeline — χ, s-graph, estimation, VM —
+// applies to it unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "cfsm/cfsm.hpp"
+#include "cfsm/network.hpp"
+
+namespace polis::baseline {
+
+struct ComposeOptions {
+  /// Abort if reachable-states × external-snapshots exceeds this.
+  std::uint64_t explosion_limit = 1u << 22;
+};
+
+struct ComposeResult {
+  std::shared_ptr<cfsm::Cfsm> machine;
+  size_t reachable_states = 0;
+  size_t rules = 0;
+};
+
+/// Returns nullopt if the internal-signal graph is cyclic, a net has more
+/// than one producer, or the product space exceeds the limit.
+std::optional<ComposeResult> synchronous_compose(
+    const cfsm::Network& network, const ComposeOptions& options = {});
+
+}  // namespace polis::baseline

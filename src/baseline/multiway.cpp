@@ -1,0 +1,278 @@
+#include "baseline/multiway.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace polis::baseline {
+
+namespace {
+
+sgraph::ActionOp to_action_op(const cfsm::ReactiveFunction& rf,
+                              const cfsm::ActionVariable& av) {
+  sgraph::ActionOp op;
+  switch (av.kind) {
+    case cfsm::ActionVariable::Kind::kConsume:
+      op.kind = sgraph::ActionOp::Kind::kConsume;
+      break;
+    case cfsm::ActionVariable::Kind::kAssignState:
+      op.kind = sgraph::ActionOp::Kind::kAssignVar;
+      op.target = av.target;
+      op.value = av.value;
+      break;
+    case cfsm::ActionVariable::Kind::kEmit: {
+      const cfsm::Signal* sig = rf.machine().find_output(av.target);
+      POLIS_CHECK(sig != nullptr);
+      op.kind = sig->is_pure() ? sgraph::ActionOp::Kind::kEmitPure
+                               : sgraph::ActionOp::Kind::kEmitValued;
+      op.target = av.target;
+      op.value = av.value;
+      break;
+    }
+  }
+  return op;
+}
+
+}  // namespace
+
+std::optional<MultiwayResult> compile_multiway(cfsm::ReactiveFunction& rf,
+                                               std::uint64_t limit) {
+  const cfsm::Cfsm& machine = rf.machine();
+  bdd::BddManager& mgr = rf.manager();
+  const vm::SymbolInfo syms = vm::SymbolInfo::from(machine);
+
+  // Classify tests: predicates over state variables only become constants
+  // under the level-1 dispatch; the rest are level-2 decision variables.
+  std::set<std::string> state_names;
+  for (const cfsm::StateVar& v : machine.state()) state_names.insert(v.name);
+  std::vector<const cfsm::TestVariable*> decision_tests;
+  std::vector<const cfsm::TestVariable*> state_tests;
+  for (const cfsm::TestVariable& t : rf.tests()) {
+    bool state_only = true;
+    for (const std::string& v : expr::support(*t.predicate))
+      state_only = state_only && state_names.count(v) != 0;
+    (state_only ? state_tests : decision_tests).push_back(&t);
+  }
+
+  std::uint64_t n_states = 1;
+  for (const cfsm::StateVar& v : machine.state()) {
+    n_states *= static_cast<std::uint64_t>(v.domain);
+    if (n_states > limit) return std::nullopt;
+  }
+  const size_t k = decision_tests.size();
+  if (k >= 20 || n_states > (limit >> k)) return std::nullopt;
+  const std::uint64_t n_dec = 1ull << k;
+
+  // Output functions once.
+  std::vector<bdd::Bdd> gz;
+  for (const cfsm::ActionVariable& a : rf.actions())
+    gz.push_back(rf.output_function(a.bdd_var));
+
+  vm::RoutineBuilder b(syms, machine.name() + "_multiway");
+  b.emit_prologue();
+  using vm::Instr;
+  using vm::Opcode;
+  auto I = [](Opcode op, int a = 0, int bb = 0, int c = 0,
+              std::int64_t imm = 0, expr::Op alu = expr::Op::kAdd) {
+    return Instr{op, a, bb, c, imm, alu, ""};
+  };
+
+  // --- Level 1: pack the state valuation into r0. -----------------------------
+  b.emit(I(Opcode::kLdi, 0, 0, 0, 0));
+  for (const cfsm::StateVar& v : machine.state()) {
+    b.emit(I(Opcode::kLdi, 1, 0, 0, v.domain));
+    b.emit(I(Opcode::kAlu, 0, 0, 1, 0, expr::Op::kMul));
+    b.emit(I(Opcode::kLd, 1, b.slot(v.name + "__in")));
+    b.emit(I(Opcode::kAlu, 0, 0, 1, 0, expr::Op::kAdd));
+  }
+  const size_t jmpind1_at = b.here();
+  b.emit(I(Opcode::kJmpInd, 0, 0));
+  b.at(jmpind1_at).b = static_cast<int>(b.here());
+
+  // Level-1 jump table: one kJmp per state valuation (fixed up later).
+  std::vector<size_t> table1(n_states);
+  for (std::uint64_t s = 0; s < n_states; ++s) {
+    table1[s] = b.here();
+    b.emit(I(Opcode::kJmp, 0, 0));
+  }
+
+  // --- Per-state level-2 dispatch + shared action blocks. ----------------------
+  std::map<std::string, size_t> block_label;  // action-set key -> label
+  std::vector<std::pair<size_t, std::string>> block_fixups;  // (jmp, key)
+  std::vector<std::pair<std::string, std::vector<sgraph::ActionOp>>>
+      block_defs;  // emitted at the end
+
+  for (std::uint64_t s = 0; s < n_states; ++s) {
+    b.at(table1[s]).b = static_cast<int>(b.here());
+
+    // Concrete state valuation for this branch (mixed radix decode, last
+    // declared variable is the least-significant digit — matching the pack).
+    std::map<std::string, std::int64_t> sval;
+    {
+      std::uint64_t rem = s;
+      for (auto it = machine.state().rbegin(); it != machine.state().rend();
+           ++it) {
+        sval[it->name] =
+            static_cast<std::int64_t>(rem % static_cast<std::uint64_t>(it->domain));
+        rem /= static_cast<std::uint64_t>(it->domain);
+      }
+    }
+    const expr::Env state_env = [&sval](const std::string& name) {
+      auto it = sval.find(name);
+      POLIS_CHECK_MSG(it != sval.end(), "unbound state variable " << name);
+      return it->second;
+    };
+
+    // Level-2 index: evaluate each decision predicate, pack bits into r0.
+    b.emit(I(Opcode::kLdi, 0, 0, 0, 0));
+    for (const cfsm::TestVariable* t : decision_tests) {
+      b.compile_expr(*t->predicate, 1);
+      b.emit(I(Opcode::kLdi, 2, 0, 0, 0));
+      b.emit(I(Opcode::kAlu, 1, 1, 2, 0, expr::Op::kNe));  // normalise 0/1
+      b.emit(I(Opcode::kLdi, 2, 0, 0, 2));
+      b.emit(I(Opcode::kAlu, 0, 0, 2, 0, expr::Op::kMul));
+      b.emit(I(Opcode::kAlu, 0, 0, 1, 0, expr::Op::kAdd));
+    }
+    const size_t jmpind2_at = b.here();
+    b.emit(I(Opcode::kJmpInd, 0, 0));
+    b.at(jmpind2_at).b = static_cast<int>(b.here());
+
+    for (std::uint64_t d = 0; d < n_dec; ++d) {
+      // Full test valuation: state predicates evaluated concretely,
+      // decision bits from d (first test = most significant bit).
+      std::map<int, bool> tv;
+      for (const cfsm::TestVariable* t : state_tests)
+        tv[t->bdd_var] = expr::evaluate(*t->predicate, state_env) != 0;
+      for (size_t i = 0; i < k; ++i)
+        tv[decision_tests[i]->bdd_var] = ((d >> (k - 1 - i)) & 1) != 0;
+
+      std::vector<sgraph::ActionOp> block;
+      std::string key;
+      for (size_t ai = 0; ai < rf.actions().size(); ++ai) {
+        const bool on = mgr.eval(gz[ai], [&tv](int var) {
+          auto it = tv.find(var);
+          return it != tv.end() && it->second;
+        });
+        if (!on) continue;
+        block.push_back(to_action_op(rf, rf.actions()[ai]));
+        key += block.back().label() + ";";
+      }
+      if (block_label.count(key) == 0) {
+        block_label[key] = 0;  // placeholder, defined after all tables
+        block_defs.emplace_back(key, std::move(block));
+      }
+      block_fixups.emplace_back(b.here(), key);
+      b.emit(I(Opcode::kJmp, 0, 0));
+    }
+  }
+
+  // Deduplicated action blocks.
+  MultiwayResult result;
+  for (auto& [key, block] : block_defs) {
+    block_label[key] = b.here();
+    for (const sgraph::ActionOp& op : block) b.compile_action(op);
+    b.emit(I(Opcode::kRet));
+    result.blocks.push_back(block);
+  }
+  for (const auto& [at, key] : block_fixups)
+    b.at(at).b = static_cast<int>(block_label.at(key));
+
+  result.level1_entries = n_states;
+  result.decision_tests = k;
+  result.action_blocks = block_defs.size();
+  for (const cfsm::TestVariable* t : decision_tests)
+    result.decision_predicates.push_back(t->predicate);
+  result.reaction = b.finish();
+  return result;
+}
+
+estim::Estimate estimate_multiway(const MultiwayResult& result,
+                                  const cfsm::ReactiveFunction& rf,
+                                  const estim::CostModel& m,
+                                  const estim::EstimateContext& ctx) {
+  const cfsm::Cfsm& machine = rf.machine();
+  const double n_states = static_cast<double>(result.level1_entries);
+  const double n_dec_entries =
+      std::pow(2.0, static_cast<double>(result.decision_tests));
+
+  // --- Size ---------------------------------------------------------------
+  double size = m.sz_func_enter + ctx.num_state_vars * m.sz_copy_in_per_var +
+                // level-1 packing: per state var a constant, MUL, load, ADD.
+                m.sz_leaf +
+                static_cast<double>(machine.state().size()) *
+                    (2 * m.sz_leaf + m.sz_op_mul + m.sz_op_alu) +
+                m.sz_goto /* computed jump */ +
+                n_states * m.sz_multiway_entry;
+  double dec_index_size = m.sz_leaf;  // idx := 0
+  for (const expr::ExprRef& p : result.decision_predicates)
+    dec_index_size += estim::expr_bytes(*p, m, ctx) +
+                      (m.sz_leaf + m.sz_op_alu) /* normalise */ +
+                      (m.sz_leaf + m.sz_op_mul + m.sz_op_alu) /* pack */;
+  size += n_states * (dec_index_size + m.sz_goto +
+                      n_dec_entries * m.sz_multiway_entry);
+
+  double dec_index_cycles = m.cyc_leaf;
+  for (const expr::ExprRef& p : result.decision_predicates)
+    dec_index_cycles += estim::expr_cycles(*p, m, ctx) +
+                        (m.cyc_leaf + m.cyc_op_alu) +
+                        (m.cyc_leaf + m.cyc_op_mul + m.cyc_op_alu);
+
+  // --- Blocks --------------------------------------------------------------
+  auto action_cost = [&](const sgraph::ActionOp& op, bool bytes) -> double {
+    switch (op.kind) {
+      case sgraph::ActionOp::Kind::kConsume:
+        return bytes ? m.sz_consume : m.cyc_consume;
+      case sgraph::ActionOp::Kind::kEmitPure:
+        return bytes ? m.sz_assign_emit : m.cyc_assign_emit;
+      case sgraph::ActionOp::Kind::kEmitValued:
+        return (bytes ? m.sz_assign_emit + m.sz_assign_emit_value +
+                            estim::expr_bytes(*op.value, m, ctx)
+                      : m.cyc_assign_emit + m.cyc_assign_emit_value +
+                            estim::expr_cycles(*op.value, m, ctx));
+      case sgraph::ActionOp::Kind::kAssignVar:
+        return (bytes ? estim::expr_bytes(*op.value, m, ctx) + m.sz_assign_store
+                      : estim::expr_cycles(*op.value, m, ctx) +
+                            m.cyc_assign_store);
+    }
+    return 0;
+  };
+
+  double min_block = std::numeric_limits<double>::infinity();
+  double max_block = 0;
+  for (const std::vector<sgraph::ActionOp>& block : result.blocks) {
+    double bytes = m.sz_func_return;
+    double cycles = 0;
+    for (const sgraph::ActionOp& op : block) {
+      bytes += action_cost(op, true);
+      cycles += action_cost(op, false);
+    }
+    size += bytes;
+    min_block = std::min(min_block, cycles);
+    max_block = std::max(max_block, cycles);
+  }
+  if (result.blocks.empty()) min_block = 0;
+
+  // --- Cycles: a fixed dispatch spine plus the block. ------------------------
+  const double spine =
+      m.cyc_func_enter + ctx.num_state_vars * m.cyc_copy_in_per_var +
+      m.cyc_leaf +
+      static_cast<double>(machine.state().size()) *
+          (2 * m.cyc_leaf + m.cyc_op_mul + m.cyc_op_alu) +
+      m.cyc_multiway_base + dec_index_cycles + m.cyc_multiway_base +
+      m.cyc_multiway_per_edge *
+          0.5 * (n_states + n_dec_entries) /* a + b·i, average i */ +
+      m.cyc_func_return;
+
+  estim::Estimate e;
+  e.size_bytes = static_cast<long long>(std::llround(size));
+  e.min_cycles = static_cast<long long>(std::llround(spine + min_block));
+  e.max_cycles = static_cast<long long>(std::llround(spine + max_block));
+  return e;
+}
+
+}  // namespace polis::baseline

@@ -1,0 +1,46 @@
+// The two-level multiway jump implementation used as a reference point in
+// Table II: "The first jump is done based on the current state, the second
+// jump is done based on the concatenation of all the decision variables
+// into a single integer. The jumps are followed by an appropriate sequence
+// of ASSIGNs." — the structured hand-coding style of reactive systems.
+//
+// Level 1 dispatches on the packed state-variable valuation; predicates
+// whose support is state-only become constants under that valuation. Level 2
+// evaluates the remaining (decision) predicates into an index and dispatches
+// through a jump table into deduplicated action blocks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cfsm/reactive.hpp"
+#include "estim/estimate.hpp"
+#include "vm/compile.hpp"
+
+namespace polis::baseline {
+
+struct MultiwayResult {
+  vm::CompiledReaction reaction;
+  size_t level1_entries = 0;        // state valuations
+  size_t decision_tests = 0;        // predicates indexed at level 2
+  size_t action_blocks = 0;         // deduplicated blocks
+  /// The deduplicated action blocks (for structural cost estimation).
+  std::vector<std::vector<sgraph::ActionOp>> blocks;
+  /// Decision predicates, in level-2 index order.
+  std::vector<expr::ExprRef> decision_predicates;
+};
+
+/// Returns nullopt if states × 2^decision-tests exceeds `limit`.
+std::optional<MultiwayResult> compile_multiway(cfsm::ReactiveFunction& rf,
+                                               std::uint64_t limit = 1u << 18);
+
+/// Structural cost estimate of a multiway implementation, exercising the
+/// paper's dedicated multiway parameters (the `a + b·i` edge model and the
+/// per-entry jump-table size, §III-C1) — the analogue of estim::estimate
+/// for this code shape.
+estim::Estimate estimate_multiway(const MultiwayResult& result,
+                                  const cfsm::ReactiveFunction& rf,
+                                  const estim::CostModel& model,
+                                  const estim::EstimateContext& context);
+
+}  // namespace polis::baseline

@@ -1,0 +1,485 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace polis::bdd {
+
+// --- Bdd handle ----------------------------------------------------------------
+
+Bdd::Bdd(BddManager* mgr, std::uint32_t idx) { attach(mgr, idx); }
+
+Bdd::Bdd(const Bdd& other) { attach(other.mgr_, other.idx_); }
+
+Bdd::Bdd(Bdd&& other) noexcept {
+  attach(other.mgr_, other.idx_);
+  other.detach();
+}
+
+Bdd& Bdd::operator=(const Bdd& other) {
+  if (this != &other) {
+    detach();
+    attach(other.mgr_, other.idx_);
+  }
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& other) noexcept {
+  if (this != &other) {
+    detach();
+    attach(other.mgr_, other.idx_);
+    other.detach();
+  }
+  return *this;
+}
+
+Bdd::~Bdd() { detach(); }
+
+void Bdd::attach(BddManager* mgr, std::uint32_t idx) {
+  mgr_ = mgr;
+  idx_ = idx;
+  if (mgr_ != nullptr) mgr_->register_handle(this);
+}
+
+void Bdd::detach() {
+  if (mgr_ != nullptr) mgr_->unregister_handle(this);
+  mgr_ = nullptr;
+  idx_ = 0;
+}
+
+bool Bdd::is_zero() const {
+  return mgr_ != nullptr && idx_ == BddManager::kZero;
+}
+
+bool Bdd::is_one() const {
+  return mgr_ != nullptr && idx_ == BddManager::kOne;
+}
+
+int Bdd::top_var() const {
+  POLIS_CHECK(!is_null() && !is_constant());
+  return static_cast<int>(mgr_->nodes_[idx_].var);
+}
+
+Bdd Bdd::high() const {
+  POLIS_CHECK(!is_null() && !is_constant());
+  return Bdd(mgr_, mgr_->nodes_[idx_].hi);
+}
+
+Bdd Bdd::low() const {
+  POLIS_CHECK(!is_null() && !is_constant());
+  return Bdd(mgr_, mgr_->nodes_[idx_].lo);
+}
+
+Bdd Bdd::operator&(const Bdd& o) const { return mgr_->band(*this, o); }
+Bdd Bdd::operator|(const Bdd& o) const { return mgr_->bor(*this, o); }
+Bdd Bdd::operator^(const Bdd& o) const { return mgr_->bxor(*this, o); }
+Bdd Bdd::operator!() const { return mgr_->bnot(*this); }
+
+// --- Manager ---------------------------------------------------------------------
+
+BddManager::BddManager() {
+  nodes_.push_back(Node{kTermVar, kZero, kZero});  // index 0 = false
+  nodes_.push_back(Node{kTermVar, kOne, kOne});    // index 1 = true
+}
+
+BddManager::BddManager(int num_vars) : BddManager() {
+  for (int i = 0; i < num_vars; ++i) new_var();
+}
+
+BddManager::~BddManager() {
+  // Null out surviving handles so they do not dangle.
+  for (Bdd* h : handles_) {
+    h->mgr_ = nullptr;
+    h->idx_ = 0;
+  }
+}
+
+int BddManager::new_var(std::string name) {
+  const int v = num_vars();
+  perm_.push_back(v);
+  invperm_.push_back(v);
+  if (name.empty()) name = "v" + std::to_string(v);
+  names_.push_back(std::move(name));
+  return v;
+}
+
+const std::string& BddManager::var_name(int var) const {
+  POLIS_CHECK(var >= 0 && var < num_vars());
+  return names_[static_cast<size_t>(var)];
+}
+
+void BddManager::set_var_name(int var, std::string name) {
+  POLIS_CHECK(var >= 0 && var < num_vars());
+  names_[static_cast<size_t>(var)] = std::move(name);
+}
+
+void BddManager::check_var(int v) const {
+  POLIS_CHECK_MSG(v >= 0 && v < num_vars(), "variable " << v << " not in manager");
+}
+
+Bdd BddManager::var(int v) {
+  check_var(v);
+  return make(find_or_add(static_cast<std::uint32_t>(v), kZero, kOne));
+}
+
+Bdd BddManager::nvar(int v) {
+  check_var(v);
+  return make(find_or_add(static_cast<std::uint32_t>(v), kOne, kZero));
+}
+
+std::uint32_t BddManager::find_or_add(std::uint32_t var, std::uint32_t lo,
+                                      std::uint32_t hi) {
+  if (lo == hi) return lo;
+  const UniqueKey key{var, lo, hi};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  const std::uint32_t idx = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{var, lo, hi});
+  unique_.emplace(key, idx);
+  return idx;
+}
+
+std::uint32_t BddManager::ite_rec(std::uint32_t f, std::uint32_t g,
+                                  std::uint32_t h) {
+  // Terminal cases.
+  if (f == kOne) return g;
+  if (f == kZero) return h;
+  if (g == h) return g;
+  if (g == kOne && h == kZero) return f;
+
+  const IteKey key{f, g, h};
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const int lf = level(f);
+  const int lg = level(g);
+  const int lh = level(h);
+  const int top = std::min(lf, std::min(lg, lh));
+  const std::uint32_t v =
+      static_cast<std::uint32_t>(invperm_[static_cast<size_t>(top)]);
+
+  const std::uint32_t f1 = (lf == top) ? nodes_[f].hi : f;
+  const std::uint32_t f0 = (lf == top) ? nodes_[f].lo : f;
+  const std::uint32_t g1 = (lg == top) ? nodes_[g].hi : g;
+  const std::uint32_t g0 = (lg == top) ? nodes_[g].lo : g;
+  const std::uint32_t h1 = (lh == top) ? nodes_[h].hi : h;
+  const std::uint32_t h0 = (lh == top) ? nodes_[h].lo : h;
+
+  const std::uint32_t t = ite_rec(f1, g1, h1);
+  const std::uint32_t e = ite_rec(f0, g0, h0);
+  const std::uint32_t r = find_or_add(v, e, t);
+  ite_cache_.emplace(key, r);
+  return r;
+}
+
+Bdd BddManager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  POLIS_CHECK(f.mgr_ == this && g.mgr_ == this && h.mgr_ == this);
+  return make(ite_rec(f.idx_, g.idx_, h.idx_));
+}
+
+std::uint32_t BddManager::cofactor_rec(
+    std::uint32_t f, int var, bool val,
+    std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
+  if (is_term(f)) return f;
+  const int vlevel = perm_[static_cast<size_t>(var)];
+  if (level(f) > vlevel) return f;  // var cannot appear below its level
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  const Node n = nodes_[f];
+  std::uint32_t r;
+  if (static_cast<int>(n.var) == var) {
+    r = val ? n.hi : n.lo;
+  } else {
+    const std::uint32_t lo = cofactor_rec(n.lo, var, val, memo);
+    const std::uint32_t hi = cofactor_rec(n.hi, var, val, memo);
+    r = find_or_add(n.var, lo, hi);
+  }
+  memo.emplace(f, r);
+  return r;
+}
+
+Bdd BddManager::cofactor(const Bdd& f, int var, bool val) {
+  POLIS_CHECK(f.mgr_ == this);
+  check_var(var);
+  std::unordered_map<std::uint32_t, std::uint32_t> memo;
+  return make(cofactor_rec(f.idx_, var, val, memo));
+}
+
+std::uint32_t BddManager::quant_rec(
+    std::uint32_t f, const std::vector<bool>& in_set, bool existential,
+    std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
+  if (is_term(f)) return f;
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  const Node n = nodes_[f];
+  const std::uint32_t lo = quant_rec(n.lo, in_set, existential, memo);
+  const std::uint32_t hi = quant_rec(n.hi, in_set, existential, memo);
+  std::uint32_t r;
+  if (in_set[n.var]) {
+    r = existential ? ite_rec(lo, kOne, hi) : ite_rec(lo, hi, kZero);
+  } else {
+    r = find_or_add(n.var, lo, hi);
+  }
+  memo.emplace(f, r);
+  return r;
+}
+
+Bdd BddManager::smooth(const Bdd& f, const std::vector<int>& vars) {
+  POLIS_CHECK(f.mgr_ == this);
+  if (vars.empty()) return f;
+  std::vector<bool> in_set(static_cast<size_t>(num_vars()), false);
+  for (int v : vars) {
+    check_var(v);
+    in_set[static_cast<size_t>(v)] = true;
+  }
+  std::unordered_map<std::uint32_t, std::uint32_t> memo;
+  return make(quant_rec(f.idx_, in_set, /*existential=*/true, memo));
+}
+
+Bdd BddManager::forall(const Bdd& f, const std::vector<int>& vars) {
+  POLIS_CHECK(f.mgr_ == this);
+  if (vars.empty()) return f;
+  std::vector<bool> in_set(static_cast<size_t>(num_vars()), false);
+  for (int v : vars) {
+    check_var(v);
+    in_set[static_cast<size_t>(v)] = true;
+  }
+  std::unordered_map<std::uint32_t, std::uint32_t> memo;
+  return make(quant_rec(f.idx_, in_set, /*existential=*/false, memo));
+}
+
+Bdd BddManager::compose(const Bdd& f, int var, const Bdd& g) {
+  POLIS_CHECK(f.mgr_ == this && g.mgr_ == this);
+  const Bdd f1 = cofactor(f, var, true);
+  const Bdd f0 = cofactor(f, var, false);
+  return ite(g, f1, f0);
+}
+
+namespace {
+struct PairHash {
+  size_t operator()(const std::pair<std::uint32_t, std::uint32_t>& p) const {
+    return (static_cast<std::uint64_t>(p.first) << 32 | p.second) *
+           0x9e3779b97f4a7c15ULL;
+  }
+};
+}  // namespace
+
+Bdd BddManager::restrict(const Bdd& f, const Bdd& care) {
+  POLIS_CHECK(f.mgr_ == this && care.mgr_ == this);
+  std::unordered_map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t,
+                     PairHash>
+      memo;
+  auto rec = [&](std::uint32_t g, std::uint32_t c, auto&& self) -> std::uint32_t {
+    if (c == kZero) return kZero;  // entirely don't care: anything goes
+    if (c == kOne || is_term(g)) return g;
+    auto it = memo.find({g, c});
+    if (it != memo.end()) return it->second;
+
+    std::uint32_t r;
+    const int lg = level(g);
+    const int lc = level(c);
+    if (lc < lg) {
+      // The care set constrains a variable above g's top: merge branches.
+      const Node& cn = nodes_[c];
+      r = self(g, ite_rec(cn.lo, kOne, cn.hi), self);  // c|v=0 ∨ c|v=1
+    } else {
+      const Node& gn = nodes_[g];
+      const std::uint32_t c1 = (lc == lg) ? nodes_[c].hi : c;
+      const std::uint32_t c0 = (lc == lg) ? nodes_[c].lo : c;
+      if (c1 == kZero) {
+        r = self(gn.lo, c0, self);  // sibling substitution
+      } else if (c0 == kZero) {
+        r = self(gn.hi, c1, self);
+      } else {
+        const std::uint32_t lo = self(gn.lo, c0, self);
+        const std::uint32_t hi = self(gn.hi, c1, self);
+        r = find_or_add(gn.var, lo, hi);
+      }
+    }
+    memo.emplace(std::make_pair(g, c), r);
+    return r;
+  };
+  return make(rec(f.idx_, care.idx_, rec));
+}
+
+std::set<int> BddManager::support(const Bdd& f) {
+  POLIS_CHECK(f.mgr_ == this);
+  std::set<int> out;
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack{f.idx_};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (is_term(n) || !seen.insert(n).second) continue;
+    out.insert(static_cast<int>(nodes_[n].var));
+    stack.push_back(nodes_[n].lo);
+    stack.push_back(nodes_[n].hi);
+  }
+  return out;
+}
+
+bool BddManager::eval(const Bdd& f, const std::function<bool(int)>& assignment) {
+  POLIS_CHECK(f.mgr_ == this);
+  std::uint32_t n = f.idx_;
+  while (!is_term(n)) {
+    const Node& node = nodes_[n];
+    n = assignment(static_cast<int>(node.var)) ? node.hi : node.lo;
+  }
+  return n == kOne;
+}
+
+double BddManager::sat_count(const Bdd& f, int nvars) {
+  POLIS_CHECK(f.mgr_ == this);
+  std::unordered_map<std::uint32_t, double> memo;
+  // Fraction of the full space that satisfies f, then scaled by 2^nvars.
+  auto frac = [&](std::uint32_t n, auto&& self) -> double {
+    if (n == kZero) return 0.0;
+    if (n == kOne) return 1.0;
+    auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    const double r =
+        0.5 * self(nodes_[n].lo, self) + 0.5 * self(nodes_[n].hi, self);
+    memo.emplace(n, r);
+    return r;
+  };
+  double scale = 1.0;
+  for (int i = 0; i < nvars; ++i) scale *= 2.0;
+  return frac(f.idx_, frac) * scale;
+}
+
+std::vector<std::pair<int, bool>> BddManager::one_sat(const Bdd& f) {
+  POLIS_CHECK(f.mgr_ == this);
+  POLIS_CHECK_MSG(f.idx_ != kZero, "one_sat of unsatisfiable function");
+  std::vector<std::pair<int, bool>> cube;
+  std::uint32_t n = f.idx_;
+  while (!is_term(n)) {
+    const Node& node = nodes_[n];
+    if (node.hi != kZero) {
+      cube.emplace_back(static_cast<int>(node.var), true);
+      n = node.hi;
+    } else {
+      cube.emplace_back(static_cast<int>(node.var), false);
+      n = node.lo;
+    }
+  }
+  return cube;
+}
+
+size_t BddManager::node_count(const Bdd& f) {
+  return node_count(std::vector<Bdd>{f});
+}
+
+size_t BddManager::node_count(const std::vector<Bdd>& roots) {
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack;
+  for (const Bdd& r : roots) {
+    POLIS_CHECK(r.mgr_ == this);
+    stack.push_back(r.idx_);
+  }
+  size_t count = 0;
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    ++count;
+    if (!is_term(n)) {
+      stack.push_back(nodes_[n].lo);
+      stack.push_back(nodes_[n].hi);
+    }
+  }
+  return count;
+}
+
+std::uint32_t BddManager::transfer_from(
+    BddManager& src, std::uint32_t f,
+    std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
+  if (src.is_term(f)) return f;  // terminals share indices across managers
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  const Node n = src.nodes_[f];
+  const std::uint32_t lo = transfer_from(src, n.lo, memo);
+  const std::uint32_t hi = transfer_from(src, n.hi, memo);
+  const std::uint32_t v_idx =
+      find_or_add(n.var, kZero, kOne);  // the variable itself
+  const std::uint32_t r = ite_rec(v_idx, hi, lo);
+  memo.emplace(f, r);
+  return r;
+}
+
+std::vector<std::uint32_t> BddManager::live_roots() const {
+  std::unordered_set<std::uint32_t> uniq;
+  for (const Bdd* h : handles_) uniq.insert(h->idx_);
+  return std::vector<std::uint32_t>(uniq.begin(), uniq.end());
+}
+
+std::vector<size_t> BddManager::var_node_profile() {
+  std::vector<size_t> profile(static_cast<size_t>(num_vars()), 0);
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack = live_roots();
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (is_term(n) || !seen.insert(n).second) continue;
+    profile[nodes_[n].var]++;
+    stack.push_back(nodes_[n].lo);
+    stack.push_back(nodes_[n].hi);
+  }
+  return profile;
+}
+
+void BddManager::set_order(const std::vector<int>& order) {
+  POLIS_CHECK_MSG(static_cast<int>(order.size()) == num_vars(),
+                  "order must mention every variable exactly once");
+  std::vector<bool> seen(order.size(), false);
+  for (int v : order) {
+    check_var(v);
+    POLIS_CHECK_MSG(!seen[static_cast<size_t>(v)], "duplicate var in order");
+    seen[static_cast<size_t>(v)] = true;
+  }
+
+  BddManager scratch;
+  for (int i = 0; i < num_vars(); ++i) scratch.new_var(names_[static_cast<size_t>(i)]);
+  scratch.invperm_ = order;
+  for (int lvl = 0; lvl < num_vars(); ++lvl)
+    scratch.perm_[static_cast<size_t>(order[static_cast<size_t>(lvl)])] = lvl;
+
+  std::unordered_map<std::uint32_t, std::uint32_t> memo;
+  // Retarget every handle to its image in the scratch arena.
+  std::unordered_map<std::uint32_t, std::uint32_t> image;
+  for (Bdd* h : handles_) {
+    auto it = image.find(h->idx_);
+    if (it == image.end()) {
+      const std::uint32_t r = scratch.transfer_from(*this, h->idx_, memo);
+      it = image.emplace(h->idx_, r).first;
+    }
+    h->idx_ = it->second;
+  }
+
+  nodes_ = std::move(scratch.nodes_);
+  unique_ = std::move(scratch.unique_);
+  ite_cache_.clear();
+  perm_ = std::move(scratch.perm_);
+  invperm_ = std::move(scratch.invperm_);
+}
+
+void BddManager::garbage_collect() { set_order(invperm_); }
+
+size_t BddManager::size_under_order(const std::vector<int>& order) {
+  POLIS_CHECK(static_cast<int>(order.size()) == num_vars());
+  BddManager scratch;
+  for (int i = 0; i < num_vars(); ++i) scratch.new_var();
+  scratch.invperm_ = order;
+  for (int lvl = 0; lvl < num_vars(); ++lvl)
+    scratch.perm_[static_cast<size_t>(order[static_cast<size_t>(lvl)])] = lvl;
+
+  std::unordered_map<std::uint32_t, std::uint32_t> memo;
+  std::vector<Bdd> roots;
+  for (std::uint32_t idx : live_roots()) {
+    const std::uint32_t r = scratch.transfer_from(*this, idx, memo);
+    roots.push_back(scratch.make(r));
+  }
+  return scratch.node_count(roots);
+}
+
+}  // namespace polis::bdd

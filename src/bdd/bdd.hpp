@@ -1,0 +1,239 @@
+// A from-scratch ROBDD package (Bryant [10]) in the style the paper relies
+// on: unique table for canonicity, ITE with a computed cache, cofactors,
+// smoothing (existential quantification, §II-C), support computation, and
+// order replacement used by the sifting reorderer (Rudell [31]).
+//
+// Handles (`Bdd`) are registered with their `BddManager`, which lets the
+// manager retarget every live handle when the variable order changes or when
+// the node arena is compacted. Handles must not outlive their manager; if the
+// manager is destroyed first, surviving handles become null.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace polis::bdd {
+
+class BddManager;
+
+/// Reference-style handle to a BDD node; copyable, registered with the
+/// manager so that reordering can update it in place.
+class Bdd {
+ public:
+  Bdd() = default;
+  Bdd(const Bdd& other);
+  Bdd(Bdd&& other) noexcept;
+  Bdd& operator=(const Bdd& other);
+  Bdd& operator=(Bdd&& other) noexcept;
+  ~Bdd();
+
+  bool is_null() const { return mgr_ == nullptr; }
+  bool is_zero() const;
+  bool is_one() const;
+  bool is_constant() const { return is_zero() || is_one(); }
+
+  BddManager* manager() const { return mgr_; }
+  std::uint32_t raw_index() const { return idx_; }
+
+  /// Variable id labelling the top node. Requires a non-constant BDD.
+  int top_var() const;
+
+  /// Children of the top node. Requires a non-constant BDD.
+  Bdd high() const;
+  Bdd low() const;
+
+  // Boolean operations (delegate to the manager).
+  Bdd operator&(const Bdd& o) const;
+  Bdd operator|(const Bdd& o) const;
+  Bdd operator^(const Bdd& o) const;
+  Bdd operator!() const;
+  bool operator==(const Bdd& o) const {
+    return mgr_ == o.mgr_ && idx_ == o.idx_;
+  }
+  bool operator!=(const Bdd& o) const { return !(*this == o); }
+
+ private:
+  friend class BddManager;
+  Bdd(BddManager* mgr, std::uint32_t idx);
+  void attach(BddManager* mgr, std::uint32_t idx);
+  void detach();
+
+  BddManager* mgr_ = nullptr;
+  std::uint32_t idx_ = 0;
+};
+
+/// Owns the node arena, unique table, computed cache and variable order.
+class BddManager {
+ public:
+  BddManager();
+  explicit BddManager(int num_vars);
+  ~BddManager();
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  // --- Variables -------------------------------------------------------------
+
+  /// Creates a new variable placed at the bottom of the current order.
+  int new_var(std::string name = {});
+  int num_vars() const { return static_cast<int>(perm_.size()); }
+  const std::string& var_name(int var) const;
+  void set_var_name(int var, std::string name);
+
+  /// Level (0 = top) of `var` in the current order.
+  int level_of(int var) const { return perm_[static_cast<size_t>(var)]; }
+  /// Variable at `level` in the current order.
+  int var_at_level(int level) const {
+    return invperm_[static_cast<size_t>(level)];
+  }
+  /// Current order as a top-to-bottom list of variable ids.
+  std::vector<int> current_order() const { return invperm_; }
+
+  // --- Construction ----------------------------------------------------------
+
+  Bdd zero() { return make(0); }
+  Bdd one() { return make(1); }
+  Bdd var(int v);
+  Bdd nvar(int v);
+  Bdd constant(bool b) { return b ? one() : zero(); }
+
+  // --- Core operations ---------------------------------------------------------
+
+  Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
+  Bdd band(const Bdd& f, const Bdd& g) { return ite(f, g, zero()); }
+  Bdd bor(const Bdd& f, const Bdd& g) { return ite(f, one(), g); }
+  Bdd bxor(const Bdd& f, const Bdd& g) { return ite(f, bnot(g), g); }
+  Bdd bnot(const Bdd& f) { return ite(f, zero(), one()); }
+  Bdd implies(const Bdd& f, const Bdd& g) { return ite(f, g, one()); }
+
+  /// Restriction f|_{var=val} (cofactor, §II-C).
+  Bdd cofactor(const Bdd& f, int var, bool val);
+
+  /// Smoothing S_vars(f) = existential quantification of `vars` (§II-C).
+  Bdd smooth(const Bdd& f, const std::vector<int>& vars);
+  Bdd forall(const Bdd& f, const std::vector<int>& vars);
+
+  /// Substitutes `g` for variable `var` in `f`.
+  Bdd compose(const Bdd& f, int var, const Bdd& g);
+
+  /// Coudert–Madre restrict (sibling substitution): a function equal to `f`
+  /// wherever `care` holds, heuristically minimised using ¬care as don't
+  /// care. Used to exploit false-path information (§III-C) without growing
+  /// the result the way f∧care would.
+  Bdd restrict(const Bdd& f, const Bdd& care);
+
+  // --- Queries -----------------------------------------------------------------
+
+  /// Variables `f` essentially depends on (§II-C definition of support).
+  std::set<int> support(const Bdd& f);
+
+  /// Evaluates under a total assignment.
+  bool eval(const Bdd& f, const std::function<bool(int)>& assignment);
+
+  /// Number of minterms over `nvars` variables.
+  double sat_count(const Bdd& f, int nvars);
+
+  /// One satisfying assignment as (var, value) pairs over support vars.
+  /// Requires a satisfiable f.
+  std::vector<std::pair<int, bool>> one_sat(const Bdd& f);
+
+  /// Nodes reachable from `f`, including both terminals if reached.
+  size_t node_count(const Bdd& f);
+  /// Nodes reachable from any of `roots` (shared nodes counted once).
+  size_t node_count(const std::vector<Bdd>& roots);
+  /// Total nodes in the arena (live + garbage).
+  size_t arena_size() const { return nodes_.size(); }
+
+  // --- Reordering / memory -----------------------------------------------------
+
+  /// Replaces the variable order; `order` is a permutation of all var ids,
+  /// top to bottom. All registered handles are retargeted.
+  void set_order(const std::vector<int>& order);
+
+  /// Compacts the arena, keeping only nodes reachable from live handles.
+  void garbage_collect();
+
+  /// Size (node count) the live handles would have under `order`, without
+  /// modifying this manager. Used by the sifting reorderer.
+  size_t size_under_order(const std::vector<int>& order);
+
+  /// Distinct node indices of all registered handles (live roots).
+  std::vector<std::uint32_t> live_roots() const;
+
+  /// Per-variable count of live nodes (reachable from registered handles).
+  std::vector<size_t> var_node_profile();
+
+ private:
+  friend class Bdd;
+
+  struct Node {
+    std::uint32_t var;
+    std::uint32_t lo;
+    std::uint32_t hi;
+  };
+  struct UniqueKey {
+    std::uint32_t var, lo, hi;
+    bool operator==(const UniqueKey& o) const {
+      return var == o.var && lo == o.lo && hi == o.hi;
+    }
+  };
+  struct UniqueKeyHash {
+    size_t operator()(const UniqueKey& k) const {
+      std::uint64_t h = (std::uint64_t)k.var * 0x9e3779b97f4a7c15ULL;
+      h ^= (std::uint64_t)k.lo + 0xbf58476d1ce4e5b9ULL + (h << 6);
+      h ^= (std::uint64_t)k.hi + 0x94d049bb133111ebULL + (h << 12);
+      return static_cast<size_t>(h ^ (h >> 29));
+    }
+  };
+  struct IteKey {
+    std::uint32_t f, g, h;
+    bool operator==(const IteKey& o) const {
+      return f == o.f && g == o.g && h == o.h;
+    }
+  };
+  struct IteKeyHash {
+    size_t operator()(const IteKey& k) const {
+      return UniqueKeyHash()(UniqueKey{k.f, k.g, k.h});
+    }
+  };
+
+  static constexpr std::uint32_t kZero = 0;
+  static constexpr std::uint32_t kOne = 1;
+  static constexpr std::uint32_t kTermVar = 0xffffffffu;
+
+  Bdd make(std::uint32_t idx) { return Bdd(this, idx); }
+  bool is_term(std::uint32_t n) const { return n <= kOne; }
+  int level(std::uint32_t n) const {
+    return is_term(n) ? kTermLevel : perm_[nodes_[n].var];
+  }
+  std::uint32_t find_or_add(std::uint32_t var, std::uint32_t lo,
+                            std::uint32_t hi);
+  std::uint32_t ite_rec(std::uint32_t f, std::uint32_t g, std::uint32_t h);
+  std::uint32_t cofactor_rec(std::uint32_t f, int var, bool val,
+                             std::unordered_map<std::uint32_t, std::uint32_t>& memo);
+  std::uint32_t quant_rec(std::uint32_t f, const std::vector<bool>& in_set,
+                          bool existential,
+                          std::unordered_map<std::uint32_t, std::uint32_t>& memo);
+  std::uint32_t transfer_from(BddManager& src, std::uint32_t f,
+                              std::unordered_map<std::uint32_t, std::uint32_t>& memo);
+  void register_handle(Bdd* h) { handles_.insert(h); }
+  void unregister_handle(Bdd* h) { handles_.erase(h); }
+  void check_var(int v) const;
+
+  static constexpr int kTermLevel = 0x7fffffff;
+
+  std::vector<Node> nodes_;
+  std::unordered_map<UniqueKey, std::uint32_t, UniqueKeyHash> unique_;
+  std::unordered_map<IteKey, std::uint32_t, IteKeyHash> ite_cache_;
+  std::vector<int> perm_;     // var -> level
+  std::vector<int> invperm_;  // level -> var
+  std::vector<std::string> names_;
+  std::unordered_set<Bdd*> handles_;
+};
+
+}  // namespace polis::bdd

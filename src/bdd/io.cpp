@@ -1,0 +1,86 @@
+#include "bdd/io.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace polis::bdd {
+
+void to_dot(const std::vector<Bdd>& roots,
+            const std::vector<std::string>& root_names, std::ostream& os) {
+  POLIS_CHECK(roots.size() == root_names.size());
+  os << "digraph bdd {\n  rankdir=TB;\n";
+  os << "  t0 [label=\"0\", shape=box];\n  t1 [label=\"1\", shape=box];\n";
+  std::unordered_map<std::uint32_t, int> id;
+  int next_id = 0;
+  auto node_name = [&](const Bdd& f) -> std::string {
+    if (f.is_zero()) return "t0";
+    if (f.is_one()) return "t1";
+    auto it = id.find(f.raw_index());
+    POLIS_CHECK(it != id.end());
+    return "n" + std::to_string(it->second);
+  };
+  auto walk = [&](const Bdd& f, auto&& self) -> void {
+    if (f.is_constant()) return;
+    if (id.count(f.raw_index())) return;
+    id.emplace(f.raw_index(), next_id++);
+    self(f.low(), self);
+    self(f.high(), self);
+    BddManager* mgr = f.manager();
+    os << "  " << node_name(f) << " [label=\"" << mgr->var_name(f.top_var())
+       << "\"];\n";
+    os << "  " << node_name(f) << " -> " << node_name(f.low())
+       << " [style=dashed];\n";
+    os << "  " << node_name(f) << " -> " << node_name(f.high()) << ";\n";
+  };
+  for (size_t i = 0; i < roots.size(); ++i) {
+    walk(roots[i], walk);
+    os << "  r" << i << " [label=\"" << root_names[i]
+       << "\", shape=plaintext];\n";
+    os << "  r" << i << " -> " << node_name(roots[i]) << ";\n";
+  }
+  os << "}\n";
+}
+
+expr::ExprRef to_expr(const Bdd& f,
+                      const std::function<expr::ExprRef(int)>& leaf_of_var) {
+  POLIS_CHECK(!f.is_null());
+  std::unordered_map<std::uint32_t, expr::ExprRef> memo;
+  auto walk = [&](const Bdd& g, auto&& self) -> expr::ExprRef {
+    if (g.is_zero()) return expr::constant(0);
+    if (g.is_one()) return expr::constant(1);
+    auto it = memo.find(g.raw_index());
+    if (it != memo.end()) return it->second;
+    const expr::ExprRef cond = leaf_of_var(g.top_var());
+    const expr::ExprRef hi = self(g.high(), self);
+    const expr::ExprRef lo = self(g.low(), self);
+    expr::ExprRef r;
+    // Prefer flat Boolean forms where they read (and cost) better than ITE.
+    if (hi->op() == expr::Op::kConst && lo->op() == expr::Op::kConst) {
+      r = hi->value() != 0 ? cond : expr::lnot(cond);
+    } else if (hi->op() == expr::Op::kConst && hi->value() != 0) {
+      r = expr::lor(cond, lo);
+    } else if (hi->op() == expr::Op::kConst && hi->value() == 0) {
+      r = expr::land(expr::lnot(cond), lo);
+    } else if (lo->op() == expr::Op::kConst && lo->value() == 0) {
+      r = expr::land(cond, hi);
+    } else if (lo->op() == expr::Op::kConst && lo->value() != 0) {
+      r = expr::lor(expr::lnot(cond), hi);
+    } else {
+      r = expr::ite(cond, hi, lo);
+    }
+    memo.emplace(g.raw_index(), r);
+    return r;
+  };
+  return walk(f, walk);
+}
+
+std::string stats(BddManager& mgr, const Bdd& f) {
+  std::ostringstream os;
+  os << "nodes=" << mgr.node_count(f) << " vars=" << mgr.support(f).size();
+  return os.str();
+}
+
+}  // namespace polis::bdd

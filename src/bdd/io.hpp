@@ -1,0 +1,29 @@
+// BDD export utilities: Graphviz dumps for inspection and conversion of a
+// BDD into a nested-ITE expression (the form used for ASSIGN labels when an
+// output is ordered before part of its support, §III-B3c).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "expr/expr.hpp"
+
+namespace polis::bdd {
+
+/// Writes a Graphviz dot rendering of `roots` (labelled by manager var names).
+void to_dot(const std::vector<Bdd>& roots,
+            const std::vector<std::string>& root_names, std::ostream& os);
+
+/// Converts `f` to a nested ITE expression. `leaf_of_var` supplies the
+/// expression standing for each BDD variable (e.g. the concrete predicate a
+/// test variable abstracts). Shared BDD nodes become shared subexpressions.
+expr::ExprRef to_expr(const Bdd& f,
+                      const std::function<expr::ExprRef(int)>& leaf_of_var);
+
+/// One-line stats string: "nodes=N vars=V".
+std::string stats(BddManager& mgr, const Bdd& f);
+
+}  // namespace polis::bdd

@@ -1,0 +1,126 @@
+#include "bdd/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace polis::bdd {
+
+namespace {
+
+// Legal insertion window [lo, hi] (inclusive, as positions in `order` with
+// `var` removed) given the precedence pairs.
+std::pair<size_t, size_t> legal_window(
+    const std::vector<int>& order_without_var, int var,
+    const std::vector<std::pair<int, int>>& precedence) {
+  size_t lo = 0;
+  size_t hi = order_without_var.size();
+  for (const auto& [above, below] : precedence) {
+    if (below == var) {
+      // `above` must stay above var: insertion position must be after it.
+      for (size_t i = 0; i < order_without_var.size(); ++i) {
+        if (order_without_var[i] == above) {
+          lo = std::max(lo, i + 1);
+          break;
+        }
+      }
+    }
+    if (above == var) {
+      // `below` must stay below var: insertion position must be at/before it.
+      for (size_t i = 0; i < order_without_var.size(); ++i) {
+        if (order_without_var[i] == below) {
+          hi = std::min(hi, i);
+          break;
+        }
+      }
+    }
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+bool order_respects(const std::vector<int>& order,
+                    const std::vector<std::pair<int, int>>& precedence) {
+  std::vector<int> pos(order.size());
+  for (size_t i = 0; i < order.size(); ++i)
+    pos[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  for (const auto& [above, below] : precedence) {
+    if (pos[static_cast<size_t>(above)] >= pos[static_cast<size_t>(below)])
+      return false;
+  }
+  return true;
+}
+
+size_t sift(BddManager& mgr,
+            const std::vector<std::pair<int, int>>& precedence,
+            const SiftOptions& options) {
+  const int n = mgr.num_vars();
+  if (n <= 1) return mgr.size_under_order(mgr.current_order());
+
+  POLIS_CHECK_MSG(order_respects(mgr.current_order(), precedence),
+                  "initial order violates the precedence constraints");
+
+  size_t best_total = mgr.size_under_order(mgr.current_order());
+
+  for (int pass = 0; pass < options.passes; ++pass) {
+    // Sift variables in decreasing order of node contribution, the classic
+    // heuristic: the fattest level has the most to gain.
+    std::vector<size_t> profile = mgr.var_node_profile();
+    std::vector<int> vars(static_cast<size_t>(n));
+    std::iota(vars.begin(), vars.end(), 0);
+    std::stable_sort(vars.begin(), vars.end(), [&](int a, int b) {
+      return profile[static_cast<size_t>(a)] > profile[static_cast<size_t>(b)];
+    });
+    if (options.max_vars > 0 &&
+        static_cast<int>(vars.size()) > options.max_vars)
+      vars.resize(static_cast<size_t>(options.max_vars));
+
+    bool improved_this_pass = false;
+    for (int v : vars) {
+      std::vector<int> order = mgr.current_order();
+      std::vector<int> without;
+      without.reserve(order.size() - 1);
+      size_t cur_pos = 0;
+      for (size_t i = 0; i < order.size(); ++i) {
+        if (order[i] == v) {
+          cur_pos = i;
+        } else {
+          without.push_back(order[i]);
+        }
+      }
+
+      const auto [lo, hi] = legal_window(without, v, precedence);
+      size_t best_size = best_total;
+      size_t best_pos = cur_pos <= hi && cur_pos >= lo ? cur_pos : lo;
+      bool have_best = false;
+      for (size_t p = lo; p <= hi; ++p) {
+        std::vector<int> candidate = without;
+        candidate.insert(candidate.begin() + static_cast<std::ptrdiff_t>(p), v);
+        const size_t sz = mgr.size_under_order(candidate);
+        if (!have_best || sz < best_size) {
+          best_size = sz;
+          best_pos = p;
+          have_best = true;
+        }
+      }
+
+      std::vector<int> final_order = without;
+      final_order.insert(final_order.begin() + static_cast<std::ptrdiff_t>(best_pos), v);
+      if (final_order != order && best_size < best_total) {
+        mgr.set_order(final_order);
+        best_total = best_size;
+        improved_this_pass = true;
+      }
+    }
+    if (!improved_this_pass) break;
+  }
+  return best_total;
+}
+
+size_t sift(BddManager& mgr, const SiftOptions& options) {
+  return sift(mgr, {}, options);
+}
+
+}  // namespace polis::bdd

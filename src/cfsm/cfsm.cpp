@@ -1,0 +1,219 @@
+#include "cfsm/cfsm.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace polis::cfsm {
+
+expr::ExprRef presence(const std::string& signal) {
+  return expr::var(presence_name(signal));
+}
+
+expr::ExprRef value_of(const std::string& signal) {
+  return expr::var(value_name(signal));
+}
+
+std::string presence_name(const std::string& signal) {
+  return "present_" + signal;
+}
+
+std::string value_name(const std::string& signal) { return "v_" + signal; }
+
+std::int64_t wrap_to_domain(std::int64_t v, int domain) {
+  if (domain <= 1) return 0;
+  std::int64_t m = v % domain;
+  if (m < 0) m += domain;
+  return m;
+}
+
+Cfsm::Cfsm(std::string name, std::vector<Signal> inputs,
+           std::vector<Signal> outputs, std::vector<StateVar> state,
+           std::vector<Rule> rules)
+    : name_(std::move(name)),
+      inputs_(std::move(inputs)),
+      outputs_(std::move(outputs)),
+      state_(std::move(state)),
+      rules_(std::move(rules)) {
+  validate();
+}
+
+namespace {
+
+template <typename T>
+const T* find_by_name(const std::vector<T>& items, const std::string& name) {
+  for (const T& item : items)
+    if (item.name == name) return &item;
+  return nullptr;
+}
+
+}  // namespace
+
+const Signal* Cfsm::find_input(const std::string& name) const {
+  return find_by_name(inputs_, name);
+}
+
+const Signal* Cfsm::find_output(const std::string& name) const {
+  return find_by_name(outputs_, name);
+}
+
+const StateVar* Cfsm::find_state(const std::string& name) const {
+  return find_by_name(state_, name);
+}
+
+void Cfsm::validate() const {
+  std::set<std::string> legal_vars;
+  std::set<std::string> names;
+  for (const Signal& s : inputs_) {
+    POLIS_CHECK_MSG(names.insert(s.name).second,
+                    name_ << ": duplicate signal " << s.name);
+    legal_vars.insert(presence_name(s.name));
+    if (!s.is_pure()) legal_vars.insert(value_name(s.name));
+  }
+  for (const Signal& s : outputs_) {
+    POLIS_CHECK_MSG(names.insert(s.name).second,
+                    name_ << ": duplicate signal " << s.name);
+  }
+  for (const StateVar& v : state_) {
+    POLIS_CHECK_MSG(names.insert(v.name).second,
+                    name_ << ": duplicate name " << v.name);
+    POLIS_CHECK_MSG(v.domain >= 1, name_ << ": state " << v.name
+                                          << " needs a positive domain");
+    POLIS_CHECK_MSG(v.init >= 0 && v.init < v.domain,
+                    name_ << ": init of " << v.name << " out of domain");
+    legal_vars.insert(v.name);
+  }
+
+  auto check_expr = [&](const expr::ExprRef& e, const char* where) {
+    POLIS_CHECK_MSG(e != nullptr, name_ << ": null expression in " << where);
+    for (const std::string& v : expr::support(*e)) {
+      POLIS_CHECK_MSG(legal_vars.count(v) != 0,
+                      name_ << ": unknown variable '" << v << "' in " << where);
+    }
+  };
+
+  for (const Rule& r : rules_) {
+    check_expr(r.guard, "guard");
+    for (const Emit& e : r.emits) {
+      const Signal* sig = find_output(e.signal);
+      POLIS_CHECK_MSG(sig != nullptr,
+                      name_ << ": emit of undeclared output " << e.signal);
+      if (sig->is_pure()) {
+        POLIS_CHECK_MSG(e.value == nullptr,
+                        name_ << ": pure output " << e.signal
+                              << " emitted with a value");
+      } else {
+        POLIS_CHECK_MSG(e.value != nullptr,
+                        name_ << ": valued output " << e.signal
+                              << " emitted without a value");
+        check_expr(e.value, "emission value");
+      }
+    }
+    for (const Assign& a : r.assigns) {
+      POLIS_CHECK_MSG(find_state(a.state_var) != nullptr,
+                      name_ << ": assignment to undeclared state "
+                            << a.state_var);
+      check_expr(a.value, "state assignment");
+    }
+  }
+}
+
+std::map<std::string, std::int64_t> Cfsm::initial_state() const {
+  std::map<std::string, std::int64_t> st;
+  for (const StateVar& v : state_) st[v.name] = v.init;
+  return st;
+}
+
+Reaction Cfsm::react(const Snapshot& snapshot,
+                     const std::map<std::string, std::int64_t>& state) const {
+  const expr::Env env = [&](const std::string& name) -> std::int64_t {
+    for (const Signal& s : inputs_) {
+      if (name == presence_name(s.name)) return snapshot.is_present(s.name);
+      if (!s.is_pure() && name == value_name(s.name))
+        return snapshot.value_of(s.name);
+    }
+    auto it = state.find(name);
+    POLIS_CHECK_MSG(it != state.end(), name_ << ": unbound variable " << name);
+    return it->second;
+  };
+
+  Reaction out;
+  out.next_state = state;
+  for (const Rule& r : rules_) {
+    if (expr::evaluate(*r.guard, env) == 0) continue;
+    out.fired = true;
+    for (const Emit& e : r.emits) {
+      const Signal* sig = find_output(e.signal);
+      const std::int64_t v =
+          sig->is_pure() ? 0
+                         : wrap_to_domain(expr::evaluate(*e.value, env),
+                                          sig->domain);
+      out.emissions.emplace_back(e.signal, v);
+    }
+    for (const Assign& a : r.assigns) {
+      const StateVar* sv = find_state(a.state_var);
+      out.next_state[a.state_var] =
+          wrap_to_domain(expr::evaluate(*a.value, env), sv->domain);
+    }
+    return out;  // first matching rule fires (priority order)
+  }
+  return out;  // empty reaction
+}
+
+bool enumerate_concrete_space(
+    const Cfsm& machine, std::uint64_t limit,
+    const std::function<void(const Snapshot&,
+                             const std::map<std::string, std::int64_t>&)>&
+        visit) {
+  struct Dim {
+    enum class Kind { kPresence, kValue, kState } kind;
+    std::string name;
+    std::uint64_t radix;
+  };
+  std::vector<Dim> dims;
+  std::uint64_t total = 1;
+  for (const Signal& s : machine.inputs()) {
+    dims.push_back({Dim::Kind::kPresence, s.name, 2});
+    total *= 2;
+    if (!s.is_pure()) {
+      dims.push_back({Dim::Kind::kValue, s.name,
+                      static_cast<std::uint64_t>(s.domain)});
+      total *= static_cast<std::uint64_t>(s.domain);
+    }
+    if (total > limit) return false;
+  }
+  for (const StateVar& v : machine.state()) {
+    dims.push_back({Dim::Kind::kState, v.name,
+                    static_cast<std::uint64_t>(v.domain)});
+    total *= static_cast<std::uint64_t>(v.domain);
+    if (total > limit) return false;
+  }
+
+  std::vector<std::uint64_t> counter(dims.size(), 0);
+  Snapshot snap;
+  std::map<std::string, std::int64_t> st;
+  for (std::uint64_t iter = 0; iter < total; ++iter) {
+    for (size_t d = 0; d < dims.size(); ++d) {
+      switch (dims[d].kind) {
+        case Dim::Kind::kPresence:
+          snap.present[dims[d].name] = counter[d] != 0;
+          break;
+        case Dim::Kind::kValue:
+          snap.value[dims[d].name] = static_cast<std::int64_t>(counter[d]);
+          break;
+        case Dim::Kind::kState:
+          st[dims[d].name] = static_cast<std::int64_t>(counter[d]);
+          break;
+      }
+    }
+    visit(snap, st);
+    for (size_t d = 0; d < dims.size(); ++d) {  // mixed-radix increment
+      if (++counter[d] < dims[d].radix) break;
+      counter[d] = 0;
+    }
+  }
+  return true;
+}
+
+}  // namespace polis::cfsm

@@ -1,0 +1,144 @@
+// Codesign Finite State Machines (CFSMs, §II-D).
+//
+// A CFSM reacts to a snapshot of input events (each event is a presence flag
+// plus, for valued events, a value over a finite domain) by possibly emitting
+// output events and updating state variables. The transition function is
+// given as a priority-ordered list of rules; the first rule whose guard holds
+// fires. If no rule fires, the reaction is empty and — per §IV-D — the RTOS
+// preserves the input events for the next execution.
+//
+// Expression-variable naming convention (mirrors the paper's `present_c`,
+// `?c` and Fig. 1):
+//   presence flag of signal s  ->  "present_" + s
+//   value of valued signal s   ->  "v_" + s
+//   state variable a           ->  "a"
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.hpp"
+
+namespace polis::cfsm {
+
+/// An event carrier. `domain` is the number of values the event can carry;
+/// a pure event (alarm, reset, ...) has domain 1 (presence only).
+struct Signal {
+  std::string name;
+  int domain = 1;
+
+  bool is_pure() const { return domain <= 1; }
+};
+
+/// A state variable over the finite domain 0..domain-1.
+struct StateVar {
+  std::string name;
+  int domain = 2;
+  std::int64_t init = 0;
+};
+
+/// Emission of an output event; `value` is null for pure signals.
+struct Emit {
+  std::string signal;
+  expr::ExprRef value;  // may be null (pure)
+};
+
+/// Synchronous assignment to a state variable (next-state value; all rules
+/// read the pre-reaction state).
+struct Assign {
+  std::string state_var;
+  expr::ExprRef value;
+};
+
+/// One transition rule: when `guard` holds over the current snapshot and
+/// state, perform the emissions and assignments.
+struct Rule {
+  expr::ExprRef guard;
+  std::vector<Emit> emits;
+  std::vector<Assign> assigns;
+};
+
+/// Presence/value snapshot of the inputs of one CFSM at reaction time.
+struct Snapshot {
+  std::map<std::string, bool> present;
+  std::map<std::string, std::int64_t> value;
+
+  bool is_present(const std::string& sig) const {
+    auto it = present.find(sig);
+    return it != present.end() && it->second;
+  }
+  std::int64_t value_of(const std::string& sig) const {
+    auto it = value.find(sig);
+    return it == value.end() ? 0 : it->second;
+  }
+};
+
+/// Result of one reaction.
+struct Reaction {
+  bool fired = false;  // some rule matched (events are consumed iff true)
+  std::vector<std::pair<std::string, std::int64_t>> emissions;  // sig, value
+  std::map<std::string, std::int64_t> next_state;
+};
+
+/// Helpers producing the conventional expression variables.
+expr::ExprRef presence(const std::string& signal);
+expr::ExprRef value_of(const std::string& signal);
+std::string presence_name(const std::string& signal);
+std::string value_name(const std::string& signal);
+
+/// A single CFSM: interface, state and transition rules.
+class Cfsm {
+ public:
+  Cfsm(std::string name, std::vector<Signal> inputs,
+       std::vector<Signal> outputs, std::vector<StateVar> state,
+       std::vector<Rule> rules);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Signal>& inputs() const { return inputs_; }
+  const std::vector<Signal>& outputs() const { return outputs_; }
+  const std::vector<StateVar>& state() const { return state_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  const Signal* find_input(const std::string& name) const;
+  const Signal* find_output(const std::string& name) const;
+  const StateVar* find_state(const std::string& name) const;
+
+  /// Initial state valuation.
+  std::map<std::string, std::int64_t> initial_state() const;
+
+  /// Reference semantics: evaluates the transition function on one snapshot.
+  /// State variables not assigned by the firing rule keep their value.
+  /// Values are clamped into the variable's domain (modulo), matching the
+  /// bounded-integer restriction of the paper's domain (§I-D).
+  Reaction react(const Snapshot& snapshot,
+                 const std::map<std::string, std::int64_t>& state) const;
+
+ private:
+  void validate() const;
+
+  std::string name_;
+  std::vector<Signal> inputs_;
+  std::vector<Signal> outputs_;
+  std::vector<StateVar> state_;
+  std::vector<Rule> rules_;
+};
+
+/// Wraps a value into [0, domain).
+std::int64_t wrap_to_domain(std::int64_t v, int domain);
+
+/// Enumerates the machine's whole concrete space — every combination of
+/// input presence flags, valued-input values and state-variable values —
+/// calling `visit(snapshot, state)` for each. Returns false (without calling
+/// `visit`) if the space exceeds `limit` combinations. Shared by false-path
+/// (care set) computation, VM timing measurement and exhaustive testing.
+bool enumerate_concrete_space(
+    const Cfsm& machine, std::uint64_t limit,
+    const std::function<void(const Snapshot&,
+                             const std::map<std::string, std::int64_t>&)>&
+        visit);
+
+}  // namespace polis::cfsm

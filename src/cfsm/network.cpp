@@ -1,0 +1,118 @@
+#include "cfsm/network.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace polis::cfsm {
+
+const std::string& Instance::net_of(const std::string& port) const {
+  auto it = bindings.find(port);
+  return it == bindings.end() ? port : it->second;
+}
+
+void Network::add_instance(std::string instance_name,
+                           std::shared_ptr<const Cfsm> machine,
+                           std::map<std::string, std::string> bindings) {
+  POLIS_CHECK(machine != nullptr);
+  for (const Instance& inst : instances_)
+    POLIS_CHECK_MSG(inst.name != instance_name,
+                    "duplicate instance " << instance_name);
+  for (const auto& [port, net] : bindings) {
+    POLIS_CHECK_MSG(machine->find_input(port) != nullptr ||
+                        machine->find_output(port) != nullptr,
+                    instance_name << ": binding of unknown port " << port);
+    POLIS_CHECK(!net.empty());
+  }
+  instances_.push_back(
+      Instance{std::move(instance_name), std::move(machine), std::move(bindings)});
+}
+
+const Instance& Network::instance(const std::string& name) const {
+  for (const Instance& inst : instances_)
+    if (inst.name == name) return inst;
+  POLIS_CHECK_MSG(false, "no instance named " << name);
+  return instances_.front();
+}
+
+std::map<std::string, Net> Network::nets() const {
+  std::map<std::string, Net> table;
+  auto touch = [&table](const std::string& net_name, const Signal& port)
+      -> Net& {
+    auto [it, inserted] = table.emplace(net_name, Net{net_name, port.domain, {}, {}});
+    if (!inserted) {
+      POLIS_CHECK_MSG(it->second.domain == port.domain,
+                      "net " << net_name << " connects ports of domains "
+                             << it->second.domain << " and " << port.domain);
+    }
+    return it->second;
+  };
+  for (const Instance& inst : instances_) {
+    for (const Signal& s : inst.machine->inputs())
+      touch(inst.net_of(s.name), s).consumers.emplace_back(inst.name, s.name);
+    for (const Signal& s : inst.machine->outputs())
+      touch(inst.net_of(s.name), s).producers.emplace_back(inst.name, s.name);
+  }
+  return table;
+}
+
+std::vector<std::string> Network::external_inputs() const {
+  std::vector<std::string> out;
+  for (const auto& [name, net] : nets())
+    if (net.producers.empty() && !net.consumers.empty()) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Network::internal_nets() const {
+  std::vector<std::string> out;
+  for (const auto& [name, net] : nets())
+    if (!net.producers.empty() && !net.consumers.empty()) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Network::external_outputs() const {
+  std::vector<std::string> out;
+  for (const auto& [name, net] : nets())
+    if (!net.producers.empty() && net.consumers.empty()) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Network::topological_order() const {
+  // Edge u -> v when some net produced by u is consumed by v.
+  std::map<std::string, std::set<std::string>> succ;
+  std::map<std::string, int> indegree;
+  for (const Instance& inst : instances_) indegree[inst.name] = 0;
+  for (const auto& [name, net] : nets()) {
+    (void)name;
+    for (const auto& [pi, pp] : net.producers) {
+      (void)pp;
+      for (const auto& [ci, cp] : net.consumers) {
+        (void)cp;
+        if (pi == ci) return {};  // self-loop
+        if (succ[pi].insert(ci).second) indegree[ci]++;
+      }
+    }
+  }
+  // Kahn's algorithm; ties broken by declaration order for determinism.
+  std::map<std::string, size_t> decl;
+  for (size_t i = 0; i < instances_.size(); ++i) decl[instances_[i].name] = i;
+  auto by_decl = [&decl](const std::string& a, const std::string& b) {
+    return decl[a] < decl[b];
+  };
+  std::set<std::string, decltype(by_decl)> ready(by_decl);
+  for (const Instance& inst : instances_)
+    if (indegree[inst.name] == 0) ready.insert(inst.name);
+  std::vector<std::string> order;
+  while (!ready.empty()) {
+    const std::string u = *ready.begin();
+    ready.erase(ready.begin());
+    order.push_back(u);
+    for (const std::string& v : succ[u])
+      if (--indegree[v] == 0) ready.insert(v);
+  }
+  if (order.size() != instances_.size()) return {};  // cycle
+  return order;
+}
+
+}  // namespace polis::cfsm

@@ -1,0 +1,69 @@
+// A globally-asynchronous locally-synchronous (GALS) network of CFSMs
+// (§II-D). Instances are connected by named nets; every CFSM port is bound
+// to a net (by default the net with the port's own name). Between each
+// producer and each consumer there is conceptually a one-place event buffer:
+// an event not yet detected when re-emitted is overwritten and lost.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cfsm/cfsm.hpp"
+
+namespace polis::cfsm {
+
+struct Instance {
+  std::string name;
+  std::shared_ptr<const Cfsm> machine;
+  /// Formal port (input or output signal name of the machine) -> net name.
+  std::map<std::string, std::string> bindings;
+
+  /// Net a port is bound to (the port's own name when unbound).
+  const std::string& net_of(const std::string& port) const;
+};
+
+/// Connectivity info for one net.
+struct Net {
+  std::string name;
+  int domain = 1;
+  std::vector<std::pair<std::string, std::string>> producers;  // inst, port
+  std::vector<std::pair<std::string, std::string>> consumers;  // inst, port
+};
+
+class Network {
+ public:
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds an instance; bindings may be partial (missing ports bind to nets
+  /// named after the port).
+  void add_instance(std::string instance_name,
+                    std::shared_ptr<const Cfsm> machine,
+                    std::map<std::string, std::string> bindings = {});
+
+  const std::vector<Instance>& instances() const { return instances_; }
+  const Instance& instance(const std::string& name) const;
+
+  /// Net table derived from the bindings; validates domain consistency.
+  std::map<std::string, Net> nets() const;
+
+  /// Nets with no producer inside the network (the environment drives them).
+  std::vector<std::string> external_inputs() const;
+  /// Nets produced inside and consumed inside.
+  std::vector<std::string> internal_nets() const;
+  /// Nets produced inside but not consumed inside (observed by environment).
+  std::vector<std::string> external_outputs() const;
+
+  /// Topological order of instances along internal nets; empty if the
+  /// internal-signal graph has a cycle.
+  std::vector<std::string> topological_order() const;
+
+ private:
+  std::string name_;
+  std::vector<Instance> instances_;
+};
+
+}  // namespace polis::cfsm

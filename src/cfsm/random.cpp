@@ -1,0 +1,138 @@
+#include "cfsm/random.hpp"
+
+#include "util/check.hpp"
+
+namespace polis::cfsm {
+
+namespace {
+
+// A random arithmetic operand over state vars, input values and constants.
+expr::ExprRef random_operand(Rng& rng, const std::vector<Signal>& inputs,
+                             const std::vector<StateVar>& state,
+                             int max_domain) {
+  std::vector<expr::ExprRef> pool;
+  for (const Signal& s : inputs)
+    if (!s.is_pure()) pool.push_back(value_of(s.name));
+  for (const StateVar& v : state) pool.push_back(expr::var(v.name));
+  if (pool.empty() || rng.flip(0.3))
+    return expr::constant(rng.uniform(0, max_domain - 1));
+  return pool[static_cast<size_t>(rng.uniform(0, static_cast<int>(pool.size()) - 1))];
+}
+
+expr::ExprRef random_value_expr(Rng& rng, const std::vector<Signal>& inputs,
+                                const std::vector<StateVar>& state,
+                                int max_domain) {
+  const expr::ExprRef a = random_operand(rng, inputs, state, max_domain);
+  if (rng.flip(0.4)) return a;
+  const expr::ExprRef b = random_operand(rng, inputs, state, max_domain);
+  switch (rng.uniform(0, 3)) {
+    case 0: return expr::add(a, b);
+    case 1: return expr::sub(a, b);
+    case 2: return expr::mul(a, b);
+    default: return expr::add(a, expr::constant(1));
+  }
+}
+
+expr::ExprRef random_atom(Rng& rng, const std::vector<Signal>& inputs,
+                          const std::vector<StateVar>& state, int max_domain) {
+  // Presence atoms dominate (control-dominated domain).
+  if (!inputs.empty() && rng.flip(0.55)) {
+    const Signal& s = inputs[static_cast<size_t>(
+        rng.uniform(0, static_cast<int>(inputs.size()) - 1))];
+    return presence(s.name);
+  }
+  const expr::ExprRef a = random_operand(rng, inputs, state, max_domain);
+  const expr::ExprRef b = random_operand(rng, inputs, state, max_domain);
+  switch (rng.uniform(0, 3)) {
+    case 0: return expr::eq(a, b);
+    case 1: return expr::ne(a, b);
+    case 2: return expr::lt(a, b);
+    default: return expr::ge(a, b);
+  }
+}
+
+expr::ExprRef random_guard(Rng& rng, const std::vector<Signal>& inputs,
+                           const std::vector<StateVar>& state, int max_domain,
+                           int max_atoms) {
+  const int atoms = static_cast<int>(rng.uniform(1, max_atoms));
+  expr::ExprRef g = random_atom(rng, inputs, state, max_domain);
+  if (rng.flip(0.2)) g = expr::lnot(g);
+  for (int i = 1; i < atoms; ++i) {
+    expr::ExprRef a = random_atom(rng, inputs, state, max_domain);
+    if (rng.flip(0.2)) a = expr::lnot(a);
+    g = rng.flip() ? expr::land(g, a) : expr::lor(g, a);
+  }
+  return g;
+}
+
+}  // namespace
+
+Cfsm random_cfsm(Rng& rng, const RandomCfsmOptions& o,
+                 const std::string& name) {
+  POLIS_CHECK(o.num_inputs >= 1 && o.num_outputs >= 1 && o.max_domain >= 2);
+
+  std::vector<Signal> inputs;
+  for (int i = 0; i < o.num_inputs; ++i) {
+    const bool valued = rng.flip(0.5);
+    inputs.push_back(Signal{
+        "i" + std::to_string(i),
+        valued ? static_cast<int>(rng.uniform(2, o.max_domain)) : 1});
+  }
+  std::vector<Signal> outputs;
+  for (int i = 0; i < o.num_outputs; ++i) {
+    const bool valued = rng.flip(0.4);
+    outputs.push_back(Signal{
+        "o" + std::to_string(i),
+        valued ? static_cast<int>(rng.uniform(2, o.max_domain)) : 1});
+  }
+  std::vector<StateVar> state;
+  for (int i = 0; i < o.num_state_vars; ++i) {
+    const int dom = static_cast<int>(rng.uniform(2, o.max_domain));
+    state.push_back(StateVar{"s" + std::to_string(i), dom,
+                             rng.uniform(0, dom - 1)});
+  }
+
+  std::vector<Rule> rules;
+  for (int r = 0; r < o.num_rules; ++r) {
+    Rule rule;
+    rule.guard =
+        random_guard(rng, inputs, state, o.max_domain, o.max_guard_atoms);
+    const int n_actions = static_cast<int>(rng.uniform(1, o.max_actions_per_rule));
+    for (int a = 0; a < n_actions; ++a) {
+      if (rng.flip() || state.empty()) {
+        const Signal& sig = outputs[static_cast<size_t>(
+            rng.uniform(0, static_cast<int>(outputs.size()) - 1))];
+        rule.emits.push_back(Emit{
+            sig.name, sig.is_pure() ? nullptr
+                                    : random_value_expr(rng, inputs, state,
+                                                        o.max_domain)});
+      } else {
+        const StateVar& sv = state[static_cast<size_t>(
+            rng.uniform(0, static_cast<int>(state.size()) - 1))];
+        rule.assigns.push_back(Assign{
+            sv.name, random_value_expr(rng, inputs, state, o.max_domain)});
+      }
+    }
+    // Deduplicate targets within the rule (a rule assigns each at most once).
+    std::vector<Emit> emits;
+    for (const Emit& e : rule.emits) {
+      bool dup = false;
+      for (const Emit& seen : emits) dup = dup || seen.signal == e.signal;
+      if (!dup) emits.push_back(e);
+    }
+    rule.emits = emits;
+    std::vector<Assign> assigns;
+    for (const Assign& a : rule.assigns) {
+      bool dup = false;
+      for (const Assign& seen : assigns) dup = dup || seen.state_var == a.state_var;
+      if (!dup) assigns.push_back(a);
+    }
+    rule.assigns = assigns;
+    rules.push_back(std::move(rule));
+  }
+
+  return Cfsm(name, std::move(inputs), std::move(outputs), std::move(state),
+              std::move(rules));
+}
+
+}  // namespace polis::cfsm

@@ -1,0 +1,27 @@
+// Deterministic random CFSM generation, used for:
+//   * the calibration corpus ("sample benchmark programs", §III-C1);
+//   * property-based testing of Theorem 1 (reference semantics vs s-graph
+//     vs VM execution) across orderings;
+//   * BDD/sifting workload sweeps.
+#pragma once
+
+#include "cfsm/cfsm.hpp"
+#include "util/rng.hpp"
+
+namespace polis::cfsm {
+
+struct RandomCfsmOptions {
+  int num_inputs = 3;        // signals; roughly half will be valued
+  int num_outputs = 2;
+  int num_state_vars = 2;
+  int max_domain = 4;        // valued signals / state vars: domain 2..max
+  int num_rules = 4;
+  int max_guard_atoms = 3;   // atoms combined with &&/||/! per guard
+  int max_actions_per_rule = 3;
+};
+
+/// Generates a valid CFSM. The same seed always yields the same machine.
+Cfsm random_cfsm(Rng& rng, const RandomCfsmOptions& options = {},
+                 const std::string& name = "rand");
+
+}  // namespace polis::cfsm

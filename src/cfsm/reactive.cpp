@@ -1,0 +1,291 @@
+#include "cfsm/reactive.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace polis::cfsm {
+
+std::string ActionVariable::label() const {
+  switch (kind) {
+    case Kind::kEmit:
+      return value == nullptr ? "emit_" + target
+                              : "emit_" + target + "=" + expr::to_c(*value);
+    case Kind::kAssignState:
+      return target + ":=" + expr::to_c(*value);
+    case Kind::kConsume:
+      return "consume";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_boolean_connective(expr::Op op) {
+  return op == expr::Op::kAnd || op == expr::Op::kOr || op == expr::Op::kNot;
+}
+
+void collect_atomics(const expr::ExprRef& e,
+                     std::vector<expr::ExprRef>& out) {
+  if (e->op() == expr::Op::kConst) return;
+  if (is_boolean_connective(e->op())) {
+    for (const expr::ExprRef& a : e->args()) collect_atomics(a, out);
+    return;
+  }
+  for (const expr::ExprRef& seen : out)
+    if (expr::equal(*seen, *e)) return;
+  out.push_back(e);
+}
+
+}  // namespace
+
+ReactiveFunction::ReactiveFunction(const Cfsm& machine, bdd::BddManager& mgr)
+    : machine_(&machine), mgr_(&mgr) {
+  // Pass 1: intern every atomic test, in guard order, so all test variables
+  // precede all action variables in the initial order.
+  std::vector<expr::ExprRef> atomics;
+  for (const Rule& r : machine.rules()) collect_atomics(r.guard, atomics);
+  for (const expr::ExprRef& a : atomics) {
+    bool is_presence = false;
+    if (a->op() == expr::Op::kVar) {
+      for (const Signal& s : machine.inputs()) {
+        if (a->name() == presence_name(s.name)) {
+          is_presence = true;
+          break;
+        }
+      }
+    }
+    intern_test(a, is_presence);
+  }
+
+  // Pass 2: intern actions (rule order; the implicit consume action last).
+  std::vector<std::vector<int>> rule_actions(machine.rules().size());
+  for (size_t ri = 0; ri < machine.rules().size(); ++ri) {
+    const Rule& r = machine.rules()[ri];
+    for (const Emit& e : r.emits)
+      rule_actions[ri].push_back(
+          intern_action(ActionVariable::Kind::kEmit, e.signal, e.value));
+    for (const Assign& a : r.assigns)
+      rule_actions[ri].push_back(intern_action(
+          ActionVariable::Kind::kAssignState, a.state_var, a.value));
+  }
+  const int consume =
+      intern_action(ActionVariable::Kind::kConsume, "", nullptr);
+  for (auto& ra : rule_actions) ra.push_back(consume);
+
+  // Pass 3: χ = Σ_r  fire_r · cube(A_r)  +  (no rule) · cube(∅),
+  // where fire_r = guard_r ∧ ¬guard_1 ∧ ... ∧ ¬guard_{r-1} encodes the
+  // first-match priority of the rule list.
+  auto cube = [&](const std::vector<int>& action_vars) {
+    bdd::Bdd c = mgr_->one();
+    for (const ActionVariable& av : actions_) {
+      const bool on = std::find(action_vars.begin(), action_vars.end(),
+                                av.bdd_var) != action_vars.end();
+      c = c & (on ? mgr_->var(av.bdd_var) : mgr_->nvar(av.bdd_var));
+    }
+    return c;
+  };
+
+  bdd::Bdd chi = mgr_->zero();
+  bdd::Bdd remaining = mgr_->one();
+  for (size_t ri = 0; ri < machine.rules().size(); ++ri) {
+    const bdd::Bdd g = guard_to_bdd(*machine.rules()[ri].guard);
+    const bdd::Bdd fire = remaining & g;
+    remaining = remaining & !g;
+    chi = chi | (fire & cube(rule_actions[ri]));
+  }
+  chi = chi | (remaining & cube({}));
+  chi_ = chi;
+}
+
+int ReactiveFunction::intern_test(const expr::ExprRef& predicate,
+                                  bool is_presence) {
+  for (const TestVariable& t : tests_)
+    if (expr::equal(*t.predicate, *predicate)) return t.bdd_var;
+  TestVariable t;
+  t.predicate = predicate;
+  t.is_presence = is_presence;
+  t.bdd_var = mgr_->new_var(expr::to_c(*predicate));
+  tests_.push_back(t);
+  return t.bdd_var;
+}
+
+int ReactiveFunction::intern_action(ActionVariable::Kind kind,
+                                    const std::string& target,
+                                    const expr::ExprRef& value) {
+  for (const ActionVariable& a : actions_) {
+    if (a.kind != kind || a.target != target) continue;
+    if (a.value == nullptr && value == nullptr) return a.bdd_var;
+    if (a.value != nullptr && value != nullptr && expr::equal(*a.value, *value))
+      return a.bdd_var;
+  }
+  ActionVariable a;
+  a.kind = kind;
+  a.target = target;
+  a.value = value;
+  a.bdd_var = mgr_->new_var(a.label());
+  actions_.push_back(a);
+  return a.bdd_var;
+}
+
+bdd::Bdd ReactiveFunction::guard_to_bdd(const expr::Expr& guard) {
+  switch (guard.op()) {
+    case expr::Op::kConst:
+      return mgr_->constant(guard.value() != 0);
+    case expr::Op::kAnd:
+      return guard_to_bdd(*guard.args()[0]) & guard_to_bdd(*guard.args()[1]);
+    case expr::Op::kOr:
+      return guard_to_bdd(*guard.args()[0]) | guard_to_bdd(*guard.args()[1]);
+    case expr::Op::kNot:
+      return !guard_to_bdd(*guard.args()[0]);
+    default: {
+      for (const TestVariable& t : tests_) {
+        if (expr::equal(*t.predicate, guard)) return mgr_->var(t.bdd_var);
+      }
+      POLIS_CHECK_MSG(false, "atomic predicate not interned: "
+                                 << expr::to_c(guard));
+      return mgr_->zero();
+    }
+  }
+}
+
+int ReactiveFunction::consume_var() const {
+  for (const ActionVariable& a : actions_)
+    if (a.kind == ActionVariable::Kind::kConsume) return a.bdd_var;
+  POLIS_CHECK(false);
+  return -1;
+}
+
+bool ReactiveFunction::is_test_var(int bdd_var) const {
+  for (const TestVariable& t : tests_)
+    if (t.bdd_var == bdd_var) return true;
+  return false;
+}
+
+bool ReactiveFunction::is_action_var(int bdd_var) const {
+  for (const ActionVariable& a : actions_)
+    if (a.bdd_var == bdd_var) return true;
+  return false;
+}
+
+const TestVariable& ReactiveFunction::test_of(int bdd_var) const {
+  for (const TestVariable& t : tests_)
+    if (t.bdd_var == bdd_var) return t;
+  POLIS_CHECK_MSG(false, "not a test variable: " << bdd_var);
+  return tests_.front();
+}
+
+const ActionVariable& ReactiveFunction::action_of(int bdd_var) const {
+  for (const ActionVariable& a : actions_)
+    if (a.bdd_var == bdd_var) return a;
+  POLIS_CHECK_MSG(false, "not an action variable: " << bdd_var);
+  return actions_.front();
+}
+
+bdd::Bdd ReactiveFunction::output_function(int action_bdd_var) {
+  std::vector<int> others;
+  for (const ActionVariable& a : actions_)
+    if (a.bdd_var != action_bdd_var) others.push_back(a.bdd_var);
+  return mgr_->cofactor(mgr_->smooth(chi_, others), action_bdd_var, true);
+}
+
+std::vector<std::pair<int, int>>
+ReactiveFunction::precedence_outputs_after_support() {
+  std::vector<std::pair<int, int>> pairs;
+  for (const ActionVariable& a : actions_) {
+    for (int v : mgr_->support(output_function(a.bdd_var))) {
+      if (is_test_var(v)) pairs.emplace_back(v, a.bdd_var);
+    }
+  }
+  return pairs;
+}
+
+std::vector<std::pair<int, int>>
+ReactiveFunction::precedence_outputs_after_all_inputs() const {
+  std::vector<std::pair<int, int>> pairs;
+  for (const TestVariable& t : tests_)
+    for (const ActionVariable& a : actions_)
+      pairs.emplace_back(t.bdd_var, a.bdd_var);
+  return pairs;
+}
+
+expr::Env ReactiveFunction::concrete_env(
+    const Snapshot& snapshot,
+    const std::map<std::string, std::int64_t>& state) const {
+  return [this, &snapshot, &state](const std::string& name) -> std::int64_t {
+    for (const Signal& s : machine_->inputs()) {
+      if (name == presence_name(s.name)) return snapshot.is_present(s.name);
+      if (!s.is_pure() && name == value_name(s.name))
+        return snapshot.value_of(s.name);
+    }
+    auto it = state.find(name);
+    POLIS_CHECK_MSG(it != state.end(),
+                    machine_->name() << ": unbound variable " << name);
+    return it->second;
+  };
+}
+
+std::vector<bool> ReactiveFunction::test_valuation(
+    const Snapshot& snapshot,
+    const std::map<std::string, std::int64_t>& state) const {
+  const expr::Env env = concrete_env(snapshot, state);
+  std::vector<bool> out;
+  out.reserve(tests_.size());
+  for (const TestVariable& t : tests_)
+    out.push_back(expr::evaluate(*t.predicate, env) != 0);
+  return out;
+}
+
+Reaction ReactiveFunction::decode_actions(
+    const std::vector<bool>& action_values, const Snapshot& snapshot,
+    const std::map<std::string, std::int64_t>& state) const {
+  POLIS_CHECK(action_values.size() == actions_.size());
+  const expr::Env env = concrete_env(snapshot, state);
+  Reaction out;
+  out.next_state = state;
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    if (!action_values[i]) continue;
+    const ActionVariable& a = actions_[i];
+    switch (a.kind) {
+      case ActionVariable::Kind::kConsume:
+        out.fired = true;
+        break;
+      case ActionVariable::Kind::kEmit: {
+        const Signal* sig = machine_->find_output(a.target);
+        const std::int64_t v =
+            sig->is_pure()
+                ? 0
+                : wrap_to_domain(expr::evaluate(*a.value, env), sig->domain);
+        out.emissions.emplace_back(a.target, v);
+        break;
+      }
+      case ActionVariable::Kind::kAssignState: {
+        const StateVar* sv = machine_->find_state(a.target);
+        out.next_state[a.target] =
+            wrap_to_domain(expr::evaluate(*a.value, env), sv->domain);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<bdd::Bdd> ReactiveFunction::reachable_care_set(
+    std::uint64_t limit) {
+  bdd::Bdd care = mgr_->zero();
+  const bool complete = enumerate_concrete_space(
+      *machine_, limit,
+      [&](const Snapshot& snap, const std::map<std::string, std::int64_t>& st) {
+        const std::vector<bool> tv = test_valuation(snap, st);
+        bdd::Bdd minterm = mgr_->one();
+        for (size_t i = 0; i < tests_.size(); ++i) {
+          minterm = minterm & (tv[i] ? mgr_->var(tests_[i].bdd_var)
+                                     : mgr_->nvar(tests_[i].bdd_var));
+        }
+        care = care | minterm;
+      });
+  if (!complete) return std::nullopt;
+  return care;
+}
+
+}  // namespace polis::cfsm

@@ -1,0 +1,108 @@
+// The mixed representation of a CFSM transition function (§III-B1):
+//
+//   * a set of *tests* on inputs and state (atomic predicates, e.g.
+//     `present_c`, `a == v_c`), each abstracted by a Boolean test variable x;
+//   * a set of *actions* (output emissions / state assignments), each
+//     abstracted by a Boolean action variable z;
+//   * the *reactive function* mapping test valuations to action valuations,
+//     represented by its characteristic function χ(x*, z*) as a BDD (§II-C).
+//
+// An implicit "consume" action variable is set by every firing rule so the
+// generated code can tell the RTOS whether the snapshot was consumed or must
+// be preserved (§IV-D).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "cfsm/cfsm.hpp"
+#include "expr/expr.hpp"
+
+namespace polis::cfsm {
+
+/// A Boolean abstraction of one atomic predicate appearing in the guards.
+struct TestVariable {
+  expr::ExprRef predicate;
+  int bdd_var = -1;
+  bool is_presence = false;  // a presence-flag test becomes an RTOS call
+};
+
+/// A Boolean abstraction of one action.
+struct ActionVariable {
+  enum class Kind { kEmit, kAssignState, kConsume };
+  Kind kind = Kind::kEmit;
+  std::string target;        // signal or state variable ("" for kConsume)
+  expr::ExprRef value;       // emission value / assigned expr (may be null)
+  int bdd_var = -1;
+
+  std::string label() const;
+};
+
+/// Builds and owns the abstraction of one CFSM over a caller-supplied BDD
+/// manager. Test variables are created before action variables, so the
+/// initial (naive) order is "all inputs, then all outputs".
+class ReactiveFunction {
+ public:
+  ReactiveFunction(const Cfsm& machine, bdd::BddManager& mgr);
+
+  const Cfsm& machine() const { return *machine_; }
+  bdd::BddManager& manager() const { return *mgr_; }
+  const std::vector<TestVariable>& tests() const { return tests_; }
+  const std::vector<ActionVariable>& actions() const { return actions_; }
+  const bdd::Bdd& chi() const { return chi_; }
+
+  /// The implicit consume action's BDD variable.
+  int consume_var() const;
+
+  bool is_test_var(int bdd_var) const;
+  bool is_action_var(int bdd_var) const;
+  const TestVariable& test_of(int bdd_var) const;
+  const ActionVariable& action_of(int bdd_var) const;
+
+  /// Output function g_z of one action variable (over test variables only):
+  /// g_z = S_{z* \ z}(χ)|_{z=1}  (§II-C, Theorem 1).
+  bdd::Bdd output_function(int action_bdd_var);
+
+  /// Precedence pairs "(input, output)" for sifting constraints:
+  /// every output after the inputs in its own support (§III-B3b)...
+  std::vector<std::pair<int, int>> precedence_outputs_after_support();
+  /// ...or every output after every input (the stricter variant of §V-A).
+  std::vector<std::pair<int, int>> precedence_outputs_after_all_inputs() const;
+
+  /// Valuation of the test variables for a concrete snapshot + state.
+  std::vector<bool> test_valuation(
+      const Snapshot& snapshot,
+      const std::map<std::string, std::int64_t>& state) const;
+
+  /// Decodes an action valuation (indexed like actions()) into a Reaction,
+  /// evaluating emission/assignment expressions on the concrete inputs.
+  Reaction decode_actions(
+      const std::vector<bool>& action_values, const Snapshot& snapshot,
+      const std::map<std::string, std::int64_t>& state) const;
+
+  /// Reachable care set over the test variables: the disjunction of test
+  /// valuations induced by every concrete (snapshot, state) combination.
+  /// Enumerates the concrete space; returns nullopt if it exceeds `limit`
+  /// combinations. Valuations outside the care set are false paths (§III-C).
+  std::optional<bdd::Bdd> reachable_care_set(std::uint64_t limit = 1u << 22);
+
+ private:
+  int intern_test(const expr::ExprRef& predicate, bool is_presence);
+  int intern_action(ActionVariable::Kind kind, const std::string& target,
+                    const expr::ExprRef& value);
+  bdd::Bdd guard_to_bdd(const expr::Expr& guard);
+  expr::Env concrete_env(const Snapshot& snapshot,
+                         const std::map<std::string, std::int64_t>& state) const;
+
+  const Cfsm* machine_;
+  bdd::BddManager* mgr_;
+  std::vector<TestVariable> tests_;
+  std::vector<ActionVariable> actions_;
+  bdd::Bdd chi_;
+};
+
+}  // namespace polis::cfsm

@@ -1,0 +1,319 @@
+#include "codegen/c_codegen.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "sgraph/dataflow.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace polis::codegen {
+
+namespace {
+
+// How expression variables map into the generated C frame.
+struct FrameNaming {
+  // Presence flag of formal port -> net name (RTOS detect argument).
+  std::map<std::string, std::string> presence_to_net;
+  // Value variable of formal port -> net name.
+  std::map<std::string, std::string> value_to_net;
+  // State variable -> emitted global name (possibly instance-prefixed).
+  std::map<std::string, std::string> state_global;
+  // State variables that read a copy-in local instead of the global.
+  std::set<std::string> buffered;
+  // Values come from polis_value(SIG_net) (RTOS) or from plain globals
+  // (standalone harness).
+  bool rtos_values = true;
+};
+
+FrameNaming naming_for(const cfsm::Cfsm& machine,
+                       const cfsm::Instance* instance, bool rtos_values) {
+  FrameNaming naming;
+  naming.rtos_values = rtos_values;
+  const std::string prefix =
+      instance != nullptr ? c_identifier(instance->name) + "__" : "";
+  for (const cfsm::StateVar& v : machine.state())
+    naming.state_global[v.name] = prefix + c_identifier(v.name);
+  for (const cfsm::Signal& s : machine.inputs()) {
+    const std::string net =
+        instance != nullptr ? instance->net_of(s.name) : s.name;
+    naming.presence_to_net[cfsm::presence_name(s.name)] = net;
+    if (!s.is_pure()) naming.value_to_net[cfsm::value_name(s.name)] = net;
+  }
+  return naming;
+}
+
+// Rewrites expression variables into the C frame's names.
+class NameMap {
+ public:
+  explicit NameMap(FrameNaming naming) : naming_(std::move(naming)) {}
+
+  std::string rewrite(const expr::Expr& e) const {
+    return expr::to_c(*rewrite_ref(e));
+  }
+
+  const FrameNaming& naming() const { return naming_; }
+
+ private:
+  expr::ExprRef rewrite_ref(const expr::Expr& e) const {
+    switch (e.op()) {
+      case expr::Op::kConst:
+        return expr::constant(e.value());
+      case expr::Op::kVar: {
+        auto presence = naming_.presence_to_net.find(e.name());
+        if (presence != naming_.presence_to_net.end())
+          return expr::var("polis_detect(SIG_" +
+                           c_identifier(presence->second) + ")");
+        auto value = naming_.value_to_net.find(e.name());
+        if (value != naming_.value_to_net.end()) {
+          if (naming_.rtos_values)
+            return expr::var("polis_value(SIG_" +
+                             c_identifier(value->second) + ")");
+          return expr::var(c_identifier(cfsm::value_name(value->second)));
+        }
+        auto state = naming_.state_global.find(e.name());
+        if (state != naming_.state_global.end()) {
+          if (naming_.buffered.count(e.name()) != 0)
+            return expr::var(state->second + "__in");
+          return expr::var(state->second);
+        }
+        return expr::var(c_identifier(e.name()));
+      }
+      default: {
+        std::vector<expr::ExprRef> args;
+        for (const expr::ExprRef& a : e.args())
+          args.push_back(rewrite_ref(*a));
+        return expr::Expr::make(e.op(), std::move(args));
+      }
+    }
+  }
+
+  FrameNaming naming_;
+};
+
+void emit_action(const sgraph::ActionOp& op, const cfsm::Cfsm& machine,
+                 const cfsm::Instance* instance, const NameMap& names,
+                 bool string_signals, std::ostringstream& os) {
+  const std::string net =
+      instance != nullptr && op.kind != sgraph::ActionOp::Kind::kConsume &&
+              op.kind != sgraph::ActionOp::Kind::kAssignVar
+          ? instance->net_of(op.target)
+          : op.target;
+  const std::string sig_ref =
+      string_signals ? "\"" + net + "\"" : "SIG_" + c_identifier(net);
+  switch (op.kind) {
+    case sgraph::ActionOp::Kind::kConsume:
+      os << "polis_consume();";
+      break;
+    case sgraph::ActionOp::Kind::kEmitPure:
+      os << "polis_emit(" << sig_ref << ");";
+      break;
+    case sgraph::ActionOp::Kind::kEmitValued: {
+      const cfsm::Signal* sig = machine.find_output(op.target);
+      os << "polis_emit_value(" << sig_ref << ", polis_wrap("
+         << names.rewrite(*op.value) << ", " << sig->domain << "));";
+      break;
+    }
+    case sgraph::ActionOp::Kind::kAssignVar: {
+      const cfsm::StateVar* sv = machine.find_state(op.target);
+      os << names.naming().state_global.at(op.target) << " = polis_wrap("
+         << names.rewrite(*op.value) << ", " << sv->domain << ");";
+      break;
+    }
+  }
+}
+
+std::string routine_body(const sgraph::Sgraph& graph,
+                         const cfsm::Cfsm& machine,
+                         const cfsm::Instance* instance,
+                         const CCodegenOptions& options, bool string_signals,
+                         bool rtos_values) {
+  FrameNaming naming = naming_for(machine, instance, rtos_values);
+  for (const cfsm::StateVar& v : machine.state())
+    naming.buffered.insert(v.name);
+  if (options.optimize_copy_in)
+    naming.buffered = sgraph::vars_needing_copy_in(graph, naming.buffered);
+  const NameMap names(naming);
+  std::ostringstream os;
+
+  // Copy-in of state variables (§V-B safe next-state buffering), limited to
+  // the hazardous ones when the data-flow optimization is on.
+  for (const cfsm::StateVar& v : machine.state())
+    if (naming.buffered.count(v.name) != 0)
+      os << "  long " << naming.state_global.at(v.name) << "__in = "
+         << naming.state_global.at(v.name) << ";\n";
+
+  const std::vector<sgraph::NodeId> layout = graph.topo_order();
+  // Label every vertex that is some vertex's non-fall-through successor.
+  std::set<sgraph::NodeId> labelled;
+  for (size_t i = 0; i < layout.size(); ++i) {
+    const sgraph::Node& n = graph.node(layout[i]);
+    const sgraph::NodeId fall =
+        i + 1 < layout.size() ? layout[i + 1] : graph.end();
+    switch (n.kind) {
+      case sgraph::Kind::kBegin:
+      case sgraph::Kind::kAssign:
+        if (n.next != fall) labelled.insert(n.next);
+        break;
+      case sgraph::Kind::kTest:
+        labelled.insert(n.when_false);
+        if (n.when_true != fall) labelled.insert(n.when_true);
+        break;
+      case sgraph::Kind::kEnd:
+        break;
+    }
+  }
+
+  for (size_t i = 1; i < layout.size(); ++i) {
+    const sgraph::NodeId id = layout[i];
+    const sgraph::Node& n = graph.node(id);
+    const sgraph::NodeId fall =
+        i + 1 < layout.size() ? layout[i + 1] : graph.end();
+    if (labelled.count(id) != 0) os << "L" << id << ":\n";
+    if (options.provenance_comments)
+      os << "  /* s-graph vertex " << id << " */\n";
+    switch (n.kind) {
+      case sgraph::Kind::kEnd:
+        os << "  return;\n";
+        break;
+      case sgraph::Kind::kTest:
+        os << "  if (!(" << names.rewrite(*n.predicate) << ")) goto L"
+           << n.when_false << ";\n";
+        if (n.when_true != fall) os << "  goto L" << n.when_true << ";\n";
+        break;
+      case sgraph::Kind::kAssign: {
+        os << "  ";
+        if (n.condition != nullptr)
+          os << "if (" << names.rewrite(*n.condition) << ") ";
+        emit_action(n.action, machine, instance, names, string_signals, os);
+        os << "\n";
+        if (n.next != fall) os << "  goto L" << n.next << ";\n";
+        break;
+      }
+      case sgraph::Kind::kBegin:
+        POLIS_CHECK(false);
+        break;
+    }
+  }
+  return os.str();
+}
+
+std::string state_globals(const cfsm::Cfsm& machine,
+                          const cfsm::Instance* instance,
+                          const char* storage) {
+  std::ostringstream os;
+  const FrameNaming naming = naming_for(machine, instance, true);
+  for (const cfsm::StateVar& v : machine.state())
+    os << storage << "long " << naming.state_global.at(v.name) << " = "
+       << v.init << ";\n";
+  return os.str();
+}
+
+std::string signal_enum(const cfsm::Cfsm& machine) {
+  std::ostringstream os;
+  os << "enum {";
+  bool first = true;
+  for (const cfsm::Signal& s : machine.inputs()) {
+    os << (first ? " " : ", ") << "SIG_" << c_identifier(s.name);
+    first = false;
+  }
+  for (const cfsm::Signal& s : machine.outputs()) {
+    os << (first ? " " : ", ") << "SIG_" << c_identifier(s.name);
+    first = false;
+  }
+  os << " };\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string generate_c(const sgraph::Sgraph& graph, const cfsm::Cfsm& machine,
+                       const CCodegenOptions& options) {
+  std::ostringstream os;
+  os << "/* Synthesized reaction routine for CFSM '" << machine.name()
+     << "'.\n * Generated from an s-graph with " << graph.num_reachable()
+     << " vertices; do not edit. */\n";
+  os << "#include \"polis_rt.h\"\n\n";
+  os << state_globals(machine, nullptr, "");
+  os << "\nvoid cfsm_" << c_identifier(machine.name()) << "(void) {\n"
+     << routine_body(graph, machine, nullptr, options,
+                     /*string_signals=*/false, /*rtos_values=*/true)
+     << "}\n";
+  return os.str();
+}
+
+std::string generate_instance_c(const sgraph::Sgraph& graph,
+                                const cfsm::Instance& instance,
+                                const CCodegenOptions& options) {
+  const cfsm::Cfsm& machine = *instance.machine;
+  std::ostringstream os;
+  os << "/* Synthesized reaction routine for instance '" << instance.name
+     << "' of CFSM '" << machine.name() << "'.\n * Ports are bound to nets; "
+     << "state lives in instance-prefixed globals. Do not edit. */\n";
+  os << "#include \"polis_rt.h\"\n\n";
+  os << state_globals(machine, &instance, "static ");
+  os << "\nvoid cfsm_" << c_identifier(instance.name) << "(void) {\n"
+     << routine_body(graph, machine, &instance, options,
+                     /*string_signals=*/false, /*rtos_values=*/true)
+     << "}\n";
+  return os.str();
+}
+
+std::string generate_standalone_c(const sgraph::Sgraph& graph,
+                                  const cfsm::Cfsm& machine,
+                                  const CCodegenOptions& options) {
+  std::ostringstream os;
+  os << "/* Standalone synthesized program for CFSM '" << machine.name()
+     << "' (test harness included). */\n"
+     << "#include <stdio.h>\n#include <stdlib.h>\n\n";
+  os << signal_enum(machine);
+  os << R"(
+static int polis_present[64];
+static int polis_consumed = 0;
+static long polis_wrap(long v, long d) {
+  if (d <= 1) return 0;
+  long m = v % d;
+  return m < 0 ? m + d : m;
+}
+static int polis_detect(int sig) { return polis_present[sig]; }
+static void polis_emit(const char *sig) { printf("emit %s\n", sig); }
+static void polis_emit_value(const char *sig, long v) {
+  printf("emit %s %ld\n", sig, v);
+}
+static void polis_consume(void) { polis_consumed = 1; }
+)";
+  for (const cfsm::StateVar& v : machine.state())
+    os << "static long " << c_identifier(v.name) << " = " << v.init << ";\n";
+  for (const cfsm::Signal& s : machine.inputs())
+    if (!s.is_pure())
+      os << "static long " << c_identifier(cfsm::value_name(s.name))
+         << " = 0;\n";
+
+  os << "\nstatic void reaction(void) {\n"
+     << routine_body(graph, machine, nullptr, options,
+                     /*string_signals=*/true, /*rtos_values=*/false)
+     << "}\n\n";
+
+  // main(): presence flags, then valued-input values, then state values.
+  os << "int main(int argc, char **argv) {\n  int arg = 1;\n"
+     << "  (void)argc;\n";
+  for (const cfsm::Signal& s : machine.inputs())
+    os << "  polis_present[SIG_" << c_identifier(s.name)
+       << "] = atoi(argv[arg++]);\n";
+  for (const cfsm::Signal& s : machine.inputs())
+    if (!s.is_pure())
+      os << "  " << c_identifier(cfsm::value_name(s.name))
+         << " = atol(argv[arg++]);\n";
+  for (const cfsm::StateVar& v : machine.state())
+    os << "  " << c_identifier(v.name) << " = atol(argv[arg++]);\n";
+  os << "  reaction();\n"
+     << "  printf(\"fired %d\\n\", polis_consumed);\n";
+  for (const cfsm::StateVar& v : machine.state())
+    os << "  printf(\"state " << v.name << " %ld\\n\", "
+       << c_identifier(v.name) << ");\n";
+  os << "  return 0;\n}\n";
+  return os.str();
+}
+
+}  // namespace polis::codegen

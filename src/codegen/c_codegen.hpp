@@ -1,0 +1,58 @@
+// Translation of an s-graph into C (§III-B4).
+//
+// Each vertex maps to one C statement: a TEST becomes an `if` plus `goto`s,
+// an ASSIGN becomes an assignment or an RTOS call. The result is the
+// deliberately unstructured, "portable assembly" style the paper describes —
+// unreadable but tightly predictable, so that a general-purpose C compiler
+// cannot undo the BDD-level optimisations.
+//
+// Two flavours are produced:
+//   * `generate_c`           — the reaction routine against the RTOS API
+//                              (polis_rt.h, produced by rtos/codegen);
+//   * `generate_standalone_c`— a self-contained translation unit with an
+//                              inline mini-runtime and a main() that reads a
+//                              snapshot from argv and prints the reaction;
+//                              used by the end-to-end tests that compile the
+//                              emitted C with the host compiler and compare
+//                              against the reference semantics.
+#pragma once
+
+#include <string>
+
+#include "cfsm/cfsm.hpp"
+#include "cfsm/network.hpp"
+#include "sgraph/sgraph.hpp"
+
+namespace polis::codegen {
+
+struct CCodegenOptions {
+  /// Emit `#line`-style provenance comments linking statements back to
+  /// s-graph vertices (the paper's source-level debugging hook).
+  bool provenance_comments = false;
+  /// Run the §V-B data-flow analysis and declare copy-in locals only for
+  /// state variables with a write-before-read hazard.
+  bool optimize_copy_in = false;
+};
+
+/// The reaction routine only (expects the generated RTOS header). Signals
+/// are referenced by the machine's own port names; use
+/// generate_instance_c for a machine instantiated inside a network.
+std::string generate_c(const sgraph::Sgraph& graph, const cfsm::Cfsm& machine,
+                       const CCodegenOptions& options = {});
+
+/// Reaction routine for one network instance: the routine is named after
+/// the instance, ports resolve to their bound nets, state variables live in
+/// instance-prefixed globals (so several instances of one module coexist),
+/// and event values are fetched through polis_value().
+std::string generate_instance_c(const sgraph::Sgraph& graph,
+                                const cfsm::Instance& instance,
+                                const CCodegenOptions& options = {});
+
+/// A complete compilable program; main() takes, in order: one 0/1 presence
+/// flag per input signal, one value per valued input, one value per state
+/// variable, and prints emissions, the consumed flag and the next state.
+std::string generate_standalone_c(const sgraph::Sgraph& graph,
+                                  const cfsm::Cfsm& machine,
+                                  const CCodegenOptions& options = {});
+
+}  // namespace polis::codegen

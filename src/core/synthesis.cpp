@@ -1,0 +1,45 @@
+#include "core/synthesis.hpp"
+
+#include <chrono>
+
+#include "util/check.hpp"
+
+namespace polis {
+
+SynthesisResult synthesize(std::shared_ptr<const cfsm::Cfsm> machine,
+                           const SynthesisOptions& options) {
+  POLIS_CHECK(machine != nullptr);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  SynthesisResult result;
+  result.machine = machine;
+  result.manager = std::make_shared<bdd::BddManager>();
+  result.reactive =
+      std::make_shared<cfsm::ReactiveFunction>(*machine, *result.manager);
+  result.graph = std::make_shared<sgraph::Sgraph>(
+      sgraph::build_sgraph(*result.reactive, options.scheme, options.build));
+  vm::CompileOptions compile_options;
+  compile_options.optimize_copy_in = options.optimize_copy_in;
+  result.compiled = std::make_shared<vm::CompiledReaction>(vm::compile(
+      *result.graph, vm::SymbolInfo::from(*machine), compile_options));
+  codegen::CCodegenOptions c_options;
+  c_options.optimize_copy_in = options.optimize_copy_in;
+  result.c_code = codegen::generate_c(*result.graph, *machine, c_options);
+  result.vm_size_bytes = result.compiled->program.size_bytes(options.target);
+
+  estim::CostModel local_model;
+  const estim::CostModel* model = options.cost_model;
+  if (model == nullptr) {
+    local_model = estim::calibrate(options.target);
+    model = &local_model;
+  }
+  result.estimate =
+      estim::estimate(*result.graph, *model, estim::context_for(*machine));
+
+  result.synthesis_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace polis

@@ -1,0 +1,51 @@
+// The top-level synthesis pipeline (§I-H): CFSM → characteristic function →
+// optimized s-graph → C code + VM binary + cost/performance estimates.
+// This is the "software synthesis system generating C code from FSM
+// specifications" the paper describes, packaged as one call.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bdd/bdd.hpp"
+#include "cfsm/cfsm.hpp"
+#include "cfsm/reactive.hpp"
+#include "codegen/c_codegen.hpp"
+#include "estim/calibrate.hpp"
+#include "estim/estimate.hpp"
+#include "sgraph/build.hpp"
+#include "vm/compile.hpp"
+#include "vm/isa.hpp"
+
+namespace polis {
+
+struct SynthesisOptions {
+  sgraph::OrderingScheme scheme =
+      sgraph::OrderingScheme::kSiftOutputsAfterSupport;
+  sgraph::BuildOptions build;
+  vm::TargetProfile target = vm::hc11_like();
+  /// §V-B data-flow optimization: buffer only state variables with a
+  /// write-before-read hazard.
+  bool optimize_copy_in = false;
+  /// Reuse a pre-calibrated cost model (calibration is deterministic but
+  /// not free); when null, one is calibrated for `target`.
+  const estim::CostModel* cost_model = nullptr;
+};
+
+struct SynthesisResult {
+  std::shared_ptr<const cfsm::Cfsm> machine;
+  std::shared_ptr<bdd::BddManager> manager;
+  std::shared_ptr<cfsm::ReactiveFunction> reactive;
+  std::shared_ptr<sgraph::Sgraph> graph;
+  std::shared_ptr<vm::CompiledReaction> compiled;
+  std::string c_code;
+  estim::Estimate estimate;   // size + min/max cycles under the cost model
+  long long vm_size_bytes = 0;  // measured code size on the VM target
+  double synthesis_seconds = 0;
+};
+
+/// Runs the full flow for one CFSM.
+SynthesisResult synthesize(std::shared_ptr<const cfsm::Cfsm> machine,
+                           const SynthesisOptions& options = {});
+
+}  // namespace polis

@@ -1,0 +1,51 @@
+// The example systems of the paper's evaluation (§V), reconstructed from
+// the paper's description in the RSL frontend language:
+//
+//   * the car dashboard controller (§V-A): the computational chain from the
+//     wheel and engine speed sensors to the PWM outputs controlling the
+//     gauges, plus the classic seat-belt alarm CFSM;
+//   * the shock absorber controller (§V-B): sampling, control law,
+//     slew-limited actuator and a watchdog.
+//
+// The sources are exposed so the examples can print them; parsed forms are
+// cached builders.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cfsm/network.hpp"
+#include "frontend/parser.hpp"
+
+namespace polis::systems {
+
+/// RSL source of the dashboard system (modules + `dash` network + the
+/// composable `dash_core` sub-network used for the single-FSM baseline).
+const char* dashboard_source();
+
+/// RSL source of the shock absorber system (modules + `shock` network).
+const char* shock_absorber_source();
+
+frontend::ParsedFile dashboard();
+frontend::ParsedFile shock_absorber();
+
+/// Dashboard modules in the stable row order used by the benches
+/// (Table I / Table II rows).
+std::vector<std::shared_ptr<const cfsm::Cfsm>> dashboard_modules();
+
+std::shared_ptr<cfsm::Network> dash_network();
+std::shared_ptr<cfsm::Network> dash_core_network();
+std::shared_ptr<cfsm::Network> shock_network();
+std::vector<std::shared_ptr<const cfsm::Cfsm>> shock_modules();
+
+/// RSL source of a third control-dominated system from the paper's
+/// motivating domain (§I-A "from microwave ovens and watches to
+/// telecommunication"): a microwave oven controller — keypad, cooking
+/// controller with door interlock, magnetron driver and beeper.
+const char* microwave_source();
+frontend::ParsedFile microwave();
+std::shared_ptr<cfsm::Network> microwave_network();
+std::vector<std::shared_ptr<const cfsm::Cfsm>> microwave_modules();
+
+}  // namespace polis::systems

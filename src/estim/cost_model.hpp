@@ -1,0 +1,65 @@
+// Software cost and performance estimation parameters (§III-C1).
+//
+// The paper characterises a target system (CPU + memory architecture +
+// compiler) by 17 execution-cycle parameters, 15 code-size parameters and 4
+// system parameters, fitted from sample benchmark programs. We keep exactly
+// that structure; `calibrate()` (calibrate.hpp) derives the values by
+// running style-specific micro-programs on the VM target — the same
+// methodology the paper applied with a 68HC11 cycle calculator and pixie.
+#pragma once
+
+#include <string>
+
+namespace polis::estim {
+
+struct CostModel {
+  std::string target_name;
+
+  // --- Execution-cycle parameters (17) --------------------------------------
+  double cyc_func_enter = 0;       // routine prologue
+  double cyc_func_return = 0;      // routine epilogue / return
+  double cyc_copy_in_per_var = 0;  // copy-in of one state variable (§V-B)
+  double cyc_test_presence = 0;    // RTOS presence-detect call
+  double cyc_test_edge_true = 0;   // then-edge of a TEST (fall-through)
+  double cyc_test_edge_false = 0;  // else-edge of a TEST (taken branch)
+  double cyc_multiway_base = 0;    // k-way jump: cost of edge i = a + b*i ...
+  double cyc_multiway_per_edge = 0;  // ... (a and b, §III-C1)
+  double cyc_assign_emit = 0;      // RTOS emission call (pure event)
+  double cyc_assign_emit_value = 0;  // extra cost of a valued emission
+  double cyc_assign_store = 0;     // store to a state variable
+  double cyc_consume = 0;          // RTOS consume notification
+  double cyc_goto = 0;             // unconditional branch (layout glue)
+  double cyc_op_alu = 0;           // library op: add/sub/compare/logic
+  double cyc_op_mul = 0;           // library op: multiply
+  double cyc_op_div = 0;           // library op: divide/modulo
+  double cyc_leaf = 0;             // load of a variable/constant operand
+
+  // --- Code-size parameters (15), in bytes ----------------------------------
+  double sz_func_enter = 0;
+  double sz_func_return = 0;
+  double sz_copy_in_per_var = 0;
+  double sz_test_presence = 0;
+  double sz_branch = 0;            // conditional branch of a TEST
+  double sz_multiway_entry = 0;    // one jump-table entry
+  double sz_assign_emit = 0;
+  double sz_assign_emit_value = 0;
+  double sz_assign_store = 0;
+  double sz_consume = 0;
+  double sz_goto = 0;
+  double sz_op_alu = 0;
+  double sz_op_mul = 0;
+  double sz_op_div = 0;
+  double sz_leaf = 0;
+
+  // --- System parameters (4) --------------------------------------------------
+  int pointer_size = 2;
+  int int_size = 2;
+  /// Fraction of vertices whose layout successor is not the fall-through
+  /// neighbour and therefore needs an explicit goto (fitted on a corpus).
+  double goto_fraction = 0.3;
+  /// Fraction of TEST vertices compiled with the branch sense inverted
+  /// (branch-to-true); swaps the edge costs for those (fitted on a corpus).
+  double inverted_branch_fraction = 0.0;
+};
+
+}  // namespace polis::estim

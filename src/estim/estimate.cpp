@@ -1,0 +1,215 @@
+#include "estim/estimate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace polis::estim {
+
+EstimateContext context_for(const cfsm::Cfsm& machine) {
+  EstimateContext ctx;
+  ctx.num_state_vars = static_cast<int>(machine.state().size());
+  for (const cfsm::Signal& s : machine.inputs())
+    ctx.presence_vars.insert(cfsm::presence_name(s.name));
+  return ctx;
+}
+
+double expr_cycles(const expr::Expr& e, const CostModel& m,
+                   const EstimateContext& ctx) {
+  switch (e.op()) {
+    case expr::Op::kConst:
+      return m.cyc_leaf;
+    case expr::Op::kVar:
+      return ctx.presence_vars.count(e.name()) != 0 ? m.cyc_test_presence
+                                                    : m.cyc_leaf;
+    case expr::Op::kNeg:
+    case expr::Op::kNot:
+      return expr_cycles(*e.args()[0], m, ctx) + m.cyc_leaf + m.cyc_op_alu;
+    case expr::Op::kMul:
+      return expr_cycles(*e.args()[0], m, ctx) +
+             expr_cycles(*e.args()[1], m, ctx) + m.cyc_op_mul;
+    case expr::Op::kDiv:
+    case expr::Op::kMod:
+      return expr_cycles(*e.args()[0], m, ctx) +
+             expr_cycles(*e.args()[1], m, ctx) + m.cyc_op_div;
+    case expr::Op::kIte:
+      // cond + branch + the average of the two arms + goto.
+      return expr_cycles(*e.args()[0], m, ctx) +
+             0.5 * (m.cyc_test_edge_true + m.cyc_test_edge_false) +
+             0.5 * (expr_cycles(*e.args()[1], m, ctx) +
+                    expr_cycles(*e.args()[2], m, ctx)) +
+             0.5 * m.cyc_goto;
+    default:
+      return expr_cycles(*e.args()[0], m, ctx) +
+             expr_cycles(*e.args()[1], m, ctx) + m.cyc_op_alu;
+  }
+}
+
+double expr_bytes(const expr::Expr& e, const CostModel& m,
+                  const EstimateContext& ctx) {
+  switch (e.op()) {
+    case expr::Op::kConst:
+      return m.sz_leaf;
+    case expr::Op::kVar:
+      return ctx.presence_vars.count(e.name()) != 0 ? m.sz_test_presence
+                                                    : m.sz_leaf;
+    case expr::Op::kNeg:
+    case expr::Op::kNot:
+      return expr_bytes(*e.args()[0], m, ctx) + m.sz_leaf + m.sz_op_alu;
+    case expr::Op::kMul:
+      return expr_bytes(*e.args()[0], m, ctx) +
+             expr_bytes(*e.args()[1], m, ctx) + m.sz_op_mul;
+    case expr::Op::kDiv:
+    case expr::Op::kMod:
+      return expr_bytes(*e.args()[0], m, ctx) +
+             expr_bytes(*e.args()[1], m, ctx) + m.sz_op_div;
+    case expr::Op::kIte:
+      return expr_bytes(*e.args()[0], m, ctx) + m.sz_branch + m.sz_goto +
+             expr_bytes(*e.args()[1], m, ctx) +
+             expr_bytes(*e.args()[2], m, ctx);
+    default:
+      return expr_bytes(*e.args()[0], m, ctx) +
+             expr_bytes(*e.args()[1], m, ctx) + m.sz_op_alu;
+  }
+}
+
+namespace {
+
+bool is_presence_test(const sgraph::Node& n, const EstimateContext& ctx) {
+  return n.predicate->op() == expr::Op::kVar &&
+         ctx.presence_vars.count(n.predicate->name()) != 0;
+}
+
+double action_cycles(const sgraph::ActionOp& a, const CostModel& m,
+                     const EstimateContext& ctx) {
+  switch (a.kind) {
+    case sgraph::ActionOp::Kind::kConsume:
+      return m.cyc_consume;
+    case sgraph::ActionOp::Kind::kEmitPure:
+      return m.cyc_assign_emit;
+    case sgraph::ActionOp::Kind::kEmitValued:
+      return m.cyc_assign_emit + m.cyc_assign_emit_value +
+             expr_cycles(*a.value, m, ctx);
+    case sgraph::ActionOp::Kind::kAssignVar:
+      return expr_cycles(*a.value, m, ctx) + m.cyc_assign_store;
+  }
+  return 0;
+}
+
+double action_bytes(const sgraph::ActionOp& a, const CostModel& m,
+                    const EstimateContext& ctx) {
+  switch (a.kind) {
+    case sgraph::ActionOp::Kind::kConsume:
+      return m.sz_consume;
+    case sgraph::ActionOp::Kind::kEmitPure:
+      return m.sz_assign_emit;
+    case sgraph::ActionOp::Kind::kEmitValued:
+      return m.sz_assign_emit + m.sz_assign_emit_value +
+             expr_bytes(*a.value, m, ctx);
+    case sgraph::ActionOp::Kind::kAssignVar:
+      return expr_bytes(*a.value, m, ctx) + m.sz_assign_store;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Estimate estimate(const sgraph::Sgraph& graph, const CostModel& m,
+                  const EstimateContext& ctx) {
+  const std::vector<sgraph::NodeId> order = graph.topo_order();
+
+  // --- Code size: Σ over vertices (§III-C1). --------------------------------
+  double size = 0;
+  for (sgraph::NodeId id : order) {
+    const sgraph::Node& n = graph.node(id);
+    switch (n.kind) {
+      case sgraph::Kind::kBegin:
+        size += m.sz_func_enter + ctx.num_state_vars * m.sz_copy_in_per_var;
+        break;
+      case sgraph::Kind::kEnd:
+        size += m.sz_func_return;
+        break;
+      case sgraph::Kind::kTest:
+        size += (is_presence_test(n, ctx)
+                     ? m.sz_test_presence
+                     : expr_bytes(*n.predicate, m, ctx)) +
+                m.sz_branch + m.goto_fraction * m.sz_goto;
+        break;
+      case sgraph::Kind::kAssign:
+        size += action_bytes(n.action, m, ctx) +
+                (n.condition != nullptr
+                     ? expr_bytes(*n.condition, m, ctx) + m.sz_branch
+                     : 0.0) +
+                m.goto_fraction * m.sz_goto;
+        break;
+    }
+  }
+
+  // --- Min (Dijkstra / DAG relaxation) and max (PERT) cycles. ----------------
+  // dist[v] = (min, max) cycles from BEGIN up to *entering* v.
+  std::vector<double> dmin(graph.num_nodes(),
+                           std::numeric_limits<double>::infinity());
+  std::vector<double> dmax(graph.num_nodes(), -1.0);
+  dmin[graph.begin()] = 0.0;
+  dmax[graph.begin()] = 0.0;
+  const double layout_goto = m.goto_fraction * m.cyc_goto;
+
+  for (sgraph::NodeId id : order) {
+    if (dmax[id] < 0.0) continue;  // unreachable
+    const sgraph::Node& n = graph.node(id);
+    auto relax = [&](sgraph::NodeId child, double lo, double hi) {
+      dmin[child] = std::min(dmin[child], dmin[id] + lo);
+      dmax[child] = std::max(dmax[child], dmax[id] + hi);
+    };
+    switch (n.kind) {
+      case sgraph::Kind::kBegin:
+        relax(n.next,
+              m.cyc_func_enter + ctx.num_state_vars * m.cyc_copy_in_per_var,
+              m.cyc_func_enter + ctx.num_state_vars * m.cyc_copy_in_per_var);
+        break;
+      case sgraph::Kind::kEnd:
+        break;
+      case sgraph::Kind::kTest: {
+        const double pred = is_presence_test(n, ctx)
+                                ? m.cyc_test_presence
+                                : expr_cycles(*n.predicate, m, ctx);
+        // A fraction of TESTs is compiled with the branch sense inverted,
+        // swapping which edge pays the taken-branch cost.
+        const double p = m.inverted_branch_fraction;
+        const double edge_t =
+            (1 - p) * m.cyc_test_edge_true + p * m.cyc_test_edge_false;
+        const double edge_f =
+            (1 - p) * m.cyc_test_edge_false + p * m.cyc_test_edge_true;
+        relax(n.when_true, pred + edge_t + layout_goto,
+              pred + edge_t + layout_goto);
+        relax(n.when_false, pred + edge_f + layout_goto,
+              pred + edge_f + layout_goto);
+        break;
+      }
+      case sgraph::Kind::kAssign: {
+        const double act = action_cycles(n.action, m, ctx);
+        double lo = act;
+        double hi = act;
+        if (n.condition != nullptr) {
+          const double cond = expr_cycles(*n.condition, m, ctx);
+          lo = cond + m.cyc_test_edge_false;        // skipped
+          hi = cond + m.cyc_test_edge_true + act;   // executed
+        }
+        relax(n.next, lo + layout_goto, hi + layout_goto);
+        break;
+      }
+    }
+  }
+
+  const double tail = m.cyc_func_return;
+  Estimate e;
+  e.size_bytes = static_cast<long long>(std::llround(size));
+  e.min_cycles = static_cast<long long>(std::llround(dmin[graph.end()] + tail));
+  e.max_cycles = static_cast<long long>(std::llround(dmax[graph.end()] + tail));
+  return e;
+}
+
+}  // namespace polis::estim

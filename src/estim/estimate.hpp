@@ -1,0 +1,46 @@
+// Static cost and performance estimation on the s-graph (§III-C1):
+//
+//   * code size   — sum of per-vertex size costs (O(V));
+//   * min cycles  — shortest BEGIN→END path (Dijkstra; on the acyclic
+//                   s-graph this reduces to a linear DAG relaxation);
+//   * max cycles  — longest BEGIN→END path (PERT, DAG longest path).
+//
+// Each vertex contributes a cost determined by its type and the types of
+// its operands; TEST edges carry distinct then/else costs, exactly as the
+// paper assigns edge costs.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "cfsm/cfsm.hpp"
+#include "estim/cost_model.hpp"
+#include "sgraph/sgraph.hpp"
+
+namespace polis::estim {
+
+struct Estimate {
+  long long size_bytes = 0;
+  long long min_cycles = 0;
+  long long max_cycles = 0;
+};
+
+/// Interface facts the estimator needs about the machine the s-graph was
+/// synthesised from.
+struct EstimateContext {
+  int num_state_vars = 0;                 // copy-in count at entry
+  std::set<std::string> presence_vars;    // names that are presence flags
+};
+
+EstimateContext context_for(const cfsm::Cfsm& machine);
+
+Estimate estimate(const sgraph::Sgraph& graph, const CostModel& model,
+                  const EstimateContext& context);
+
+/// Expression cost helpers (exposed for the multiway baseline and tests).
+double expr_cycles(const expr::Expr& e, const CostModel& model,
+                   const EstimateContext& context);
+double expr_bytes(const expr::Expr& e, const CostModel& model,
+                  const EstimateContext& context);
+
+}  // namespace polis::estim

@@ -1,0 +1,322 @@
+#include "expr/expr.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace polis::expr {
+
+std::int64_t apply_op(Op op, std::int64_t a, std::int64_t b) {
+  switch (op) {
+    case Op::kAdd: return a + b;
+    case Op::kSub: return a - b;
+    case Op::kMul: return a * b;
+    case Op::kDiv: return b == 0 ? 0 : a / b;
+    case Op::kMod: return b == 0 ? 0 : a % b;
+    case Op::kEq: return a == b;
+    case Op::kNe: return a != b;
+    case Op::kLt: return a < b;
+    case Op::kLe: return a <= b;
+    case Op::kGt: return a > b;
+    case Op::kGe: return a >= b;
+    case Op::kAnd: return (a != 0 && b != 0) ? 1 : 0;
+    case Op::kOr: return (a != 0 || b != 0) ? 1 : 0;
+    default: POLIS_CHECK_MSG(false, "not a binary op"); return 0;
+  }
+}
+
+namespace {
+
+bool is_const(const ExprRef& e, std::int64_t v) {
+  return e->op() == Op::kConst && e->value() == v;
+}
+
+std::int64_t apply_binary(Op op, std::int64_t a, std::int64_t b) {
+  return apply_op(op, a, b);
+}
+
+}  // namespace
+
+ExprRef Expr::make_const(std::int64_t v) {
+  return ExprRef(new Expr(Op::kConst, v, {}, {}));
+}
+
+ExprRef Expr::make_var(std::string name) {
+  POLIS_CHECK(!name.empty());
+  return ExprRef(new Expr(Op::kVar, 0, std::move(name), {}));
+}
+
+ExprRef Expr::make(Op op, std::vector<ExprRef> args) {
+  for (const ExprRef& a : args) POLIS_CHECK(a != nullptr);
+  return ExprRef(new Expr(op, 0, {}, std::move(args)));
+}
+
+ExprRef constant(std::int64_t v) { return Expr::make_const(v); }
+ExprRef var(std::string name) { return Expr::make_var(std::move(name)); }
+
+ExprRef neg(ExprRef a) {
+  if (a->op() == Op::kConst) return constant(-a->value());
+  return Expr::make(Op::kNeg, {std::move(a)});
+}
+
+ExprRef lnot(ExprRef a) {
+  if (a->op() == Op::kConst) return constant(a->value() == 0 ? 1 : 0);
+  return Expr::make(Op::kNot, {std::move(a)});
+}
+
+namespace {
+
+// True when the expression can only evaluate to 0 or 1.
+bool is_boolean_valued(const ExprRef& e) {
+  switch (e->op()) {
+    case Op::kConst:
+      return e->value() == 0 || e->value() == 1;
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kNot:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// 0/1-normalised view of `e` (logical operators must return 0/1 even when
+// an identity fold would otherwise pass an arbitrary integer through).
+ExprRef as_boolean(ExprRef e) {
+  if (is_boolean_valued(e)) return e;
+  if (e->op() == Op::kConst) return constant(e->value() != 0 ? 1 : 0);
+  return Expr::make(Op::kNe, {std::move(e), constant(0)});
+}
+
+ExprRef binary(Op op, ExprRef a, ExprRef b) {
+  if (a->op() == Op::kConst && b->op() == Op::kConst)
+    return constant(apply_binary(op, a->value(), b->value()));
+  // A few cheap identities; anything deeper is the BDD layer's job.
+  switch (op) {
+    case Op::kAdd:
+      if (is_const(a, 0)) return b;
+      if (is_const(b, 0)) return a;
+      break;
+    case Op::kSub:
+      if (is_const(b, 0)) return a;
+      break;
+    case Op::kMul:
+      if (is_const(a, 1)) return b;
+      if (is_const(b, 1)) return a;
+      if (is_const(a, 0) || is_const(b, 0)) return constant(0);
+      break;
+    case Op::kAnd:
+      if (is_const(a, 1)) return as_boolean(b);
+      if (is_const(b, 1)) return as_boolean(a);
+      if (is_const(a, 0) || is_const(b, 0)) return constant(0);
+      break;
+    case Op::kOr:
+      if (is_const(a, 0)) return as_boolean(b);
+      if (is_const(b, 0)) return as_boolean(a);
+      if (is_const(a, 1) || is_const(b, 1)) return constant(1);
+      break;
+    default:
+      break;
+  }
+  return Expr::make(op, {std::move(a), std::move(b)});
+}
+
+}  // namespace
+
+ExprRef add(ExprRef a, ExprRef b) { return binary(Op::kAdd, a, b); }
+ExprRef sub(ExprRef a, ExprRef b) { return binary(Op::kSub, a, b); }
+ExprRef mul(ExprRef a, ExprRef b) { return binary(Op::kMul, a, b); }
+ExprRef div(ExprRef a, ExprRef b) { return binary(Op::kDiv, a, b); }
+ExprRef mod(ExprRef a, ExprRef b) { return binary(Op::kMod, a, b); }
+ExprRef eq(ExprRef a, ExprRef b) { return binary(Op::kEq, a, b); }
+ExprRef ne(ExprRef a, ExprRef b) { return binary(Op::kNe, a, b); }
+ExprRef lt(ExprRef a, ExprRef b) { return binary(Op::kLt, a, b); }
+ExprRef le(ExprRef a, ExprRef b) { return binary(Op::kLe, a, b); }
+ExprRef gt(ExprRef a, ExprRef b) { return binary(Op::kGt, a, b); }
+ExprRef ge(ExprRef a, ExprRef b) { return binary(Op::kGe, a, b); }
+ExprRef land(ExprRef a, ExprRef b) { return binary(Op::kAnd, a, b); }
+ExprRef lor(ExprRef a, ExprRef b) { return binary(Op::kOr, a, b); }
+
+ExprRef ite(ExprRef c, ExprRef t, ExprRef e) {
+  if (c->op() == Op::kConst) return c->value() != 0 ? t : e;
+  return Expr::make(Op::kIte, {std::move(c), std::move(t), std::move(e)});
+}
+
+std::int64_t evaluate(const Expr& e, const Env& env) {
+  switch (e.op()) {
+    case Op::kConst: return e.value();
+    case Op::kVar: return env(e.name());
+    case Op::kNeg: return -evaluate(*e.args()[0], env);
+    case Op::kNot: return evaluate(*e.args()[0], env) == 0 ? 1 : 0;
+    case Op::kIte:
+      return evaluate(*e.args()[0], env) != 0 ? evaluate(*e.args()[1], env)
+                                              : evaluate(*e.args()[2], env);
+    case Op::kAnd:  // short-circuit like the generated C does
+      return (evaluate(*e.args()[0], env) != 0 &&
+              evaluate(*e.args()[1], env) != 0)
+                 ? 1
+                 : 0;
+    case Op::kOr:
+      return (evaluate(*e.args()[0], env) != 0 ||
+              evaluate(*e.args()[1], env) != 0)
+                 ? 1
+                 : 0;
+    default:
+      return apply_binary(e.op(), evaluate(*e.args()[0], env),
+                          evaluate(*e.args()[1], env));
+  }
+}
+
+namespace {
+
+void collect_support(const Expr& e, std::set<std::string>& out) {
+  if (e.op() == Op::kVar) {
+    out.insert(e.name());
+    return;
+  }
+  for (const ExprRef& a : e.args()) collect_support(*a, out);
+}
+
+// C operator precedence (higher binds tighter).
+int precedence(Op op) {
+  switch (op) {
+    case Op::kConst:
+    case Op::kVar: return 100;
+    case Op::kNeg:
+    case Op::kNot: return 90;
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod: return 80;
+    case Op::kAdd:
+    case Op::kSub: return 70;
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: return 60;
+    case Op::kEq:
+    case Op::kNe: return 50;
+    case Op::kAnd: return 40;
+    case Op::kOr: return 30;
+    case Op::kIte: return 20;
+  }
+  return 0;
+}
+
+const char* symbol(Op op) {
+  switch (op) {
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kMul: return "*";
+    case Op::kDiv: return "/";
+    case Op::kMod: return "%";
+    case Op::kEq: return "==";
+    case Op::kNe: return "!=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+    case Op::kAnd: return "&&";
+    case Op::kOr: return "||";
+    default: return "?";
+  }
+}
+
+void print_c(const Expr& e, int parent_prec, std::ostream& os) {
+  const int prec = precedence(e.op());
+  const bool paren = prec < parent_prec;
+  if (paren) os << '(';
+  switch (e.op()) {
+    case Op::kConst: os << e.value(); break;
+    case Op::kVar: os << e.name(); break;
+    case Op::kNeg:
+      os << '-';
+      print_c(*e.args()[0], 91, os);
+      break;
+    case Op::kNot:
+      os << '!';
+      print_c(*e.args()[0], 91, os);
+      break;
+    case Op::kIte:
+      print_c(*e.args()[0], 21, os);
+      os << " ? ";
+      print_c(*e.args()[1], 21, os);
+      os << " : ";
+      print_c(*e.args()[2], 20, os);
+      break;
+    default:
+      print_c(*e.args()[0], prec, os);
+      os << ' ' << symbol(e.op()) << ' ';
+      print_c(*e.args()[1], prec + 1, os);
+      break;
+  }
+  if (paren) os << ')';
+}
+
+}  // namespace
+
+std::set<std::string> support(const Expr& e) {
+  std::set<std::string> out;
+  collect_support(e, out);
+  return out;
+}
+
+std::string to_c(const Expr& e) {
+  std::ostringstream os;
+  print_c(e, 0, os);
+  return os.str();
+}
+
+bool equal(const Expr& a, const Expr& b) {
+  if (&a == &b) return true;
+  if (a.op() != b.op()) return false;
+  switch (a.op()) {
+    case Op::kConst: return a.value() == b.value();
+    case Op::kVar: return a.name() == b.name();
+    default:
+      if (a.args().size() != b.args().size()) return false;
+      for (size_t i = 0; i < a.args().size(); ++i)
+        if (!equal(*a.args()[i], *b.args()[i])) return false;
+      return true;
+  }
+}
+
+size_t hash(const Expr& e) {
+  size_t h = std::hash<int>()(static_cast<int>(e.op()));
+  auto mix = [&h](size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  switch (e.op()) {
+    case Op::kConst: mix(std::hash<std::int64_t>()(e.value())); break;
+    case Op::kVar: mix(std::hash<std::string>()(e.name())); break;
+    default:
+      for (const ExprRef& a : e.args()) mix(hash(*a));
+      break;
+  }
+  return h;
+}
+
+std::vector<int> op_histogram(const Expr& e) {
+  std::vector<int> hist(static_cast<size_t>(Op::kIte) + 1, 0);
+  auto walk = [&hist](const Expr& n, auto&& self) -> void {
+    hist[static_cast<size_t>(n.op())]++;
+    for (const ExprRef& a : n.args()) self(*a, self);
+  };
+  walk(e, walk);
+  return hist;
+}
+
+int op_count(const Expr& e) {
+  if (e.op() == Op::kConst || e.op() == Op::kVar) return 0;
+  int n = 1;
+  for (const ExprRef& a : e.args()) n += op_count(*a);
+  return n;
+}
+
+}  // namespace polis::expr

@@ -1,0 +1,118 @@
+// Side-effect-free arithmetic/relational/Boolean expression trees.
+//
+// These are the labels of s-graph TEST and ASSIGN vertices (paper §III-A):
+// TEST vertices carry a predicate, ASSIGN vertices carry a value expression.
+// The paper assumes expressions have no side effects so synthesis may reorder
+// them freely; the only partial operation, division, is "implemented safely"
+// (§III-B1) — here division/modulo by zero evaluates to 0.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace polis::expr {
+
+enum class Op {
+  kConst,  // integer literal
+  kVar,    // named variable
+  kNeg,    // unary minus
+  kNot,    // logical negation (result 0/1)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,  // safe: x / 0 == 0
+  kMod,  // safe: x % 0 == 0
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,  // logical
+  kOr,   // logical
+  kIte,  // if-then-else over integer values
+};
+
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+/// Immutable expression node. Build via the factory functions below.
+class Expr {
+ public:
+  Op op() const { return op_; }
+  std::int64_t value() const { return value_; }     // kConst only
+  const std::string& name() const { return name_; } // kVar only
+  const std::vector<ExprRef>& args() const { return args_; }
+
+  static ExprRef make_const(std::int64_t v);
+  static ExprRef make_var(std::string name);
+  static ExprRef make(Op op, std::vector<ExprRef> args);
+
+ private:
+  Expr(Op op, std::int64_t value, std::string name, std::vector<ExprRef> args)
+      : op_(op), value_(value), name_(std::move(name)),
+        args_(std::move(args)) {}
+
+  Op op_;
+  std::int64_t value_ = 0;
+  std::string name_;
+  std::vector<ExprRef> args_;
+};
+
+// --- Factories (with local constant folding) --------------------------------
+
+ExprRef constant(std::int64_t v);
+ExprRef var(std::string name);
+ExprRef neg(ExprRef a);
+ExprRef lnot(ExprRef a);
+ExprRef add(ExprRef a, ExprRef b);
+ExprRef sub(ExprRef a, ExprRef b);
+ExprRef mul(ExprRef a, ExprRef b);
+ExprRef div(ExprRef a, ExprRef b);
+ExprRef mod(ExprRef a, ExprRef b);
+ExprRef eq(ExprRef a, ExprRef b);
+ExprRef ne(ExprRef a, ExprRef b);
+ExprRef lt(ExprRef a, ExprRef b);
+ExprRef le(ExprRef a, ExprRef b);
+ExprRef gt(ExprRef a, ExprRef b);
+ExprRef ge(ExprRef a, ExprRef b);
+ExprRef land(ExprRef a, ExprRef b);
+ExprRef lor(ExprRef a, ExprRef b);
+ExprRef ite(ExprRef c, ExprRef t, ExprRef e);
+
+// --- Queries -----------------------------------------------------------------
+
+/// Environment mapping variable names to integer values.
+using Env = std::function<std::int64_t(const std::string&)>;
+
+/// Applies a binary operator to concrete values (division/modulo by zero
+/// yield 0; logical operators return 0/1). Shared with the VM's ALU.
+std::int64_t apply_op(Op op, std::int64_t a, std::int64_t b);
+
+/// Evaluates `e` under `env`. Logical/relational results are 0 or 1.
+std::int64_t evaluate(const Expr& e, const Env& env);
+
+/// Set of variable names `e` depends on.
+std::set<std::string> support(const Expr& e);
+
+/// Renders as a C expression (parenthesised by precedence).
+std::string to_c(const Expr& e);
+
+/// Structural equality.
+bool equal(const Expr& a, const Expr& b);
+
+/// Structural hash (consistent with equal()).
+size_t hash(const Expr& e);
+
+/// Number of operator nodes of each kind, for cost estimation. Indexed by
+/// static_cast<size_t>(Op).
+std::vector<int> op_histogram(const Expr& e);
+
+/// Total number of operator nodes (excluding leaves).
+int op_count(const Expr& e);
+
+}  // namespace polis::expr

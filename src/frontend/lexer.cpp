@@ -1,0 +1,135 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+
+#include "frontend/parser.hpp"
+
+namespace polis::frontend {
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1;
+  size_t i = 0;
+  auto push = [&](Tok kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // line comment
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < src.size() && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                                src[j] == '_'))
+        ++j;
+      push(Tok::kIdent, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      std::int64_t v = 0;
+      while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j]))) {
+        v = v * 10 + (src[j] - '0');
+        ++j;
+      }
+      Token t;
+      t.kind = Tok::kNumber;
+      t.text = std::string(src.substr(i, j - i));
+      t.number = v;
+      t.line = line;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < src.size() && src[i + 1] == b;
+    };
+    if (two(':', '=')) { push(Tok::kAssign, ":="); i += 2; continue; }
+    if (two('-', '>')) { push(Tok::kArrow, "->"); i += 2; continue; }
+    if (two('&', '&')) { push(Tok::kAndAnd, "&&"); i += 2; continue; }
+    if (two('|', '|')) { push(Tok::kOrOr, "||"); i += 2; continue; }
+    if (two('=', '=')) { push(Tok::kEqEq, "=="); i += 2; continue; }
+    if (two('!', '=')) { push(Tok::kNeq, "!="); i += 2; continue; }
+    if (two('<', '=')) { push(Tok::kLe, "<="); i += 2; continue; }
+    if (two('>', '=')) { push(Tok::kGe, ">="); i += 2; continue; }
+    switch (c) {
+      case '{': push(Tok::kLBrace, "{"); break;
+      case '}': push(Tok::kRBrace, "}"); break;
+      case '(': push(Tok::kLParen, "("); break;
+      case ')': push(Tok::kRParen, ")"); break;
+      case '[': push(Tok::kLBracket, "["); break;
+      case ']': push(Tok::kRBracket, "]"); break;
+      case ':': push(Tok::kColon, ":"); break;
+      case ';': push(Tok::kSemi, ";"); break;
+      case ',': push(Tok::kComma, ","); break;
+      case '=': push(Tok::kEq, "="); break;
+      case '!': push(Tok::kNot, "!"); break;
+      case '<': push(Tok::kLt, "<"); break;
+      case '>': push(Tok::kGt, ">"); break;
+      case '+': push(Tok::kPlus, "+"); break;
+      case '-': push(Tok::kMinus, "-"); break;
+      case '*': push(Tok::kStar, "*"); break;
+      case '/': push(Tok::kSlash, "/"); break;
+      case '%': push(Tok::kPercent, "%"); break;
+      default:
+        throw ParseError(line, std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+  }
+  push(Tok::kEof, "");
+  return out;
+}
+
+const char* token_name(Tok kind) {
+  switch (kind) {
+    case Tok::kIdent: return "identifier";
+    case Tok::kNumber: return "number";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kColon: return "':'";
+    case Tok::kSemi: return "';'";
+    case Tok::kComma: return "','";
+    case Tok::kArrow: return "'->'";
+    case Tok::kAssign: return "':='";
+    case Tok::kEq: return "'='";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+    case Tok::kNot: return "'!'";
+    case Tok::kEqEq: return "'=='";
+    case Tok::kNeq: return "'!='";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kEof: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace polis::frontend

@@ -1,0 +1,35 @@
+// Tokeniser for the RSL frontend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace polis::frontend {
+
+enum class Tok {
+  kIdent,
+  kNumber,
+  kLBrace, kRBrace, kLParen, kRParen, kLBracket, kRBracket,
+  kColon, kSemi, kComma, kArrow, kAssign, kEq,
+  kAndAnd, kOrOr, kNot,
+  kEqEq, kNeq, kLt, kLe, kGt, kGe,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEof,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;
+  std::int64_t number = 0;
+  int line = 1;
+};
+
+/// Tokenises the whole input ('#' starts a line comment). Throws ParseError
+/// on an unknown character.
+std::vector<Token> lex(std::string_view source);
+
+const char* token_name(Tok kind);
+
+}  // namespace polis::frontend

@@ -1,0 +1,288 @@
+#include "frontend/parser.hpp"
+
+#include "frontend/lexer.hpp"
+#include "util/check.hpp"
+
+namespace polis::frontend {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(lex(source)) {}
+
+  ParsedFile parse_file() {
+    ParsedFile file;
+    while (!at(Tok::kEof)) {
+      if (at_keyword("module")) {
+        auto m = parse_module_decl();
+        if (file.modules.count(m->name()) != 0)
+          fail("duplicate module '" + m->name() + "'");
+        file.modules.emplace(m->name(), std::move(m));
+      } else if (at_keyword("network")) {
+        auto n = parse_network_decl(file);
+        if (file.networks.count(n->name()) != 0)
+          fail("duplicate network '" + n->name() + "'");
+        file.networks.emplace(n->name(), std::move(n));
+      } else {
+        fail("expected 'module' or 'network'");
+      }
+    }
+    return file;
+  }
+
+ private:
+  // --- Token helpers ----------------------------------------------------------
+
+  const Token& cur() const { return tokens_[pos_]; }
+  bool at(Tok kind) const { return cur().kind == kind; }
+  bool at_keyword(const char* kw) const {
+    return at(Tok::kIdent) && cur().text == kw;
+  }
+  Token take() { return tokens_[pos_++]; }
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(cur().line, message);
+  }
+  Token expect(Tok kind, const char* what) {
+    if (!at(kind))
+      fail(std::string("expected ") + what + ", found " +
+           token_name(cur().kind) + (cur().text.empty() ? "" : " '" + cur().text + "'"));
+    return take();
+  }
+  void expect_keyword(const char* kw) {
+    if (!at_keyword(kw)) fail(std::string("expected '") + kw + "'");
+    take();
+  }
+  bool accept(Tok kind) {
+    if (!at(kind)) return false;
+    take();
+    return true;
+  }
+
+  // --- Declarations -------------------------------------------------------------
+
+  // type: `int [ N ]` (domain N) or nothing (pure).
+  int parse_domain() {
+    expect_keyword("int");
+    expect(Tok::kLBracket, "'['");
+    const Token n = expect(Tok::kNumber, "domain size");
+    if (n.number < 2) throw ParseError(n.line, "domain must be at least 2");
+    expect(Tok::kRBracket, "']'");
+    return static_cast<int>(n.number);
+  }
+
+  std::shared_ptr<const cfsm::Cfsm> parse_module_decl() {
+    expect_keyword("module");
+    const std::string name = expect(Tok::kIdent, "module name").text;
+    expect(Tok::kLBrace, "'{'");
+
+    std::vector<cfsm::Signal> inputs;
+    std::vector<cfsm::Signal> outputs;
+    std::vector<cfsm::StateVar> state;
+    std::vector<cfsm::Rule> rules;
+
+    while (!accept(Tok::kRBrace)) {
+      if (at_keyword("input") || at_keyword("output")) {
+        const bool is_input = cur().text == "input";
+        take();
+        const std::string sig = expect(Tok::kIdent, "signal name").text;
+        int domain = 1;
+        if (accept(Tok::kColon)) domain = parse_domain();
+        expect(Tok::kSemi, "';'");
+        (is_input ? inputs : outputs).push_back(cfsm::Signal{sig, domain});
+      } else if (at_keyword("state")) {
+        take();
+        const std::string var = expect(Tok::kIdent, "state variable").text;
+        expect(Tok::kColon, "':'");
+        const int domain = parse_domain();
+        std::int64_t init = 0;
+        if (accept(Tok::kEq)) {
+          const Token n = expect(Tok::kNumber, "initial value");
+          init = n.number;
+        }
+        expect(Tok::kSemi, "';'");
+        state.push_back(cfsm::StateVar{var, domain, init});
+      } else if (at_keyword("when")) {
+        take();
+        cfsm::Rule rule;
+        rule.guard = parse_expr();
+        expect(Tok::kArrow, "'->'");
+        expect(Tok::kLBrace, "'{'");
+        while (!accept(Tok::kRBrace)) parse_action(rule);
+        rules.push_back(std::move(rule));
+      } else {
+        fail("expected 'input', 'output', 'state' or 'when'");
+      }
+    }
+    // Cfsm's constructor validates names, domains and expressions.
+    try {
+      return std::make_shared<cfsm::Cfsm>(name, std::move(inputs),
+                                          std::move(outputs), std::move(state),
+                                          std::move(rules));
+    } catch (const CheckError& e) {
+      throw ParseError(cur().line, e.what());
+    }
+  }
+
+  void parse_action(cfsm::Rule& rule) {
+    if (at_keyword("emit")) {
+      take();
+      const std::string sig = expect(Tok::kIdent, "signal name").text;
+      expr::ExprRef value;
+      if (accept(Tok::kLParen)) {
+        value = parse_expr();
+        expect(Tok::kRParen, "')'");
+      }
+      expect(Tok::kSemi, "';'");
+      rule.emits.push_back(cfsm::Emit{sig, std::move(value)});
+      return;
+    }
+    const std::string var = expect(Tok::kIdent, "state variable").text;
+    expect(Tok::kAssign, "':='");
+    expr::ExprRef value = parse_expr();
+    expect(Tok::kSemi, "';'");
+    rule.assigns.push_back(cfsm::Assign{var, std::move(value)});
+  }
+
+  std::shared_ptr<cfsm::Network> parse_network_decl(const ParsedFile& file) {
+    expect_keyword("network");
+    const std::string name = expect(Tok::kIdent, "network name").text;
+    auto network = std::make_shared<cfsm::Network>(name);
+    expect(Tok::kLBrace, "'{'");
+    while (!accept(Tok::kRBrace)) {
+      expect_keyword("instance");
+      const std::string inst = expect(Tok::kIdent, "instance name").text;
+      expect(Tok::kColon, "':'");
+      const std::string module = expect(Tok::kIdent, "module name").text;
+      auto it = file.modules.find(module);
+      if (it == file.modules.end()) fail("unknown module '" + module + "'");
+      std::map<std::string, std::string> bindings;
+      if (accept(Tok::kLParen)) {
+        while (!accept(Tok::kRParen)) {
+          const std::string port = expect(Tok::kIdent, "port name").text;
+          expect(Tok::kEq, "'='");
+          const std::string net = expect(Tok::kIdent, "net name").text;
+          bindings[port] = net;
+          if (!at(Tok::kRParen)) expect(Tok::kComma, "','");
+        }
+      }
+      expect(Tok::kSemi, "';'");
+      try {
+        network->add_instance(inst, it->second, std::move(bindings));
+      } catch (const CheckError& e) {
+        throw ParseError(cur().line, e.what());
+      }
+    }
+    return network;
+  }
+
+  // --- Expressions (precedence climbing) -------------------------------------
+
+  expr::ExprRef parse_expr() { return parse_or(); }
+
+  expr::ExprRef parse_or() {
+    expr::ExprRef e = parse_and();
+    while (accept(Tok::kOrOr)) e = expr::lor(e, parse_and());
+    return e;
+  }
+
+  expr::ExprRef parse_and() {
+    expr::ExprRef e = parse_equality();
+    while (accept(Tok::kAndAnd)) e = expr::land(e, parse_equality());
+    return e;
+  }
+
+  expr::ExprRef parse_equality() {
+    expr::ExprRef e = parse_relational();
+    while (at(Tok::kEqEq) || at(Tok::kNeq)) {
+      const Tok op = take().kind;
+      expr::ExprRef rhs = parse_relational();
+      e = op == Tok::kEqEq ? expr::eq(e, rhs) : expr::ne(e, rhs);
+    }
+    return e;
+  }
+
+  expr::ExprRef parse_relational() {
+    expr::ExprRef e = parse_additive();
+    while (at(Tok::kLt) || at(Tok::kLe) || at(Tok::kGt) || at(Tok::kGe)) {
+      const Tok op = take().kind;
+      expr::ExprRef rhs = parse_additive();
+      switch (op) {
+        case Tok::kLt: e = expr::lt(e, rhs); break;
+        case Tok::kLe: e = expr::le(e, rhs); break;
+        case Tok::kGt: e = expr::gt(e, rhs); break;
+        default: e = expr::ge(e, rhs); break;
+      }
+    }
+    return e;
+  }
+
+  expr::ExprRef parse_additive() {
+    expr::ExprRef e = parse_multiplicative();
+    while (at(Tok::kPlus) || at(Tok::kMinus)) {
+      const Tok op = take().kind;
+      expr::ExprRef rhs = parse_multiplicative();
+      e = op == Tok::kPlus ? expr::add(e, rhs) : expr::sub(e, rhs);
+    }
+    return e;
+  }
+
+  expr::ExprRef parse_multiplicative() {
+    expr::ExprRef e = parse_unary();
+    while (at(Tok::kStar) || at(Tok::kSlash) || at(Tok::kPercent)) {
+      const Tok op = take().kind;
+      expr::ExprRef rhs = parse_unary();
+      switch (op) {
+        case Tok::kStar: e = expr::mul(e, rhs); break;
+        case Tok::kSlash: e = expr::div(e, rhs); break;
+        default: e = expr::mod(e, rhs); break;
+      }
+    }
+    return e;
+  }
+
+  expr::ExprRef parse_unary() {
+    if (accept(Tok::kNot)) return expr::lnot(parse_unary());
+    if (accept(Tok::kMinus)) return expr::neg(parse_unary());
+    return parse_primary();
+  }
+
+  expr::ExprRef parse_primary() {
+    if (at(Tok::kNumber)) return expr::constant(take().number);
+    if (accept(Tok::kLParen)) {
+      expr::ExprRef e = parse_expr();
+      expect(Tok::kRParen, "')'");
+      return e;
+    }
+    if (at_keyword("present") || at_keyword("value")) {
+      const bool is_presence = cur().text == "present";
+      take();
+      expect(Tok::kLParen, "'('");
+      const std::string sig = expect(Tok::kIdent, "signal name").text;
+      expect(Tok::kRParen, "')'");
+      return is_presence ? cfsm::presence(sig) : cfsm::value_of(sig);
+    }
+    if (at(Tok::kIdent)) return expr::var(take().text);
+    fail("expected an expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParsedFile parse(std::string_view source) {
+  Parser parser(source);
+  return parser.parse_file();
+}
+
+std::shared_ptr<const cfsm::Cfsm> parse_module(std::string_view source) {
+  ParsedFile file = parse(source);
+  POLIS_CHECK_MSG(file.modules.size() == 1,
+                  "expected exactly one module, found "
+                      << file.modules.size());
+  return file.modules.begin()->second;
+}
+
+}  // namespace polis::frontend

@@ -1,0 +1,57 @@
+// Textual frontend: a small reactive specification language ("RSL") in
+// which the examples are written, playing the role the paper assigns to
+// Esterel/StateCharts-style sources translated into CFSMs (§I-F, [36]).
+//
+//   module simple {
+//     input  c : int[16];        # valued event, domain 0..15
+//     input  reset;              # pure event
+//     output y;
+//     state  a : int[16] = 0;
+//
+//     when present(c) && a == value(c) -> { a := 0; emit y; }
+//     when present(c) && a != value(c) -> { a := a + 1; }
+//   }
+//
+//   network dash {
+//     instance u0 : simple (c = wheel_pulse, y = alarm);
+//   }
+//
+// Rules are priority-ordered (first match fires). Unbound instance ports
+// connect to nets named after the port. `#` starts a line comment.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cfsm/cfsm.hpp"
+#include "cfsm/network.hpp"
+
+namespace polis::frontend {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+struct ParsedFile {
+  std::map<std::string, std::shared_ptr<const cfsm::Cfsm>> modules;
+  std::map<std::string, std::shared_ptr<cfsm::Network>> networks;
+};
+
+/// Parses a complete source text. Throws ParseError on malformed input.
+ParsedFile parse(std::string_view source);
+
+/// Convenience: parses a source containing exactly one module.
+std::shared_ptr<const cfsm::Cfsm> parse_module(std::string_view source);
+
+}  // namespace polis::frontend

@@ -1,0 +1,214 @@
+#include "rtos/codegen.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace polis::rtos {
+
+namespace {
+
+// Stable ids: nets in lexicographic order, tasks in declaration order.
+std::map<std::string, int> net_ids(const cfsm::Network& network) {
+  std::map<std::string, int> ids;
+  int next = 0;
+  for (const auto& [name, net] : network.nets()) {
+    (void)net;
+    ids[name] = next++;
+  }
+  return ids;
+}
+
+}  // namespace
+
+std::string generate_rt_header(const cfsm::Network& network) {
+  std::ostringstream os;
+  os << "/* polis_rt.h — generated RTOS interface for network '"
+     << network.name() << "'. */\n"
+     << "#ifndef POLIS_RT_H\n#define POLIS_RT_H\n\n";
+  const std::map<std::string, int> ids = net_ids(network);
+  for (const auto& [name, id] : ids)
+    os << "#define SIG_" << c_identifier(name) << " " << id << "\n";
+  os << "\nlong polis_wrap(long value, long domain);\n"
+     << "int  polis_detect(int sig);\n"
+     << "void polis_emit(int sig);\n"
+     << "void polis_emit_value(int sig, long value);\n"
+     << "void polis_consume(void);\n"
+     << "long polis_value(int sig);\n"
+     << "/* Provided by the environment: called for emissions on nets with\n"
+     << " * no software consumer (the system's external outputs). */\n"
+     << "void polis_observe(int sig, long value);\n\n"
+     << "#endif /* POLIS_RT_H */\n";
+  return os.str();
+}
+
+std::string generate_rtos_c(const cfsm::Network& network,
+                            const RtosConfig& config) {
+  std::ostringstream os;
+  const std::map<std::string, int> ids = net_ids(network);
+  const size_t n_tasks = network.instances().size();
+  const size_t n_nets = ids.size();
+
+  os << "/* Generated RTOS for network '" << network.name() << "' (§IV).\n"
+     << " * Policy: "
+     << (config.policy == RtosConfig::Policy::kRoundRobin ? "round-robin"
+                                                          : "static priority")
+     << (config.preemptive ? ", preemptive" : ", non-preemptive")
+     << "; hw->sw delivery: "
+     << (config.delivery == RtosConfig::HwDelivery::kInterrupt ? "interrupt"
+                                                               : "polling")
+     << ". */\n"
+     << "#include \"polis_rt.h\"\n\n"
+     << "#define N_TASKS " << n_tasks << "\n"
+     << "#define N_NETS  " << n_nets << "\n\n";
+
+  // Task table: entry points (one routine per *instance*), priorities.
+  for (const cfsm::Instance& inst : network.instances())
+    os << "extern void cfsm_" << c_identifier(inst.name) << "(void);\n";
+  os << "\nstatic void (*const task_entry[N_TASKS])(void) = {\n";
+  for (const cfsm::Instance& inst : network.instances())
+    os << "  cfsm_" << c_identifier(inst.name) << ", /* "
+       << inst.machine->name() << " */\n";
+  os << "};\n";
+
+  if (config.policy == RtosConfig::Policy::kStaticPriority) {
+    os << "static const int task_priority[N_TASKS] = {";
+    for (size_t i = 0; i < n_tasks; ++i) {
+      const std::string& name = network.instances()[i].name;
+      auto it = config.priority.find(name);
+      os << (i != 0 ? ", " : " ")
+         << (it != config.priority.end() ? it->second : 100);
+    }
+    os << " };\n";
+  }
+  os << "\n";
+
+  // Fixed sensitivity: for each net, the list of (task, flag slot) pairs.
+  os << "/* Per-task private event flags (1-place buffers, §IV-B), plus a\n"
+     << " * pending buffer that freezes the running task's snapshot: events\n"
+     << " * arriving (e.g. from an ISR) while a task reads its flags are\n"
+     << " * deferred to its next execution (§IV-D). */\n"
+     << "static int  flag_present[N_TASKS][N_NETS];\n"
+     << "static long flag_value[N_TASKS][N_NETS];\n"
+     << "static int  pending_present[N_TASKS][N_NETS];\n"
+     << "static long pending_value[N_TASKS][N_NETS];\n"
+     << "static int  task_enabled[N_TASKS];\n"
+     << "static int  current_task = -1;\n"
+     << "static int  current_consumed = 0;\n\n";
+
+  os << "static const int sensitivity[N_NETS][N_TASKS + 1] = {\n";
+  for (const auto& [name, id] : ids) {
+    (void)id;
+    os << "  { ";
+    const cfsm::Net net = network.nets().at(name);
+    for (const auto& [inst, port] : net.consumers) {
+      (void)port;
+      for (size_t i = 0; i < n_tasks; ++i)
+        if (network.instances()[i].name == inst) os << i << ", ";
+    }
+    os << "-1 }, /* " << name << " */\n";
+  }
+  os << "};\n\n";
+
+  os << R"(long polis_wrap(long value, long domain) {
+  long m;
+  if (domain <= 1) return 0;
+  m = value % domain;
+  return m < 0 ? m + domain : m;
+}
+
+int polis_detect(int sig) { return flag_present[current_task][sig]; }
+
+long polis_value(int sig) { return flag_value[current_task][sig]; }
+
+void polis_consume(void) { current_consumed = 1; }
+
+void polis_emit_value(int sig, long value) {
+  const int *t = sensitivity[sig];
+  if (*t < 0) { polis_observe(sig, value); return; }  /* external output */
+  for (; *t >= 0; ++t) {
+    if (*t == current_task) {   /* snapshot frozen: defer (§IV-D) */
+      pending_value[*t][sig] = value;
+      pending_present[*t][sig] = 1;
+    } else {
+      flag_value[*t][sig] = value;  /* value before presence (§II-D) */
+      flag_present[*t][sig] = 1;
+      task_enabled[*t] = 1;
+    }
+  }
+}
+
+void polis_emit(int sig) { polis_emit_value(sig, 0); }
+
+static void run_task(int t) {
+  int s;
+  current_task = t;
+  current_consumed = 0;
+  task_enabled[t] = 0;          /* enablement is edge-triggered (§IV-A) */
+  task_entry[t]();
+  if (current_consumed) {       /* §IV-D: consume only if a rule fired */
+    for (s = 0; s < N_NETS; ++s) flag_present[t][s] = 0;
+  }
+  current_task = -1;
+  for (s = 0; s < N_NETS; ++s) {  /* merge the deferred arrivals */
+    if (!pending_present[t][s]) continue;
+    flag_present[t][s] = 1;       /* overwrites a preserved event */
+    flag_value[t][s] = pending_value[t][s];
+    pending_present[t][s] = 0;
+    task_enabled[t] = 1;
+  }
+}
+
+)";
+
+  if (config.policy == RtosConfig::Policy::kRoundRobin) {
+    os << R"(void polis_scheduler_step(void) {
+  static int cursor = 0;
+  int k;
+  for (k = 0; k < N_TASKS; ++k) {
+    int t = (cursor + k) % N_TASKS;
+    if (task_enabled[t]) {
+      cursor = (t + 1) % N_TASKS;
+      run_task(t);
+      return;
+    }
+  }
+}
+)";
+  } else {
+    os << R"(void polis_scheduler_step(void) {
+  int t, best = -1;
+  for (t = 0; t < N_TASKS; ++t) {
+    if (!task_enabled[t]) continue;
+    if (best < 0 || task_priority[t] < task_priority[best]) best = t;
+  }
+  if (best >= 0) run_task(best);
+}
+)";
+  }
+
+  if (config.delivery == RtosConfig::HwDelivery::kPolling) {
+    os << R"(
+/* Polling routine: scheduled every POLIS_POLL_PERIOD; reads the memory-
+ * mapped hw-CFSM port bits and turns them into emissions (§IV-C). */
+extern unsigned polis_hw_port_read(void);
+void polis_poll(void) {
+  unsigned bits = polis_hw_port_read();
+  int s;
+  for (s = 0; s < N_NETS && s < 32; ++s)
+    if (bits & (1u << s)) polis_emit(s);
+}
+)";
+  } else {
+    os << R"(
+/* Interrupt service routine for hw-CFSM events: by default an ISR contains
+ * only the emission (§IV-C); critical events may run their consumers inside
+ * the ISR via polis_scheduler_step(). */
+void polis_isr(int sig) { polis_emit(sig); }
+)";
+  }
+  return os.str();
+}
+
+}  // namespace polis::rtos

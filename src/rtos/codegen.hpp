@@ -1,0 +1,23 @@
+// C code generation for the RTOS itself (§IV): a runtime header shared with
+// the synthesized reaction routines (polis_rt.h) and a scheduler translation
+// unit with the task table, event flags, emission/detection primitives and
+// the chosen scheduling loop. Because the communication structure is fixed
+// at generation time, flags are plain arrays and sensitivity lists are
+// constant tables — the efficiency argument of §IV-E.
+#pragma once
+
+#include <string>
+
+#include "cfsm/network.hpp"
+#include "rtos/rtos.hpp"
+
+namespace polis::rtos {
+
+/// The runtime header every synthesized routine includes.
+std::string generate_rt_header(const cfsm::Network& network);
+
+/// The scheduler / event-system translation unit.
+std::string generate_rtos_c(const cfsm::Network& network,
+                            const RtosConfig& config);
+
+}  // namespace polis::rtos

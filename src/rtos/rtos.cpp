@@ -1,0 +1,374 @@
+#include "rtos/rtos.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace polis::rtos {
+
+namespace {
+constexpr long long kInf = std::numeric_limits<long long>::max() / 4;
+}
+
+RtosSimulation::RtosSimulation(const cfsm::Network& network, RtosConfig config)
+    : network_(&network), config_(std::move(config)), nets_(network.nets()) {
+  int decl = 0;
+  for (const cfsm::Instance& inst : network.instances()) {
+    TaskState t;
+    t.name = inst.name;
+    t.instance = &inst;
+    t.decl_index = decl++;
+    auto it = config_.priority.find(inst.name);
+    if (it != config_.priority.end()) t.priority = it->second;
+    tasks_.push_back(std::move(t));
+  }
+}
+
+void RtosSimulation::set_task(const std::string& instance, ReactFn fn) {
+  for (TaskState& t : tasks_) {
+    if (t.name == instance) {
+      t.react = std::move(fn);
+      return;
+    }
+  }
+  POLIS_CHECK_MSG(false, "no instance named " << instance);
+}
+
+void RtosSimulation::set_reference_task(const std::string& instance,
+                                        long long cycles) {
+  for (TaskState& t : tasks_) {
+    if (t.name == instance) {
+      const cfsm::Cfsm* m = t.instance->machine.get();
+      t.react = [m, cycles](const cfsm::Snapshot& snap,
+                            const std::map<std::string, std::int64_t>& st,
+                            long long* out_cycles) {
+        *out_cycles = cycles;
+        return m->react(snap, st);
+      };
+      return;
+    }
+  }
+  POLIS_CHECK_MSG(false, "no instance named " << instance);
+}
+
+bool RtosSimulation::enabled(const TaskState& t) const {
+  if (t.running) return false;
+  for (const auto& [port, flag] : t.flags)
+    if (flag.present) return true;
+  return false;
+}
+
+// The simulation engine proper lives in run(); tasks, deliveries and the
+// preemption stack share its locals through lambdas. Enablement is
+// edge-triggered (§IV-A): a task becomes runnable when an event *occurs* at
+// its input; executing the task clears runnability even if a non-firing
+// reaction preserved the events.
+SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
+                             long long horizon) {
+  struct Delivery {
+    long long dtime;   // when the flags are actually set
+    long long stimulus;  // original environment time (for latency)
+    std::string net;
+    std::int64_t value;
+    bool polled;
+  };
+
+  // Initialise task state and runnability.
+  for (TaskState& t : tasks_) {
+    POLIS_CHECK_MSG(t.react != nullptr,
+                    "no implementation registered for task " << t.name);
+    t.state = t.instance->machine->initial_state();
+    t.flags.clear();
+    t.incoming.clear();
+    t.running = false;
+  }
+  std::vector<bool> runnable(tasks_.size(), false);
+
+  // Delivery schedule: interrupts arrive at the event time; polled events
+  // are seen at the next polling tick.
+  std::vector<Delivery> schedule;
+  schedule.reserve(events.size());
+  for (const ExternalEvent& e : events) {
+    Delivery d;
+    d.stimulus = e.time;
+    d.net = e.net;
+    d.value = e.value;
+    d.polled = config_.delivery == RtosConfig::HwDelivery::kPolling;
+    d.dtime = d.polled
+                  ? ((e.time + config_.polling_period - 1) /
+                     config_.polling_period) *
+                        config_.polling_period
+                  : e.time;
+    schedule.push_back(std::move(d));
+  }
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const Delivery& a, const Delivery& b) {
+                     return a.dtime < b.dtime;
+                   });
+
+  SimStats stats;
+  size_t next_delivery = 0;
+  size_t rr_cursor = 0;
+
+  // --- Helpers ---------------------------------------------------------------
+
+  auto log_event = [&](long long time, LogEvent::Kind kind,
+                       const std::string& subject, std::int64_t value) {
+    if (!config_.collect_log) return;
+    stats.log.push_back(LogEvent{time, kind, subject, value});
+  };
+
+  // Executes one reaction of a hw-CFSM (§I-A): instantaneous w.r.t. the
+  // CPU, `hw_reaction_cycles` of wall-clock latency, emissions cascade.
+  std::function<void(size_t, long long)> run_hardware;
+
+  std::function<void(const std::string&, std::int64_t, long long, long long,
+                     const std::string&)>
+      deliver_to_consumers;
+  deliver_to_consumers = [&](const std::string& net, std::int64_t value,
+                             long long now, long long stimulus,
+                             const std::string& producer) -> void {
+    log_event(now, LogEvent::Kind::kEmission, net, value);
+    auto net_it = nets_.find(net);
+    if (net_it == nets_.end() || net_it->second.consumers.empty()) {
+      // External output: observed by the environment.
+      stats.outputs.push_back(ObservedEmission{now, net, value, producer});
+      stats.input_to_output_latency[net].push_back(now - stimulus);
+      return;
+    }
+    for (const auto& [inst_name, port] : net_it->second.consumers) {
+      for (size_t ti = 0; ti < tasks_.size(); ++ti) {
+        TaskState& c = tasks_[ti];
+        if (c.name != inst_name) continue;
+        auto& target = c.running ? c.incoming : c.flags;
+        TaskState::Flag& f = target[port];
+        if (f.present) stats.lost_events[net]++;  // 1-place buffer overwrite
+        f.present = true;
+        f.value = value;
+        f.emit_time = now;
+        f.stimulus_time = stimulus;
+        log_event(now, LogEvent::Kind::kDelivery, c.name, value);
+        if (config_.hardware_instances.count(c.name) != 0) {
+          run_hardware(ti, now);
+        } else if (!c.running) {
+          runnable[ti] = true;
+        }
+      }
+    }
+  };
+
+  run_hardware = [&](size_t ti, long long now) {
+    TaskState& t = tasks_[ti];
+    cfsm::Snapshot snap;
+    long long stimulus = kInf;
+    for (auto& [port, flag] : t.flags) {
+      if (!flag.present) continue;
+      snap.present[port] = true;
+      const cfsm::Signal* in = t.instance->machine->find_input(port);
+      if (in != nullptr && !in->is_pure()) snap.value[port] = flag.value;
+      stimulus = std::min(stimulus, flag.stimulus_time);
+    }
+    const std::map<std::string, TaskState::Flag> frozen = t.flags;
+    t.flags.clear();
+    long long unused_cycles = 0;
+    const cfsm::Reaction reaction = t.react(snap, t.state, &unused_cycles);
+    stats.reactions_run++;
+    if (!reaction.fired) {
+      stats.empty_reactions++;
+      for (const auto& [port, flag] : frozen)
+        if (flag.present) t.flags[port] = flag;
+    }
+    t.state = reaction.next_state;
+    const long long done = now + config_.hw_reaction_cycles;
+    for (const auto& [port, value] : reaction.emissions)
+      deliver_to_consumers(t.instance->net_of(port), value, done,
+                           stimulus == kInf ? done : stimulus, t.name);
+  };
+
+  // Set when deliver_due hands an ISR-executed event in: the innermost
+  // run_task loop services the designated consumers immediately (§IV-C).
+  std::vector<int> isr_ready;
+
+  auto deliver_due = [&](long long now) {
+    while (next_delivery < schedule.size() &&
+           schedule[next_delivery].dtime <= now) {
+      const Delivery& d = schedule[next_delivery++];
+      stats.overhead_cycles += d.polled ? config_.polling_routine_cycles
+                                        : config_.isr_overhead_cycles;
+      deliver_to_consumers(d.net, d.value, d.dtime, d.stimulus, "env");
+      if (!d.polled && config_.isr_executed_events.count(d.net) != 0) {
+        auto net_it = nets_.find(d.net);
+        if (net_it == nets_.end()) continue;
+        for (const auto& [inst_name, port] : net_it->second.consumers) {
+          (void)port;
+          for (size_t ti = 0; ti < tasks_.size(); ++ti)
+            if (tasks_[ti].name == inst_name && runnable[ti] &&
+                enabled(tasks_[ti]))
+              isr_ready.push_back(static_cast<int>(ti));
+        }
+      }
+    }
+  };
+
+  auto pick_next = [&]() -> int {
+    if (config_.policy == RtosConfig::Policy::kRoundRobin) {
+      for (size_t k = 0; k < tasks_.size(); ++k) {
+        const size_t i = (rr_cursor + k) % tasks_.size();
+        if (runnable[i] && enabled(tasks_[i])) {
+          rr_cursor = (i + 1) % tasks_.size();
+          return static_cast<int>(i);
+        }
+      }
+      return -1;
+    }
+    int best = -1;
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      if (!runnable[i] || !enabled(tasks_[i])) continue;
+      if (best < 0 ||
+          tasks_[i].priority < tasks_[static_cast<size_t>(best)].priority)
+        best = static_cast<int>(i);
+    }
+    return best;
+  };
+
+  // Runs one reaction starting at `start`; returns its completion time.
+  // With preemption, higher-priority tasks enabled by mid-run deliveries run
+  // inside this call, extending the completion time. `dispatch_cycles` is
+  // the scheduling overhead charged for this activation (a full context
+  // switch normally, the cheap chain link for §IV-A chained executions).
+  auto run_task = [&](int idx, long long start, long long dispatch_cycles,
+                      auto&& self) -> long long {
+    TaskState& t = tasks_[static_cast<size_t>(idx)];
+    runnable[static_cast<size_t>(idx)] = false;
+
+    // Freeze the snapshot (§IV-D): flags are read atomically at start; any
+    // event arriving during execution goes to the incoming buffer.
+    cfsm::Snapshot snap;
+    long long stimulus = kInf;
+    for (auto& [port, flag] : t.flags) {
+      if (!flag.present) continue;
+      snap.present[port] = true;
+      const cfsm::Signal* in = t.instance->machine->find_input(port);
+      if (in != nullptr && !in->is_pure()) snap.value[port] = flag.value;
+      stimulus = std::min(stimulus, flag.stimulus_time);
+    }
+    std::map<std::string, TaskState::Flag> frozen = t.flags;
+    t.flags.clear();
+    t.running = true;
+    log_event(start, LogEvent::Kind::kTaskStart, t.name, 0);
+
+    long long cycles = 0;
+    const cfsm::Reaction reaction = t.react(snap, t.state, &cycles);
+    stats.reactions_run++;
+    if (!reaction.fired) stats.empty_reactions++;
+    stats.busy_cycles += cycles;
+    stats.overhead_cycles += dispatch_cycles;
+
+    long long now = start;
+    long long remaining = cycles + dispatch_cycles;
+    while (remaining > 0) {
+      const long long next_d = next_delivery < schedule.size()
+                                   ? schedule[next_delivery].dtime
+                                   : kInf;
+      if (next_d >= now + remaining) {
+        now += remaining;
+        remaining = 0;
+        break;
+      }
+      remaining -= next_d - now;
+      now = next_d;
+      deliver_due(now);
+      while (!isr_ready.empty()) {  // §IV-C immediate attention
+        const int h = isr_ready.back();
+        isr_ready.pop_back();
+        if (runnable[static_cast<size_t>(h)] &&
+            enabled(tasks_[static_cast<size_t>(h)]))
+          now = self(h, now, config_.context_switch_cycles, self);
+      }
+      if (config_.preemptive) {
+        while (true) {
+          int h = pick_next();
+          if (h < 0 ||
+              tasks_[static_cast<size_t>(h)].priority >= t.priority)
+            break;
+          now = self(h, now, config_.context_switch_cycles, self);
+        }
+      }
+    }
+
+    // Completion: apply effects atomically (the reaction delay has elapsed).
+    t.state = reaction.next_state;
+    if (!reaction.fired) {
+      // No rule matched: preserve the input events for the next execution
+      // (§IV-D). A fresh arrival for the same port (merged below) overwrites
+      // the preserved event, counting it as lost.
+      for (const auto& [port, flag] : frozen)
+        if (flag.present) t.flags[port] = flag;
+    }
+    // Merge buffered arrivals.
+    bool any_incoming = false;
+    for (auto& [port, flag] : t.incoming) {
+      if (!flag.present) continue;
+      any_incoming = true;
+      TaskState::Flag& f = t.flags[port];
+      if (f.present) stats.lost_events[t.instance->net_of(port)]++;
+      f = flag;
+    }
+    t.incoming.clear();
+    t.running = false;
+    if (any_incoming) runnable[static_cast<size_t>(idx)] = true;
+
+    log_event(now, LogEvent::Kind::kTaskEnd, t.name, 0);
+    // Emissions propagate at completion time.
+    for (const auto& [port, value] : reaction.emissions) {
+      deliver_to_consumers(t.instance->net_of(port), value, now,
+                           stimulus == kInf ? now : stimulus, t.name);
+    }
+
+    // §IV-A chaining: run later members of this task's chain that the
+    // emissions just enabled, bypassing the scheduler.
+    for (const std::vector<std::string>& chain : config_.chains) {
+      auto pos = std::find(chain.begin(), chain.end(), t.name);
+      if (pos == chain.end()) continue;
+      for (auto next_name = pos + 1; next_name != chain.end(); ++next_name) {
+        for (size_t ti = 0; ti < tasks_.size(); ++ti) {
+          if (tasks_[ti].name != *next_name || !runnable[ti] ||
+              !enabled(tasks_[ti]))
+            continue;
+          now = self(static_cast<int>(ti), now, config_.chain_link_cycles,
+                     self);
+        }
+      }
+      break;
+    }
+    return now;
+  };
+
+  // --- Main loop ----------------------------------------------------------------
+  long long now = 0;
+  while (now <= horizon) {
+    deliver_due(now);
+    while (!isr_ready.empty()) {  // §IV-C immediate attention (idle CPU)
+      const int h = isr_ready.back();
+      isr_ready.pop_back();
+      if (runnable[static_cast<size_t>(h)] &&
+          enabled(tasks_[static_cast<size_t>(h)]))
+        now = run_task(h, now, config_.context_switch_cycles, run_task);
+    }
+    const int idx = pick_next();
+    if (idx >= 0) {
+      now = run_task(idx, now, config_.context_switch_cycles, run_task);
+      continue;
+    }
+    if (next_delivery < schedule.size()) {
+      now = schedule[next_delivery].dtime;
+      continue;
+    }
+    break;
+  }
+  stats.end_time = now;
+  return stats;
+}
+
+}  // namespace polis::rtos

@@ -1,0 +1,169 @@
+// The automatically generated RTOS (§IV) and a cycle-level discrete-event
+// simulation of a network of sw-CFSMs running under it on one processor.
+//
+// Responsibilities reproduced from the paper:
+//   * scheduling of sw-CFSMs (round-robin or static priority, with or
+//     without preemption, §IV-A);
+//   * event emission/detection between sw-CFSMs via per-task private flags
+//     with one-place buffers — re-emission before detection overwrites and
+//     loses the event (§II-D, §IV-B);
+//   * delivery of environment ("hw-CFSM") events by interrupt (immediate,
+//     with ISR overhead) or by polling (delayed to the next polling tick,
+//     §IV-C);
+//   * snapshot consistency: a task's input flags are frozen when it starts
+//     reading them; events arriving during its execution are buffered and
+//     merged afterwards, so no impossible event combination is ever observed
+//     (§IV-D); a reaction that fires no rule preserves its input events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cfsm/cfsm.hpp"
+#include "cfsm/network.hpp"
+
+namespace polis::rtos {
+
+struct RtosConfig {
+  enum class Policy { kRoundRobin, kStaticPriority };
+  Policy policy = Policy::kRoundRobin;
+  bool preemptive = false;
+  long long context_switch_cycles = 40;
+
+  enum class HwDelivery { kInterrupt, kPolling };
+  HwDelivery delivery = HwDelivery::kInterrupt;
+  long long isr_overhead_cycles = 25;
+  long long polling_period = 2000;
+  long long polling_routine_cycles = 60;
+
+  /// Static priorities (lower value = higher priority). Instances absent
+  /// from the map default to priority 100, ties broken by declaration order.
+  std::map<std::string, int> priority;
+
+  /// Record a full event log in SimStats::log (task activations, event
+  /// emissions and deliveries) for inspection / VCD export.
+  bool collect_log = false;
+
+  /// §IV-C: "the user has the option to specify that for designated events,
+  /// all sw-CFSMs sensitive to that event are also to be executed inside
+  /// the ISR. In this way, the most critical tasks can be given immediate
+  /// attention." External events on these nets run their consumers
+  /// immediately at delivery time, ahead of any scheduling policy.
+  std::set<std::string> isr_executed_events;
+
+  /// §IV-A: "the user can also instruct the system to bypass the RTOS and
+  /// chain certain executions of CFSMs into a single task, thus reducing
+  /// scheduling and communication overhead." When a task in a chain
+  /// completes and its emissions enable a *later* member of the same chain,
+  /// that member runs immediately, paying `chain_link_cycles` instead of a
+  /// full context switch.
+  std::vector<std::vector<std::string>> chains;
+  long long chain_link_cycles = 5;
+
+  /// Hardware/software partitioning (the co-design dimension, §I-A/§IV-C):
+  /// instances in this set are hw-CFSMs — they react immediately at event
+  /// delivery, take `hw_reaction_cycles` of wall-clock (not CPU) time, and
+  /// never occupy the processor or the scheduler.
+  std::set<std::string> hardware_instances;
+  long long hw_reaction_cycles = 1;
+};
+
+/// One entry of the simulation event log.
+struct LogEvent {
+  enum class Kind { kTaskStart, kTaskEnd, kEmission, kDelivery };
+  long long time = 0;
+  Kind kind = Kind::kEmission;
+  std::string subject;      // task name or net name
+  std::int64_t value = 0;   // event value (emission/delivery)
+};
+
+/// One external stimulus to an input net of the network.
+struct ExternalEvent {
+  long long time = 0;
+  std::string net;
+  std::int64_t value = 0;
+};
+
+/// Executes one reaction of one task; must fill `cycles` with the execution
+/// time of that reaction in CPU cycles.
+using ReactFn = std::function<cfsm::Reaction(
+    const cfsm::Snapshot& snapshot,
+    const std::map<std::string, std::int64_t>& state, long long* cycles)>;
+
+struct ObservedEmission {
+  long long time = 0;  // completion time of the emitting reaction
+  std::string net;
+  std::int64_t value = 0;
+  std::string producer;  // instance name ("env" for external stimuli)
+};
+
+struct SimStats {
+  long long end_time = 0;
+  long long busy_cycles = 0;          // CPU time in reactions
+  long long overhead_cycles = 0;      // scheduler/ISR/polling/context switches
+  long long reactions_run = 0;
+  long long empty_reactions = 0;      // executed but no rule fired
+  std::map<std::string, long long> lost_events;   // net -> overwritten count
+  std::vector<ObservedEmission> outputs;          // external outputs
+  std::vector<LogEvent> log;                      // when collect_log is set
+  /// Latency samples per external-output net: time from the environment
+  /// stimulus that triggered the causal chain to the output emission.
+  std::map<std::string, std::vector<long long>> input_to_output_latency;
+  double utilization() const {
+    return end_time > 0
+               ? static_cast<double>(busy_cycles + overhead_cycles) /
+                     static_cast<double>(end_time)
+               : 0.0;
+  }
+};
+
+/// Simulates the network under the generated RTOS until all external events
+/// are delivered and the system is quiescent (or `horizon` is reached).
+class RtosSimulation {
+ public:
+  RtosSimulation(const cfsm::Network& network, RtosConfig config);
+
+  /// Registers the software implementation of one instance.
+  void set_task(const std::string& instance, ReactFn fn);
+
+  /// Convenience: implement an instance with the reference interpreter and
+  /// a fixed reaction cost.
+  void set_reference_task(const std::string& instance, long long cycles);
+
+  SimStats run(const std::vector<ExternalEvent>& events,
+               long long horizon = 100'000'000);
+
+ private:
+  struct TaskState {
+    std::string name;
+    const cfsm::Instance* instance = nullptr;
+    ReactFn react;
+    std::map<std::string, std::int64_t> state;
+    // Per input port: pending event (presence + value + emission time).
+    struct Flag {
+      bool present = false;
+      std::int64_t value = 0;
+      long long emit_time = 0;
+      long long stimulus_time = 0;  // originating external stimulus
+    };
+    std::map<std::string, Flag> flags;     // by port name
+    std::map<std::string, Flag> incoming;  // buffered while running
+    bool running = false;
+    int priority = 100;
+    int decl_index = 0;
+  };
+
+  bool enabled(const TaskState& t) const;
+
+  const cfsm::Network* network_;
+  RtosConfig config_;
+  std::vector<TaskState> tasks_;
+  std::map<std::string, cfsm::Net> nets_;
+};
+
+}  // namespace polis::rtos

@@ -1,0 +1,32 @@
+#include "rtos/tasks.hpp"
+
+#include "sgraph/build.hpp"
+#include "vm/machine.hpp"
+
+namespace polis::rtos {
+
+ReactFn vm_task(std::shared_ptr<const vm::CompiledReaction> reaction,
+                vm::TargetProfile profile,
+                std::shared_ptr<const cfsm::Cfsm> machine) {
+  return [reaction = std::move(reaction), profile = std::move(profile),
+          machine = std::move(machine)](
+             const cfsm::Snapshot& snap,
+             const std::map<std::string, std::int64_t>& state,
+             long long* cycles) {
+    return vm::run_reaction(*reaction, profile, *machine, snap, state, cycles);
+  };
+}
+
+ReactFn sgraph_task(std::shared_ptr<const sgraph::Sgraph> graph,
+                    std::shared_ptr<const cfsm::Cfsm> machine,
+                    long long fixed_cycles) {
+  return [graph = std::move(graph), machine = std::move(machine),
+          fixed_cycles](const cfsm::Snapshot& snap,
+                        const std::map<std::string, std::int64_t>& state,
+                        long long* cycles) {
+    *cycles = fixed_cycles;
+    return sgraph::run_reaction(*graph, *machine, snap, state);
+  };
+}
+
+}  // namespace polis::rtos

@@ -1,0 +1,25 @@
+// Adapters turning synthesized artifacts into RTOS tasks:
+//   * vm_task     — the compiled VM routine; per-reaction cycle counts are
+//                   the actual executed cycles (our "measured" backend);
+//   * sgraph_task — the s-graph interpreter with a fixed cycle cost (useful
+//                   when only functional behaviour matters).
+#pragma once
+
+#include <memory>
+
+#include "rtos/rtos.hpp"
+#include "sgraph/sgraph.hpp"
+#include "vm/compile.hpp"
+#include "vm/isa.hpp"
+
+namespace polis::rtos {
+
+ReactFn vm_task(std::shared_ptr<const vm::CompiledReaction> reaction,
+                vm::TargetProfile profile,
+                std::shared_ptr<const cfsm::Cfsm> machine);
+
+ReactFn sgraph_task(std::shared_ptr<const sgraph::Sgraph> graph,
+                    std::shared_ptr<const cfsm::Cfsm> machine,
+                    long long fixed_cycles);
+
+}  // namespace polis::rtos

@@ -1,0 +1,58 @@
+#include "rtos/trace.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace polis::rtos {
+
+std::vector<ExternalEvent> periodic_trace(const PeriodicSource& source,
+                                          long long until, Rng* rng) {
+  POLIS_CHECK(source.period > 0);
+  std::vector<ExternalEvent> out;
+  for (long long t = source.phase; t <= until; t += source.period) {
+    ExternalEvent e;
+    e.time = t;
+    if (rng != nullptr && source.jitter_fraction > 0.0) {
+      const long long j = static_cast<long long>(
+          source.jitter_fraction * static_cast<double>(source.period));
+      if (j > 0) e.time = std::max<long long>(0, t + rng->uniform(-j, j));
+    }
+    e.net = source.net;
+    e.value = source.value_domain > 1 && rng != nullptr
+                  ? rng->uniform(0, source.value_domain - 1)
+                  : 0;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<ExternalEvent> poisson_trace(const std::string& net,
+                                         double mean_gap, long long until,
+                                         Rng& rng, int value_domain) {
+  std::vector<ExternalEvent> out;
+  double t = rng.exponential(mean_gap);
+  while (static_cast<long long>(t) <= until) {
+    ExternalEvent e;
+    e.time = static_cast<long long>(t);
+    e.net = net;
+    e.value = value_domain > 1 ? rng.uniform(0, value_domain - 1) : 0;
+    out.push_back(std::move(e));
+    t += rng.exponential(mean_gap);
+  }
+  return out;
+}
+
+std::vector<ExternalEvent> merge_traces(
+    std::vector<std::vector<ExternalEvent>> traces) {
+  std::vector<ExternalEvent> out;
+  for (std::vector<ExternalEvent>& t : traces)
+    out.insert(out.end(), t.begin(), t.end());
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ExternalEvent& a, const ExternalEvent& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+}  // namespace polis::rtos

@@ -1,0 +1,33 @@
+// Environment event-trace generators for RTOS simulations and benchmarks:
+// periodic sources (sensors, timers) with optional jitter, and Poisson
+// sources (sporadic operator inputs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtos/rtos.hpp"
+#include "util/rng.hpp"
+
+namespace polis::rtos {
+
+struct PeriodicSource {
+  std::string net;
+  long long period = 1000;
+  long long phase = 0;
+  double jitter_fraction = 0.0;  // uniform in ±jitter*period (needs rng)
+  int value_domain = 1;          // >1: random value in [0, domain)
+};
+
+std::vector<ExternalEvent> periodic_trace(const PeriodicSource& source,
+                                          long long until, Rng* rng = nullptr);
+
+std::vector<ExternalEvent> poisson_trace(const std::string& net,
+                                         double mean_gap, long long until,
+                                         Rng& rng, int value_domain = 1);
+
+/// Merges traces into one time-sorted stream.
+std::vector<ExternalEvent> merge_traces(
+    std::vector<std::vector<ExternalEvent>> traces);
+
+}  // namespace polis::rtos

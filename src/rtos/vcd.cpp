@@ -1,0 +1,114 @@
+#include "rtos/vcd.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace polis::rtos {
+
+namespace {
+
+// VCD identifier codes: printable ASCII starting at '!'.
+std::string vcd_id(int index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+}  // namespace
+
+void write_vcd(const cfsm::Network& network, const SimStats& stats,
+               std::ostream& os, const std::string& timescale) {
+  // Signal tables.
+  std::map<std::string, std::string> task_wire;   // task -> id
+  std::map<std::string, std::string> net_pulse;   // net -> id
+  std::map<std::string, std::string> net_value;   // net -> id
+  int next = 0;
+  for (const cfsm::Instance& inst : network.instances())
+    task_wire[inst.name] = vcd_id(next++);
+  for (const auto& [name, net] : network.nets()) {
+    net_pulse[name] = vcd_id(next++);
+    if (net.domain > 1) net_value[name] = vcd_id(next++);
+  }
+
+  os << "$date polis-repro simulation $end\n"
+     << "$version polis-repro rtos simulator $end\n"
+     << "$timescale " << timescale << " $end\n";
+  os << "$scope module tasks $end\n";
+  for (const auto& [task, id] : task_wire)
+    os << "$var wire 1 " << id << " " << c_identifier(task) << " $end\n";
+  os << "$upscope $end\n$scope module nets $end\n";
+  for (const auto& [net, id] : net_pulse)
+    os << "$var wire 1 " << id << " " << c_identifier(net) << " $end\n";
+  for (const auto& [net, id] : net_value)
+    os << "$var integer 32 " << id << " " << c_identifier(net)
+       << "_value $end\n";
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  os << "$dumpvars\n";
+  for (const auto& [task, id] : task_wire) os << "0" << id << "\n";
+  for (const auto& [net, id] : net_pulse) os << "0" << id << "\n";
+  for (const auto& [net, id] : net_value) os << "b0 " << id << "\n";
+  os << "$end\n";
+
+  // The log is time-ordered by construction; emission pulses are dropped
+  // back to 0 one cycle later via synthetic events.
+  struct Change {
+    long long time;
+    std::string text;
+  };
+  std::vector<Change> changes;
+  for (const LogEvent& e : stats.log) {
+    switch (e.kind) {
+      case LogEvent::Kind::kTaskStart:
+        changes.push_back({e.time, "1" + task_wire.at(e.subject)});
+        break;
+      case LogEvent::Kind::kTaskEnd:
+        changes.push_back({e.time, "0" + task_wire.at(e.subject)});
+        break;
+      case LogEvent::Kind::kEmission: {
+        auto pulse = net_pulse.find(e.subject);
+        if (pulse == net_pulse.end()) break;  // net unknown to the network
+        changes.push_back({e.time, "1" + pulse->second});
+        changes.push_back({e.time + 1, "0" + pulse->second});
+        auto value = net_value.find(e.subject);
+        if (value != net_value.end()) {
+          std::string bits;
+          std::uint64_t v = static_cast<std::uint64_t>(e.value);
+          do {
+            bits.insert(bits.begin(), static_cast<char>('0' + (v & 1)));
+            v >>= 1;
+          } while (v != 0);
+          changes.push_back({e.time, "b" + bits + " " + value->second});
+        }
+        break;
+      }
+      case LogEvent::Kind::kDelivery:
+        break;  // deliveries mirror emissions; omitted from the waveform
+    }
+  }
+  std::stable_sort(changes.begin(), changes.end(),
+                   [](const Change& a, const Change& b) {
+                     return a.time < b.time;
+                   });
+
+  long long current = -1;
+  for (const Change& c : changes) {
+    if (c.time != current) {
+      os << "#" << c.time << "\n";
+      current = c.time;
+    }
+    os << c.text << "\n";
+  }
+  os << "#" << std::max(stats.end_time, current + 1) << "\n";
+}
+
+}  // namespace polis::rtos

@@ -1,0 +1,24 @@
+// VCD (Value Change Dump, IEEE 1364) export of an RTOS simulation log, so
+// the scheduling and event traffic of a synthesized system can be inspected
+// in any waveform viewer (GTKWave etc.):
+//
+//   * one 1-bit wire per task — high while the task's reaction runs;
+//   * one 1-bit event wire per net — pulses at each emission;
+//   * one integer register per net — the last emitted value.
+//
+// Requires a SimStats produced with RtosConfig::collect_log = true.
+#pragma once
+
+#include <iosfwd>
+
+#include "cfsm/network.hpp"
+#include "rtos/rtos.hpp"
+
+namespace polis::rtos {
+
+/// Writes the log as a VCD document. `timescale` is a free-form VCD
+/// timescale string; one simulation cycle maps to one timescale unit.
+void write_vcd(const cfsm::Network& network, const SimStats& stats,
+               std::ostream& os, const std::string& timescale = "1us");
+
+}  // namespace polis::rtos

@@ -1,0 +1,74 @@
+#include "sched/sched.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace polis::sched {
+
+double utilization(const std::vector<Task>& tasks) {
+  double u = 0;
+  for (const Task& t : tasks) {
+    POLIS_CHECK_MSG(t.period > 0, "task " << t.name << " needs a period");
+    u += t.wcet / t.period;
+  }
+  return u;
+}
+
+bool rm_utilization_test(const std::vector<Task>& tasks) {
+  if (tasks.empty()) return true;
+  const double n = static_cast<double>(tasks.size());
+  return utilization(tasks) <= n * (std::pow(2.0, 1.0 / n) - 1.0);
+}
+
+std::optional<std::vector<double>> response_times(
+    const std::vector<Task>& tasks) {
+  std::vector<double> r(tasks.size(), 0);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const Task& ti = tasks[i];
+    double R = ti.wcet;
+    for (int iter = 0; iter < 10000; ++iter) {
+      double next = ti.wcet + ti.jitter;
+      for (size_t j = 0; j < i; ++j)
+        next += std::ceil(R / tasks[j].period) * tasks[j].wcet;
+      if (next == R) break;
+      R = next;
+      if (R > ti.effective_deadline()) return std::nullopt;
+    }
+    if (R > ti.effective_deadline()) return std::nullopt;
+    r[i] = R;
+  }
+  return r;
+}
+
+bool edf_test(const std::vector<Task>& tasks) {
+  bool constrained = false;
+  double density = 0;
+  for (const Task& t : tasks) {
+    POLIS_CHECK(t.period > 0);
+    const double d = t.effective_deadline();
+    if (d < t.period) constrained = true;
+    density += t.wcet / std::min(d, t.period);
+  }
+  (void)constrained;  // density test is exact for implicit deadlines
+  return density <= 1.0;
+}
+
+std::vector<Task> rate_monotonic_order(std::vector<Task> tasks) {
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const Task& a, const Task& b) {
+                     return a.period < b.period;
+                   });
+  return tasks;
+}
+
+std::vector<Task> deadline_monotonic_order(std::vector<Task> tasks) {
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const Task& a, const Task& b) {
+                     return a.effective_deadline() < b.effective_deadline();
+                   });
+  return tasks;
+}
+
+}  // namespace polis::sched

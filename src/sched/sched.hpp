@@ -1,0 +1,48 @@
+// Real-time schedulability analysis (step 4 of the synthesis flow, §I-H):
+// the WCET estimates produced by the s-graph estimator feed classical
+// scheduling tests (Liu & Layland [24]; response-time analysis as in [18])
+// to validate a scheduling policy before deployment, or to let an automatic
+// RTOS generator choose one (§IV-A).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace polis::sched {
+
+struct Task {
+  std::string name;
+  double wcet = 0;      // worst-case execution cycles (from the estimator)
+  double period = 0;    // minimum inter-arrival of the triggering event
+  double deadline = 0;  // relative deadline; 0 means deadline == period
+  double jitter = 0;    // release jitter (e.g. polling delay)
+
+  double effective_deadline() const { return deadline > 0 ? deadline : period; }
+};
+
+/// Total processor utilization Σ C_i / T_i.
+double utilization(const std::vector<Task>& tasks);
+
+/// Liu–Layland sufficient bound for rate-monotonic priorities:
+/// U ≤ n(2^{1/n} − 1).
+bool rm_utilization_test(const std::vector<Task>& tasks);
+
+/// Exact response-time analysis for fixed priorities (tasks given highest
+/// priority first): R_i = C_i + J_i + Σ_{j<i} ⌈R_i/T_j⌉ C_j, iterated to a
+/// fixed point. Returns the response times, or nullopt if some task's
+/// response exceeds its deadline (unschedulable) or the iteration diverges.
+std::optional<std::vector<double>> response_times(
+    const std::vector<Task>& tasks);
+
+/// Necessary-and-sufficient EDF test for deadline==period task sets (U ≤ 1);
+/// density test (sufficient) when deadlines are constrained.
+bool edf_test(const std::vector<Task>& tasks);
+
+/// Orders tasks rate-monotonically (shorter period = higher priority).
+std::vector<Task> rate_monotonic_order(std::vector<Task> tasks);
+
+/// Orders tasks deadline-monotonically.
+std::vector<Task> deadline_monotonic_order(std::vector<Task> tasks);
+
+}  // namespace polis::sched

@@ -1,0 +1,65 @@
+#include "sgraph/dataflow.hpp"
+
+#include <map>
+#include <vector>
+
+#include "expr/expr.hpp"
+
+namespace polis::sgraph {
+
+std::set<std::string> vars_read_at(const Node& node) {
+  std::set<std::string> reads;
+  auto collect = [&reads](const expr::ExprRef& e) {
+    if (e == nullptr) return;
+    for (const std::string& v : expr::support(*e)) reads.insert(v);
+  };
+  switch (node.kind) {
+    case Kind::kTest:
+      collect(node.predicate);
+      break;
+    case Kind::kAssign:
+      collect(node.condition);
+      collect(node.action.value);
+      break;
+    case Kind::kBegin:
+    case Kind::kEnd:
+      break;
+  }
+  return reads;
+}
+
+std::string var_written_at(const Node& node) {
+  if (node.kind == Kind::kAssign &&
+      node.action.kind == ActionOp::Kind::kAssignVar)
+    return node.action.target;
+  return {};
+}
+
+std::set<std::string> vars_needing_copy_in(
+    const Sgraph& graph, const std::set<std::string>& candidates) {
+  // reads_below[n] = variables read at any vertex strictly reachable from n
+  // (excluding n itself). Computed bottom-up over the DAG.
+  const std::vector<NodeId> order = graph.topo_order();
+  std::map<NodeId, std::set<std::string>> reads_below;
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId id = *it;
+    std::set<std::string>& below = reads_below[id];
+    for (NodeId child : graph.children(id)) {
+      const std::set<std::string> child_reads = vars_read_at(graph.node(child));
+      below.insert(child_reads.begin(), child_reads.end());
+      const std::set<std::string>& grand = reads_below[child];
+      below.insert(grand.begin(), grand.end());
+    }
+  }
+
+  std::set<std::string> hazards;
+  for (NodeId id : order) {
+    const std::string written = var_written_at(graph.node(id));
+    if (written.empty() || candidates.count(written) == 0) continue;
+    if (reads_below[id].count(written) != 0) hazards.insert(written);
+  }
+  return hazards;
+}
+
+}  // namespace polis::sgraph

@@ -1,0 +1,37 @@
+// Data-flow analysis on the s-graph: which state variables actually need
+// the copy-in buffering?
+//
+// §V-B: "The increase in ROM and RAM size is due mostly to the fact that
+// all variables used by an s-graph are copied upon entry ... We are working
+// on a data flow analysis step that will allow us to detect
+// write-before-read cases that require such buffering, and reduce ROM and
+// RAM, as well as CPU time, when no such buffering is needed."
+//
+// This module implements that step. A variable needs buffering iff some
+// BEGIN→END path contains a write to it at one vertex followed by a read of
+// it at a *later* vertex (reads inside the writing statement itself — the
+// assigned expression and the guarding condition — evaluate before the
+// store and are safe). Variables without such a write-before-read hazard
+// can be read directly from their live location.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "sgraph/sgraph.hpp"
+
+namespace polis::sgraph {
+
+/// Variable names read by a vertex (predicate, condition, value expression).
+std::set<std::string> vars_read_at(const Node& node);
+
+/// Variable name written by a vertex (empty if none). Only kAssignVar
+/// writes a variable; emissions go to the RTOS.
+std::string var_written_at(const Node& node);
+
+/// State variables (restricted to `candidates`) with a write-before-read
+/// hazard, i.e. the ones that still require copy-in buffering.
+std::set<std::string> vars_needing_copy_in(
+    const Sgraph& graph, const std::set<std::string>& candidates);
+
+}  // namespace polis::sgraph

@@ -1,0 +1,35 @@
+#include "sgraph/eval.hpp"
+
+#include "util/check.hpp"
+
+namespace polis::sgraph {
+
+EvalResult evaluate(const Sgraph& graph, const expr::Env& env) {
+  EvalResult result;
+  NodeId id = graph.begin();
+  while (true) {
+    const Node& n = graph.node(id);
+    result.vertices_visited++;
+    switch (n.kind) {
+      case Kind::kEnd:
+        return result;
+      case Kind::kBegin:
+        id = n.next;
+        break;
+      case Kind::kTest:
+        result.tests_evaluated++;
+        id = expr::evaluate(*n.predicate, env) != 0 ? n.when_true
+                                                    : n.when_false;
+        break;
+      case Kind::kAssign: {
+        const bool fire =
+            n.condition == nullptr || expr::evaluate(*n.condition, env) != 0;
+        if (fire) result.executed.push_back(n.action);
+        id = n.next;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace polis::sgraph

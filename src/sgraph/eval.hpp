@@ -1,0 +1,26 @@
+// Interpretation of an s-graph: the paper's procedures `evaluate` and
+// `eval_step` (§III-A). All input temporaries (presence flags, event values,
+// state variables) are supplied through the environment, mirroring the
+// copy-in that the generated routine performs on entry.
+#pragma once
+
+#include <vector>
+
+#include "expr/expr.hpp"
+#include "sgraph/sgraph.hpp"
+
+namespace polis::sgraph {
+
+struct EvalResult {
+  /// Actions executed, in visit order (conditional ASSIGNs whose condition
+  /// evaluated false are not included).
+  std::vector<ActionOp> executed;
+  int vertices_visited = 0;
+  int tests_evaluated = 0;
+};
+
+/// Walks BEGIN→END once, evaluating TEST predicates and ASSIGN conditions
+/// under `env`.
+EvalResult evaluate(const Sgraph& graph, const expr::Env& env);
+
+}  // namespace polis::sgraph

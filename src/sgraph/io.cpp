@@ -1,0 +1,68 @@
+#include "sgraph/io.hpp"
+
+#include <ostream>
+
+#include "expr/expr.hpp"
+
+namespace polis::sgraph {
+
+void to_dot(const Sgraph& graph, std::ostream& os) {
+  os << "digraph sgraph {\n  rankdir=TB;\n";
+  for (NodeId id : graph.topo_order()) {
+    const Node& n = graph.node(id);
+    switch (n.kind) {
+      case Kind::kBegin:
+        os << "  n" << id << " [label=\"BEGIN\", shape=circle];\n";
+        os << "  n" << id << " -> n" << n.next << ";\n";
+        break;
+      case Kind::kEnd:
+        os << "  n" << id << " [label=\"END\", shape=doublecircle];\n";
+        break;
+      case Kind::kTest:
+        os << "  n" << id << " [label=\"" << expr::to_c(*n.predicate)
+           << "\", shape=diamond];\n";
+        os << "  n" << id << " -> n" << n.when_true << " [label=\"1\"];\n";
+        os << "  n" << id << " -> n" << n.when_false
+           << " [label=\"0\", style=dashed];\n";
+        break;
+      case Kind::kAssign:
+        os << "  n" << id << " [label=\"" << n.action.label();
+        if (n.condition != nullptr)
+          os << " if " << expr::to_c(*n.condition);
+        os << "\", shape=box];\n";
+        os << "  n" << id << " -> n" << n.next << ";\n";
+        break;
+    }
+  }
+  os << "}\n";
+}
+
+void to_text(const Sgraph& graph, std::ostream& os) {
+  os << "s-graph " << graph.name() << " (" << graph.num_reachable()
+     << " vertices, depth " << graph.depth() << ")\n";
+  for (NodeId id : graph.topo_order()) {
+    const Node& n = graph.node(id);
+    os << "  [" << id << "] ";
+    switch (n.kind) {
+      case Kind::kBegin:
+        os << "BEGIN -> " << n.next;
+        break;
+      case Kind::kEnd:
+        os << "END";
+        break;
+      case Kind::kTest:
+        os << "TEST " << expr::to_c(*n.predicate) << " ? " << n.when_true
+           << " : " << n.when_false;
+        break;
+      case Kind::kAssign:
+        os << "ASSIGN " << n.action.label();
+        if (n.condition != nullptr)
+          os << " if " << expr::to_c(*n.condition);
+        os << " -> " << n.next;
+        break;
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace polis::sgraph

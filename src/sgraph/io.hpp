@@ -1,0 +1,15 @@
+// Inspection output for s-graphs: Graphviz dot and a compact text listing
+// (one line per vertex, in topological order), used by the examples and for
+// debugging synthesis results.
+#pragma once
+
+#include <iosfwd>
+
+#include "sgraph/sgraph.hpp"
+
+namespace polis::sgraph {
+
+void to_dot(const Sgraph& graph, std::ostream& os);
+void to_text(const Sgraph& graph, std::ostream& os);
+
+}  // namespace polis::sgraph

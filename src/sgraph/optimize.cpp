@@ -1,0 +1,73 @@
+#include "sgraph/optimize.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace polis::sgraph {
+
+Sgraph collapse_tests(const Sgraph& graph) {
+  // Parent counts decide closedness: a TEST child may be absorbed only when
+  // the absorbing vertex is its sole parent.
+  std::vector<int> parents(graph.num_nodes(), 0);
+  for (NodeId id : graph.topo_order())
+    for (NodeId k : graph.children(id)) parents[k]++;
+
+  Sgraph out(graph.name());
+  std::unordered_map<NodeId, NodeId> memo;
+
+  auto rebuild = [&](NodeId id, auto&& self) -> NodeId {
+    auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    const Node& n = graph.node(id);
+    NodeId result = out.end();
+    switch (n.kind) {
+      case Kind::kEnd:
+        result = out.end();
+        break;
+      case Kind::kBegin:
+        result = self(n.next, self);
+        break;
+      case Kind::kAssign:
+        result = out.assign(n.action, n.condition, self(n.next, self));
+        break;
+      case Kind::kTest: {
+        expr::ExprRef p = n.predicate;
+        bool presence = n.presence_test;
+        NodeId t = n.when_true;
+        NodeId f = n.when_false;
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          const Node& tn = graph.node(t);
+          if (tn.kind == Kind::kTest && parents[t] == 1 &&
+              tn.when_false == f) {
+            p = expr::land(p, tn.predicate);
+            t = tn.when_true;
+            presence = false;
+            changed = true;
+            continue;
+          }
+          const Node& fn = graph.node(f);
+          if (fn.kind == Kind::kTest && parents[f] == 1 &&
+              fn.when_true == t) {
+            p = expr::lor(p, fn.predicate);
+            f = fn.when_false;
+            presence = false;
+            changed = true;
+          }
+        }
+        result = out.test(p, presence, self(t, self), self(f, self));
+        break;
+      }
+    }
+    memo.emplace(id, result);
+    return result;
+  };
+
+  out.set_entry(rebuild(graph.node(graph.begin()).next, rebuild));
+  return out;
+}
+
+}  // namespace polis::sgraph

@@ -1,0 +1,24 @@
+// Optimization by collapsing TEST nodes (§III-B3d).
+//
+// A closed subgraph of TEST vertices (every incoming edge from one parent)
+// can be replaced by a single TEST labelled with a compound predicate.
+// We implement the two binary-TEST closed shapes:
+//
+//     TEST p ─T→ TEST q ─T→ a            TEST (p && q) ─T→ a
+//        │F        │F           ==>           │F
+//        └────→────┴──→ b                     └──→ b
+//
+// and the dual OR shape on the false branch. The paper reports that this
+// never improved final code (§III-B3d) — bench/bench_collapse reproduces
+// that negative result under our cost model.
+#pragma once
+
+#include "sgraph/sgraph.hpp"
+
+namespace polis::sgraph {
+
+/// Returns a new s-graph with maximal AND/OR chains of closed TEST vertices
+/// collapsed into single compound TESTs.
+Sgraph collapse_tests(const Sgraph& graph);
+
+}  // namespace polis::sgraph

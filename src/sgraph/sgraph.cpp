@@ -1,0 +1,205 @@
+#include "sgraph/sgraph.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace polis::sgraph {
+
+std::string ActionOp::label() const {
+  switch (kind) {
+    case Kind::kEmitPure: return "emit(" + target + ")";
+    case Kind::kEmitValued:
+      return "emit(" + target + ", " + expr::to_c(*value) + ")";
+    case Kind::kAssignVar: return target + " := " + expr::to_c(*value);
+    case Kind::kConsume: return "consume";
+  }
+  return "?";
+}
+
+bool ActionOp::operator==(const ActionOp& o) const {
+  if (kind != o.kind || target != o.target) return false;
+  if ((value == nullptr) != (o.value == nullptr)) return false;
+  return value == nullptr || expr::equal(*value, *o.value);
+}
+
+namespace {
+
+size_t mix(size_t h, size_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+size_t hash_action(const ActionOp& a) {
+  size_t h = std::hash<int>()(static_cast<int>(a.kind));
+  h = mix(h, std::hash<std::string>()(a.target));
+  if (a.value != nullptr) h = mix(h, expr::hash(*a.value));
+  return h;
+}
+
+}  // namespace
+
+Sgraph::Sgraph(std::string name) : name_(std::move(name)) {
+  nodes_.resize(2);
+  nodes_[kEndId].kind = Kind::kEnd;
+  nodes_[kBeginId].kind = Kind::kBegin;
+  nodes_[kBeginId].next = kEndId;
+}
+
+NodeId Sgraph::test(expr::ExprRef predicate, bool presence_test,
+                    NodeId when_true, NodeId when_false) {
+  POLIS_CHECK(predicate != nullptr);
+  POLIS_CHECK(when_true < nodes_.size() && when_false < nodes_.size());
+  if (when_true == when_false) return when_true;  // vacuous decision
+
+  size_t key = mix(expr::hash(*predicate),
+                   mix(std::hash<NodeId>()(when_true),
+                       std::hash<NodeId>()(when_false) * 3));
+  auto [lo, hi] = test_intern_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    const Node& n = nodes_[it->second];
+    if (n.when_true == when_true && n.when_false == when_false &&
+        n.presence_test == presence_test && expr::equal(*n.predicate, *predicate))
+      return it->second;
+  }
+  Node n;
+  n.kind = Kind::kTest;
+  n.predicate = std::move(predicate);
+  n.presence_test = presence_test;
+  n.when_true = when_true;
+  n.when_false = when_false;
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  test_intern_.emplace(key, id);
+  return id;
+}
+
+NodeId Sgraph::assign(ActionOp action, expr::ExprRef condition, NodeId next) {
+  POLIS_CHECK(next < nodes_.size());
+  if (condition != nullptr && condition->op() == expr::Op::kConst) {
+    if (condition->value() == 0) return next;  // never executes
+    condition = nullptr;                       // always executes
+  }
+
+  size_t key = mix(hash_action(action),
+                   mix(condition == nullptr ? 0 : expr::hash(*condition),
+                       std::hash<NodeId>()(next)));
+  auto [lo, hi] = assign_intern_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    const Node& n = nodes_[it->second];
+    const bool cond_match =
+        (n.condition == nullptr) == (condition == nullptr) &&
+        (n.condition == nullptr || expr::equal(*n.condition, *condition));
+    if (n.next == next && cond_match && n.action == action) return it->second;
+  }
+  Node n;
+  n.kind = Kind::kAssign;
+  n.action = std::move(action);
+  n.condition = std::move(condition);
+  n.next = next;
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  assign_intern_.emplace(key, id);
+  return id;
+}
+
+void Sgraph::set_entry(NodeId entry) {
+  POLIS_CHECK(entry < nodes_.size());
+  nodes_[kBeginId].next = entry;
+}
+
+size_t Sgraph::num_tests() const {
+  size_t n = 0;
+  for (NodeId id : topo_order())
+    if (nodes_[id].kind == Kind::kTest) ++n;
+  return n;
+}
+
+size_t Sgraph::num_assigns() const {
+  size_t n = 0;
+  for (NodeId id : topo_order())
+    if (nodes_[id].kind == Kind::kAssign) ++n;
+  return n;
+}
+
+std::vector<NodeId> Sgraph::children(NodeId id) const {
+  const Node& n = nodes_[id];
+  switch (n.kind) {
+    case Kind::kBegin:
+    case Kind::kAssign: return {n.next};
+    case Kind::kTest: return {n.when_true, n.when_false};
+    case Kind::kEnd: return {};
+  }
+  return {};
+}
+
+std::vector<NodeId> Sgraph::topo_order() const {
+  // DFS post-order reversed = topological (parents first).
+  std::vector<NodeId> order;
+  std::vector<char> state(nodes_.size(), 0);  // 0 new, 1 open, 2 done
+  std::vector<std::pair<NodeId, size_t>> stack{{kBeginId, 0}};
+  state[kBeginId] = 1;
+  while (!stack.empty()) {
+    auto& [id, child_idx] = stack.back();
+    const std::vector<NodeId> kids = children(id);
+    if (child_idx < kids.size()) {
+      const NodeId k = kids[child_idx++];
+      if (state[k] == 0) {
+        state[k] = 1;
+        stack.emplace_back(k, 0);
+      } else {
+        POLIS_CHECK_MSG(state[k] == 2, "cycle in s-graph");
+      }
+    } else {
+      state[id] = 2;
+      order.push_back(id);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+int Sgraph::depth() const {
+  const std::vector<NodeId> order = topo_order();
+  std::vector<int> dist(nodes_.size(), -1);
+  dist[kBeginId] = 0;
+  int best = 0;
+  for (NodeId id : order) {
+    if (dist[id] < 0) continue;
+    for (NodeId k : children(id)) {
+      dist[k] = std::max(dist[k], dist[id] + 1);
+      best = std::max(best, dist[k]);
+    }
+  }
+  return best;
+}
+
+std::vector<std::string> Sgraph::must_execute_actions() const {
+  // Bottom-up over the DAG: the set of unconditional action labels executed
+  // on every path from a vertex to END.
+  const std::vector<NodeId> order = topo_order();
+  std::vector<std::set<std::string>> must(nodes_.size());
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId id = *it;
+    const Node& n = nodes_[id];
+    switch (n.kind) {
+      case Kind::kEnd: break;
+      case Kind::kBegin: must[id] = must[n.next]; break;
+      case Kind::kAssign:
+        must[id] = must[n.next];
+        if (n.condition == nullptr) must[id].insert(n.action.label());
+        break;
+      case Kind::kTest: {
+        const std::set<std::string>& a = must[n.when_true];
+        const std::set<std::string>& b = must[n.when_false];
+        std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                              std::inserter(must[id], must[id].begin()));
+        break;
+      }
+    }
+  }
+  return std::vector<std::string>(must[kBeginId].begin(), must[kBeginId].end());
+}
+
+}  // namespace polis::sgraph

@@ -1,0 +1,108 @@
+// The s-graph ("software graph", §III-A, Definition 1): a single-source,
+// single-sink DAG with BEGIN, END, TEST and ASSIGN vertices, used as the
+// intermediate representation between a CFSM transition function and the
+// generated C / assembly code.
+//
+// TEST vertices carry a concrete predicate (a presence-flag check — which
+// becomes an RTOS call — or a data predicate). ASSIGN vertices carry an
+// action (event emission, state-variable assignment, or the implicit
+// "consume" notification to the RTOS), optionally guarded by a condition
+// expression: `z := f(x...)` with non-constant f (ordering schemes ii/iii of
+// §III-B3) is realised as "execute the action iff f evaluates to 1".
+//
+// The graph is hash-consed at construction ("reduce" of §III-B2): two
+// requests for structurally identical vertices return the same vertex, so no
+// isomorphic subgraphs exist — mirroring BDD reduction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.hpp"
+
+namespace polis::sgraph {
+
+using NodeId = std::uint32_t;
+
+enum class Kind { kBegin, kEnd, kTest, kAssign };
+
+/// The concrete effect of an ASSIGN vertex.
+struct ActionOp {
+  enum class Kind { kEmitPure, kEmitValued, kAssignVar, kConsume };
+  Kind kind = Kind::kConsume;
+  std::string target;       // signal / state variable ("" for kConsume)
+  expr::ExprRef value;      // emission value or assigned expression
+
+  std::string label() const;
+  bool operator==(const ActionOp& o) const;
+};
+
+struct Node {
+  Kind kind = Kind::kEnd;
+  // TEST
+  expr::ExprRef predicate;       // non-null iff kTest
+  bool presence_test = false;    // presence-flag test => RTOS call
+  NodeId when_true = 0;
+  NodeId when_false = 0;
+  // BEGIN / ASSIGN
+  NodeId next = 0;
+  // ASSIGN
+  ActionOp action;
+  expr::ExprRef condition;       // null => unconditional
+};
+
+class Sgraph {
+ public:
+  explicit Sgraph(std::string name);
+
+  const std::string& name() const { return name_; }
+  NodeId begin() const { return kBeginId; }
+  NodeId end() const { return kEndId; }
+
+  /// Interned TEST vertex. Returns `when_true` directly when both branches
+  /// coincide (no decision left to make).
+  NodeId test(expr::ExprRef predicate, bool presence_test, NodeId when_true,
+              NodeId when_false);
+
+  /// Interned ASSIGN vertex. A constant-false condition collapses to `next`;
+  /// a constant-true condition becomes unconditional.
+  NodeId assign(ActionOp action, expr::ExprRef condition, NodeId next);
+
+  /// Sets the BEGIN vertex's successor (the graph entry).
+  void set_entry(NodeId entry);
+  NodeId entry() const { return nodes_[kBeginId].next; }
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_tests() const;
+  size_t num_assigns() const;
+
+  /// Vertices reachable from BEGIN, parents before children (BEGIN first).
+  std::vector<NodeId> topo_order() const;
+  /// Number of reachable vertices (interning may have created orphans).
+  size_t num_reachable() const { return topo_order().size(); }
+
+  /// Longest path length in edges from BEGIN to END.
+  int depth() const;
+
+  /// Successors of a vertex (1 for BEGIN/ASSIGN, 2 for TEST, 0 for END).
+  std::vector<NodeId> children(NodeId id) const;
+
+  /// Actions guaranteed to execute unconditionally on *every* BEGIN→END
+  /// path, as labels — the "must-assign" analysis behind the functionality
+  /// check of Definition 2.
+  std::vector<std::string> must_execute_actions() const;
+
+ private:
+  static constexpr NodeId kEndId = 0;
+  static constexpr NodeId kBeginId = 1;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::unordered_multimap<size_t, NodeId> test_intern_;
+  std::unordered_multimap<size_t, NodeId> assign_intern_;
+};
+
+}  // namespace polis::sgraph

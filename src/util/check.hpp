@@ -1,0 +1,51 @@
+// Lightweight contract checking used throughout the library.
+//
+// POLIS_CHECK is always on (it guards library invariants whose violation
+// would otherwise corrupt BDD/s-graph structures); POLIS_DCHECK compiles
+// away in release builds and is used for hot-path assertions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace polis {
+
+/// Thrown when a library precondition or invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace polis
+
+#define POLIS_CHECK(cond)                                        \
+  do {                                                           \
+    if (!(cond)) ::polis::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define POLIS_CHECK_MSG(cond, msg)                               \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      std::ostringstream polis_check_os_;                        \
+      polis_check_os_ << msg;                                    \
+      ::polis::check_failed(#cond, __FILE__, __LINE__,           \
+                            polis_check_os_.str());              \
+    }                                                            \
+  } while (0)
+
+#ifdef NDEBUG
+#define POLIS_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define POLIS_DCHECK(cond) POLIS_CHECK(cond)
+#endif

@@ -1,0 +1,36 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace polis {
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  POLIS_CHECK(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::uniform01() {
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  return d(engine_);
+}
+
+bool Rng::flip(double p) { return uniform01() < p; }
+
+double Rng::exponential(double mean) {
+  POLIS_CHECK(mean > 0.0);
+  std::exponential_distribution<double> d(1.0 / mean);
+  return d(engine_);
+}
+
+std::vector<int> Rng::permutation(int n) {
+  std::vector<int> p(static_cast<size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  std::shuffle(p.begin(), p.end(), engine_);
+  return p;
+}
+
+}  // namespace polis

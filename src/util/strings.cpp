@@ -1,0 +1,73 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+
+namespace polis {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool is_identifier(std::string_view s) {
+  if (s.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_'))
+    return false;
+  for (char c : s.substr(1)) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_'))
+      return false;
+  }
+  return true;
+}
+
+std::string c_identifier(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 1);
+  if (s.empty() || std::isdigit(static_cast<unsigned char>(s[0])))
+    out.push_back('_');
+  for (char c : s) {
+    out.push_back(
+        (std::isalnum(static_cast<unsigned char>(c)) || c == '_') ? c : '_');
+  }
+  return out;
+}
+
+std::string with_commas(long long n) {
+  std::string digits = std::to_string(n < 0 ? -n : n);
+  std::string out;
+  const size_t len = digits.size();
+  for (size_t i = 0; i < len; ++i) {
+    if (i != 0 && (len - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  if (n < 0) out.insert(out.begin(), '-');
+  return out;
+}
+
+}  // namespace polis

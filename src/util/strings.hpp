@@ -1,0 +1,29 @@
+// Small string helpers shared by the frontend, code generators and report
+// printers. Kept deliberately minimal (C++ Core Guidelines SL.str).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace polis {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Returns `s` with leading/trailing ASCII whitespace removed.
+std::string_view trim(std::string_view s);
+
+/// True if `s` is a valid C identifier ([A-Za-z_][A-Za-z0-9_]*).
+bool is_identifier(std::string_view s);
+
+/// Mangles an arbitrary signal/module name into a valid C identifier.
+std::string c_identifier(std::string_view s);
+
+/// Formats `n` with a thousands separator, for report tables.
+std::string with_commas(long long n);
+
+}  // namespace polis

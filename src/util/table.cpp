@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace polis {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == ',' || c == '%' || c == 'e'))
+      return false;
+  }
+  return std::isdigit(static_cast<unsigned char>(s.back())) || s.back() == '%';
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  POLIS_CHECK_MSG(row.size() == header_.size(),
+                  "row arity " << row.size() << " vs header "
+                               << header_.size());
+  rows_.push_back(Row{std::move(row), pending_separator_});
+  pending_separator_ = false;
+}
+
+void Table::add_separator() { pending_separator_ = true; }
+
+void Table::print(std::ostream& os) const {
+  const size_t cols = header_.size();
+  std::vector<size_t> width(cols);
+  for (size_t c = 0; c < cols; ++c) width[c] = header_[c].size();
+  for (const Row& r : rows_)
+    for (size_t c = 0; c < cols; ++c)
+      width[c] = std::max(width[c], r.cells[c].size());
+
+  auto hline = [&] {
+    os << '+';
+    for (size_t c = 0; c < cols; ++c)
+      os << std::string(width[c] + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t c = 0; c < cols; ++c) {
+      const bool right = looks_numeric(cells[c]);
+      os << ' ' << (right ? std::right : std::left) << std::setw(
+                static_cast<int>(width[c]))
+         << cells[c] << ' ' << '|';
+    }
+    os << '\n';
+  };
+
+  hline();
+  emit(header_);
+  hline();
+  for (const Row& r : rows_) {
+    if (r.separator_before) hline();
+    emit(r.cells);
+  }
+  hline();
+}
+
+std::string fixed(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+}  // namespace polis

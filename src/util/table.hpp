@@ -1,0 +1,39 @@
+// ASCII table printer used by the benchmark harnesses to reproduce the
+// paper's tables in the same row/column shape.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace polis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next row.
+  void add_separator();
+
+  /// Renders with column alignment (numbers right, text left).
+  void print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Convenience: formats a double with `prec` digits after the point.
+std::string fixed(double v, int prec = 1);
+
+}  // namespace polis

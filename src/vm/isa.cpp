@@ -1,0 +1,107 @@
+#include "vm/isa.hpp"
+
+#include "util/check.hpp"
+
+namespace polis::vm {
+
+int TargetProfile::alu_cycles(expr::Op op) const {
+  switch (op) {
+    case expr::Op::kMul: return cyc_mul;
+    case expr::Op::kDiv:
+    case expr::Op::kMod: return cyc_div;
+    default: return cyc_alu;
+  }
+}
+
+int TargetProfile::alu_bytes(expr::Op op) const {
+  switch (op) {
+    case expr::Op::kMul: return sz_mul;
+    case expr::Op::kDiv:
+    case expr::Op::kMod: return sz_div;
+    default: return sz_alu;
+  }
+}
+
+int TargetProfile::instr_bytes(const Instr& i) const {
+  switch (i.op) {
+    case Opcode::kLdi: return sz_ldi;
+    case Opcode::kLd: return sz_ld;
+    case Opcode::kSt: return sz_st;
+    case Opcode::kMov: return sz_mov;
+    case Opcode::kAlu: return alu_bytes(i.alu);
+    case Opcode::kBrz:
+    case Opcode::kBrnz: return sz_branch;
+    case Opcode::kJmp: return sz_jmp;
+    case Opcode::kJmpInd: return sz_jmpind;
+    case Opcode::kDetect: return sz_detect;
+    case Opcode::kEmit:
+      return i.b >= 0 ? sz_emit + sz_emit_value_extra : sz_emit;
+    case Opcode::kConsume: return sz_consume;
+    case Opcode::kEnter: return sz_enter + i.a * sz_enter_per_copy;
+    case Opcode::kRet: return sz_ret;
+  }
+  return 0;
+}
+
+TargetProfile hc11_like() {
+  TargetProfile p;
+  p.name = "hc11";
+  return p;  // the defaults model the 8-bit CISC flavour
+}
+
+TargetProfile risc32_like() {
+  TargetProfile p;
+  p.name = "risc32";
+  p.cyc_ldi = 1;
+  p.cyc_ld = 2;
+  p.cyc_st = 2;
+  p.cyc_mov = 1;
+  p.cyc_alu = 1;
+  p.cyc_mul = 4;
+  p.cyc_div = 12;
+  p.cyc_branch_taken = 2;
+  p.cyc_branch_fall = 1;
+  p.cyc_jmp = 1;
+  p.cyc_jmpind = 3;
+  p.cyc_detect = 6;
+  p.cyc_emit = 8;
+  p.cyc_emit_value_extra = 2;
+  p.cyc_consume = 4;
+  p.cyc_enter = 3;
+  p.cyc_enter_per_copy = 2;
+  p.cyc_ret = 3;
+  p.sz_ldi = 4;
+  p.sz_ld = 4;
+  p.sz_st = 4;
+  p.sz_mov = 4;
+  p.sz_alu = 4;
+  p.sz_mul = 4;
+  p.sz_div = 4;
+  p.sz_branch = 4;
+  p.sz_jmp = 4;
+  p.sz_jmpind = 4;
+  p.sz_detect = 8;
+  p.sz_emit = 8;
+  p.sz_emit_value_extra = 4;
+  p.sz_consume = 8;
+  p.sz_enter = 8;
+  p.sz_enter_per_copy = 8;
+  p.sz_ret = 4;
+  p.pointer_size = 4;
+  p.int_size = 4;
+  return p;
+}
+
+int Program::slot_of(const std::string& name) const {
+  for (size_t i = 0; i < slot_names.size(); ++i)
+    if (slot_names[i] == name) return static_cast<int>(i);
+  return -1;
+}
+
+long long Program::size_bytes(const TargetProfile& profile) const {
+  long long total = 0;
+  for (const Instr& i : code) total += profile.instr_bytes(i);
+  return total;
+}
+
+}  // namespace polis::vm

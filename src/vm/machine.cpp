@@ -1,0 +1,178 @@
+#include "vm/machine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace polis::vm {
+
+RunResult run(const CompiledReaction& reaction, const TargetProfile& profile,
+              const std::map<std::string, std::int64_t>& mem_init,
+              const std::function<bool(const std::string&)>& present) {
+  const Program& prog = reaction.program;
+  std::vector<std::int64_t> mem(prog.slot_names.size(), 0);
+  for (size_t i = 0; i < prog.slot_names.size(); ++i) {
+    auto it = mem_init.find(prog.slot_names[i]);
+    if (it != mem_init.end()) mem[i] = it->second;
+  }
+  std::int64_t reg[64] = {0};
+
+  RunResult out;
+  size_t pc = 0;
+  const size_t guard = prog.code.size() * 64 + 1024;  // runaway protection
+  size_t steps = 0;
+  while (pc < prog.code.size()) {
+    POLIS_CHECK_MSG(++steps < guard, "VM runaway (bad control flow?)");
+    const Instr& i = prog.code[pc];
+    out.instructions++;
+    switch (i.op) {
+      case Opcode::kLdi:
+        reg[i.a] = i.imm;
+        out.cycles += profile.cyc_ldi;
+        ++pc;
+        break;
+      case Opcode::kLd:
+        reg[i.a] = mem[static_cast<size_t>(i.b)];
+        out.cycles += profile.cyc_ld;
+        ++pc;
+        break;
+      case Opcode::kSt: {
+        std::int64_t v = reg[i.b];
+        auto it = reaction.slot_wrap_domain.find(i.a);
+        if (it != reaction.slot_wrap_domain.end())
+          v = cfsm::wrap_to_domain(v, it->second);
+        mem[static_cast<size_t>(i.a)] = v;
+        out.cycles += profile.cyc_st;
+        ++pc;
+        break;
+      }
+      case Opcode::kMov:
+        reg[i.a] = reg[i.b];
+        out.cycles += profile.cyc_mov;
+        ++pc;
+        break;
+      case Opcode::kAlu:
+        reg[i.a] = expr::apply_op(i.alu, reg[i.b], reg[i.c]);
+        out.cycles += profile.alu_cycles(i.alu);
+        ++pc;
+        break;
+      case Opcode::kBrz:
+        if (reg[i.a] == 0) {
+          out.cycles += profile.cyc_branch_taken;
+          pc = static_cast<size_t>(i.b);
+        } else {
+          out.cycles += profile.cyc_branch_fall;
+          ++pc;
+        }
+        break;
+      case Opcode::kBrnz:
+        if (reg[i.a] != 0) {
+          out.cycles += profile.cyc_branch_taken;
+          pc = static_cast<size_t>(i.b);
+        } else {
+          out.cycles += profile.cyc_branch_fall;
+          ++pc;
+        }
+        break;
+      case Opcode::kJmp:
+        out.cycles += profile.cyc_jmp;
+        pc = static_cast<size_t>(i.b);
+        break;
+      case Opcode::kJmpInd:
+        out.cycles += profile.cyc_jmpind;
+        pc = static_cast<size_t>(i.b + reg[i.a]);
+        break;
+      case Opcode::kDetect:
+        reg[i.a] = present(i.sym) ? 1 : 0;
+        out.cycles += profile.cyc_detect;
+        ++pc;
+        break;
+      case Opcode::kEmit: {
+        std::int64_t v = 0;
+        out.cycles += profile.cyc_emit;
+        if (i.b >= 0) {
+          v = reg[i.b];
+          auto it = reaction.signal_domain.find(i.sym);
+          if (it != reaction.signal_domain.end())
+            v = cfsm::wrap_to_domain(v, it->second);
+          out.cycles += profile.cyc_emit_value_extra;
+        }
+        out.emissions.emplace_back(i.sym, v);
+        ++pc;
+        break;
+      }
+      case Opcode::kConsume:
+        out.consumed = true;
+        out.cycles += profile.cyc_consume;
+        ++pc;
+        break;
+      case Opcode::kEnter:
+        out.cycles += profile.cyc_enter +
+                      static_cast<long long>(i.a) * profile.cyc_enter_per_copy;
+        for (const auto& [from, to] : reaction.copy_in)
+          mem[static_cast<size_t>(to)] = mem[static_cast<size_t>(from)];
+        ++pc;
+        break;
+      case Opcode::kRet:
+        out.cycles += profile.cyc_ret;
+        for (size_t s = 0; s < mem.size(); ++s)
+          out.memory_out[prog.slot_names[s]] = mem[s];
+        return out;
+    }
+  }
+  POLIS_CHECK_MSG(false, "program fell off the end without kRet");
+  return out;
+}
+
+cfsm::Reaction run_reaction(const CompiledReaction& reaction,
+                            const TargetProfile& profile,
+                            const cfsm::Cfsm& machine,
+                            const cfsm::Snapshot& snapshot,
+                            const std::map<std::string, std::int64_t>& state,
+                            long long* cycles_out) {
+  std::map<std::string, std::int64_t> mem;
+  for (const cfsm::Signal& s : machine.inputs())
+    if (!s.is_pure()) mem[cfsm::value_name(s.name)] = snapshot.value_of(s.name);
+  for (const auto& [name, v] : state) mem[name] = v;
+
+  const RunResult r = run(reaction, profile, mem, [&](const std::string& sig) {
+    return snapshot.is_present(sig);
+  });
+  if (cycles_out != nullptr) *cycles_out = r.cycles;
+
+  cfsm::Reaction out;
+  out.fired = r.consumed;
+  out.emissions = r.emissions;
+  out.next_state = state;
+  for (auto& [name, v] : out.next_state) {
+    auto it = r.memory_out.find(name);
+    if (it != r.memory_out.end()) v = it->second;
+  }
+  return out;
+}
+
+std::optional<MeasuredTiming> measure_timing(
+    const CompiledReaction& reaction, const TargetProfile& profile,
+    const cfsm::Cfsm& machine, std::uint64_t limit) {
+  MeasuredTiming t;
+  bool first = true;
+  const bool complete = cfsm::enumerate_concrete_space(
+      machine, limit,
+      [&](const cfsm::Snapshot& snap,
+          const std::map<std::string, std::int64_t>& st) {
+        long long cycles = 0;
+        run_reaction(reaction, profile, machine, snap, st, &cycles);
+        if (first) {
+          t.min_cycles = t.max_cycles = cycles;
+          first = false;
+        } else {
+          t.min_cycles = std::min(t.min_cycles, cycles);
+          t.max_cycles = std::max(t.max_cycles, cycles);
+        }
+        t.cases++;
+      });
+  if (!complete) return std::nullopt;
+  return t;
+}
+
+}  // namespace polis::vm

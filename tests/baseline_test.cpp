@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baseline/boolnet.hpp"
+#include "baseline/compose.hpp"
+#include "baseline/multiway.hpp"
+#include "cfsm/random.hpp"
+#include "cfsm/reactive.hpp"
+#include "core/systems.hpp"
+#include "estim/calibrate.hpp"
+#include "sgraph/build.hpp"
+#include "util/rng.hpp"
+#include "vm/machine.hpp"
+
+namespace polis::baseline {
+namespace {
+
+bool same_reaction(const cfsm::Reaction& a, const cfsm::Reaction& b) {
+  auto sorted = [](std::vector<std::pair<std::string, std::int64_t>> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  return a.fired == b.fired && sorted(a.emissions) == sorted(b.emissions) &&
+         a.next_state == b.next_state;
+}
+
+// --- Multiway --------------------------------------------------------------------
+
+class MultiwayEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiwayEquivalence, MatchesReferenceExhaustively) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 389 + 7);
+  const cfsm::Cfsm m = cfsm::random_cfsm(rng);
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  const auto mw = compile_multiway(rf);
+  ASSERT_TRUE(mw.has_value());
+  int bad = 0;
+  cfsm::enumerate_concrete_space(
+      m, 1u << 16,
+      [&](const cfsm::Snapshot& snap,
+          const std::map<std::string, std::int64_t>& st) {
+        const cfsm::Reaction ref = m.react(snap, st);
+        const cfsm::Reaction got =
+            vm::run_reaction(mw->reaction, vm::hc11_like(), m, snap, st);
+        if (!same_reaction(ref, got)) ++bad;
+      });
+  EXPECT_EQ(bad, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiwayEquivalence, ::testing::Range(0, 10));
+
+TEST(Multiway, LargerThanDecisionGraph) {
+  // Table II's reference row: the two-level jump structure beats nothing —
+  // it is bulkier than the optimized decision graph on every dashboard CFSM.
+  for (const auto& m : systems::dashboard_modules()) {
+    bdd::BddManager mgr;
+    cfsm::ReactiveFunction rf(*m, mgr);
+    const sgraph::Sgraph g = sgraph::build_sgraph(
+        rf, sgraph::OrderingScheme::kSiftOutputsAfterSupport);
+    const vm::CompiledReaction dg = vm::compile(g, vm::SymbolInfo::from(*m));
+    const auto mw = compile_multiway(rf);
+    ASSERT_TRUE(mw.has_value()) << m->name();
+    EXPECT_GT(mw->reaction.program.size_bytes(vm::hc11_like()),
+              dg.program.size_bytes(vm::hc11_like()))
+        << m->name();
+  }
+}
+
+TEST(Multiway, StructuralEstimateTracksMeasurement) {
+  // The `a + b·i` multiway parameters (§III-C1) feed a structural size/time
+  // estimate that must track the VM measurement of the jump-table code.
+  const estim::CostModel model = estim::calibrate(vm::hc11_like());
+  for (const auto& m : systems::dashboard_modules()) {
+    bdd::BddManager mgr;
+    cfsm::ReactiveFunction rf(*m, mgr);
+    const auto mw = compile_multiway(rf);
+    ASSERT_TRUE(mw.has_value()) << m->name();
+    const estim::Estimate e =
+        estimate_multiway(*mw, rf, model, estim::context_for(*m));
+    const long long measured = mw->reaction.program.size_bytes(vm::hc11_like());
+    EXPECT_NEAR(static_cast<double>(e.size_bytes),
+                static_cast<double>(measured),
+                0.15 * static_cast<double>(measured))
+        << m->name();
+    const auto timing =
+        vm::measure_timing(mw->reaction, vm::hc11_like(), *m, 1u << 18);
+    ASSERT_TRUE(timing.has_value());
+    EXPECT_LE(e.min_cycles, e.max_cycles);
+    // The dispatch spine dominates: the estimate lands in the right band.
+    EXPECT_NEAR(static_cast<double>(e.max_cycles),
+                static_cast<double>(timing->max_cycles),
+                0.35 * static_cast<double>(timing->max_cycles))
+        << m->name();
+  }
+}
+
+TEST(Multiway, RespectsExplosionLimit) {
+  Rng rng(3);
+  const cfsm::Cfsm m = cfsm::random_cfsm(rng);
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  EXPECT_FALSE(compile_multiway(rf, 1).has_value());
+}
+
+// --- Boolnet ---------------------------------------------------------------------
+
+// Interprets a Boolnet program over a concrete snapshot/state.
+cfsm::Reaction run_boolnet(const BoolnetProgram& program, const cfsm::Cfsm& m,
+                           const cfsm::Snapshot& snap,
+                           const std::map<std::string, std::int64_t>& st) {
+  std::map<std::string, std::int64_t> temps;
+  const expr::Env env = [&](const std::string& name) -> std::int64_t {
+    auto t = temps.find(name);
+    if (t != temps.end()) return t->second;
+    for (const cfsm::Signal& s : m.inputs()) {
+      if (name == cfsm::presence_name(s.name)) return snap.is_present(s.name);
+      if (!s.is_pure() && name == cfsm::value_name(s.name))
+        return snap.value_of(s.name);
+    }
+    return st.at(name);
+  };
+  for (const BoolnetStep& step : program.steps)
+    temps[step.temp] = expr::evaluate(*step.value, env);
+
+  cfsm::Reaction out;
+  out.next_state = st;
+  for (const auto& [op, guard] : program.actions) {
+    if (guard != nullptr && expr::evaluate(*guard, env) == 0) continue;
+    switch (op.kind) {
+      case sgraph::ActionOp::Kind::kConsume:
+        out.fired = true;
+        break;
+      case sgraph::ActionOp::Kind::kEmitPure:
+        out.emissions.emplace_back(op.target, 0);
+        break;
+      case sgraph::ActionOp::Kind::kEmitValued:
+        out.emissions.emplace_back(
+            op.target,
+            cfsm::wrap_to_domain(expr::evaluate(*op.value, env),
+                                 m.find_output(op.target)->domain));
+        break;
+      case sgraph::ActionOp::Kind::kAssignVar:
+        out.next_state[op.target] =
+            cfsm::wrap_to_domain(expr::evaluate(*op.value, env),
+                                 m.find_state(op.target)->domain);
+        break;
+    }
+  }
+  return out;
+}
+
+class BoolnetEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoolnetEquivalence, MatchesReferenceExhaustively) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 523 + 19);
+  const cfsm::Cfsm m = cfsm::random_cfsm(rng);
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  const BoolnetProgram program = build_boolnet(rf);
+  int bad = 0;
+  cfsm::enumerate_concrete_space(
+      m, 1u << 16,
+      [&](const cfsm::Snapshot& snap,
+          const std::map<std::string, std::int64_t>& st) {
+        const cfsm::Reaction ref = m.react(snap, st);
+        const cfsm::Reaction got = run_boolnet(program, m, snap, st);
+        if (!same_reaction(ref, got)) ++bad;
+      });
+  EXPECT_EQ(bad, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoolnetEquivalence, ::testing::Range(0, 10));
+
+TEST(Boolnet, SharedNodesBecomeTemps) {
+  // The belt CFSM's output functions share BDD structure.
+  const auto modules = systems::dashboard_modules();
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(*modules[0], mgr);  // belt
+  const BoolnetProgram p = build_boolnet(rf);
+  EXPECT_GT(p.shared_nodes, 0u);
+  EXPECT_EQ(p.steps.size(), p.shared_nodes);
+  const std::string c = boolnet_to_c(p);
+  EXPECT_NE(c.find("__t0"), std::string::npos);
+}
+
+TEST(Boolnet, EstimateLargerThanDecisionGraph) {
+  // The paper's finding: the outputs-before-inputs Boolean-network style
+  // yields larger code than the BDD decision graph (§III-B3c, Table III).
+  const estim::CostModel model = estim::calibrate(vm::hc11_like());
+  for (const auto& m : systems::dashboard_modules()) {
+    bdd::BddManager mgr;
+    cfsm::ReactiveFunction rf(*m, mgr);
+    const sgraph::Sgraph g = sgraph::build_sgraph(
+        rf, sgraph::OrderingScheme::kSiftOutputsAfterSupport);
+    const estim::Estimate dg = estim::estimate(g, model, estim::context_for(*m));
+    const BoolnetProgram p = build_boolnet(rf);
+    const estim::Estimate bn = estimate_boolnet(p, model, estim::context_for(*m));
+    EXPECT_GE(bn.size_bytes, dg.size_bytes) << m->name();
+    EXPECT_LE(bn.min_cycles, bn.max_cycles);
+  }
+}
+
+// --- Synchronous composition ---------------------------------------------------
+
+TEST(Compose, SimplePipelineSemantics) {
+  // in -> inc -> double -> out, zero-delay within a tick.
+  auto inc = std::make_shared<cfsm::Cfsm>(
+      "inc", std::vector<cfsm::Signal>{{"x", 4}},
+      std::vector<cfsm::Signal>{{"m", 4}}, std::vector<cfsm::StateVar>{},
+      std::vector<cfsm::Rule>{cfsm::Rule{
+          cfsm::presence("x"),
+          {cfsm::Emit{"m", expr::add(cfsm::value_of("x"), expr::constant(1))}},
+          {}}});
+  auto dbl = std::make_shared<cfsm::Cfsm>(
+      "dbl", std::vector<cfsm::Signal>{{"m", 4}},
+      std::vector<cfsm::Signal>{{"y", 8}}, std::vector<cfsm::StateVar>{},
+      std::vector<cfsm::Rule>{cfsm::Rule{
+          cfsm::presence("m"),
+          {cfsm::Emit{"y", expr::mul(cfsm::value_of("m"), expr::constant(2))}},
+          {}}});
+  cfsm::Network net("pipe");
+  net.add_instance("a", inc);
+  net.add_instance("b", dbl);
+
+  const auto result = synchronous_compose(net);
+  ASSERT_TRUE(result.has_value());
+  const cfsm::Cfsm& c = *result->machine;
+  EXPECT_EQ(c.inputs().size(), 1u);
+  EXPECT_EQ(c.outputs().size(), 1u);
+
+  cfsm::Snapshot snap;
+  snap.present["x"] = true;
+  snap.value["x"] = 2;
+  const cfsm::Reaction r = c.react(snap, c.initial_state());
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].first, "y");
+  EXPECT_EQ(r.emissions[0].second, 6);  // (2+1)*2
+}
+
+TEST(Compose, StatefulChainMatchesManualTicks) {
+  const auto net = systems::dash_core_network();
+  const auto result = synchronous_compose(*net);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->reachable_states, 1u);
+  EXPECT_GT(result->rules, result->reachable_states);
+
+  // Drive the composed machine with a pulse/tick sequence and check the
+  // wheel-speed chain behaviour: pulses are debounced, counted per window,
+  // and reported once per change.
+  const cfsm::Cfsm& c = *result->machine;
+  auto state = c.initial_state();
+  int pwm_count = 0;
+  for (int step = 0; step < 40; ++step) {
+    cfsm::Snapshot snap;
+    snap.present["wheel_raw"] = true;       // pulse every step
+    snap.present["timer"] = step % 8 == 7;  // tick every 8th
+    const cfsm::Reaction r = c.react(snap, state);
+    state = r.next_state;
+    for (const auto& [net_name, v] : r.emissions) {
+      (void)v;
+      if (net_name == "speed_pwm") ++pwm_count;
+    }
+  }
+  EXPECT_GT(pwm_count, 0);
+}
+
+TEST(Compose, RejectsCyclesAndRespectsLimit) {
+  auto relay = std::make_shared<cfsm::Cfsm>(
+      "relay", std::vector<cfsm::Signal>{{"i", 1}},
+      std::vector<cfsm::Signal>{{"o", 1}}, std::vector<cfsm::StateVar>{},
+      std::vector<cfsm::Rule>{
+          cfsm::Rule{cfsm::presence("i"), {cfsm::Emit{"o", nullptr}}, {}}});
+  cfsm::Network loop("loop");
+  loop.add_instance("u", relay, {{"i", "w1"}, {"o", "w2"}});
+  loop.add_instance("v", relay, {{"i", "w2"}, {"o", "w1"}});
+  EXPECT_FALSE(synchronous_compose(loop).has_value());
+
+  ComposeOptions tiny;
+  tiny.explosion_limit = 1;
+  EXPECT_FALSE(synchronous_compose(*systems::dash_core_network(), tiny)
+                   .has_value());
+}
+
+TEST(Compose, ComposedCodeLargerThanSumOfParts) {
+  // Table III's shape: the explicit single FSM costs more bytes than the
+  // per-CFSM POLIS synthesis of the same sub-network.
+  const auto net = systems::dash_core_network();
+  const auto composed = synchronous_compose(*net);
+  ASSERT_TRUE(composed.has_value());
+
+  long long parts = 0;
+  for (const cfsm::Instance& inst : net->instances()) {
+    bdd::BddManager mgr;
+    cfsm::ReactiveFunction rf(*inst.machine, mgr);
+    const sgraph::Sgraph g = sgraph::build_sgraph(
+        rf, sgraph::OrderingScheme::kSiftOutputsAfterSupport);
+    parts += vm::compile(g, vm::SymbolInfo::from(*inst.machine))
+                 .program.size_bytes(vm::hc11_like());
+  }
+
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(*composed->machine, mgr);
+  const sgraph::Sgraph g =
+      sgraph::build_sgraph(rf, sgraph::OrderingScheme::kNaive);
+  const long long whole =
+      vm::compile(g, vm::SymbolInfo::from(*composed->machine))
+          .program.size_bytes(vm::hc11_like());
+  EXPECT_GT(whole, parts);
+}
+
+}  // namespace
+}  // namespace polis::baseline

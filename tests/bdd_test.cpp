@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "bdd/io.hpp"
+#include "util/rng.hpp"
+
+namespace polis::bdd {
+namespace {
+
+// Brute-force reference: a truth table over n variables.
+using Table = std::vector<bool>;
+
+Table table_of(BddManager& mgr, const Bdd& f, int n) {
+  Table t(static_cast<size_t>(1) << n);
+  for (size_t m = 0; m < t.size(); ++m) {
+    t[m] = mgr.eval(f, [m](int v) { return (m >> v) & 1; });
+  }
+  return t;
+}
+
+TEST(Bdd, ConstantsAndVariables) {
+  BddManager mgr(3);
+  EXPECT_TRUE(mgr.one().is_one());
+  EXPECT_TRUE(mgr.zero().is_zero());
+  const Bdd x = mgr.var(0);
+  EXPECT_FALSE(x.is_constant());
+  EXPECT_EQ(x.top_var(), 0);
+  EXPECT_TRUE(x.high().is_one());
+  EXPECT_TRUE(x.low().is_zero());
+  const Bdd nx = mgr.nvar(0);
+  EXPECT_TRUE(nx.high().is_zero());
+  EXPECT_TRUE((x | nx).is_one());
+  EXPECT_TRUE((x & nx).is_zero());
+}
+
+TEST(Bdd, CanonicityTwoConstructionsOneNode) {
+  BddManager mgr(4);
+  const Bdd a = mgr.var(0);
+  const Bdd b = mgr.var(1);
+  // a&b built two different ways must be the same node.
+  const Bdd f1 = a & b;
+  const Bdd f2 = !(((!a)) | ((!b)));  // De Morgan
+  EXPECT_EQ(f1, f2);
+  const Bdd g1 = a ^ b;
+  const Bdd g2 = (a & (!b)) | ((!a) & b);
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(Bdd, IteBasicIdentities) {
+  BddManager mgr(3);
+  const Bdd a = mgr.var(0);
+  const Bdd b = mgr.var(1);
+  EXPECT_EQ(mgr.ite(mgr.one(), a, b), a);
+  EXPECT_EQ(mgr.ite(mgr.zero(), a, b), b);
+  EXPECT_EQ(mgr.ite(a, mgr.one(), mgr.zero()), a);
+  EXPECT_EQ(mgr.ite(a, b, b), b);
+  EXPECT_EQ(mgr.implies(a, a), mgr.one());
+}
+
+TEST(Bdd, CofactorShannon) {
+  BddManager mgr(4);
+  const Bdd a = mgr.var(0);
+  const Bdd b = mgr.var(1);
+  const Bdd c = mgr.var(2);
+  const Bdd f = (a & b) | ((!a) & c);
+  EXPECT_EQ(mgr.cofactor(f, 0, true), b);
+  EXPECT_EQ(mgr.cofactor(f, 0, false), c);
+  // Shannon: f == ite(x, f|x=1, f|x=0).
+  const Bdd g = mgr.ite(a, mgr.cofactor(f, 0, true), mgr.cofactor(f, 0, false));
+  EXPECT_EQ(f, g);
+  // Cofactor by a variable not in the support is the identity.
+  EXPECT_EQ(mgr.cofactor(f, 3, true), f);
+}
+
+TEST(Bdd, SmoothAndForall) {
+  BddManager mgr(3);
+  const Bdd a = mgr.var(0);
+  const Bdd b = mgr.var(1);
+  const Bdd f = a & b;
+  EXPECT_EQ(mgr.smooth(f, {0}), b);       // ∃a. a&b = b
+  EXPECT_EQ(mgr.forall(f, {0}), mgr.zero());  // ∀a. a&b = 0
+  const Bdd g = a | b;
+  EXPECT_EQ(mgr.smooth(g, {0}), mgr.one());
+  EXPECT_EQ(mgr.forall(g, {0}), b);
+  EXPECT_EQ(mgr.smooth(f, {0, 1}), mgr.one());
+  EXPECT_EQ(mgr.smooth(f, {}), f);
+}
+
+TEST(Bdd, ComposeSubstitutes) {
+  BddManager mgr(3);
+  const Bdd a = mgr.var(0);
+  const Bdd b = mgr.var(1);
+  const Bdd c = mgr.var(2);
+  const Bdd f = a ^ b;
+  EXPECT_EQ(mgr.compose(f, 0, c), c ^ b);
+  EXPECT_EQ(mgr.compose(f, 0, b), mgr.zero());  // b^b
+  EXPECT_EQ(mgr.compose(f, 2, c), f);           // var not in support
+}
+
+TEST(Bdd, SupportExact) {
+  BddManager mgr(5);
+  const Bdd f = (mgr.var(0) & mgr.var(3)) | mgr.var(4);
+  EXPECT_EQ(mgr.support(f), (std::set<int>{0, 3, 4}));
+  // A cancelled variable must not appear in the support.
+  const Bdd g = (mgr.var(1) & mgr.var(2)) | ((!mgr.var(1)) & mgr.var(2));
+  EXPECT_EQ(mgr.support(g), (std::set<int>{2}));
+  EXPECT_TRUE(mgr.support(mgr.one()).empty());
+}
+
+TEST(Bdd, SatCount) {
+  BddManager mgr(4);
+  const Bdd a = mgr.var(0);
+  const Bdd b = mgr.var(1);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(a, 4), 8.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(a & b, 4), 4.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(a | b, 4), 12.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(a ^ b, 4), 8.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.one(), 4), 16.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.zero(), 4), 0.0);
+}
+
+TEST(Bdd, OneSatYieldsSatisfyingCube) {
+  BddManager mgr(4);
+  const Bdd f = (mgr.var(0) & (!mgr.var(2))) | (mgr.var(1) & mgr.var(3));
+  const auto cube = mgr.one_sat(f);
+  // Extend the cube to a full assignment (others false) and check.
+  std::vector<bool> assign(4, false);
+  for (const auto& [v, val] : cube) assign[static_cast<size_t>(v)] = val;
+  EXPECT_TRUE(mgr.eval(f, [&](int v) { return assign[static_cast<size_t>(v)]; }));
+}
+
+TEST(Bdd, RestrictAgreesOnCareSet) {
+  BddManager mgr(4);
+  const Bdd a = mgr.var(0);
+  const Bdd b = mgr.var(1);
+  const Bdd c = mgr.var(2);
+  const Bdd f = (a & b) | ((!a) & c);
+  const Bdd care = a;  // only the a=1 half matters
+  const Bdd r = mgr.restrict(f, care);
+  // Wherever care holds, restrict(f) == f.
+  for (int m = 0; m < 16; ++m) {
+    const auto assign = [m](int v) { return ((m >> v) & 1) != 0; };
+    if (!mgr.eval(care, assign)) continue;
+    EXPECT_EQ(mgr.eval(r, assign), mgr.eval(f, assign)) << "minterm " << m;
+  }
+  // Under care = a, f collapses to b (sibling substitution drops c).
+  EXPECT_EQ(r, b);
+}
+
+TEST(Bdd, RestrictNeverGrowsOnTheseExamples) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    BddManager mgr(6);
+    Bdd f = mgr.zero();
+    Bdd care = mgr.zero();
+    for (int t = 0; t < 3; ++t) {
+      Bdd cube = mgr.one();
+      Bdd care_cube = mgr.one();
+      for (int v = 0; v < 6; ++v) {
+        const auto choice = rng.uniform(0, 2);
+        if (choice == 0) cube = cube & mgr.var(v);
+        if (choice == 1) cube = cube & mgr.nvar(v);
+        const auto cchoice = rng.uniform(0, 2);
+        if (cchoice == 0) care_cube = care_cube & mgr.var(v);
+        if (cchoice == 1) care_cube = care_cube & mgr.nvar(v);
+      }
+      f = f | cube;
+      care = care | care_cube;
+    }
+    const Bdd r = mgr.restrict(f, care);
+    EXPECT_LE(mgr.node_count(r), mgr.node_count(f));
+    // Agreement on the care set.
+    EXPECT_TRUE(((r ^ f) & care).is_zero());
+  }
+}
+
+TEST(Bdd, RestrictTrivialCases) {
+  BddManager mgr(2);
+  const Bdd f = mgr.var(0) & mgr.var(1);
+  EXPECT_EQ(mgr.restrict(f, mgr.one()), f);
+  EXPECT_TRUE(mgr.restrict(f, mgr.zero()).is_zero());
+  EXPECT_EQ(mgr.restrict(mgr.one(), mgr.var(0)), mgr.one());
+}
+
+TEST(Bdd, NodeCountSharing) {
+  BddManager mgr(4);
+  const Bdd a = mgr.var(0);
+  const Bdd b = mgr.var(1);
+  const Bdd f = a & b;
+  const Bdd g = a | b;
+  // Shared counting: counting both roots together is fewer than the sum.
+  const size_t together = mgr.node_count(std::vector<Bdd>{f, g});
+  EXPECT_LE(together, mgr.node_count(f) + mgr.node_count(g));
+  EXPECT_GE(together, mgr.node_count(f));
+}
+
+TEST(Bdd, SetOrderPreservesSemantics) {
+  BddManager mgr(4);
+  Bdd f = (mgr.var(0) & mgr.var(2)) | (mgr.var(1) & mgr.var(3));
+  const Table before = table_of(mgr, f, 4);
+  mgr.set_order({3, 1, 2, 0});
+  EXPECT_EQ(table_of(mgr, f, 4), before);
+  EXPECT_EQ(mgr.level_of(3), 0);
+  EXPECT_EQ(mgr.var_at_level(0), 3);
+  mgr.set_order({0, 1, 2, 3});
+  EXPECT_EQ(table_of(mgr, f, 4), before);
+}
+
+TEST(Bdd, InterleavedOrderSmallerForDisjointAnds) {
+  // (x0&y0) | (x1&y1) | (x2&y2): interleaved order is linear, separated
+  // order is exponential — the classic ordering example.
+  BddManager mgr(6);  // x0..x2 = 0..2, y0..y2 = 3..5
+  Bdd f = mgr.zero();
+  for (int i = 0; i < 3; ++i) f = f | (mgr.var(i) & mgr.var(i + 3));
+  const size_t separated = mgr.size_under_order({0, 1, 2, 3, 4, 5});
+  const size_t interleaved = mgr.size_under_order({0, 3, 1, 4, 2, 5});
+  EXPECT_LT(interleaved, separated);
+}
+
+TEST(Bdd, GarbageCollectKeepsLiveHandles) {
+  BddManager mgr(4);
+  Bdd keep = mgr.var(0) & mgr.var(1);
+  {
+    Bdd dead = mgr.var(2) ^ mgr.var(3);
+    (void)dead;
+  }
+  const Table before = table_of(mgr, keep, 4);
+  const size_t arena_before = mgr.arena_size();
+  mgr.garbage_collect();
+  EXPECT_LE(mgr.arena_size(), arena_before);
+  EXPECT_EQ(table_of(mgr, keep, 4), before);
+}
+
+TEST(Bdd, HandleCopySemantics) {
+  BddManager mgr(2);
+  Bdd a = mgr.var(0);
+  Bdd b = a;  // copy
+  EXPECT_EQ(a, b);
+  Bdd c = std::move(b);
+  EXPECT_TRUE(b.is_null());
+  EXPECT_EQ(c, a);
+  c = a;
+  c = c;  // self-assignment is a no-op
+  EXPECT_EQ(c, a);
+}
+
+TEST(Bdd, ManagerDestructionNullsHandles) {
+  Bdd survivor;
+  {
+    BddManager mgr(2);
+    survivor = mgr.var(0);
+    EXPECT_FALSE(survivor.is_null());
+  }
+  EXPECT_TRUE(survivor.is_null());
+}
+
+TEST(Bdd, VarNodeProfileCountsPerLevel) {
+  BddManager mgr(3);
+  Bdd f = (mgr.var(0) & mgr.var(1)) | mgr.var(2);
+  const std::vector<size_t> profile = mgr.var_node_profile();
+  EXPECT_EQ(profile.size(), 3u);
+  EXPECT_EQ(profile[0], 1u);
+  EXPECT_GE(profile[1], 1u);
+  EXPECT_GE(profile[2], 1u);
+}
+
+TEST(BddIo, ToExprMatchesFunction) {
+  BddManager mgr(3);
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | ((!mgr.var(0)) & mgr.var(2));
+  const expr::ExprRef e = to_expr(f, [](int v) {
+    return expr::var("x" + std::to_string(v));
+  });
+  for (int m = 0; m < 8; ++m) {
+    const bool want = mgr.eval(f, [m](int v) { return (m >> v) & 1; });
+    const std::int64_t got = expr::evaluate(
+        *e, [m](const std::string& n) -> std::int64_t {
+          const int v = n[1] - '0';
+          return (m >> v) & 1;
+        });
+    EXPECT_EQ(got != 0, want) << "minterm " << m;
+  }
+}
+
+TEST(BddIo, StatsString) {
+  BddManager mgr(3);
+  const Bdd f = mgr.var(0) & mgr.var(2);
+  const std::string st = stats(mgr, f);
+  EXPECT_NE(st.find("nodes="), std::string::npos);
+  EXPECT_NE(st.find("vars=2"), std::string::npos);
+}
+
+TEST(BddIo, DotOutputWellFormed) {
+  BddManager mgr(2);
+  const Bdd f = mgr.var(0) & mgr.var(1);
+  std::ostringstream os;
+  to_dot({f}, {"f"}, os);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("v0"), std::string::npos);
+}
+
+// --- Property: random operation DAGs match brute-force truth tables, under
+// --- the initial order and after random reorderings.
+class BddProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddProperty, RandomDagMatchesTruthTableAcrossOrders) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const int n = 2 + static_cast<int>(rng.uniform(0, 6));  // up to 8 vars
+  BddManager mgr(n);
+
+  // Reference truth tables maintained alongside the BDDs.
+  std::vector<Bdd> funcs;
+  std::vector<Table> tables;
+  for (int v = 0; v < n; ++v) {
+    funcs.push_back(mgr.var(v));
+    tables.push_back(table_of(mgr, funcs.back(), n));
+  }
+  for (int step = 0; step < 30; ++step) {
+    const size_t i = static_cast<size_t>(rng.uniform(0, static_cast<int>(funcs.size()) - 1));
+    const size_t j = static_cast<size_t>(rng.uniform(0, static_cast<int>(funcs.size()) - 1));
+    Bdd f;
+    Table t(static_cast<size_t>(1) << n);
+    switch (rng.uniform(0, 4)) {
+      case 0:
+        f = funcs[i] & funcs[j];
+        for (size_t m = 0; m < t.size(); ++m) t[m] = tables[i][m] && tables[j][m];
+        break;
+      case 1:
+        f = funcs[i] | funcs[j];
+        for (size_t m = 0; m < t.size(); ++m) t[m] = tables[i][m] || tables[j][m];
+        break;
+      case 2:
+        f = funcs[i] ^ funcs[j];
+        for (size_t m = 0; m < t.size(); ++m) t[m] = tables[i][m] != tables[j][m];
+        break;
+      case 3:
+        f = !funcs[i];
+        for (size_t m = 0; m < t.size(); ++m) t[m] = !tables[i][m];
+        break;
+      default: {
+        const size_t k = static_cast<size_t>(rng.uniform(0, static_cast<int>(funcs.size()) - 1));
+        f = mgr.ite(funcs[i], funcs[j], funcs[k]);
+        for (size_t m = 0; m < t.size(); ++m)
+          t[m] = tables[i][m] ? tables[j][m] : tables[k][m];
+        break;
+      }
+    }
+    funcs.push_back(f);
+    tables.push_back(t);
+  }
+
+  for (size_t i = 0; i < funcs.size(); ++i)
+    ASSERT_EQ(table_of(mgr, funcs[i], n), tables[i]) << "func " << i;
+
+  // Reorder randomly twice; all functions must still match.
+  for (int round = 0; round < 2; ++round) {
+    mgr.set_order(rng.permutation(n));
+    for (size_t i = 0; i < funcs.size(); ++i)
+      ASSERT_EQ(table_of(mgr, funcs[i], n), tables[i])
+          << "after reorder, func " << i;
+  }
+
+  // Quantification spot-checks against the tables.
+  const Bdd f = funcs.back();
+  const Table& tf = tables.back();
+  const int qv = static_cast<int>(rng.uniform(0, n - 1));
+  const Bdd ex = mgr.smooth(f, {qv});
+  const Bdd all = mgr.forall(f, {qv});
+  for (size_t m = 0; m < tf.size(); ++m) {
+    const size_t m0 = m & ~(static_cast<size_t>(1) << qv);
+    const size_t m1 = m | (static_cast<size_t>(1) << qv);
+    const bool want_ex = tf[m0] || tf[m1];
+    const bool want_all = tf[m0] && tf[m1];
+    EXPECT_EQ(mgr.eval(ex, [m](int v) { return (m >> v) & 1; }), want_ex);
+    EXPECT_EQ(mgr.eval(all, [m](int v) { return (m >> v) & 1; }), want_all);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace polis::bdd

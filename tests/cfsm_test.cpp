@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "cfsm/cfsm.hpp"
+#include "cfsm/network.hpp"
+#include "cfsm/random.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace polis::cfsm {
+namespace {
+
+Cfsm simple_machine(int dom = 4) {
+  // Fig. 1 "module simple".
+  return Cfsm(
+      "simple", {{"c", dom}}, {{"y", 1}}, {{"a", dom, 0}},
+      {
+          Rule{expr::land(presence("c"),
+                          expr::eq(expr::var("a"), value_of("c"))),
+               {Emit{"y", nullptr}},
+               {Assign{"a", expr::constant(0)}}},
+          Rule{expr::land(presence("c"),
+                          expr::ne(expr::var("a"), value_of("c"))),
+               {},
+               {Assign{"a", expr::add(expr::var("a"), expr::constant(1))}}},
+      });
+}
+
+TEST(Cfsm, WrapToDomain) {
+  EXPECT_EQ(wrap_to_domain(5, 4), 1);
+  EXPECT_EQ(wrap_to_domain(-1, 4), 3);
+  EXPECT_EQ(wrap_to_domain(3, 4), 3);
+  EXPECT_EQ(wrap_to_domain(42, 1), 0);  // pure/degenerate domain
+}
+
+TEST(Cfsm, ReactMatchingRuleFires) {
+  const Cfsm m = simple_machine();
+  Snapshot snap;
+  snap.present["c"] = true;
+  snap.value["c"] = 0;
+  const Reaction r = m.react(snap, {{"a", 0}});
+  EXPECT_TRUE(r.fired);
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].first, "y");
+  EXPECT_EQ(r.next_state.at("a"), 0);
+}
+
+TEST(Cfsm, ReactIncrementBranch) {
+  const Cfsm m = simple_machine();
+  Snapshot snap;
+  snap.present["c"] = true;
+  snap.value["c"] = 2;
+  const Reaction r = m.react(snap, {{"a", 0}});
+  EXPECT_TRUE(r.fired);
+  EXPECT_TRUE(r.emissions.empty());
+  EXPECT_EQ(r.next_state.at("a"), 1);
+}
+
+TEST(Cfsm, ReactNoEventNoRule) {
+  const Cfsm m = simple_machine();
+  const Reaction r = m.react({}, {{"a", 2}});
+  EXPECT_FALSE(r.fired);
+  EXPECT_TRUE(r.emissions.empty());
+  EXPECT_EQ(r.next_state.at("a"), 2);  // state preserved
+}
+
+TEST(Cfsm, FirstMatchPriority) {
+  // Two overlapping guards: the first rule must win.
+  const Cfsm m("prio", {{"e", 1}}, {{"a", 1}, {"b", 1}}, {},
+               {Rule{presence("e"), {Emit{"a", nullptr}}, {}},
+                Rule{presence("e"), {Emit{"b", nullptr}}, {}}});
+  Snapshot snap;
+  snap.present["e"] = true;
+  const Reaction r = m.react(snap, {});
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].first, "a");
+}
+
+TEST(Cfsm, AssignmentsReadPreState) {
+  // Both assignments read the pre-reaction value of a (synchronous).
+  const Cfsm m("sync", {{"e", 1}}, {}, {{"a", 8, 1}, {"b", 8, 0}},
+               {Rule{presence("e"),
+                     {},
+                     {Assign{"a", expr::add(expr::var("a"), expr::constant(1))},
+                      Assign{"b", expr::var("a")}}}});
+  Snapshot snap;
+  snap.present["e"] = true;
+  const Reaction r = m.react(snap, {{"a", 1}, {"b", 0}});
+  EXPECT_EQ(r.next_state.at("a"), 2);
+  EXPECT_EQ(r.next_state.at("b"), 1);  // pre-state a, not 2
+}
+
+TEST(Cfsm, EmissionValueWraps) {
+  const Cfsm m("wrap", {{"e", 1}}, {{"o", 4}}, {{"a", 8, 7}},
+               {Rule{presence("e"),
+                     {Emit{"o", expr::add(expr::var("a"), expr::constant(1))}},
+                     {}}});
+  Snapshot snap;
+  snap.present["e"] = true;
+  const Reaction r = m.react(snap, {{"a", 7}});
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].second, 0);  // 8 mod 4
+}
+
+TEST(Cfsm, ValidationRejectsBadConstructs) {
+  // Unknown output.
+  EXPECT_THROW(Cfsm("x", {{"e", 1}}, {}, {},
+                    {Rule{presence("e"), {Emit{"nope", nullptr}}, {}}}),
+               CheckError);
+  // Valued emit on a pure signal.
+  EXPECT_THROW(Cfsm("x", {{"e", 1}}, {{"o", 1}}, {},
+                    {Rule{presence("e"), {Emit{"o", expr::constant(1)}}, {}}}),
+               CheckError);
+  // Pure emit on a valued signal.
+  EXPECT_THROW(Cfsm("x", {{"e", 1}}, {{"o", 4}}, {},
+                    {Rule{presence("e"), {Emit{"o", nullptr}}, {}}}),
+               CheckError);
+  // Guard referencing an unknown variable.
+  EXPECT_THROW(Cfsm("x", {{"e", 1}}, {}, {},
+                    {Rule{expr::var("ghost"), {}, {}}}),
+               CheckError);
+  // Duplicate signal names.
+  EXPECT_THROW(Cfsm("x", {{"e", 1}, {"e", 1}}, {}, {}, {}), CheckError);
+  // Init out of domain.
+  EXPECT_THROW(Cfsm("x", {{"e", 1}}, {}, {{"a", 4, 9}}, {}), CheckError);
+}
+
+TEST(Cfsm, EnumerateConcreteSpaceCountsExactly) {
+  const Cfsm m = simple_machine(4);
+  // Space: presence(2) * value(4) * state(4) = 32.
+  int count = 0;
+  EXPECT_TRUE(enumerate_concrete_space(
+      m, 1000, [&](const Snapshot&, const std::map<std::string, std::int64_t>&) {
+        ++count;
+      }));
+  EXPECT_EQ(count, 32);
+  // Limit respected.
+  EXPECT_FALSE(enumerate_concrete_space(
+      m, 31, [&](const Snapshot&, const std::map<std::string, std::int64_t>&) {
+        FAIL();
+      }));
+}
+
+TEST(Network, NetClassification) {
+  auto a = std::make_shared<Cfsm>(
+      "prod", std::vector<Signal>{{"in", 1}}, std::vector<Signal>{{"mid", 1}},
+      std::vector<StateVar>{},
+      std::vector<Rule>{Rule{presence("in"), {Emit{"mid", nullptr}}, {}}});
+  auto b = std::make_shared<Cfsm>(
+      "cons", std::vector<Signal>{{"mid", 1}}, std::vector<Signal>{{"out", 1}},
+      std::vector<StateVar>{},
+      std::vector<Rule>{Rule{presence("mid"), {Emit{"out", nullptr}}, {}}});
+  Network net("pair");
+  net.add_instance("p", a);
+  net.add_instance("c", b);
+  EXPECT_EQ(net.external_inputs(), std::vector<std::string>{"in"});
+  EXPECT_EQ(net.internal_nets(), std::vector<std::string>{"mid"});
+  EXPECT_EQ(net.external_outputs(), std::vector<std::string>{"out"});
+  EXPECT_EQ(net.topological_order(), (std::vector<std::string>{"p", "c"}));
+}
+
+TEST(Network, BindingsRenameNets) {
+  auto a = std::make_shared<Cfsm>(
+      "m", std::vector<Signal>{{"x", 1}}, std::vector<Signal>{{"y", 1}},
+      std::vector<StateVar>{},
+      std::vector<Rule>{Rule{presence("x"), {Emit{"y", nullptr}}, {}}});
+  Network net("n");
+  net.add_instance("u0", a, {{"x", "net_in"}, {"y", "net_out"}});
+  EXPECT_EQ(net.external_inputs(), std::vector<std::string>{"net_in"});
+  EXPECT_EQ(net.external_outputs(), std::vector<std::string>{"net_out"});
+}
+
+TEST(Network, CycleDetected) {
+  auto a = std::make_shared<Cfsm>(
+      "m1", std::vector<Signal>{{"i", 1}}, std::vector<Signal>{{"o", 1}},
+      std::vector<StateVar>{},
+      std::vector<Rule>{Rule{presence("i"), {Emit{"o", nullptr}}, {}}});
+  Network net("loop");
+  net.add_instance("u", a, {{"i", "w1"}, {"o", "w2"}});
+  net.add_instance("v", a, {{"i", "w2"}, {"o", "w1"}});
+  EXPECT_TRUE(net.topological_order().empty());
+}
+
+TEST(Network, DomainMismatchRejected) {
+  auto p = std::make_shared<Cfsm>(
+      "p", std::vector<Signal>{{"i", 1}}, std::vector<Signal>{{"o", 4}},
+      std::vector<StateVar>{},
+      std::vector<Rule>{
+          Rule{presence("i"), {Emit{"o", expr::constant(1)}}, {}}});
+  auto c = std::make_shared<Cfsm>(
+      "c", std::vector<Signal>{{"o", 8}}, std::vector<Signal>{{"z", 1}},
+      std::vector<StateVar>{},
+      std::vector<Rule>{Rule{presence("o"), {Emit{"z", nullptr}}, {}}});
+  Network net("bad");
+  net.add_instance("a", p);
+  net.add_instance("b", c);
+  EXPECT_THROW(net.nets(), CheckError);
+}
+
+class RandomCfsmValid : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCfsmValid, GeneratedMachinesAreValidAndReact) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Cfsm m = random_cfsm(rng);
+  // Exhaustive reaction sweep must not throw and must stay in-domain.
+  enumerate_concrete_space(
+      m, 1u << 16,
+      [&](const Snapshot& snap, const std::map<std::string, std::int64_t>& st) {
+        const Reaction r = m.react(snap, st);
+        for (const auto& [name, v] : r.next_state) {
+          const StateVar* sv = m.find_state(name);
+          ASSERT_NE(sv, nullptr);
+          EXPECT_GE(v, 0);
+          EXPECT_LT(v, sv->domain);
+        }
+        for (const auto& [sig, v] : r.emissions) {
+          const Signal* s = m.find_output(sig);
+          ASSERT_NE(s, nullptr);
+          EXPECT_GE(v, 0);
+          EXPECT_LT(v, std::max(1, s->domain));
+        }
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCfsmValid, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace polis::cfsm

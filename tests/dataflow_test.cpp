@@ -1,0 +1,177 @@
+// Tests of the §V-B data-flow analysis (write-before-read hazard detection)
+// and of the copy-in optimization it enables in the VM compiler and the C
+// generator: behaviour must be unchanged, footprint must shrink.
+#include <gtest/gtest.h>
+
+#include "cfsm/random.hpp"
+#include "cfsm/reactive.hpp"
+#include "codegen/c_codegen.hpp"
+#include "sgraph/build.hpp"
+#include "sgraph/dataflow.hpp"
+#include "util/rng.hpp"
+#include "vm/machine.hpp"
+
+namespace polis::sgraph {
+namespace {
+
+ActionOp store(const std::string& var, expr::ExprRef value) {
+  ActionOp op;
+  op.kind = ActionOp::Kind::kAssignVar;
+  op.target = var;
+  op.value = std::move(value);
+  return op;
+}
+
+TEST(Dataflow, VarsReadAtCoversAllExpressionSlots) {
+  Node test_node;
+  test_node.kind = Kind::kTest;
+  test_node.predicate = expr::eq(expr::var("a"), expr::var("b"));
+  EXPECT_EQ(vars_read_at(test_node), (std::set<std::string>{"a", "b"}));
+
+  Node assign_node;
+  assign_node.kind = Kind::kAssign;
+  assign_node.action = store("x", expr::add(expr::var("y"), expr::constant(1)));
+  assign_node.condition = expr::var("c");
+  EXPECT_EQ(vars_read_at(assign_node), (std::set<std::string>{"c", "y"}));
+  EXPECT_EQ(var_written_at(assign_node), "x");
+
+  Node begin_node;
+  begin_node.kind = Kind::kBegin;
+  EXPECT_TRUE(vars_read_at(begin_node).empty());
+  EXPECT_TRUE(var_written_at(begin_node).empty());
+}
+
+TEST(Dataflow, NoHazardWhenReadsPrecedeWrites) {
+  // TEST a -> ASSIGN a := 0: the only read is before the write.
+  Sgraph g("t");
+  const NodeId w = g.assign(store("a", expr::constant(0)), nullptr, g.end());
+  g.set_entry(g.test(expr::var("a"), false, w, g.end()));
+  EXPECT_TRUE(vars_needing_copy_in(g, {"a"}).empty());
+}
+
+TEST(Dataflow, SelfReferencingAssignmentIsSafe) {
+  // a := a + 1 reads a in its own RHS, evaluated before the store.
+  Sgraph g("t");
+  g.set_entry(g.assign(store("a", expr::add(expr::var("a"), expr::constant(1))),
+                       nullptr, g.end()));
+  EXPECT_TRUE(vars_needing_copy_in(g, {"a"}).empty());
+}
+
+TEST(Dataflow, WriteThenReadIsAHazard) {
+  // ASSIGN a := 0; then ASSIGN b := a  — b must see the PRE-state a, so a
+  // needs buffering.
+  Sgraph g("t");
+  const NodeId rd = g.assign(store("b", expr::var("a")), nullptr, g.end());
+  g.set_entry(g.assign(store("a", expr::constant(0)), nullptr, rd));
+  EXPECT_EQ(vars_needing_copy_in(g, {"a", "b"}),
+            std::set<std::string>{"a"});
+}
+
+TEST(Dataflow, HazardOnlyOnThePathContainingBoth) {
+  // TEST c ? (a := 0 -> read a) : (read a only): hazard exists via the
+  // true branch.
+  Sgraph g("t");
+  const NodeId rd = g.assign(store("b", expr::var("a")), nullptr, g.end());
+  const NodeId wr = g.assign(store("a", expr::constant(0)), nullptr, rd);
+  g.set_entry(g.test(expr::var("c"), false, wr, rd));
+  EXPECT_EQ(vars_needing_copy_in(g, {"a"}), std::set<std::string>{"a"});
+
+  // But if the write's continuation never reads a, no hazard: a := 0 on one
+  // branch, b := a on the *other*.
+  Sgraph h("t2");
+  const NodeId rd2 = h.assign(store("b", expr::var("a")), nullptr, h.end());
+  const NodeId wr2 = h.assign(store("a", expr::constant(0)), nullptr, h.end());
+  h.set_entry(h.test(expr::var("c"), false, wr2, rd2));
+  EXPECT_TRUE(vars_needing_copy_in(h, {"a"}).empty());
+}
+
+TEST(Dataflow, ConditionReadAfterWriteIsAHazard) {
+  // ASSIGN a := 1; then conditional ASSIGN guarded by a.
+  Sgraph g("t");
+  const NodeId guarded =
+      g.assign(store("b", expr::constant(1)), expr::var("a"), g.end());
+  g.set_entry(g.assign(store("a", expr::constant(1)), nullptr, guarded));
+  EXPECT_EQ(vars_needing_copy_in(g, {"a"}), std::set<std::string>{"a"});
+}
+
+// The optimization must never change behaviour (copy-in exists precisely to
+// protect hazardous variables, which the analysis keeps buffered).
+class CopyInOptimization : public ::testing::TestWithParam<int> {};
+
+TEST_P(CopyInOptimization, BehaviourUnchangedFootprintSmaller) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 911 + 77);
+  const cfsm::Cfsm m = cfsm::random_cfsm(rng);
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  const Sgraph g =
+      build_sgraph(rf, OrderingScheme::kSiftOutputsAfterSupport);
+
+  const vm::SymbolInfo syms = vm::SymbolInfo::from(m);
+  const vm::CompiledReaction plain = vm::compile(g, syms);
+  vm::CompileOptions optimized_options;
+  optimized_options.optimize_copy_in = true;
+  const vm::CompiledReaction optimized = vm::compile(g, syms, optimized_options);
+
+  EXPECT_LE(optimized.copy_in.size(), plain.copy_in.size());
+  EXPECT_LE(optimized.program.slot_names.size(),
+            plain.program.slot_names.size());
+  EXPECT_LE(optimized.program.size_bytes(vm::hc11_like()),
+            plain.program.size_bytes(vm::hc11_like()));
+
+  int bad = 0;
+  cfsm::enumerate_concrete_space(
+      m, 1u << 16,
+      [&](const cfsm::Snapshot& snap,
+          const std::map<std::string, std::int64_t>& st) {
+        const cfsm::Reaction ref = m.react(snap, st);
+        long long c1 = 0;
+        long long c2 = 0;
+        const cfsm::Reaction a =
+            vm::run_reaction(plain, vm::hc11_like(), m, snap, st, &c1);
+        const cfsm::Reaction b =
+            vm::run_reaction(optimized, vm::hc11_like(), m, snap, st, &c2);
+        auto sorted = [](std::vector<std::pair<std::string, std::int64_t>> v) {
+          std::sort(v.begin(), v.end());
+          return v;
+        };
+        if (!(ref.fired == a.fired && ref.fired == b.fired &&
+              ref.next_state == a.next_state && ref.next_state == b.next_state &&
+              sorted(ref.emissions) == sorted(a.emissions) &&
+              sorted(ref.emissions) == sorted(b.emissions)))
+          ++bad;
+        EXPECT_LE(c2, c1);  // optimized never slower
+      });
+  EXPECT_EQ(bad, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CopyInOptimization, ::testing::Range(0, 12));
+
+TEST(CopyInOptimizationC, GeneratedCDropsSafeCopyIns) {
+  // Fig. 1 machine: 'a' is only read before its assignments on each path,
+  // so the optimized C declares no a__in local.
+  const cfsm::Cfsm m(
+      "simple", {{"c", 4}}, {{"y", 1}}, {{"a", 4, 0}},
+      {cfsm::Rule{expr::land(cfsm::presence("c"),
+                             expr::eq(expr::var("a"), cfsm::value_of("c"))),
+                  {cfsm::Emit{"y", nullptr}},
+                  {cfsm::Assign{"a", expr::constant(0)}}},
+       cfsm::Rule{expr::land(cfsm::presence("c"),
+                             expr::ne(expr::var("a"), cfsm::value_of("c"))),
+                  {},
+                  {cfsm::Assign{"a", expr::add(expr::var("a"),
+                                               expr::constant(1))}}}});
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  const Sgraph g = build_sgraph(rf, OrderingScheme::kSiftOutputsAfterSupport);
+
+  const std::string plain = codegen::generate_c(g, m);
+  EXPECT_NE(plain.find("a__in"), std::string::npos);
+
+  codegen::CCodegenOptions options;
+  options.optimize_copy_in = true;
+  const std::string optimized = codegen::generate_c(g, m, options);
+  EXPECT_EQ(optimized.find("a__in"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace polis::sgraph

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cfsm/random.hpp"
+#include "cfsm/reactive.hpp"
+#include "estim/calibrate.hpp"
+#include "estim/estimate.hpp"
+#include "sgraph/build.hpp"
+#include "util/rng.hpp"
+#include "vm/machine.hpp"
+
+namespace polis::estim {
+namespace {
+
+const CostModel& model_hc11() {
+  static const CostModel m = calibrate(vm::hc11_like());
+  return m;
+}
+
+TEST(Calibrate, ParametersArePositiveAndOrdered) {
+  const CostModel& m = model_hc11();
+  EXPECT_EQ(m.target_name, "hc11");
+  EXPECT_GT(m.cyc_func_enter, 0);
+  EXPECT_GT(m.cyc_func_return, 0);
+  EXPECT_GT(m.cyc_copy_in_per_var, 0);
+  EXPECT_GT(m.cyc_test_presence, 0);
+  EXPECT_GT(m.cyc_leaf, 0);
+  EXPECT_GT(m.cyc_op_mul, m.cyc_op_alu);  // library MUL costs more than ADD
+  EXPECT_GT(m.cyc_op_div, m.cyc_op_mul);
+  EXPECT_GT(m.cyc_assign_emit, 0);
+  EXPECT_GT(m.cyc_consume, 0);
+  EXPECT_GT(m.sz_branch, 0);
+  EXPECT_GT(m.sz_goto, 0);
+  EXPECT_GT(m.sz_leaf, 0);
+  // Taken branch (else edge) costs more than the fall-through on this CISC.
+  EXPECT_GT(m.cyc_test_edge_false, m.cyc_test_edge_true);
+  EXPECT_GT(m.goto_fraction, 0.0);
+  EXPECT_LT(m.goto_fraction, 1.0);
+  EXPECT_GE(m.inverted_branch_fraction, 0.0);
+  EXPECT_LE(m.inverted_branch_fraction, 1.0);
+}
+
+TEST(Calibrate, MatchesProfileGroundTruth) {
+  // The micro-benchmark method must recover the per-style VM costs exactly
+  // (the paper's calibration measures, it does not read the datasheet).
+  const vm::TargetProfile p = vm::hc11_like();
+  const CostModel& m = model_hc11();
+  EXPECT_DOUBLE_EQ(m.cyc_test_presence, p.cyc_detect);
+  EXPECT_DOUBLE_EQ(m.cyc_assign_emit, p.cyc_emit);
+  EXPECT_DOUBLE_EQ(m.cyc_assign_store, p.cyc_st);
+  EXPECT_DOUBLE_EQ(m.cyc_consume, p.cyc_consume);
+  EXPECT_DOUBLE_EQ(m.cyc_op_mul, p.cyc_mul);
+  EXPECT_DOUBLE_EQ(m.cyc_goto, p.cyc_jmp);
+  EXPECT_DOUBLE_EQ(m.cyc_test_edge_false, p.cyc_branch_taken);
+  EXPECT_DOUBLE_EQ(m.cyc_test_edge_true, p.cyc_branch_fall);
+  EXPECT_DOUBLE_EQ(m.sz_assign_emit, p.sz_emit);
+  EXPECT_DOUBLE_EQ(m.sz_branch, p.sz_branch);
+}
+
+TEST(Estimate, ContextForMachine) {
+  cfsm::Cfsm m("m", {{"c", 4}, {"p", 1}}, {{"y", 1}}, {{"a", 4, 0}, {"b", 2, 0}},
+               {cfsm::Rule{cfsm::presence("c"), {cfsm::Emit{"y", nullptr}}, {}}});
+  const EstimateContext ctx = context_for(m);
+  EXPECT_EQ(ctx.num_state_vars, 2);
+  EXPECT_EQ(ctx.presence_vars,
+            (std::set<std::string>{"present_c", "present_p"}));
+}
+
+TEST(Estimate, ExprCostsScaleWithOperators) {
+  const CostModel& m = model_hc11();
+  EstimateContext ctx;
+  const expr::ExprRef small = expr::var("a");
+  const expr::ExprRef big =
+      expr::mul(expr::add(expr::var("a"), expr::var("b")), expr::var("c"));
+  EXPECT_LT(expr_cycles(*small, m, ctx), expr_cycles(*big, m, ctx));
+  EXPECT_LT(expr_bytes(*small, m, ctx), expr_bytes(*big, m, ctx));
+  // Division dominates.
+  const expr::ExprRef divide = expr::div(expr::var("a"), expr::var("b"));
+  const expr::ExprRef addition = expr::add(expr::var("a"), expr::var("b"));
+  EXPECT_GT(expr_cycles(*divide, m, ctx), expr_cycles(*addition, m, ctx));
+}
+
+TEST(Estimate, PresenceLeafCostsDetectCall) {
+  const CostModel& m = model_hc11();
+  EstimateContext ctx;
+  ctx.presence_vars.insert("present_c");
+  const expr::ExprRef presence = expr::var("present_c");
+  const expr::ExprRef plain = expr::var("a");
+  EXPECT_DOUBLE_EQ(expr_cycles(*presence, m, ctx), m.cyc_test_presence);
+  EXPECT_DOUBLE_EQ(expr_cycles(*plain, m, ctx), m.cyc_leaf);
+  EXPECT_DOUBLE_EQ(expr_bytes(*presence, m, ctx), m.sz_test_presence);
+}
+
+TEST(Estimate, MinNeverExceedsMax) {
+  Rng rng(5);
+  const CostModel& model = model_hc11();
+  for (int i = 0; i < 10; ++i) {
+    const cfsm::Cfsm m = cfsm::random_cfsm(rng);
+    bdd::BddManager mgr;
+    cfsm::ReactiveFunction rf(m, mgr);
+    const sgraph::Sgraph g =
+        sgraph::build_sgraph(rf, sgraph::OrderingScheme::kSiftOutputsAfterSupport);
+    const Estimate e = estimate(g, model, context_for(m));
+    EXPECT_GT(e.size_bytes, 0);
+    EXPECT_GT(e.min_cycles, 0);
+    EXPECT_LE(e.min_cycles, e.max_cycles);
+  }
+}
+
+// Bound validity on random machines: the static min/max path analysis must
+// bracket every measured execution (up to small layout noise); the max may
+// be loose when the longest static path is a false path — exactly the
+// phenomenon §III-C discusses — but never wildly so.
+class EstimationBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(EstimationBounds, StaticPathsBracketMeasuredCycles) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+  const cfsm::Cfsm m = cfsm::random_cfsm(rng);
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  const sgraph::Sgraph g = sgraph::build_sgraph(
+      rf, sgraph::OrderingScheme::kSiftOutputsAfterSupport);
+  const vm::CompiledReaction cr = vm::compile(g, vm::SymbolInfo::from(m));
+  const Estimate e = estimate(g, model_hc11(), context_for(m));
+
+  const long long measured_size = cr.program.size_bytes(vm::hc11_like());
+  const auto timing = vm::measure_timing(cr, vm::hc11_like(), m, 1u << 18);
+  ASSERT_TRUE(timing.has_value());
+
+  const double size_err =
+      std::abs(static_cast<double>(e.size_bytes - measured_size)) /
+      static_cast<double>(measured_size);
+  EXPECT_LT(size_err, 0.20) << "est " << e.size_bytes << " vs measured "
+                            << measured_size;
+
+  // min path is a valid lower bound, max path a valid upper bound.
+  EXPECT_LE(e.min_cycles,
+            timing->min_cycles + static_cast<long long>(
+                                     0.2 * static_cast<double>(timing->min_cycles) + 8));
+  EXPECT_GE(e.max_cycles,
+            timing->max_cycles - static_cast<long long>(
+                                     0.2 * static_cast<double>(timing->max_cycles) + 8));
+  // ... and the WCET over-approximation stays within a small constant factor.
+  EXPECT_LE(e.max_cycles, 3 * timing->max_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimationBounds, ::testing::Range(0, 15));
+
+// The headline property behind Table I: on the paper's control-clean
+// dashboard-style CFSMs the estimates track the measurement tightly.
+TEST(EstimationAccuracy, TightOnFigOneStyleMachine) {
+  const cfsm::Cfsm m(
+      "simple", {{"c", 8}}, {{"y", 1}}, {{"a", 8, 0}},
+      {cfsm::Rule{expr::land(cfsm::presence("c"),
+                             expr::eq(expr::var("a"), cfsm::value_of("c"))),
+                  {cfsm::Emit{"y", nullptr}},
+                  {cfsm::Assign{"a", expr::constant(0)}}},
+       cfsm::Rule{expr::land(cfsm::presence("c"),
+                             expr::ne(expr::var("a"), cfsm::value_of("c"))),
+                  {},
+                  {cfsm::Assign{"a", expr::add(expr::var("a"),
+                                               expr::constant(1))}}}});
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  sgraph::BuildOptions build;
+  build.use_care_set = true;  // remove the false paths (§III-C)
+  const sgraph::Sgraph g = sgraph::build_sgraph(
+      rf, sgraph::OrderingScheme::kSiftOutputsAfterSupport, build);
+  const vm::CompiledReaction cr = vm::compile(g, vm::SymbolInfo::from(m));
+  const Estimate e = estimate(g, model_hc11(), context_for(m));
+
+  const long long measured_size = cr.program.size_bytes(vm::hc11_like());
+  const auto timing = vm::measure_timing(cr, vm::hc11_like(), m);
+  ASSERT_TRUE(timing.has_value());
+  EXPECT_NEAR(static_cast<double>(e.size_bytes),
+              static_cast<double>(measured_size),
+              0.15 * static_cast<double>(measured_size));
+  EXPECT_NEAR(static_cast<double>(e.max_cycles),
+              static_cast<double>(timing->max_cycles),
+              0.15 * static_cast<double>(timing->max_cycles));
+  EXPECT_NEAR(static_cast<double>(e.min_cycles),
+              static_cast<double>(timing->min_cycles),
+              0.15 * static_cast<double>(timing->min_cycles));
+}
+
+}  // namespace
+}  // namespace polis::estim

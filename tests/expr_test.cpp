@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "expr/expr.hpp"
+#include "util/rng.hpp"
+
+namespace polis::expr {
+namespace {
+
+Env env_of(std::map<std::string, std::int64_t> m) {
+  return [m = std::move(m)](const std::string& name) { return m.at(name); };
+}
+
+TEST(Expr, ConstantFolding) {
+  EXPECT_EQ(add(constant(2), constant(3))->value(), 5);
+  EXPECT_EQ(mul(constant(4), constant(5))->value(), 20);
+  EXPECT_EQ(eq(constant(1), constant(1))->value(), 1);
+  EXPECT_EQ(lnot(constant(0))->value(), 1);
+  EXPECT_EQ(neg(constant(7))->value(), -7);
+}
+
+TEST(Expr, IdentityFolding) {
+  const ExprRef x = var("x");
+  EXPECT_EQ(add(x, constant(0)).get(), x.get());
+  EXPECT_EQ(add(constant(0), x).get(), x.get());
+  EXPECT_EQ(mul(x, constant(1)).get(), x.get());
+  EXPECT_EQ(mul(x, constant(0))->value(), 0);
+  EXPECT_EQ(land(x, constant(0))->value(), 0);
+  EXPECT_EQ(lor(x, constant(1))->value(), 1);
+  // Logical identity folds must preserve the 0/1 result: a non-Boolean
+  // operand is normalised, a Boolean-valued one passes through untouched.
+  const Env env = env_of({{"x", 3}});
+  EXPECT_EQ(evaluate(*land(x, constant(1)), env), 1);
+  EXPECT_EQ(evaluate(*lor(x, constant(0)), env), 1);
+  const ExprRef cmp = eq(x, constant(3));
+  EXPECT_EQ(land(cmp, constant(1)).get(), cmp.get());
+  EXPECT_EQ(lor(cmp, constant(0)).get(), cmp.get());
+}
+
+TEST(Expr, SafeDivision) {
+  const Env env = env_of({{"x", 5}});
+  EXPECT_EQ(evaluate(*div(var("x"), constant(0)), env), 0);
+  EXPECT_EQ(evaluate(*mod(var("x"), constant(0)), env), 0);
+  EXPECT_EQ(evaluate(*div(var("x"), constant(2)), env), 2);
+  EXPECT_EQ(apply_op(Op::kDiv, 7, 0), 0);
+  EXPECT_EQ(apply_op(Op::kMod, 7, 0), 0);
+}
+
+TEST(Expr, EvaluateAllOperators) {
+  const Env env = env_of({{"a", 6}, {"b", 3}});
+  const ExprRef a = var("a");
+  const ExprRef b = var("b");
+  EXPECT_EQ(evaluate(*add(a, b), env), 9);
+  EXPECT_EQ(evaluate(*sub(a, b), env), 3);
+  EXPECT_EQ(evaluate(*mul(a, b), env), 18);
+  EXPECT_EQ(evaluate(*div(a, b), env), 2);
+  EXPECT_EQ(evaluate(*mod(a, b), env), 0);
+  EXPECT_EQ(evaluate(*eq(a, b), env), 0);
+  EXPECT_EQ(evaluate(*ne(a, b), env), 1);
+  EXPECT_EQ(evaluate(*lt(b, a), env), 1);
+  EXPECT_EQ(evaluate(*le(a, a), env), 1);
+  EXPECT_EQ(evaluate(*gt(a, b), env), 1);
+  EXPECT_EQ(evaluate(*ge(b, a), env), 0);
+  EXPECT_EQ(evaluate(*land(a, b), env), 1);
+  EXPECT_EQ(evaluate(*lor(constant(0), b), env), 1);
+  EXPECT_EQ(evaluate(*lnot(a), env), 0);
+  EXPECT_EQ(evaluate(*neg(a), env), -6);
+  EXPECT_EQ(evaluate(*ite(eq(a, constant(6)), b, constant(99)), env), 3);
+}
+
+TEST(Expr, LogicalResultsAreZeroOne) {
+  const Env env = env_of({{"a", 17}, {"b", -2}});
+  EXPECT_EQ(evaluate(*land(var("a"), var("b")), env), 1);
+  EXPECT_EQ(evaluate(*lor(var("a"), var("b")), env), 1);
+  EXPECT_EQ(evaluate(*lnot(var("a")), env), 0);
+}
+
+TEST(Expr, ToCPrecedence) {
+  const ExprRef e = mul(add(var("a"), var("b")), constant(2));
+  EXPECT_EQ(to_c(*e), "(a + b) * 2");
+  const ExprRef f = add(var("a"), mul(var("b"), constant(2)));
+  EXPECT_EQ(to_c(*f), "a + b * 2");
+  const ExprRef g = lnot(eq(var("a"), constant(0)));
+  EXPECT_EQ(to_c(*g), "!(a == 0)");
+  const ExprRef h = ite(var("c"), var("x"), var("y"));
+  EXPECT_EQ(to_c(*h), "c ? x : y");
+}
+
+TEST(Expr, ToCSubtractionAssociativity) {
+  // a - (b - c) must not print as a - b - c.
+  const ExprRef e = sub(var("a"), sub(var("b"), var("c")));
+  EXPECT_EQ(to_c(*e), "a - (b - c)");
+  const ExprRef f = sub(sub(var("a"), var("b")), var("c"));
+  EXPECT_EQ(to_c(*f), "a - b - c");
+}
+
+TEST(Expr, Support) {
+  const ExprRef e = add(mul(var("a"), var("b")), ite(var("c"), var("a"),
+                                                     constant(3)));
+  const std::set<std::string> s = support(*e);
+  EXPECT_EQ(s, (std::set<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(support(*constant(5)).empty());
+}
+
+TEST(Expr, StructuralEqualityAndHash) {
+  const ExprRef a1 = add(var("x"), constant(1));
+  const ExprRef a2 = add(var("x"), constant(1));
+  const ExprRef b = add(var("x"), constant(2));
+  EXPECT_TRUE(equal(*a1, *a2));
+  EXPECT_FALSE(equal(*a1, *b));
+  EXPECT_EQ(hash(*a1), hash(*a2));
+}
+
+TEST(Expr, OpCountAndHistogram) {
+  const ExprRef e = add(mul(var("a"), var("b")), constant(1));
+  EXPECT_EQ(op_count(*e), 2);
+  const std::vector<int> h = op_histogram(*e);
+  EXPECT_EQ(h[static_cast<size_t>(Op::kAdd)], 1);
+  EXPECT_EQ(h[static_cast<size_t>(Op::kMul)], 1);
+  EXPECT_EQ(h[static_cast<size_t>(Op::kVar)], 2);
+  EXPECT_EQ(op_count(*var("v")), 0);
+}
+
+// Property: random expressions evaluate identically before and after a
+// to_c print (printing must not depend on mutation) and equal() is reflexive.
+class ExprProperty : public ::testing::TestWithParam<int> {};
+
+ExprRef random_expr(Rng& rng, int depth) {
+  if (depth == 0 || rng.flip(0.3)) {
+    return rng.flip() ? constant(rng.uniform(-4, 4))
+                      : var("v" + std::to_string(rng.uniform(0, 3)));
+  }
+  const ExprRef a = random_expr(rng, depth - 1);
+  const ExprRef b = random_expr(rng, depth - 1);
+  switch (rng.uniform(0, 7)) {
+    case 0: return add(a, b);
+    case 1: return sub(a, b);
+    case 2: return mul(a, b);
+    case 3: return div(a, b);
+    case 4: return eq(a, b);
+    case 5: return lt(a, b);
+    case 6: return land(a, b);
+    default: return ite(a, b, random_expr(rng, depth - 1));
+  }
+}
+
+TEST_P(ExprProperty, EvaluationDeterministicAndEqualReflexive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const ExprRef e = random_expr(rng, 4);
+  const Env env = env_of({{"v0", 1}, {"v1", -3}, {"v2", 0}, {"v3", 7}});
+  const std::int64_t v1 = evaluate(*e, env);
+  const std::string printed = to_c(*e);
+  EXPECT_FALSE(printed.empty());
+  EXPECT_EQ(evaluate(*e, env), v1);
+  EXPECT_TRUE(equal(*e, *e));
+  EXPECT_EQ(hash(*e), hash(*e));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace polis::expr

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/systems.hpp"
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+#include "util/check.hpp"
+
+namespace polis::frontend {
+namespace {
+
+TEST(Lexer, TokenisesOperatorsAndComments) {
+  const auto tokens = lex("a := b + 1; # comment\n-> && == <=");
+  std::vector<Tok> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<Tok>{Tok::kIdent, Tok::kAssign, Tok::kIdent,
+                              Tok::kPlus, Tok::kNumber, Tok::kSemi,
+                              Tok::kArrow, Tok::kAndAnd, Tok::kEqEq, Tok::kLe,
+                              Tok::kEof}));
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto tokens = lex("a\nb\n\nc");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 4);
+}
+
+TEST(Lexer, RejectsUnknownCharacter) {
+  EXPECT_THROW(lex("a @ b"), ParseError);
+}
+
+TEST(Parser, SimpleModule) {
+  const auto m = parse_module(R"(
+    module simple {
+      input c : int[16];
+      output y;
+      state a : int[16] = 0;
+      when present(c) && a == value(c) -> { a := 0; emit y; }
+      when present(c) && a != value(c) -> { a := a + 1; }
+    }
+  )");
+  EXPECT_EQ(m->name(), "simple");
+  ASSERT_EQ(m->inputs().size(), 1u);
+  EXPECT_EQ(m->inputs()[0].domain, 16);
+  ASSERT_EQ(m->outputs().size(), 1u);
+  EXPECT_TRUE(m->outputs()[0].is_pure());
+  ASSERT_EQ(m->state().size(), 1u);
+  EXPECT_EQ(m->rules().size(), 2u);
+
+  // Behaviour check straight from the parsed machine.
+  cfsm::Snapshot snap;
+  snap.present["c"] = true;
+  snap.value["c"] = 3;
+  const cfsm::Reaction r = m->react(snap, {{"a", 3}});
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].first, "y");
+  EXPECT_EQ(r.next_state.at("a"), 0);
+}
+
+TEST(Parser, ValuedEmissionAndPrecedence) {
+  const auto m = parse_module(R"(
+    module math {
+      input x : int[8];
+      output y : int[8];
+      when present(x) -> { emit y(value(x) * 2 + 1); }
+    }
+  )");
+  cfsm::Snapshot snap;
+  snap.present["x"] = true;
+  snap.value["x"] = 3;
+  const cfsm::Reaction r = m->react(snap, {});
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].second, 7);
+}
+
+TEST(Parser, UnaryAndParens) {
+  const auto m = parse_module(R"(
+    module u {
+      input e;
+      output y;
+      state a : int[4] = 2;
+      when !present(e) && (a >= 1) -> { emit y; }
+    }
+  )");
+  // With e absent and a >= 1 the (negated, parenthesised) guard holds.
+  EXPECT_TRUE(m->react({}, {{"a", 2}}).fired);
+  // With e present the negation fails.
+  cfsm::Snapshot snap;
+  snap.present["e"] = true;
+  EXPECT_FALSE(m->react(snap, {{"a", 2}}).fired);
+  // With a == 0 the relational atom fails.
+  EXPECT_FALSE(m->react({}, {{"a", 0}}).fired);
+}
+
+TEST(Parser, NetworkWithBindings) {
+  const ParsedFile file = parse(R"(
+    module relay {
+      input i;
+      output o;
+      when present(i) -> { emit o; }
+    }
+    network two {
+      instance a : relay (i = left, o = mid);
+      instance b : relay (i = mid, o = right);
+    }
+  )");
+  ASSERT_EQ(file.networks.size(), 1u);
+  const auto net = file.networks.at("two");
+  EXPECT_EQ(net->external_inputs(), std::vector<std::string>{"left"});
+  EXPECT_EQ(net->internal_nets(), std::vector<std::string>{"mid"});
+  EXPECT_EQ(net->external_outputs(), std::vector<std::string>{"right"});
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse("module m {\n  input c : int[1];\n}");
+    FAIL() << "domain 1 must be rejected";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+  EXPECT_THROW(parse("module m { junk }"), ParseError);
+  EXPECT_THROW(parse("network n { instance a : nothing; }"), ParseError);
+  EXPECT_THROW(parse("module m { input c; } module m { input d; }"),
+               ParseError);
+  // Semantic validation surfaces as ParseError too.
+  EXPECT_THROW(parse("module m { input c; when present(ghost) -> { } }"),
+               ParseError);
+}
+
+TEST(Parser, ParseModuleRequiresExactlyOne) {
+  EXPECT_THROW(parse_module("module a { input i; } module b { input i; }"),
+               CheckError);
+}
+
+TEST(Systems, DashboardSourceParses) {
+  const ParsedFile dash = systems::dashboard();
+  EXPECT_EQ(dash.modules.size(), 6u);
+  EXPECT_EQ(dash.networks.size(), 2u);
+  EXPECT_EQ(dash.networks.at("dash")->instances().size(), 7u);
+  EXPECT_FALSE(dash.networks.at("dash")->topological_order().empty());
+}
+
+TEST(Systems, ShockSourceParses) {
+  const ParsedFile shock = systems::shock_absorber();
+  EXPECT_EQ(shock.modules.size(), 4u);
+  EXPECT_EQ(shock.networks.at("shock")->instances().size(), 4u);
+  EXPECT_FALSE(shock.networks.at("shock")->topological_order().empty());
+}
+
+}  // namespace
+}  // namespace polis::frontend

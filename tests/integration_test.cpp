@@ -1,0 +1,163 @@
+// Cross-module integration: the full synthesis pipeline on the paper's
+// systems, and the synthesized code running as tasks under the generated
+// RTOS simulation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/synthesis.hpp"
+#include "core/systems.hpp"
+#include "estim/calibrate.hpp"
+#include "rtos/rtos.hpp"
+#include "rtos/tasks.hpp"
+#include "rtos/trace.hpp"
+#include "sched/sched.hpp"
+#include "vm/machine.hpp"
+
+namespace polis {
+namespace {
+
+const estim::CostModel& model() {
+  static const estim::CostModel m = estim::calibrate(vm::hc11_like());
+  return m;
+}
+
+TEST(Pipeline, SynthesizeAllDashboardModules) {
+  for (const auto& m : systems::dashboard_modules()) {
+    SynthesisOptions options;
+    options.cost_model = &model();
+    const SynthesisResult r = synthesize(m, options);
+    EXPECT_GT(r.graph->num_reachable(), 2u) << m->name();
+    EXPECT_GT(r.vm_size_bytes, 0) << m->name();
+    EXPECT_GT(r.estimate.size_bytes, 0) << m->name();
+    EXPECT_LE(r.estimate.min_cycles, r.estimate.max_cycles) << m->name();
+    EXPECT_NE(r.c_code.find("void cfsm_"), std::string::npos) << m->name();
+    EXPECT_GE(r.synthesis_seconds, 0.0);
+
+    // Exhaustivethree-way equivalence: reference == s-graph == VM.
+    int bad = 0;
+    cfsm::enumerate_concrete_space(
+        *m, 1u << 18,
+        [&](const cfsm::Snapshot& snap,
+            const std::map<std::string, std::int64_t>& st) {
+          const cfsm::Reaction ref = m->react(snap, st);
+          const cfsm::Reaction via_graph =
+              sgraph::run_reaction(*r.graph, *m, snap, st);
+          const cfsm::Reaction via_vm =
+              vm::run_reaction(*r.compiled, vm::hc11_like(), *m, snap, st);
+          auto sorted = [](std::vector<std::pair<std::string, std::int64_t>> v) {
+            std::sort(v.begin(), v.end());
+            return v;
+          };
+          const bool ok =
+              ref.fired == via_graph.fired && ref.fired == via_vm.fired &&
+              ref.next_state == via_graph.next_state &&
+              ref.next_state == via_vm.next_state &&
+              sorted(ref.emissions) == sorted(via_graph.emissions) &&
+              sorted(ref.emissions) == sorted(via_vm.emissions);
+          if (!ok) ++bad;
+        });
+    EXPECT_EQ(bad, 0) << m->name();
+  }
+}
+
+TEST(Pipeline, DashNetworkRunsUnderRtosWithVmTasks) {
+  const auto net = systems::dash_network();
+  rtos::RtosConfig config;
+  rtos::RtosSimulation sim(*net, config);
+
+  // Synthesize every instance and install it as a VM-backed task.
+  for (const cfsm::Instance& inst : net->instances()) {
+    SynthesisOptions options;
+    options.cost_model = &model();
+    const SynthesisResult r = synthesize(inst.machine, options);
+    sim.set_task(inst.name,
+                 rtos::vm_task(r.compiled, vm::hc11_like(), inst.machine));
+  }
+
+  // Drive it: wheel pulses every 400 cycles, engine pulses every 700,
+  // window timer every 4000, driver turns the key and never fastens.
+  Rng rng(42);
+  auto events = rtos::merge_traces({
+      rtos::periodic_trace({"wheel_raw", 400, 0, 0.0, 1}, 100'000),
+      rtos::periodic_trace({"engine_raw", 700, 0, 0.0, 1}, 100'000),
+      rtos::periodic_trace({"timer", 4000, 100, 0.0, 1}, 100'000),
+      {{{50, "key_on", 0}}},
+  });
+  const rtos::SimStats stats = sim.run(events);
+
+  EXPECT_GT(stats.reactions_run, 100);
+  EXPECT_GT(stats.busy_cycles, 0);
+  // The gauges were driven and the seat-belt alarm fired.
+  bool saw_pwm = false;
+  bool saw_alarm = false;
+  bool saw_rpm = false;
+  for (const rtos::ObservedEmission& e : stats.outputs) {
+    saw_pwm = saw_pwm || e.net == "speed_pwm";
+    saw_rpm = saw_rpm || e.net == "rpm_pwm";
+    saw_alarm = saw_alarm || e.net == "alarm";
+  }
+  EXPECT_TRUE(saw_pwm);
+  EXPECT_TRUE(saw_rpm);
+  EXPECT_TRUE(saw_alarm);
+  EXPECT_LT(stats.utilization(), 1.0);
+}
+
+TEST(Pipeline, ShockNetworkMeetsLatencyUnderPriorityScheduling) {
+  const auto net = systems::shock_network();
+  rtos::RtosConfig config;
+  config.policy = rtos::RtosConfig::Policy::kStaticPriority;
+  config.preemptive = true;
+  config.priority = {{"smp", 1}, {"law", 2}, {"act", 3}, {"wdg", 4}};
+  rtos::RtosSimulation sim(*net, config);
+
+  std::vector<sched::Task> taskset;
+  for (const cfsm::Instance& inst : net->instances()) {
+    SynthesisOptions options;
+    options.cost_model = &model();
+    const SynthesisResult r = synthesize(inst.machine, options);
+    sim.set_task(inst.name,
+                 rtos::vm_task(r.compiled, vm::hc11_like(), inst.machine));
+    taskset.push_back(sched::Task{
+        inst.name, static_cast<double>(r.estimate.max_cycles), 4000, 0, 0});
+  }
+
+  // Schedulability from the WCET estimates (step 4 of the flow).
+  EXPECT_LT(sched::utilization(taskset), 1.0);
+  EXPECT_TRUE(sched::response_times(taskset).has_value());
+
+  Rng rng(7);
+  auto events = rtos::merge_traces({
+      rtos::periodic_trace({"ctrl_tick", 4000, 0, 0.0, 1}, 200'000),
+      rtos::periodic_trace({"accel_in", 1500, 300, 0.1, 16}, 200'000, &rng),
+      {{{90'000, "mode_btn", 0}}},
+  });
+  const rtos::SimStats stats = sim.run(events);
+
+  ASSERT_TRUE(stats.input_to_output_latency.count("valve_out"));
+  const auto& lat = stats.input_to_output_latency.at("valve_out");
+  ASSERT_FALSE(lat.empty());
+  const long long worst = *std::max_element(lat.begin(), lat.end());
+  // The paper's shock absorber met a 12 µs I/O latency spec; our analogue
+  // budget in VM cycles for the sample→valve chain:
+  EXPECT_LT(worst, 6000);
+  EXPECT_EQ(stats.lost_events.count("damper_cmd"), 0u);
+}
+
+TEST(Pipeline, RamFootprintAccounting) {
+  // §V-B reports RAM as well as ROM: slots (state + shadows + input values)
+  // times the integer size, per task.
+  long long ram = 0;
+  for (const auto& m : systems::shock_modules()) {
+    SynthesisOptions options;
+    options.cost_model = &model();
+    const SynthesisResult r = synthesize(m, options);
+    ram += static_cast<long long>(r.compiled->program.slot_names.size()) *
+           vm::hc11_like().int_size;
+  }
+  EXPECT_GT(ram, 0);
+  EXPECT_LT(ram, 4096);  // far below the hand design's 8K RAM (§V-B)
+}
+
+}  // namespace
+}  // namespace polis

@@ -1,0 +1,169 @@
+// Scenario tests of the microwave oven system, at both levels: reference
+// CFSM semantics driven by hand, and the whole network running under the
+// RTOS simulator with synthesized VM tasks.
+#include <gtest/gtest.h>
+
+#include "core/synthesis.hpp"
+#include "core/systems.hpp"
+#include "estim/calibrate.hpp"
+#include "rtos/rtos.hpp"
+#include "rtos/tasks.hpp"
+#include "vm/machine.hpp"
+
+namespace polis::systems {
+namespace {
+
+cfsm::Snapshot present(std::initializer_list<const char*> sigs) {
+  cfsm::Snapshot s;
+  for (const char* sig : sigs) s.present[sig] = true;
+  return s;
+}
+
+std::shared_ptr<const cfsm::Cfsm> module(const char* name) {
+  return microwave().modules.at(name);
+}
+
+TEST(Microwave, KeypadAccumulatesAndFires) {
+  const auto pad = module("keypad");
+  auto st = pad->initial_state();
+  cfsm::Snapshot d = present({"digit"});
+  d.value["digit"] = 2;
+  st = pad->react(d, st).next_state;
+  d.value["digit"] = 3;
+  st = pad->react(d, st).next_state;
+  EXPECT_EQ(st.at("acc"), 5);
+
+  const cfsm::Reaction go = pad->react(present({"start_btn"}), st);
+  ASSERT_EQ(go.emissions.size(), 2u);
+  // set_time carries the accumulated minutes; start is pure.
+  std::map<std::string, std::int64_t> emitted(go.emissions.begin(),
+                                              go.emissions.end());
+  EXPECT_EQ(emitted.at("set_time"), 5);
+  EXPECT_EQ(emitted.count("start"), 1u);
+  EXPECT_EQ(go.next_state.at("acc"), 0);  // cleared after starting
+
+  // Start with nothing entered: no reaction fires, events preserved.
+  EXPECT_FALSE(pad->react(present({"start_btn"}), go.next_state).fired);
+}
+
+TEST(Microwave, ControllerInterlockAndCountdown) {
+  const auto ctl = module("controller");
+  auto st = ctl->initial_state();
+
+  // Start a 2-minute cook.
+  cfsm::Snapshot go = present({"set_time", "start"});
+  go.value["set_time"] = 2;
+  cfsm::Reaction r = ctl->react(go, st);
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].first, "heat_on");
+  EXPECT_EQ(r.next_state.at("cooking"), 1);
+  st = r.next_state;
+
+  // First minute: silent countdown.
+  r = ctl->react(present({"tick"}), st);
+  EXPECT_TRUE(r.emissions.empty());
+  EXPECT_EQ(r.next_state.at("remaining"), 1);
+  st = r.next_state;
+
+  // Last minute: heat off + done.
+  r = ctl->react(present({"tick"}), st);
+  ASSERT_EQ(r.emissions.size(), 2u);
+  EXPECT_EQ(r.next_state.at("cooking"), 0);
+  st = r.next_state;
+
+  // Ticks while idle do nothing.
+  EXPECT_FALSE(ctl->react(present({"tick"}), st).fired);
+}
+
+TEST(Microwave, OpeningDoorStopsHeat) {
+  const auto ctl = module("controller");
+  auto st = ctl->initial_state();
+  cfsm::Snapshot go = present({"set_time", "start"});
+  go.value["set_time"] = 3;
+  st = ctl->react(go, st).next_state;
+
+  const cfsm::Reaction open = ctl->react(present({"door_open"}), st);
+  ASSERT_EQ(open.emissions.size(), 1u);
+  EXPECT_EQ(open.emissions[0].first, "heat_off");
+  EXPECT_EQ(open.next_state.at("cooking"), 0);
+  EXPECT_EQ(open.next_state.at("door"), 0);
+
+  // Cannot start with the door open.
+  const cfsm::Reaction blocked = ctl->react(go, open.next_state);
+  for (const auto& [sig, v] : blocked.emissions) {
+    (void)v;
+    EXPECT_NE(sig, "heat_on");
+  }
+}
+
+TEST(Microwave, EndToEndScenarioUnderRtos) {
+  const auto net = microwave_network();
+  const estim::CostModel model = estim::calibrate(vm::hc11_like());
+  rtos::RtosSimulation sim(*net, rtos::RtosConfig{});
+  for (const cfsm::Instance& inst : net->instances()) {
+    SynthesisOptions options;
+    options.cost_model = &model;
+    options.optimize_copy_in = true;
+    const SynthesisResult r = synthesize(inst.machine, options);
+    sim.set_task(inst.name,
+                 rtos::vm_task(r.compiled, vm::hc11_like(), inst.machine));
+  }
+
+  const rtos::SimStats stats = sim.run({
+      {1'000, "digit", 2},
+      {2'000, "start_btn", 0},
+      {10'000, "tick", 0},
+      {20'000, "tick", 0},
+      {30'000, "tick", 0},  // idle tick after completion
+  });
+
+  // Expected external outputs, in order: power=1, power=0 (at done), beep.
+  std::vector<std::pair<std::string, std::int64_t>> seen;
+  for (const rtos::ObservedEmission& e : stats.outputs)
+    seen.emplace_back(e.net, e.value);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, std::int64_t>{"power", 1}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, std::int64_t>{"power", 0}));
+  EXPECT_EQ(seen[2], (std::pair<std::string, std::int64_t>{"beep", 0}));
+}
+
+TEST(Microwave, DoorInterruptScenarioUnderRtos) {
+  const auto net = microwave_network();
+  const estim::CostModel model = estim::calibrate(vm::hc11_like());
+  rtos::RtosSimulation sim(*net, rtos::RtosConfig{});
+  for (const cfsm::Instance& inst : net->instances()) {
+    SynthesisOptions options;
+    options.cost_model = &model;
+    const SynthesisResult r = synthesize(inst.machine, options);
+    sim.set_task(inst.name,
+                 rtos::vm_task(r.compiled, vm::hc11_like(), inst.machine));
+  }
+
+  const rtos::SimStats stats = sim.run({
+      {1'000, "digit", 3},
+      {2'000, "start_btn", 0},
+      {10'000, "door_open", 0},   // heat must stop, no beep
+      {20'000, "tick", 0},        // ignored: not cooking
+      {30'000, "door_closed", 0},
+  });
+
+  std::vector<std::pair<std::string, std::int64_t>> seen;
+  for (const rtos::ObservedEmission& e : stats.outputs)
+    seen.emplace_back(e.net, e.value);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, std::int64_t>{"power", 1}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, std::int64_t>{"power", 0}));
+}
+
+TEST(Microwave, NetworkWellFormed) {
+  const auto net = microwave_network();
+  EXPECT_EQ(net->instances().size(), 4u);
+  EXPECT_FALSE(net->topological_order().empty());
+  EXPECT_EQ(microwave_modules().size(), 4u);
+  const auto outs = net->external_outputs();
+  EXPECT_NE(std::find(outs.begin(), outs.end(), "power"), outs.end());
+  EXPECT_NE(std::find(outs.begin(), outs.end(), "beep"), outs.end());
+}
+
+}  // namespace
+}  // namespace polis::systems

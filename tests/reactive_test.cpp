@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cfsm/random.hpp"
+#include "cfsm/reactive.hpp"
+#include "util/rng.hpp"
+
+namespace polis::cfsm {
+namespace {
+
+Cfsm simple_machine(int dom = 4) {
+  return Cfsm(
+      "simple", {{"c", dom}}, {{"y", 1}}, {{"a", dom, 0}},
+      {
+          Rule{expr::land(presence("c"),
+                          expr::eq(expr::var("a"), value_of("c"))),
+               {Emit{"y", nullptr}},
+               {Assign{"a", expr::constant(0)}}},
+          Rule{expr::land(presence("c"),
+                          expr::ne(expr::var("a"), value_of("c"))),
+               {},
+               {Assign{"a", expr::add(expr::var("a"), expr::constant(1))}}},
+      });
+}
+
+TEST(Reactive, TestAndActionVariables) {
+  const Cfsm m = simple_machine();
+  bdd::BddManager mgr;
+  ReactiveFunction rf(m, mgr);
+  // Tests: present_c, a == v_c, a != v_c  (three distinct atoms).
+  EXPECT_EQ(rf.tests().size(), 3u);
+  EXPECT_TRUE(rf.tests()[0].is_presence);
+  // Actions: emit_y, a:=0, a:=a+1, consume.
+  EXPECT_EQ(rf.actions().size(), 4u);
+  EXPECT_EQ(rf.actions().back().kind, ActionVariable::Kind::kConsume);
+  EXPECT_EQ(rf.consume_var(), rf.actions().back().bdd_var);
+  // Role queries.
+  for (const TestVariable& t : rf.tests()) {
+    EXPECT_TRUE(rf.is_test_var(t.bdd_var));
+    EXPECT_FALSE(rf.is_action_var(t.bdd_var));
+    EXPECT_EQ(&rf.test_of(t.bdd_var), &t);
+  }
+  for (const ActionVariable& a : rf.actions()) {
+    EXPECT_TRUE(rf.is_action_var(a.bdd_var));
+    EXPECT_EQ(&rf.action_of(a.bdd_var), &a);
+  }
+}
+
+TEST(Reactive, ChiIsDeterministicAndComplete) {
+  const Cfsm m = simple_machine();
+  bdd::BddManager mgr;
+  ReactiveFunction rf(m, mgr);
+  std::vector<int> action_vars;
+  for (const ActionVariable& a : rf.actions()) action_vars.push_back(a.bdd_var);
+
+  // Completeness: for every test valuation there exists an action valuation.
+  EXPECT_TRUE(mgr.smooth(rf.chi(), action_vars).is_one());
+
+  // Determinism: for each test valuation exactly one action valuation, i.e.
+  // |χ| == 2^#tests.
+  const int total_vars = static_cast<int>(rf.tests().size() + rf.actions().size());
+  EXPECT_DOUBLE_EQ(
+      mgr.sat_count(rf.chi(), total_vars),
+      std::pow(2.0, static_cast<double>(rf.tests().size())));
+}
+
+TEST(Reactive, ChiAgreesWithReferenceSemantics) {
+  const Cfsm m = simple_machine();
+  bdd::BddManager mgr;
+  ReactiveFunction rf(m, mgr);
+
+  enumerate_concrete_space(
+      m, 1u << 12,
+      [&](const Snapshot& snap, const std::map<std::string, std::int64_t>& st) {
+        const Reaction ref = m.react(snap, st);
+        const std::vector<bool> tv = rf.test_valuation(snap, st);
+
+        // Read each action's value from its output function and check the
+        // decoded reaction matches the reference.
+        std::vector<bool> av;
+        for (const ActionVariable& a : rf.actions()) {
+          const bdd::Bdd g = rf.output_function(a.bdd_var);
+          av.push_back(mgr.eval(g, [&](int var) {
+            for (size_t i = 0; i < rf.tests().size(); ++i)
+              if (rf.tests()[i].bdd_var == var) return static_cast<bool>(tv[i]);
+            return false;
+          }));
+        }
+        const Reaction got = rf.decode_actions(av, snap, st);
+        EXPECT_EQ(got.fired, ref.fired);
+        EXPECT_EQ(got.next_state, ref.next_state);
+        // Emissions as multisets (decode order may differ).
+        auto sorted = [](std::vector<std::pair<std::string, std::int64_t>> v) {
+          std::sort(v.begin(), v.end());
+          return v;
+        };
+        EXPECT_EQ(sorted(got.emissions), sorted(ref.emissions));
+      });
+}
+
+TEST(Reactive, PrecedencePairsPointInputToOutput) {
+  const Cfsm m = simple_machine();
+  bdd::BddManager mgr;
+  ReactiveFunction rf(m, mgr);
+  for (const auto& [above, below] : rf.precedence_outputs_after_support()) {
+    EXPECT_TRUE(rf.is_test_var(above));
+    EXPECT_TRUE(rf.is_action_var(below));
+  }
+  const auto all = rf.precedence_outputs_after_all_inputs();
+  EXPECT_EQ(all.size(), rf.tests().size() * rf.actions().size());
+  // after_support is a subset of after_all_inputs.
+  EXPECT_LE(rf.precedence_outputs_after_support().size(), all.size());
+}
+
+TEST(Reactive, CareSetExcludesContradictoryValuations) {
+  const Cfsm m = simple_machine();
+  bdd::BddManager mgr;
+  ReactiveFunction rf(m, mgr);
+  auto care = rf.reachable_care_set();
+  ASSERT_TRUE(care.has_value());
+  // a == v_c and a != v_c cannot be simultaneously true: that valuation is
+  // outside the care set.
+  int eq_var = -1;
+  int ne_var = -1;
+  for (const TestVariable& t : rf.tests()) {
+    if (t.predicate->op() == expr::Op::kEq) eq_var = t.bdd_var;
+    if (t.predicate->op() == expr::Op::kNe) ne_var = t.bdd_var;
+  }
+  ASSERT_GE(eq_var, 0);
+  ASSERT_GE(ne_var, 0);
+  const bdd::Bdd both = mgr.var(eq_var) & mgr.var(ne_var);
+  EXPECT_TRUE((*care & both).is_zero());
+  const bdd::Bdd neither = mgr.nvar(eq_var) & mgr.nvar(ne_var);
+  EXPECT_TRUE((*care & neither).is_zero());
+  // The limit is honoured.
+  EXPECT_FALSE(rf.reachable_care_set(4).has_value());
+}
+
+TEST(Reactive, ActionLabels) {
+  const Cfsm m = simple_machine();
+  bdd::BddManager mgr;
+  ReactiveFunction rf(m, mgr);
+  bool saw_emit = false;
+  bool saw_assign = false;
+  bool saw_consume = false;
+  for (const ActionVariable& a : rf.actions()) {
+    const std::string label = a.label();
+    EXPECT_FALSE(label.empty());
+    saw_emit = saw_emit || label.find("emit_y") != std::string::npos;
+    saw_assign = saw_assign || label.find(":=") != std::string::npos;
+    saw_consume = saw_consume || label == "consume";
+  }
+  EXPECT_TRUE(saw_emit);
+  EXPECT_TRUE(saw_assign);
+  EXPECT_TRUE(saw_consume);
+}
+
+// Property: determinism/completeness of χ for random machines.
+class ReactiveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReactiveProperty, ChiDeterministicCompleteForRandomMachines) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  const Cfsm m = random_cfsm(rng);
+  bdd::BddManager mgr;
+  ReactiveFunction rf(m, mgr);
+  std::vector<int> action_vars;
+  for (const ActionVariable& a : rf.actions()) action_vars.push_back(a.bdd_var);
+  EXPECT_TRUE(mgr.smooth(rf.chi(), action_vars).is_one());
+  const int total = static_cast<int>(rf.tests().size() + rf.actions().size());
+  EXPECT_DOUBLE_EQ(mgr.sat_count(rf.chi(), total),
+                   std::pow(2.0, static_cast<double>(rf.tests().size())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReactiveProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace polis::cfsm

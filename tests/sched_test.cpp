@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "sched/sched.hpp"
+#include "util/check.hpp"
+
+namespace polis::sched {
+namespace {
+
+TEST(Sched, Utilization) {
+  const std::vector<Task> tasks{{"a", 1, 4, 0, 0}, {"b", 2, 8, 0, 0}};
+  EXPECT_DOUBLE_EQ(utilization(tasks), 0.5);
+  EXPECT_THROW(utilization({{"x", 1, 0, 0, 0}}), CheckError);
+}
+
+TEST(Sched, LiuLaylandBound) {
+  // Classic: U = 0.5 passes for any n; two tasks pass up to 2(√2−1)≈0.828.
+  EXPECT_TRUE(rm_utilization_test({{"a", 1, 4, 0, 0}, {"b", 2, 8, 0, 0}}));
+  EXPECT_TRUE(rm_utilization_test({{"a", 2, 5, 0, 0}, {"b", 2, 5, 0, 0}}));  // 0.8
+  EXPECT_FALSE(rm_utilization_test({{"a", 3, 5, 0, 0}, {"b", 2, 8, 0, 0}}));  // 0.85
+  EXPECT_TRUE(rm_utilization_test({}));
+}
+
+TEST(Sched, ResponseTimeAnalysisClassicSet) {
+  // Textbook task set (highest priority first): C/T = 3/7, 3/12, 5/20.
+  const std::vector<Task> tasks{
+      {"t1", 3, 7, 0, 0}, {"t2", 3, 12, 0, 0}, {"t3", 5, 20, 0, 0}};
+  const auto r = response_times(tasks);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ((*r)[0], 3);
+  EXPECT_DOUBLE_EQ((*r)[1], 6);
+  EXPECT_DOUBLE_EQ((*r)[2], 20);
+}
+
+TEST(Sched, ResponseTimeDetectsOverload) {
+  const std::vector<Task> tasks{{"t1", 5, 8, 0, 0}, {"t2", 5, 10, 0, 0}};
+  EXPECT_FALSE(response_times(tasks).has_value());
+}
+
+TEST(Sched, JitterExtendsResponse) {
+  const std::vector<Task> base{{"t1", 3, 10, 0, 0}};
+  const std::vector<Task> jittered{{"t1", 3, 10, 0, 4}};
+  EXPECT_DOUBLE_EQ((*response_times(base))[0], 3);
+  EXPECT_DOUBLE_EQ((*response_times(jittered))[0], 7);
+}
+
+TEST(Sched, RmSufficientButNotNecessary) {
+  // U = 1.0 with harmonic periods: fails the LL bound but passes exact RTA.
+  const std::vector<Task> tasks{{"t1", 2, 4, 0, 0}, {"t2", 4, 8, 0, 0}};
+  EXPECT_FALSE(rm_utilization_test(tasks));
+  EXPECT_TRUE(response_times(tasks).has_value());
+}
+
+TEST(Sched, EdfExactAtFullUtilization) {
+  EXPECT_TRUE(edf_test({{"a", 2, 4, 0, 0}, {"b", 4, 8, 0, 0}}));   // U = 1
+  EXPECT_FALSE(edf_test({{"a", 3, 4, 0, 0}, {"b", 4, 8, 0, 0}}));  // U > 1
+  // Constrained deadline raises the density.
+  EXPECT_FALSE(edf_test({{"a", 2, 4, 2, 0}, {"b", 4, 8, 0, 0}}));
+}
+
+TEST(Sched, Orderings) {
+  std::vector<Task> tasks{{"slow", 1, 100, 0, 0},
+                          {"fast", 1, 10, 0, 0},
+                          {"tight", 1, 50, 5, 0}};
+  const auto rm = rate_monotonic_order(tasks);
+  EXPECT_EQ(rm[0].name, "fast");
+  EXPECT_EQ(rm[2].name, "slow");
+  const auto dm = deadline_monotonic_order(tasks);
+  EXPECT_EQ(dm[0].name, "tight");  // deadline 5 beats period 10
+  EXPECT_EQ(dm[1].name, "fast");
+}
+
+TEST(Sched, EffectiveDeadlineDefaultsToPeriod) {
+  const Task t{"x", 1, 20, 0, 0};
+  EXPECT_DOUBLE_EQ(t.effective_deadline(), 20);
+  const Task u{"y", 1, 20, 7, 0};
+  EXPECT_DOUBLE_EQ(u.effective_deadline(), 7);
+}
+
+}  // namespace
+}  // namespace polis::sched

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cfsm/reactive.hpp"
+#include "sgraph/build.hpp"
+#include "sgraph/eval.hpp"
+#include "sgraph/io.hpp"
+#include "sgraph/optimize.hpp"
+#include "sgraph/sgraph.hpp"
+#include "util/check.hpp"
+
+namespace polis::sgraph {
+namespace {
+
+ActionOp emit_op(const std::string& sig) {
+  ActionOp op;
+  op.kind = ActionOp::Kind::kEmitPure;
+  op.target = sig;
+  return op;
+}
+
+TEST(Sgraph, EmptyGraphIsBeginEnd) {
+  Sgraph g("empty");
+  EXPECT_EQ(g.entry(), g.end());
+  EXPECT_EQ(g.num_reachable(), 2u);
+  EXPECT_EQ(g.depth(), 1);
+  EXPECT_EQ(g.num_tests(), 0u);
+  EXPECT_EQ(g.num_assigns(), 0u);
+}
+
+TEST(Sgraph, TestInterning) {
+  Sgraph g("t");
+  const expr::ExprRef p = expr::var("x");
+  const NodeId a1 = g.assign(emit_op("y"), nullptr, g.end());
+  const NodeId t1 = g.test(p, false, a1, g.end());
+  const NodeId t2 = g.test(p, false, a1, g.end());
+  EXPECT_EQ(t1, t2);  // reduce: no isomorphic subgraphs
+  // Same predicate, different children -> different vertex.
+  const NodeId t3 = g.test(p, false, g.end(), a1);
+  EXPECT_NE(t1, t3);
+}
+
+TEST(Sgraph, VacuousTestCollapses) {
+  Sgraph g("t");
+  const NodeId a = g.assign(emit_op("y"), nullptr, g.end());
+  EXPECT_EQ(g.test(expr::var("x"), false, a, a), a);
+}
+
+TEST(Sgraph, AssignConditionFolding) {
+  Sgraph g("t");
+  // Constant-false condition collapses to next.
+  EXPECT_EQ(g.assign(emit_op("y"), expr::constant(0), g.end()), g.end());
+  // Constant-true condition becomes unconditional.
+  const NodeId a = g.assign(emit_op("y"), expr::constant(1), g.end());
+  EXPECT_EQ(g.node(a).condition, nullptr);
+  // Interning of identical assigns.
+  EXPECT_EQ(g.assign(emit_op("y"), nullptr, g.end()), a);
+}
+
+TEST(Sgraph, TopoOrderParentsFirst) {
+  Sgraph g("t");
+  const NodeId a = g.assign(emit_op("y"), nullptr, g.end());
+  const NodeId t = g.test(expr::var("x"), false, a, g.end());
+  g.set_entry(t);
+  const std::vector<NodeId> order = g.topo_order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), g.begin());
+  EXPECT_EQ(order.back(), g.end());
+  // t before a.
+  size_t pt = 0;
+  size_t pa = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == t) pt = i;
+    if (order[i] == a) pa = i;
+  }
+  EXPECT_LT(pt, pa);
+}
+
+TEST(Sgraph, MustExecuteIntersectsBranches) {
+  Sgraph g("t");
+  // On both branches: consume; on one branch only: emit y.
+  ActionOp consume;
+  consume.kind = ActionOp::Kind::kConsume;
+  const NodeId c_end = g.assign(consume, nullptr, g.end());
+  const NodeId with_y = g.assign(emit_op("y"), nullptr, c_end);
+  const NodeId t = g.test(expr::var("x"), false, with_y, c_end);
+  g.set_entry(t);
+  const auto must = g.must_execute_actions();
+  EXPECT_EQ(must, std::vector<std::string>{"consume"});
+}
+
+TEST(Sgraph, ConditionalAssignNotMustExecute) {
+  Sgraph g("t");
+  const NodeId a = g.assign(emit_op("y"), expr::var("c"), g.end());
+  g.set_entry(a);
+  EXPECT_TRUE(g.must_execute_actions().empty());
+}
+
+TEST(SgraphEval, WalksAndExecutes) {
+  Sgraph g("t");
+  const NodeId a = g.assign(emit_op("y"), nullptr, g.end());
+  const NodeId t = g.test(expr::var("x"), false, a, g.end());
+  g.set_entry(t);
+
+  const EvalResult hit = evaluate(g, [](const std::string&) { return 1; });
+  ASSERT_EQ(hit.executed.size(), 1u);
+  EXPECT_EQ(hit.executed[0].target, "y");
+  EXPECT_EQ(hit.tests_evaluated, 1);
+
+  const EvalResult miss = evaluate(g, [](const std::string&) { return 0; });
+  EXPECT_TRUE(miss.executed.empty());
+}
+
+TEST(SgraphEval, ConditionalAssignRespectsCondition) {
+  Sgraph g("t");
+  const NodeId a = g.assign(emit_op("y"), expr::var("c"), g.end());
+  g.set_entry(a);
+  EXPECT_EQ(evaluate(g, [](const std::string&) { return 1; }).executed.size(),
+            1u);
+  EXPECT_EQ(evaluate(g, [](const std::string&) { return 0; }).executed.size(),
+            0u);
+}
+
+TEST(Collapse, AndChainCollapses) {
+  Sgraph g("t");
+  const NodeId a = g.assign(emit_op("y"), nullptr, g.end());
+  // if (p) { if (q) emit y; }  ->  if (p && q) emit y;
+  const NodeId q = g.test(expr::var("q"), false, a, g.end());
+  const NodeId p = g.test(expr::var("p"), false, q, g.end());
+  g.set_entry(p);
+
+  const Sgraph c = collapse_tests(g);
+  EXPECT_EQ(c.num_tests(), 1u);
+  // Semantics preserved over all four input combinations.
+  for (int pq = 0; pq < 4; ++pq) {
+    const expr::Env env = [pq](const std::string& n) -> std::int64_t {
+      return n == "p" ? (pq & 1) : (pq >> 1);
+    };
+    EXPECT_EQ(evaluate(g, env).executed.size(),
+              evaluate(c, env).executed.size())
+        << "p=" << (pq & 1) << " q=" << (pq >> 1);
+  }
+}
+
+TEST(Collapse, OrChainCollapses) {
+  Sgraph g("t");
+  const NodeId a = g.assign(emit_op("y"), nullptr, g.end());
+  // if (p) goto A; else if (q) goto A;  ->  if (p || q) A
+  const NodeId q = g.test(expr::var("q"), false, a, g.end());
+  const NodeId p = g.test(expr::var("p"), false, a, q);
+  g.set_entry(p);
+  const Sgraph c = collapse_tests(g);
+  EXPECT_EQ(c.num_tests(), 1u);
+  for (int pq = 0; pq < 4; ++pq) {
+    const expr::Env env = [pq](const std::string& n) -> std::int64_t {
+      return n == "p" ? (pq & 1) : (pq >> 1);
+    };
+    EXPECT_EQ(evaluate(g, env).executed.size(),
+              evaluate(c, env).executed.size());
+  }
+}
+
+TEST(Collapse, SharedChildNotCollapsed) {
+  Sgraph g("t");
+  const NodeId a = g.assign(emit_op("y"), nullptr, g.end());
+  const NodeId q = g.test(expr::var("q"), false, a, g.end());
+  // q has two parents, so it is not a closed subgraph and must survive; the
+  // r/p pair forms a legal OR chain (both true-edges reach q) and merges.
+  const NodeId p1 = g.test(expr::var("p"), false, q, g.end());
+  const NodeId p2 = g.test(expr::var("r"), false, q, p1);
+  g.set_entry(p2);
+  const Sgraph c = collapse_tests(g);
+  EXPECT_EQ(c.num_tests(), 2u);
+  // Semantics preserved over all eight input combinations.
+  for (int m = 0; m < 8; ++m) {
+    const expr::Env env = [m](const std::string& n) -> std::int64_t {
+      if (n == "p") return m & 1;
+      if (n == "q") return (m >> 1) & 1;
+      return (m >> 2) & 1;
+    };
+    EXPECT_EQ(evaluate(g, env).executed.size(),
+              evaluate(c, env).executed.size())
+        << "minterm " << m;
+  }
+}
+
+TEST(SgraphIo, TextAndDotRender) {
+  Sgraph g("demo");
+  const NodeId a = g.assign(emit_op("y"), nullptr, g.end());
+  g.set_entry(g.test(expr::var("x"), true, a, g.end()));
+  std::ostringstream text;
+  to_text(g, text);
+  EXPECT_NE(text.str().find("TEST x"), std::string::npos);
+  EXPECT_NE(text.str().find("emit(y)"), std::string::npos);
+  std::ostringstream dot;
+  to_dot(g, dot);
+  EXPECT_NE(dot.str().find("digraph"), std::string::npos);
+  EXPECT_NE(dot.str().find("BEGIN"), std::string::npos);
+}
+
+TEST(SgraphBuild, OrderingSchemeNames) {
+  EXPECT_STREQ(to_string(OrderingScheme::kNaive), "naive");
+  EXPECT_STREQ(to_string(OrderingScheme::kOutputsBeforeInputs),
+               "out-before-in");
+  EXPECT_STREQ(to_string(OrderingScheme::kSiftOutputsAfterSupport),
+               "sift-out-after-support");
+}
+
+TEST(SgraphBuild, OutputsBeforeInputsHasNoTests) {
+  const cfsm::Cfsm m(
+      "m", {{"c", 4}}, {{"y", 1}}, {{"a", 4, 0}},
+      {cfsm::Rule{
+          expr::land(cfsm::presence("c"),
+                     expr::eq(expr::var("a"), cfsm::value_of("c"))),
+          {cfsm::Emit{"y", nullptr}},
+          {cfsm::Assign{"a", expr::constant(0)}}}});
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  const Sgraph g = build_sgraph(rf, OrderingScheme::kOutputsBeforeInputs);
+  EXPECT_EQ(g.num_tests(), 0u);
+  EXPECT_GT(g.num_assigns(), 0u);
+  // Constant-time property: every path has the same vertex count.
+  EXPECT_EQ(g.depth(), static_cast<int>(g.num_reachable()) - 1);
+}
+
+TEST(SgraphBuild, CareSetRemovesFalsePathTest) {
+  // With independent abstraction, 'a == v_c' and 'a != v_c' are separate
+  // tests and the graph re-tests the complement; the care set removes it.
+  const cfsm::Cfsm m(
+      "m", {{"c", 4}}, {{"y", 1}}, {{"a", 4, 0}},
+      {cfsm::Rule{expr::land(cfsm::presence("c"),
+                             expr::eq(expr::var("a"), cfsm::value_of("c"))),
+                  {cfsm::Emit{"y", nullptr}},
+                  {}},
+       cfsm::Rule{expr::land(cfsm::presence("c"),
+                             expr::ne(expr::var("a"), cfsm::value_of("c"))),
+                  {},
+                  {cfsm::Assign{"a", expr::add(expr::var("a"),
+                                               expr::constant(1))}}}});
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  const Sgraph plain = build_sgraph(rf, OrderingScheme::kNaive);
+  BuildOptions with_care;
+  with_care.use_care_set = true;
+  const Sgraph pruned = build_sgraph(rf, OrderingScheme::kNaive, with_care);
+  EXPECT_LT(pruned.num_tests(), plain.num_tests());
+}
+
+TEST(SgraphBuild, RejectsIncompleteOrder) {
+  const cfsm::Cfsm m("m", {{"c", 1}}, {{"y", 1}}, {},
+                     {cfsm::Rule{cfsm::presence("c"),
+                                 {cfsm::Emit{"y", nullptr}},
+                                 {}}});
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  EXPECT_THROW(build_sgraph_with_order(rf, {0}), CheckError);
+  EXPECT_THROW(build_sgraph_with_order(rf, {0, 0, 0}), CheckError);
+}
+
+}  // namespace
+}  // namespace polis::sgraph

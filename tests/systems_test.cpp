@@ -1,0 +1,221 @@
+// Behavioural tests of the reconstructed evaluation systems (§V): the
+// dashboard chain and the shock absorber modules must do what the paper's
+// prose says they do.
+#include <gtest/gtest.h>
+
+#include "core/systems.hpp"
+
+namespace polis::systems {
+namespace {
+
+std::shared_ptr<const cfsm::Cfsm> module(const char* name) {
+  const auto file = dashboard();
+  auto it = file.modules.find(name);
+  if (it != file.modules.end()) return it->second;
+  const auto shock = shock_absorber();
+  return shock.modules.at(name);
+}
+
+cfsm::Snapshot present(std::initializer_list<const char*> sigs) {
+  cfsm::Snapshot s;
+  for (const char* sig : sigs) s.present[sig] = true;
+  return s;
+}
+
+TEST(Belt, AlarmAfterFourTicksWithoutBelt) {
+  const auto belt = module("belt");
+  auto st = belt->initial_state();
+  // Key on.
+  st = belt->react(present({"key_on"}), st).next_state;
+  EXPECT_EQ(st.at("st"), 1);
+  // Three ticks: still counting.
+  for (int i = 0; i < 3; ++i) {
+    const cfsm::Reaction r = belt->react(present({"tick"}), st);
+    EXPECT_TRUE(r.emissions.empty());
+    st = r.next_state;
+  }
+  // Fourth tick: alarm.
+  const cfsm::Reaction r = belt->react(present({"tick"}), st);
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].first, "alarm");
+  EXPECT_EQ(r.next_state.at("st"), 2);
+}
+
+TEST(Belt, FasteningBeltCancelsAlarm) {
+  const auto belt = module("belt");
+  auto st = belt->initial_state();
+  st = belt->react(present({"key_on"}), st).next_state;
+  st = belt->react(present({"tick"}), st).next_state;
+  const cfsm::Reaction r = belt->react(present({"belt_on"}), st);
+  EXPECT_EQ(r.next_state.at("st"), 0);  // back to idle
+  // Ticks after fastening never alarm.
+  auto st2 = r.next_state;
+  for (int i = 0; i < 10; ++i) {
+    const cfsm::Reaction t = belt->react(present({"tick"}), st2);
+    EXPECT_TRUE(t.emissions.empty());
+    st2 = t.next_state;
+  }
+}
+
+TEST(Debounce, RequiresConsecutivePulses) {
+  const auto deb = module("debounce");
+  auto st = deb->initial_state();
+  // First two raw pulses are swallowed.
+  for (int i = 0; i < 2; ++i) {
+    const cfsm::Reaction r = deb->react(present({"raw"}), st);
+    EXPECT_TRUE(r.emissions.empty());
+    st = r.next_state;
+  }
+  // Third consecutive pulse passes through.
+  const cfsm::Reaction r = deb->react(present({"raw"}), st);
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].first, "clean");
+  // A quiet tick resets the counter.
+  auto st2 = deb->react(present({"tick"}), r.next_state).next_state;
+  EXPECT_EQ(st2.at("cnt"), 0);
+}
+
+TEST(PulseCounter, CountsPerWindow) {
+  const auto cnt = module("pulse_counter");
+  auto st = cnt->initial_state();
+  for (int i = 0; i < 5; ++i)
+    st = cnt->react(present({"pulse"}), st).next_state;
+  const cfsm::Reaction r = cnt->react(present({"tick"}), st);
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].first, "count");
+  EXPECT_EQ(r.emissions[0].second, 5);
+  EXPECT_EQ(r.next_state.at("n"), 0);  // window restarts
+}
+
+TEST(Speedometer, EmitsOnlyOnChange) {
+  const auto spd = module("speedometer");
+  auto st = spd->initial_state();
+  cfsm::Snapshot snap = present({"count"});
+  snap.value["count"] = 3;
+  const cfsm::Reaction first = spd->react(snap, st);
+  ASSERT_EQ(first.emissions.size(), 1u);
+  EXPECT_EQ(first.emissions[0].second, 6);  // PWM = 2 * speed
+  // Same value again: no emission, but still consumed.
+  const cfsm::Reaction second = spd->react(snap, first.next_state);
+  EXPECT_TRUE(second.emissions.empty());
+  EXPECT_TRUE(second.fired);
+}
+
+TEST(Odometer, RollsOverEverySixteenPulses) {
+  const auto odo = module("odometer");
+  auto st = odo->initial_state();
+  int rollovers = 0;
+  for (int i = 0; i < 8; ++i) {
+    cfsm::Snapshot snap = present({"count"});
+    snap.value["count"] = 6;  // 8 * 6 = 48 = 3 * 16
+    const cfsm::Reaction r = odo->react(snap, st);
+    rollovers += static_cast<int>(r.emissions.size());
+    st = r.next_state;
+  }
+  EXPECT_EQ(rollovers, 3);
+  EXPECT_EQ(st.at("acc"), 0);
+}
+
+TEST(Tachometer, TracksPeak) {
+  const auto tach = module("tachometer");
+  auto st = tach->initial_state();
+  cfsm::Snapshot snap = present({"rpm"});
+  snap.value["rpm"] = 5;
+  const cfsm::Reaction up = tach->react(snap, st);
+  EXPECT_EQ(up.next_state.at("peak"), 5);
+  ASSERT_EQ(up.emissions.size(), 1u);
+  EXPECT_EQ(up.emissions[0].second, 11);  // 2*5+1
+  snap.value["rpm"] = 3;
+  const cfsm::Reaction down = tach->react(snap, up.next_state);
+  EXPECT_EQ(down.next_state.at("peak"), 5);  // peak holds
+  ASSERT_EQ(down.emissions.size(), 1u);
+  EXPECT_EQ(down.emissions[0].second, 8);  // 3 + 5
+}
+
+TEST(Sampler, HoldsLastValueBetweenTicks) {
+  const auto smp = module("sampler");
+  auto st = smp->initial_state();
+  cfsm::Snapshot acc = present({"accel"});
+  acc.value["accel"] = 9;
+  st = smp->react(acc, st).next_state;
+  EXPECT_EQ(st.at("hold"), 9);
+  // Tick without a fresh sample: emits the held value.
+  const cfsm::Reaction r = smp->react(present({"tick"}), st);
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].second, 9);
+  // Tick with a fresh sample: emits the fresh one.
+  cfsm::Snapshot both = present({"tick", "accel"});
+  both.value["accel"] = 4;
+  const cfsm::Reaction r2 = smp->react(both, st);
+  ASSERT_EQ(r2.emissions.size(), 1u);
+  EXPECT_EQ(r2.emissions[0].second, 4);
+}
+
+TEST(ControlLaw, ModeTogglesGain) {
+  const auto law = module("control_law");
+  auto st = law->initial_state();
+  cfsm::Snapshot s = present({"sample"});
+  s.value["sample"] = 8;
+  const cfsm::Reaction comfort = law->react(s, st);
+  ASSERT_EQ(comfort.emissions.size(), 1u);
+  EXPECT_EQ(comfort.emissions[0].second, 1);  // (8+0)/8
+  // Toggle to sport.
+  st = law->react(present({"mode"}), st).next_state;
+  EXPECT_EQ(st.at("sport"), 1);
+  const cfsm::Reaction sport = law->react(s, st);
+  ASSERT_EQ(sport.emissions.size(), 1u);
+  EXPECT_EQ(sport.emissions[0].second, 4);  // (8+0)/4 + 2
+}
+
+TEST(Actuator, SlewLimited) {
+  const auto act = module("actuator");
+  auto st = act->initial_state();
+  cfsm::Snapshot cmd = present({"damper"});
+  cmd.value["damper"] = 3;
+  // Needs three steps to reach the command.
+  for (int i = 1; i <= 3; ++i) {
+    const cfsm::Reaction r = act->react(cmd, st);
+    ASSERT_EQ(r.emissions.size(), 1u) << "step " << i;
+    EXPECT_EQ(r.emissions[0].second, i);
+    st = r.next_state;
+  }
+  // At the target: no movement.
+  const cfsm::Reaction hold = act->react(cmd, st);
+  EXPECT_TRUE(hold.emissions.empty());
+  EXPECT_TRUE(hold.fired);
+}
+
+TEST(Watchdog, FaultsAfterMissedSamples) {
+  const auto wdg = module("watchdog");
+  auto st = wdg->initial_state();
+  st = wdg->react(present({"tick"}), st).next_state;
+  st = wdg->react(present({"tick"}), st).next_state;
+  const cfsm::Reaction r = wdg->react(present({"tick"}), st);
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].first, "fault");
+  // A sample resets the miss counter.
+  cfsm::Snapshot s = present({"sample"});
+  s.value["sample"] = 0;
+  EXPECT_EQ(wdg->react(s, r.next_state).next_state.at("miss"), 0);
+}
+
+TEST(Networks, WellFormed) {
+  EXPECT_EQ(dashboard_modules().size(), 6u);
+  EXPECT_EQ(shock_modules().size(), 4u);
+  const auto dash = dash_network();
+  EXPECT_EQ(dash->instances().size(), 7u);
+  EXPECT_FALSE(dash->topological_order().empty());
+  // Expected interface of the dashboard.
+  const auto ins = dash->external_inputs();
+  EXPECT_NE(std::find(ins.begin(), ins.end(), "wheel_raw"), ins.end());
+  EXPECT_NE(std::find(ins.begin(), ins.end(), "key_on"), ins.end());
+  const auto outs = dash->external_outputs();
+  EXPECT_NE(std::find(outs.begin(), outs.end(), "speed_pwm"), outs.end());
+  EXPECT_NE(std::find(outs.begin(), outs.end(), "alarm"), outs.end());
+  const auto shock = shock_network();
+  EXPECT_EQ(shock->instances().size(), 4u);
+  EXPECT_FALSE(shock->topological_order().empty());
+}
+
+}  // namespace
+}  // namespace polis::systems

@@ -1,0 +1,125 @@
+// The behavioural form of Theorem 1 (§III-B2): for any CFSM, the s-graph
+// built from the BDD of its characteristic function computes exactly the
+// CFSM's transition function — under *every* variable ordering scheme, and
+// under arbitrary random interleavings of test and action variables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cfsm/random.hpp"
+#include "cfsm/reactive.hpp"
+#include "sgraph/build.hpp"
+#include "sgraph/optimize.hpp"
+#include "util/rng.hpp"
+
+namespace polis {
+namespace {
+
+bool same_reaction(const cfsm::Reaction& a, const cfsm::Reaction& b) {
+  auto sorted = [](std::vector<std::pair<std::string, std::int64_t>> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  return a.fired == b.fired && sorted(a.emissions) == sorted(b.emissions) &&
+         a.next_state == b.next_state;
+}
+
+void expect_equivalent(const cfsm::Cfsm& m, const sgraph::Sgraph& g,
+                       const char* what) {
+  int bad = 0;
+  const bool complete = cfsm::enumerate_concrete_space(
+      m, 1u << 16,
+      [&](const cfsm::Snapshot& snap,
+          const std::map<std::string, std::int64_t>& st) {
+        const cfsm::Reaction ref = m.react(snap, st);
+        const cfsm::Reaction got = sgraph::run_reaction(g, m, snap, st);
+        if (!same_reaction(ref, got)) ++bad;
+      });
+  ASSERT_TRUE(complete) << "concrete space too large for exhaustive check";
+  EXPECT_EQ(bad, 0) << what << " mismatches on " << m.name();
+}
+
+struct Theorem1Param {
+  int seed;
+  sgraph::OrderingScheme scheme;
+};
+
+class Theorem1Schemes
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Theorem1Schemes, SgraphComputesTransitionFunction) {
+  const int seed = std::get<0>(GetParam());
+  const auto scheme =
+      static_cast<sgraph::OrderingScheme>(std::get<1>(GetParam()));
+  Rng rng(static_cast<std::uint64_t>(seed) * 1237 + 11);
+  cfsm::RandomCfsmOptions options;
+  options.num_inputs = 2 + seed % 2;
+  options.num_rules = 3 + seed % 3;
+  const cfsm::Cfsm m = cfsm::random_cfsm(rng, options);
+
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  const sgraph::Sgraph g = sgraph::build_sgraph(rf, scheme);
+  expect_equivalent(m, g, sgraph::to_string(scheme));
+
+  // Collapsing TEST chains must not change the function either (§III-B3d).
+  const sgraph::Sgraph collapsed = sgraph::collapse_tests(g);
+  expect_equivalent(m, collapsed, "collapsed");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsBySchemes, Theorem1Schemes,
+    ::testing::Combine(
+        ::testing::Range(0, 10),
+        ::testing::Values(
+            static_cast<int>(sgraph::OrderingScheme::kNaive),
+            static_cast<int>(sgraph::OrderingScheme::kSiftOutputsAfterInputs),
+            static_cast<int>(
+                sgraph::OrderingScheme::kSiftOutputsAfterSupport),
+            static_cast<int>(sgraph::OrderingScheme::kOutputsBeforeInputs),
+            static_cast<int>(sgraph::OrderingScheme::kFreeOrder))));
+
+// Arbitrary interleavings: Theorem 1 holds for any total order, including
+// ones that put actions between the tests they depend on.
+class Theorem1RandomOrders : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem1RandomOrders, ArbitraryInterleavingsAreCorrect) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 733 + 3);
+  const cfsm::Cfsm m = cfsm::random_cfsm(rng);
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+
+  std::vector<int> vars;
+  for (const cfsm::TestVariable& t : rf.tests()) vars.push_back(t.bdd_var);
+  for (const cfsm::ActionVariable& a : rf.actions()) vars.push_back(a.bdd_var);
+
+  for (int round = 0; round < 3; ++round) {
+    std::shuffle(vars.begin(), vars.end(), rng.engine());
+    const sgraph::Sgraph g = sgraph::build_sgraph_with_order(rf, vars);
+    expect_equivalent(m, g, "random order");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1RandomOrders, ::testing::Range(0, 12));
+
+// With the care-set restriction (false-path removal) the function must be
+// unchanged on all *reachable* combinations — which is exactly what the
+// exhaustive concrete sweep exercises.
+class Theorem1CareSet : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem1CareSet, CareSetPreservesReachableBehaviour) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 577 + 29);
+  const cfsm::Cfsm m = cfsm::random_cfsm(rng);
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  sgraph::BuildOptions options;
+  options.use_care_set = true;
+  const sgraph::Sgraph g =
+      sgraph::build_sgraph(rf, sgraph::OrderingScheme::kNaive, options);
+  expect_equivalent(m, g, "care-set");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1CareSet, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace polis

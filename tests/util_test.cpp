@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace polis {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts{"x", "", "yz"};
+  EXPECT_EQ(split(join(parts, ";"), ';'), parts);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a"), "a");
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("abc_1"));
+  EXPECT_TRUE(is_identifier("_x"));
+  EXPECT_FALSE(is_identifier("1abc"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("a-b"));
+}
+
+TEST(Strings, CIdentifierMangling) {
+  EXPECT_EQ(c_identifier("wheel-raw"), "wheel_raw");
+  EXPECT_EQ(c_identifier("3abc"), "_3abc");
+  EXPECT_TRUE(is_identifier(c_identifier("a b$c")));
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-45678), "-45,678");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(1);
+  EXPECT_EQ(rng.uniform(3, 3), 3);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(3);
+  const std::vector<int> p = rng.permutation(20);
+  std::vector<bool> seen(20, false);
+  for (int v : p) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 20);
+    EXPECT_FALSE(seen[static_cast<size_t>(v)]);
+    seen[static_cast<size_t>(v)] = true;
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(POLIS_CHECK(false), CheckError);
+  try {
+    POLIS_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "bytes"});
+  t.add_row({"belt", "1,234"});
+  t.add_separator();
+  t.add_row({"odometer", "56"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("belt"), std::string::npos);
+  EXPECT_NE(out.find("1,234"), std::string::npos);
+  EXPECT_NE(out.find("odometer"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, Fixed) {
+  EXPECT_EQ(fixed(1.2345, 2), "1.23");
+  EXPECT_EQ(fixed(2.0, 1), "2.0");
+}
+
+}  // namespace
+}  // namespace polis

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "cfsm/random.hpp"
+#include "cfsm/reactive.hpp"
+#include "sgraph/build.hpp"
+#include "util/rng.hpp"
+#include "vm/compile.hpp"
+#include "util/check.hpp"
+#include "vm/machine.hpp"
+
+namespace polis::vm {
+namespace {
+
+bool same_reaction(const cfsm::Reaction& a, const cfsm::Reaction& b) {
+  auto sorted = [](std::vector<std::pair<std::string, std::int64_t>> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  return a.fired == b.fired && sorted(a.emissions) == sorted(b.emissions) &&
+         a.next_state == b.next_state;
+}
+
+TEST(TargetProfile, AluCostsByOperator) {
+  const TargetProfile p = hc11_like();
+  EXPECT_EQ(p.alu_cycles(expr::Op::kAdd), p.cyc_alu);
+  EXPECT_EQ(p.alu_cycles(expr::Op::kMul), p.cyc_mul);
+  EXPECT_EQ(p.alu_cycles(expr::Op::kDiv), p.cyc_div);
+  EXPECT_EQ(p.alu_cycles(expr::Op::kMod), p.cyc_div);
+  EXPECT_GT(p.cyc_mul, p.cyc_alu);  // 8-bit CISC flavour
+}
+
+TEST(TargetProfile, EmitSizeIncludesValueExtra) {
+  const TargetProfile p = hc11_like();
+  Instr pure{Opcode::kEmit, 0, -1, 0, 0, expr::Op::kAdd, "y"};
+  Instr valued{Opcode::kEmit, 0, 0, 0, 0, expr::Op::kAdd, "y"};
+  EXPECT_EQ(p.instr_bytes(valued) - p.instr_bytes(pure), p.sz_emit_value_extra);
+}
+
+TEST(TargetProfile, ProfilesDiffer) {
+  const TargetProfile hc = hc11_like();
+  const TargetProfile rv = risc32_like();
+  EXPECT_NE(hc.name, rv.name);
+  EXPECT_LT(hc.sz_alu, rv.sz_alu);        // CISC encodes tighter
+  EXPECT_GT(hc.cyc_detect, rv.cyc_detect);  // and runs slower
+}
+
+TEST(RoutineBuilder, SlotInterning) {
+  cfsm::Cfsm m("m", {{"c", 4}}, {{"y", 1}}, {{"a", 4, 0}},
+               {cfsm::Rule{cfsm::presence("c"), {cfsm::Emit{"y", nullptr}}, {}}});
+  const SymbolInfo syms = SymbolInfo::from(m);
+  RoutineBuilder b(syms, "t");
+  const int s1 = b.slot("a");
+  EXPECT_EQ(b.slot("a"), s1);
+  EXPECT_NE(b.slot("v_c"), s1);
+  const CompiledReaction r = b.finish();
+  ASSERT_EQ(r.copy_in.size(), 1u);  // one state variable
+  EXPECT_EQ(r.slot_wrap_domain.at(r.copy_in[0].first), 4);
+}
+
+TEST(SymbolInfo, FromMachine) {
+  cfsm::Cfsm m("m", {{"c", 4}, {"p", 1}}, {{"y", 8}}, {{"a", 4, 0}},
+               {cfsm::Rule{cfsm::presence("c"),
+                           {cfsm::Emit{"y", expr::constant(1)}},
+                           {}}});
+  const SymbolInfo s = SymbolInfo::from(m);
+  EXPECT_EQ(s.state_vars, std::set<std::string>{"a"});
+  EXPECT_EQ(s.presence_to_signal.at("present_c"), "c");
+  EXPECT_EQ(s.presence_to_signal.at("present_p"), "p");
+  EXPECT_EQ(s.input_value_vars, std::set<std::string>{"v_c"});
+  EXPECT_EQ(s.signal_domain.at("y"), 8);
+}
+
+TEST(Machine, StateWriteWrapsToDomain) {
+  cfsm::Cfsm m("m", {{"e", 1}}, {}, {{"a", 4, 3}},
+               {cfsm::Rule{cfsm::presence("e"),
+                           {},
+                           {cfsm::Assign{
+                               "a", expr::add(expr::var("a"),
+                                              expr::constant(3))}}}});
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  const sgraph::Sgraph g =
+      sgraph::build_sgraph(rf, sgraph::OrderingScheme::kNaive);
+  const CompiledReaction cr = compile(g, SymbolInfo::from(m));
+  cfsm::Snapshot snap;
+  snap.present["e"] = true;
+  const cfsm::Reaction r =
+      run_reaction(cr, hc11_like(), m, snap, {{"a", 3}});
+  EXPECT_EQ(r.next_state.at("a"), 2);  // (3+3) mod 4
+}
+
+TEST(Machine, CopyInGivesSynchronousSemantics) {
+  // b := a and a := a+1 in the same reaction must both read pre-state a.
+  cfsm::Cfsm m("m", {{"e", 1}}, {}, {{"a", 8, 1}, {"b", 8, 0}},
+               {cfsm::Rule{cfsm::presence("e"),
+                           {},
+                           {cfsm::Assign{"a", expr::add(expr::var("a"),
+                                                        expr::constant(1))},
+                            cfsm::Assign{"b", expr::var("a")}}}});
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  const sgraph::Sgraph g =
+      sgraph::build_sgraph(rf, sgraph::OrderingScheme::kNaive);
+  const CompiledReaction cr = compile(g, SymbolInfo::from(m));
+  cfsm::Snapshot snap;
+  snap.present["e"] = true;
+  const cfsm::Reaction r =
+      run_reaction(cr, hc11_like(), m, snap, {{"a", 5}, {"b", 0}});
+  EXPECT_EQ(r.next_state.at("a"), 6);
+  EXPECT_EQ(r.next_state.at("b"), 5);
+}
+
+TEST(Machine, CyclesPositiveAndDependOnPath) {
+  cfsm::Cfsm m("m", {{"e", 1}}, {{"y", 1}}, {},
+               {cfsm::Rule{cfsm::presence("e"), {cfsm::Emit{"y", nullptr}}, {}}});
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  const sgraph::Sgraph g =
+      sgraph::build_sgraph(rf, sgraph::OrderingScheme::kNaive);
+  const CompiledReaction cr = compile(g, SymbolInfo::from(m));
+  long long hit = 0;
+  long long miss = 0;
+  cfsm::Snapshot with;
+  with.present["e"] = true;
+  run_reaction(cr, hc11_like(), m, with, {}, &hit);
+  run_reaction(cr, hc11_like(), m, {}, {}, &miss);
+  EXPECT_GT(hit, miss);  // emission path costs more
+  EXPECT_GT(miss, 0);
+}
+
+TEST(Machine, MeasureTimingBracketsSinglePaths) {
+  cfsm::Cfsm m("m", {{"e", 1}}, {{"y", 1}}, {},
+               {cfsm::Rule{cfsm::presence("e"), {cfsm::Emit{"y", nullptr}}, {}}});
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  const sgraph::Sgraph g =
+      sgraph::build_sgraph(rf, sgraph::OrderingScheme::kNaive);
+  const CompiledReaction cr = compile(g, SymbolInfo::from(m));
+  const auto t = measure_timing(cr, hc11_like(), m);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->cases, 2u);
+  EXPECT_LT(t->min_cycles, t->max_cycles);
+  // The limit is honoured.
+  EXPECT_FALSE(measure_timing(cr, hc11_like(), m, 1).has_value());
+}
+
+TEST(Machine, ProgramSizePositiveAndProfileDependent) {
+  cfsm::Cfsm m("m", {{"c", 4}}, {{"y", 4}}, {{"a", 4, 0}},
+               {cfsm::Rule{cfsm::presence("c"),
+                           {cfsm::Emit{"y", cfsm::value_of("c")}},
+                           {cfsm::Assign{"a", cfsm::value_of("c")}}}});
+  bdd::BddManager mgr;
+  cfsm::ReactiveFunction rf(m, mgr);
+  const sgraph::Sgraph g =
+      sgraph::build_sgraph(rf, sgraph::OrderingScheme::kNaive);
+  const CompiledReaction cr = compile(g, SymbolInfo::from(m));
+  const long long hc = cr.program.size_bytes(hc11_like());
+  const long long rv = cr.program.size_bytes(risc32_like());
+  EXPECT_GT(hc, 0);
+  EXPECT_GT(rv, hc);  // RISC32 fixed-width encodings are bigger
+}
+
+TEST(Machine, MovAndComputedJumpSemantics) {
+  // Micro-program: r0 := 2 via kMov, dispatch through a 3-entry jump table,
+  // land on the entry that emits "hit".
+  CompiledReaction cr;
+  cr.program.name = "micro";
+  using I = Instr;
+  cr.program.code = {
+      I{Opcode::kLdi, 1, 0, 0, 2, expr::Op::kAdd, ""},   // r1 = 2
+      I{Opcode::kMov, 0, 1, 0, 0, expr::Op::kAdd, ""},   // r0 = r1
+      I{Opcode::kJmpInd, 0, 3, 0, 0, expr::Op::kAdd, ""},// pc = 3 + r0
+      I{Opcode::kRet, 0, 0, 0, 0, expr::Op::kAdd, ""},   // entry 0
+      I{Opcode::kRet, 0, 0, 0, 0, expr::Op::kAdd, ""},   // entry 1
+      I{Opcode::kEmit, 0, -1, 0, 0, expr::Op::kAdd, "hit"},  // entry 2
+      I{Opcode::kRet, 0, 0, 0, 0, expr::Op::kAdd, ""},
+  };
+  const RunResult r = run(cr, hc11_like(), {},
+                          [](const std::string&) { return false; });
+  ASSERT_EQ(r.emissions.size(), 1u);
+  EXPECT_EQ(r.emissions[0].first, "hit");
+}
+
+TEST(Machine, RunawayProgramDetected) {
+  CompiledReaction cr;
+  cr.program.name = "loop";
+  cr.program.code = {
+      Instr{Opcode::kJmp, 0, 0, 0, 0, expr::Op::kAdd, ""},  // jump to self
+  };
+  EXPECT_THROW(run(cr, hc11_like(), {},
+                   [](const std::string&) { return false; }),
+               CheckError);
+}
+
+// Property: VM execution of the compiled s-graph matches the reference
+// semantics exhaustively for random machines, across ordering schemes.
+class VmEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(VmEquivalence, CompiledCodeMatchesReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 677 + 211);
+  const cfsm::Cfsm m = cfsm::random_cfsm(rng);
+  for (auto scheme : {sgraph::OrderingScheme::kNaive,
+                      sgraph::OrderingScheme::kSiftOutputsAfterSupport,
+                      sgraph::OrderingScheme::kOutputsBeforeInputs,
+                      sgraph::OrderingScheme::kFreeOrder}) {
+    bdd::BddManager mgr;
+    cfsm::ReactiveFunction rf(m, mgr);
+    const sgraph::Sgraph g = sgraph::build_sgraph(rf, scheme);
+    const CompiledReaction cr = compile(g, SymbolInfo::from(m));
+    int bad = 0;
+    const bool complete = cfsm::enumerate_concrete_space(
+        m, 1u << 16,
+        [&](const cfsm::Snapshot& snap,
+            const std::map<std::string, std::int64_t>& st) {
+          const cfsm::Reaction ref = m.react(snap, st);
+          const cfsm::Reaction got =
+              run_reaction(cr, hc11_like(), m, snap, st);
+          if (!same_reaction(ref, got)) ++bad;
+        });
+    ASSERT_TRUE(complete);
+    EXPECT_EQ(bad, 0) << "scheme " << sgraph::to_string(scheme);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmEquivalence, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace polis::vm

@@ -1,0 +1,309 @@
+// polisc — the command-line front door of the synthesis flow.
+//
+//   polisc input.rsl --list
+//   polisc input.rsl --module simple --report
+//   polisc input.rsl --network dash --out gen/ --policy prio --preemptive
+//
+// For a module: prints (or writes) the synthesized C and a cost report.
+// For a network: synthesizes every instance, emits polis_rt.h, the
+// generated RTOS translation unit and one C file per task, plus a report
+// table — the complete §I-H flow as a tool.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/c_codegen.hpp"
+#include "core/synthesis.hpp"
+#include "estim/calibrate.hpp"
+#include "frontend/parser.hpp"
+#include "rtos/codegen.hpp"
+#include "rtos/rtos.hpp"
+#include "rtos/tasks.hpp"
+#include "rtos/trace.hpp"
+#include "rtos/vcd.hpp"
+#include "util/rng.hpp"
+#include "sgraph/io.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "vm/machine.hpp"
+
+namespace {
+
+using namespace polis;
+
+struct Args {
+  std::string input;
+  bool list = false;
+  std::string module;
+  std::string network;
+  std::string scheme = "sift";
+  std::string target = "hc11";
+  std::string policy = "rr";
+  bool preemptive = false;
+  bool polling = false;
+  bool care = false;
+  bool opt_copyin = false;
+  bool report = false;
+  bool dot = false;
+  long long simulate = 0;   // horizon in cycles; 0 = no simulation
+  std::string vcd;
+  std::string out_dir;
+};
+
+void usage() {
+  std::cerr <<
+      "usage: polisc <input.rsl> [options]\n"
+      "  --list                 list modules and networks in the input\n"
+      "  --module NAME          synthesize one module\n"
+      "  --network NAME         synthesize a network (tasks + RTOS)\n"
+      "  --scheme S             naive | sift (default) | sift-in | "
+      "out-first | free\n"
+      "  --care                 exploit the reachable care set (false paths)\n"
+      "  --opt-copyin           data-flow copy-in optimization (§V-B)\n"
+      "  --target T             hc11 (default) | risc32\n"
+      "  --policy P             rr (default) | prio\n"
+      "  --preemptive           preemptive scheduling\n"
+      "  --polling              polled hw->sw event delivery\n"
+      "  --report               print the cost/performance table\n"
+      "  --simulate N           run the network for N cycles under the\n"
+      "                         RTOS simulator with a periodic workload\n"
+      "  --vcd FILE             write the simulation waveform as VCD\n"
+      "  --dot                  also emit the s-graph in Graphviz form\n"
+      "  --out DIR              write artifacts into DIR instead of stdout\n";
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.input = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--list") args.list = true;
+    else if (a == "--module") args.module = value();
+    else if (a == "--network") args.network = value();
+    else if (a == "--scheme") args.scheme = value();
+    else if (a == "--target") args.target = value();
+    else if (a == "--policy") args.policy = value();
+    else if (a == "--preemptive") args.preemptive = true;
+    else if (a == "--polling") args.polling = true;
+    else if (a == "--care") args.care = true;
+    else if (a == "--opt-copyin") args.opt_copyin = true;
+    else if (a == "--report") args.report = true;
+    else if (a == "--simulate") args.simulate = std::stoll(value());
+    else if (a == "--vcd") args.vcd = value();
+    else if (a == "--dot") args.dot = true;
+    else if (a == "--out") args.out_dir = value();
+    else {
+      std::cerr << "unknown option: " << a << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+sgraph::OrderingScheme scheme_of(const std::string& name) {
+  if (name == "naive") return sgraph::OrderingScheme::kNaive;
+  if (name == "sift") return sgraph::OrderingScheme::kSiftOutputsAfterSupport;
+  if (name == "sift-in") return sgraph::OrderingScheme::kSiftOutputsAfterInputs;
+  if (name == "out-first") return sgraph::OrderingScheme::kOutputsBeforeInputs;
+  if (name == "free") return sgraph::OrderingScheme::kFreeOrder;
+  throw std::runtime_error("unknown scheme: " + name);
+}
+
+void write_artifact(const Args& args, const std::string& name,
+                    const std::string& content) {
+  if (args.out_dir.empty()) {
+    std::cout << "// ===== " << name << " =====\n" << content << "\n";
+    return;
+  }
+  std::filesystem::create_directories(args.out_dir);
+  const std::string path = args.out_dir + "/" + name;
+  std::ofstream out(path);
+  out << content;
+  std::cout << "wrote " << path << "\n";
+}
+
+SynthesisResult synthesize_one(std::shared_ptr<const cfsm::Cfsm> machine,
+                               const Args& args,
+                               const estim::CostModel& model,
+                               const vm::TargetProfile& target) {
+  SynthesisOptions options;
+  options.scheme = scheme_of(args.scheme);
+  options.build.use_care_set = args.care;
+  options.optimize_copy_in = args.opt_copyin;
+  options.target = target;
+  options.cost_model = &model;
+  return synthesize(std::move(machine), options);
+}
+
+void add_report_row(Table& table, const std::string& name,
+                    const SynthesisResult& r, const vm::TargetProfile& target) {
+  const auto timing = vm::measure_timing(*r.compiled, target, *r.machine);
+  table.add_row(
+      {name, std::to_string(r.graph->num_reachable()),
+       std::to_string(r.estimate.size_bytes), std::to_string(r.vm_size_bytes),
+       std::to_string(r.estimate.min_cycles) + ".." +
+           std::to_string(r.estimate.max_cycles),
+       timing.has_value() ? std::to_string(timing->min_cycles) + ".." +
+                                std::to_string(timing->max_cycles)
+                          : "n/a",
+       fixed(1000.0 * r.synthesis_seconds, 1)});
+}
+
+int run(const Args& args) {
+  std::ifstream in(args.input);
+  if (!in) {
+    std::cerr << "polisc: cannot open " << args.input << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const frontend::ParsedFile file = frontend::parse(buffer.str());
+
+  if (args.list) {
+    std::cout << "modules:";
+    for (const auto& [name, m] : file.modules)
+      std::cout << ' ' << name << '(' << m->rules().size() << " rules)";
+    std::cout << "\nnetworks:";
+    for (const auto& [name, n] : file.networks)
+      std::cout << ' ' << name << '(' << n->instances().size()
+                << " instances)";
+    std::cout << "\n";
+    return 0;
+  }
+
+  const vm::TargetProfile target =
+      args.target == "risc32" ? vm::risc32_like() : vm::hc11_like();
+  const estim::CostModel model = estim::calibrate(target);
+  Table report({"task", "s-graph", "est bytes", "meas bytes", "est cycles",
+                "meas cycles", "synth ms"});
+
+  if (!args.module.empty()) {
+    auto it = file.modules.find(args.module);
+    if (it == file.modules.end()) {
+      std::cerr << "polisc: no module named " << args.module << "\n";
+      return 1;
+    }
+    const SynthesisResult r = synthesize_one(it->second, args, model, target);
+    write_artifact(args, "cfsm_" + c_identifier(args.module) + ".c", r.c_code);
+    if (args.dot) {
+      std::ostringstream dot;
+      sgraph::to_dot(*r.graph, dot);
+      write_artifact(args, c_identifier(args.module) + ".dot", dot.str());
+    }
+    if (args.report) {
+      add_report_row(report, args.module, r, target);
+      report.print(std::cout);
+    }
+    return 0;
+  }
+
+  if (!args.network.empty()) {
+    auto it = file.networks.find(args.network);
+    if (it == file.networks.end()) {
+      std::cerr << "polisc: no network named " << args.network << "\n";
+      return 1;
+    }
+    const cfsm::Network& net = *it->second;
+
+    rtos::RtosConfig config;
+    if (args.policy == "prio")
+      config.policy = rtos::RtosConfig::Policy::kStaticPriority;
+    config.preemptive = args.preemptive;
+    if (args.polling)
+      config.delivery = rtos::RtosConfig::HwDelivery::kPolling;
+
+    write_artifact(args, "polis_rt.h", rtos::generate_rt_header(net));
+    write_artifact(args, "polis_rtos.c", rtos::generate_rtos_c(net, config));
+    for (const cfsm::Instance& inst : net.instances()) {
+      const SynthesisResult r =
+          synthesize_one(inst.machine, args, model, target);
+      codegen::CCodegenOptions c_options;
+      c_options.optimize_copy_in = args.opt_copyin;
+      write_artifact(args, "cfsm_" + c_identifier(inst.name) + ".c",
+                     codegen::generate_instance_c(*r.graph, inst, c_options));
+      if (args.dot) {
+        std::ostringstream dot;
+        sgraph::to_dot(*r.graph, dot);
+        write_artifact(args, c_identifier(inst.name) + ".dot", dot.str());
+      }
+      if (args.report) add_report_row(report, inst.name, r, target);
+    }
+    if (args.report) report.print(std::cout);
+
+    if (args.simulate > 0) {
+      config.collect_log = !args.vcd.empty();
+      rtos::RtosSimulation sim(net, config);
+      for (const cfsm::Instance& inst : net.instances()) {
+        const SynthesisResult r =
+            synthesize_one(inst.machine, args, model, target);
+        sim.set_task(inst.name,
+                     rtos::vm_task(r.compiled, target, inst.machine));
+      }
+      // Periodic workload: every external input fires ~50 times over the
+      // horizon, phases staggered, values random in the net's domain.
+      Rng rng(1);
+      std::vector<std::vector<rtos::ExternalEvent>> traces;
+      long long phase = 0;
+      const auto nets = net.nets();
+      for (const std::string& in : net.external_inputs()) {
+        rtos::PeriodicSource source;
+        source.net = in;
+        source.period = std::max<long long>(args.simulate / 50, 1);
+        source.phase = phase;
+        source.value_domain = nets.at(in).domain;
+        traces.push_back(rtos::periodic_trace(source, args.simulate, &rng));
+        phase += source.period / std::max<size_t>(
+                     net.external_inputs().size(), 1);
+      }
+      const rtos::SimStats stats =
+          sim.run(rtos::merge_traces(std::move(traces)));
+
+      std::cout << "simulation: " << stats.end_time << " cycles, "
+                << stats.reactions_run << " reactions ("
+                << stats.empty_reactions << " empty), utilization "
+                << fixed(100 * stats.utilization(), 1) << "%\n";
+      std::map<std::string, int> counts;
+      for (const rtos::ObservedEmission& e : stats.outputs) counts[e.net]++;
+      for (const auto& [out, n] : counts)
+        std::cout << "  output " << out << ": " << n << " emissions\n";
+      for (const auto& [n, lost] : stats.lost_events)
+        std::cout << "  lost on " << n << ": " << lost << "\n";
+      if (!args.vcd.empty()) {
+        std::ofstream vcd(args.vcd);
+        rtos::write_vcd(net, stats, vcd);
+        std::cout << "wrote " << args.vcd << " (" << stats.log.size()
+                  << " log events)\n";
+      }
+    }
+    return 0;
+  }
+
+  std::cerr << "polisc: pass --list, --module or --network\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  try {
+    if (!parse_args(argc, argv, args)) {
+      usage();
+      return 2;
+    }
+    return run(args);
+  } catch (const frontend::ParseError& e) {
+    std::cerr << "polisc: " << args.input << ": " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "polisc: " << e.what() << "\n";
+    return 1;
+  }
+}
