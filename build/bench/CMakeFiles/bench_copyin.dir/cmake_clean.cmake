@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_copyin.dir/bench_copyin.cpp.o"
+  "CMakeFiles/bench_copyin.dir/bench_copyin.cpp.o.d"
+  "bench_copyin"
+  "bench_copyin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_copyin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

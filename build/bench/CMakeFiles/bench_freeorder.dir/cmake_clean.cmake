@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_freeorder.dir/bench_freeorder.cpp.o"
+  "CMakeFiles/bench_freeorder.dir/bench_freeorder.cpp.o.d"
+  "bench_freeorder"
+  "bench_freeorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_freeorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

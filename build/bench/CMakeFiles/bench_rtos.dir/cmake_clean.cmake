@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rtos.dir/bench_rtos.cpp.o"
+  "CMakeFiles/bench_rtos.dir/bench_rtos.cpp.o.d"
+  "bench_rtos"
+  "bench_rtos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rtos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shock.dir/bench_shock.cpp.o"
+  "CMakeFiles/bench_shock.dir/bench_shock.cpp.o.d"
+  "bench_shock"
+  "bench_shock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

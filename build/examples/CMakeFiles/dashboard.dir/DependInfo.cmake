@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dashboard.cpp" "examples/CMakeFiles/dashboard.dir/dashboard.cpp.o" "gcc" "examples/CMakeFiles/dashboard.dir/dashboard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/polis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/polis_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/polis_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtos/CMakeFiles/polis_rtos.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/polis_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/estim/CMakeFiles/polis_estim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/polis_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgraph/CMakeFiles/polis_sgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/polis_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfsm/CMakeFiles/polis_cfsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/polis_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/polis_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/polis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

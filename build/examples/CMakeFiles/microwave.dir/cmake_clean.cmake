@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microwave.dir/microwave.cpp.o"
+  "CMakeFiles/microwave.dir/microwave.cpp.o.d"
+  "microwave"
+  "microwave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microwave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shock_absorber.dir/shock_absorber.cpp.o"
+  "CMakeFiles/shock_absorber.dir/shock_absorber.cpp.o.d"
+  "shock_absorber"
+  "shock_absorber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shock_absorber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

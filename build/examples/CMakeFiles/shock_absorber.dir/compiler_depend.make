@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shock_absorber.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for shock_absorber.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,41 @@
+/* Synthesized reaction routine for instance 'blt' of CFSM 'belt'.
+ * Ports are bound to nets; state lives in instance-prefixed globals. Do not edit. */
+#include "polis_rt.h"
+
+static long blt__st = 0;
+static long blt__cnt = 0;
+
+void cfsm_blt(void) {
+  long blt__st__in = blt__st;
+  long blt__cnt__in = blt__cnt;
+  if (!(polis_detect(SIG_key_on))) goto L15;
+  goto L4;
+L15:
+  if (!(blt__st__in == 1)) goto L0;
+  if (!(polis_detect(SIG_belt_on))) goto L13;
+  goto L5;
+L13:
+  if (!(polis_detect(SIG_timer))) goto L0;
+  if (!(blt__cnt__in < 3)) goto L11;
+  goto L7;
+L11:
+  if (!(blt__cnt__in >= 3)) goto L0;
+  polis_consume();
+  polis_emit(SIG_alarm);
+  blt__st = polis_wrap(2, 3);
+  goto L0;
+L7:
+  polis_consume();
+  blt__cnt = polis_wrap(blt__cnt__in + 1, 4);
+  goto L0;
+L5:
+  blt__st = polis_wrap(0, 3);
+  goto L2;
+L4:
+  blt__cnt = polis_wrap(0, 4);
+  blt__st = polis_wrap(1, 3);
+L2:
+  polis_consume();
+L0:
+  return;
+}

@@ -1,0 +1,30 @@
+/* Synthesized reaction routine for instance 'deb' of CFSM 'debounce'.
+ * Ports are bound to nets; state lives in instance-prefixed globals. Do not edit. */
+#include "polis_rt.h"
+
+static long deb__cnt = 0;
+
+void cfsm_deb(void) {
+  long deb__cnt__in = deb__cnt;
+  if (!(polis_detect(SIG_wheel_raw))) goto L11;
+  goto L8;
+L11:
+  if (!(polis_detect(SIG_timer))) goto L0;
+  polis_consume();
+  deb__cnt = polis_wrap(0, 4);
+  goto L0;
+L8:
+  if (!(deb__cnt__in < 2)) goto L7;
+  goto L3;
+L7:
+  if (!(deb__cnt__in >= 2)) goto L0;
+  polis_consume();
+  polis_emit(SIG_wheel_clean);
+  deb__cnt = polis_wrap(3, 4);
+  goto L0;
+L3:
+  deb__cnt = polis_wrap(deb__cnt__in + 1, 4);
+  polis_consume();
+L0:
+  return;
+}

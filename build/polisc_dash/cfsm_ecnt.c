@@ -1,0 +1,22 @@
+/* Synthesized reaction routine for instance 'ecnt' of CFSM 'pulse_counter'.
+ * Ports are bound to nets; state lives in instance-prefixed globals. Do not edit. */
+#include "polis_rt.h"
+
+static long ecnt__n = 0;
+
+void cfsm_ecnt(void) {
+  long ecnt__n__in = ecnt__n;
+  if (!(polis_detect(SIG_timer))) goto L6;
+  goto L4;
+L6:
+  if (!(polis_detect(SIG_engine_raw))) goto L0;
+  ecnt__n = polis_wrap(ecnt__n__in + 1, 8);
+  goto L2;
+L4:
+  ecnt__n = polis_wrap(0, 8);
+  polis_emit_value(SIG_engine_count, polis_wrap(ecnt__n__in, 8));
+L2:
+  polis_consume();
+L0:
+  return;
+}

@@ -1,0 +1,23 @@
+/* Synthesized reaction routine for instance 'odo' of CFSM 'odometer'.
+ * Ports are bound to nets; state lives in instance-prefixed globals. Do not edit. */
+#include "polis_rt.h"
+
+static long odo__acc = 0;
+
+void cfsm_odo(void) {
+  long odo__acc__in = odo__acc;
+  if (!(polis_detect(SIG_wheel_count))) goto L0;
+  if (!(odo__acc__in + polis_value(SIG_wheel_count) >= 16)) goto L6;
+  goto L4;
+L6:
+  if (!(odo__acc__in + polis_value(SIG_wheel_count) < 16)) goto L0;
+  odo__acc = polis_wrap(odo__acc__in + polis_value(SIG_wheel_count), 16);
+  goto L2;
+L4:
+  polis_emit(SIG_odo_inc);
+  odo__acc = polis_wrap(odo__acc__in + polis_value(SIG_wheel_count) - 16, 16);
+L2:
+  polis_consume();
+L0:
+  return;
+}

@@ -1,0 +1,23 @@
+/* Synthesized reaction routine for instance 'tach' of CFSM 'tachometer'.
+ * Ports are bound to nets; state lives in instance-prefixed globals. Do not edit. */
+#include "polis_rt.h"
+
+static long tach__peak = 0;
+
+void cfsm_tach(void) {
+  long tach__peak__in = tach__peak;
+  if (!(polis_detect(SIG_engine_count))) goto L0;
+  if (!(polis_value(SIG_engine_count) > tach__peak__in)) goto L6;
+  goto L4;
+L6:
+  if (!(polis_value(SIG_engine_count) <= tach__peak__in)) goto L0;
+  polis_emit_value(SIG_rpm_pwm, polis_wrap(polis_value(SIG_engine_count) + tach__peak__in, 16));
+  goto L2;
+L4:
+  polis_emit_value(SIG_rpm_pwm, polis_wrap(polis_value(SIG_engine_count) * 2 + 1, 16));
+  tach__peak = polis_wrap(polis_value(SIG_engine_count), 8);
+L2:
+  polis_consume();
+L0:
+  return;
+}

@@ -1,0 +1,28 @@
+/* polis_rt.h — generated RTOS interface for network 'dash'. */
+#ifndef POLIS_RT_H
+#define POLIS_RT_H
+
+#define SIG_alarm 0
+#define SIG_belt_on 1
+#define SIG_engine_count 2
+#define SIG_engine_raw 3
+#define SIG_key_on 4
+#define SIG_odo_inc 5
+#define SIG_rpm_pwm 6
+#define SIG_speed_pwm 7
+#define SIG_timer 8
+#define SIG_wheel_clean 9
+#define SIG_wheel_count 10
+#define SIG_wheel_raw 11
+
+long polis_wrap(long value, long domain);
+int  polis_detect(int sig);
+void polis_emit(int sig);
+void polis_emit_value(int sig, long value);
+void polis_consume(void);
+long polis_value(int sig);
+/* Provided by the environment: called for emissions on nets with
+ * no software consumer (the system's external outputs). */
+void polis_observe(int sig, long value);
+
+#endif /* POLIS_RT_H */

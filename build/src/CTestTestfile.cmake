@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("expr")
+subdirs("bdd")
+subdirs("cfsm")
+subdirs("frontend")
+subdirs("sgraph")
+subdirs("vm")
+subdirs("estim")
+subdirs("codegen")
+subdirs("rtos")
+subdirs("sched")
+subdirs("baseline")
+subdirs("core")

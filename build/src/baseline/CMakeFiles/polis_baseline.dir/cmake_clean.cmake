@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polis_baseline.dir/boolnet.cpp.o"
+  "CMakeFiles/polis_baseline.dir/boolnet.cpp.o.d"
+  "CMakeFiles/polis_baseline.dir/compose.cpp.o"
+  "CMakeFiles/polis_baseline.dir/compose.cpp.o.d"
+  "CMakeFiles/polis_baseline.dir/multiway.cpp.o"
+  "CMakeFiles/polis_baseline.dir/multiway.cpp.o.d"
+  "libpolis_baseline.a"
+  "libpolis_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polis_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

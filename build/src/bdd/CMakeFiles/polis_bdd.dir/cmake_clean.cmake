@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polis_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/polis_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/polis_bdd.dir/io.cpp.o"
+  "CMakeFiles/polis_bdd.dir/io.cpp.o.d"
+  "CMakeFiles/polis_bdd.dir/reorder.cpp.o"
+  "CMakeFiles/polis_bdd.dir/reorder.cpp.o.d"
+  "libpolis_bdd.a"
+  "libpolis_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polis_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

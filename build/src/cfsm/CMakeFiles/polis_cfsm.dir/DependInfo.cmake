@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfsm/cfsm.cpp" "src/cfsm/CMakeFiles/polis_cfsm.dir/cfsm.cpp.o" "gcc" "src/cfsm/CMakeFiles/polis_cfsm.dir/cfsm.cpp.o.d"
+  "/root/repo/src/cfsm/network.cpp" "src/cfsm/CMakeFiles/polis_cfsm.dir/network.cpp.o" "gcc" "src/cfsm/CMakeFiles/polis_cfsm.dir/network.cpp.o.d"
+  "/root/repo/src/cfsm/random.cpp" "src/cfsm/CMakeFiles/polis_cfsm.dir/random.cpp.o" "gcc" "src/cfsm/CMakeFiles/polis_cfsm.dir/random.cpp.o.d"
+  "/root/repo/src/cfsm/reactive.cpp" "src/cfsm/CMakeFiles/polis_cfsm.dir/reactive.cpp.o" "gcc" "src/cfsm/CMakeFiles/polis_cfsm.dir/reactive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/polis_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/polis_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/polis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polis_cfsm.dir/cfsm.cpp.o"
+  "CMakeFiles/polis_cfsm.dir/cfsm.cpp.o.d"
+  "CMakeFiles/polis_cfsm.dir/network.cpp.o"
+  "CMakeFiles/polis_cfsm.dir/network.cpp.o.d"
+  "CMakeFiles/polis_cfsm.dir/random.cpp.o"
+  "CMakeFiles/polis_cfsm.dir/random.cpp.o.d"
+  "CMakeFiles/polis_cfsm.dir/reactive.cpp.o"
+  "CMakeFiles/polis_cfsm.dir/reactive.cpp.o.d"
+  "libpolis_cfsm.a"
+  "libpolis_cfsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polis_cfsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

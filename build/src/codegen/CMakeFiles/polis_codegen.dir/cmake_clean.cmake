@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polis_codegen.dir/c_codegen.cpp.o"
+  "CMakeFiles/polis_codegen.dir/c_codegen.cpp.o.d"
+  "libpolis_codegen.a"
+  "libpolis_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polis_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polis_core.dir/synthesis.cpp.o"
+  "CMakeFiles/polis_core.dir/synthesis.cpp.o.d"
+  "CMakeFiles/polis_core.dir/systems.cpp.o"
+  "CMakeFiles/polis_core.dir/systems.cpp.o.d"
+  "libpolis_core.a"
+  "libpolis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

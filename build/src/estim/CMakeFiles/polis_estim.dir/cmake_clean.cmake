@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polis_estim.dir/calibrate.cpp.o"
+  "CMakeFiles/polis_estim.dir/calibrate.cpp.o.d"
+  "CMakeFiles/polis_estim.dir/estimate.cpp.o"
+  "CMakeFiles/polis_estim.dir/estimate.cpp.o.d"
+  "libpolis_estim.a"
+  "libpolis_estim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polis_estim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

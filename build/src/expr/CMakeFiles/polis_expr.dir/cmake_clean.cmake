@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polis_expr.dir/expr.cpp.o"
+  "CMakeFiles/polis_expr.dir/expr.cpp.o.d"
+  "libpolis_expr.a"
+  "libpolis_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polis_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polis_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/polis_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/polis_frontend.dir/parser.cpp.o"
+  "CMakeFiles/polis_frontend.dir/parser.cpp.o.d"
+  "libpolis_frontend.a"
+  "libpolis_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polis_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

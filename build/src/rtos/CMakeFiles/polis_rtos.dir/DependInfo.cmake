@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtos/codegen.cpp" "src/rtos/CMakeFiles/polis_rtos.dir/codegen.cpp.o" "gcc" "src/rtos/CMakeFiles/polis_rtos.dir/codegen.cpp.o.d"
+  "/root/repo/src/rtos/rtos.cpp" "src/rtos/CMakeFiles/polis_rtos.dir/rtos.cpp.o" "gcc" "src/rtos/CMakeFiles/polis_rtos.dir/rtos.cpp.o.d"
+  "/root/repo/src/rtos/tasks.cpp" "src/rtos/CMakeFiles/polis_rtos.dir/tasks.cpp.o" "gcc" "src/rtos/CMakeFiles/polis_rtos.dir/tasks.cpp.o.d"
+  "/root/repo/src/rtos/trace.cpp" "src/rtos/CMakeFiles/polis_rtos.dir/trace.cpp.o" "gcc" "src/rtos/CMakeFiles/polis_rtos.dir/trace.cpp.o.d"
+  "/root/repo/src/rtos/vcd.cpp" "src/rtos/CMakeFiles/polis_rtos.dir/vcd.cpp.o" "gcc" "src/rtos/CMakeFiles/polis_rtos.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/polis_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgraph/CMakeFiles/polis_sgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfsm/CMakeFiles/polis_cfsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/polis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/polis_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/polis_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

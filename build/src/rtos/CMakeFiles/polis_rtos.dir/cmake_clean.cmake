@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polis_rtos.dir/codegen.cpp.o"
+  "CMakeFiles/polis_rtos.dir/codegen.cpp.o.d"
+  "CMakeFiles/polis_rtos.dir/rtos.cpp.o"
+  "CMakeFiles/polis_rtos.dir/rtos.cpp.o.d"
+  "CMakeFiles/polis_rtos.dir/tasks.cpp.o"
+  "CMakeFiles/polis_rtos.dir/tasks.cpp.o.d"
+  "CMakeFiles/polis_rtos.dir/trace.cpp.o"
+  "CMakeFiles/polis_rtos.dir/trace.cpp.o.d"
+  "CMakeFiles/polis_rtos.dir/vcd.cpp.o"
+  "CMakeFiles/polis_rtos.dir/vcd.cpp.o.d"
+  "libpolis_rtos.a"
+  "libpolis_rtos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polis_rtos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

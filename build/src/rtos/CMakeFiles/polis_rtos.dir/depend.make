@@ -1,0 +1,2 @@
+# Empty dependencies file for polis_rtos.
+# This may be replaced when dependencies are built.

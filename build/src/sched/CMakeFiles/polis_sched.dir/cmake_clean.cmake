@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polis_sched.dir/sched.cpp.o"
+  "CMakeFiles/polis_sched.dir/sched.cpp.o.d"
+  "libpolis_sched.a"
+  "libpolis_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polis_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgraph/build.cpp" "src/sgraph/CMakeFiles/polis_sgraph.dir/build.cpp.o" "gcc" "src/sgraph/CMakeFiles/polis_sgraph.dir/build.cpp.o.d"
+  "/root/repo/src/sgraph/dataflow.cpp" "src/sgraph/CMakeFiles/polis_sgraph.dir/dataflow.cpp.o" "gcc" "src/sgraph/CMakeFiles/polis_sgraph.dir/dataflow.cpp.o.d"
+  "/root/repo/src/sgraph/eval.cpp" "src/sgraph/CMakeFiles/polis_sgraph.dir/eval.cpp.o" "gcc" "src/sgraph/CMakeFiles/polis_sgraph.dir/eval.cpp.o.d"
+  "/root/repo/src/sgraph/io.cpp" "src/sgraph/CMakeFiles/polis_sgraph.dir/io.cpp.o" "gcc" "src/sgraph/CMakeFiles/polis_sgraph.dir/io.cpp.o.d"
+  "/root/repo/src/sgraph/optimize.cpp" "src/sgraph/CMakeFiles/polis_sgraph.dir/optimize.cpp.o" "gcc" "src/sgraph/CMakeFiles/polis_sgraph.dir/optimize.cpp.o.d"
+  "/root/repo/src/sgraph/sgraph.cpp" "src/sgraph/CMakeFiles/polis_sgraph.dir/sgraph.cpp.o" "gcc" "src/sgraph/CMakeFiles/polis_sgraph.dir/sgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfsm/CMakeFiles/polis_cfsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/polis_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/polis_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/polis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

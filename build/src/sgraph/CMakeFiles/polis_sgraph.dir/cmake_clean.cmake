@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polis_sgraph.dir/build.cpp.o"
+  "CMakeFiles/polis_sgraph.dir/build.cpp.o.d"
+  "CMakeFiles/polis_sgraph.dir/dataflow.cpp.o"
+  "CMakeFiles/polis_sgraph.dir/dataflow.cpp.o.d"
+  "CMakeFiles/polis_sgraph.dir/eval.cpp.o"
+  "CMakeFiles/polis_sgraph.dir/eval.cpp.o.d"
+  "CMakeFiles/polis_sgraph.dir/io.cpp.o"
+  "CMakeFiles/polis_sgraph.dir/io.cpp.o.d"
+  "CMakeFiles/polis_sgraph.dir/optimize.cpp.o"
+  "CMakeFiles/polis_sgraph.dir/optimize.cpp.o.d"
+  "CMakeFiles/polis_sgraph.dir/sgraph.cpp.o"
+  "CMakeFiles/polis_sgraph.dir/sgraph.cpp.o.d"
+  "libpolis_sgraph.a"
+  "libpolis_sgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polis_sgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

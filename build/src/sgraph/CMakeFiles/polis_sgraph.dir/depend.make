@@ -1,0 +1,2 @@
+# Empty dependencies file for polis_sgraph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polis_util.dir/rng.cpp.o"
+  "CMakeFiles/polis_util.dir/rng.cpp.o.d"
+  "CMakeFiles/polis_util.dir/strings.cpp.o"
+  "CMakeFiles/polis_util.dir/strings.cpp.o.d"
+  "CMakeFiles/polis_util.dir/table.cpp.o"
+  "CMakeFiles/polis_util.dir/table.cpp.o.d"
+  "libpolis_util.a"
+  "libpolis_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polis_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polis_vm.dir/compile.cpp.o"
+  "CMakeFiles/polis_vm.dir/compile.cpp.o.d"
+  "CMakeFiles/polis_vm.dir/isa.cpp.o"
+  "CMakeFiles/polis_vm.dir/isa.cpp.o.d"
+  "CMakeFiles/polis_vm.dir/machine.cpp.o"
+  "CMakeFiles/polis_vm.dir/machine.cpp.o.d"
+  "libpolis_vm.a"
+  "libpolis_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polis_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

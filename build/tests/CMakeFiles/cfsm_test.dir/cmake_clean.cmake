@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfsm_test.dir/cfsm_test.cpp.o"
+  "CMakeFiles/cfsm_test.dir/cfsm_test.cpp.o.d"
+  "cfsm_test"
+  "cfsm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

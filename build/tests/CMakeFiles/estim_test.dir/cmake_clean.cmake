@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estim_test.dir/estim_test.cpp.o"
+  "CMakeFiles/estim_test.dir/estim_test.cpp.o.d"
+  "estim_test"
+  "estim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generated_system_test.dir/generated_system_test.cpp.o"
+  "CMakeFiles/generated_system_test.dir/generated_system_test.cpp.o.d"
+  "generated_system_test"
+  "generated_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generated_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microwave_test.dir/microwave_test.cpp.o"
+  "CMakeFiles/microwave_test.dir/microwave_test.cpp.o.d"
+  "microwave_test"
+  "microwave_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microwave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

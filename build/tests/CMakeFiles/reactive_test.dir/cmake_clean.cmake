@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reactive_test.dir/reactive_test.cpp.o"
+  "CMakeFiles/reactive_test.dir/reactive_test.cpp.o.d"
+  "reactive_test"
+  "reactive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reactive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

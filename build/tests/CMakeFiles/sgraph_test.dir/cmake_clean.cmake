@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgraph_test.dir/sgraph_test.cpp.o"
+  "CMakeFiles/sgraph_test.dir/sgraph_test.cpp.o.d"
+  "sgraph_test"
+  "sgraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polisc.dir/polisc.cpp.o"
+  "CMakeFiles/polisc.dir/polisc.cpp.o.d"
+  "polisc"
+  "polisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(polisc_list "/root/repo/build/tools/polisc" "/root/repo/examples/rsl/blinker.rsl" "--list")
+set_tests_properties(polisc_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(polisc_module_report "/root/repo/build/tools/polisc" "/root/repo/examples/rsl/blinker.rsl" "--module" "blink" "--report" "--opt-copyin" "--scheme" "free")
+set_tests_properties(polisc_module_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(polisc_network_out "/root/repo/build/tools/polisc" "/root/repo/examples/rsl/microwave.rsl" "--network" "microwave" "--out" "/root/repo/build/polisc_gen" "--policy" "prio" "--report")
+set_tests_properties(polisc_network_out PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(polisc_dashboard "/root/repo/build/tools/polisc" "/root/repo/examples/rsl/dashboard.rsl" "--network" "dash" "--out" "/root/repo/build/polisc_dash")
+set_tests_properties(polisc_dashboard PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(polisc_rejects_bad_module "/root/repo/build/tools/polisc" "/root/repo/examples/rsl/blinker.rsl" "--module" "nope")
+set_tests_properties(polisc_rejects_bad_module PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(polisc_simulate "/root/repo/build/tools/polisc" "/root/repo/examples/rsl/dashboard.rsl" "--network" "dash" "--out" "/root/repo/build/polisc_sim" "--simulate" "100000" "--vcd" "/root/repo/build/polisc_sim/dash.vcd")
+set_tests_properties(polisc_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
