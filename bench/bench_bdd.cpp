@@ -25,22 +25,27 @@ bdd::Bdd disjoint_ands(bdd::BddManager& mgr, int k) {
 }
 
 void report_sift_effect() {
-  std::cout << "Sifting effect on BDD size (nodes)\n";
-  Table table({"function", "vars", "initial", "sifted", "reduction"});
+  std::cout << "Sifting effect on BDD size (internal nodes)\n";
+  Table table({"function", "vars", "initial", "sifted", "reduction", "swaps",
+               "peak arena"});
 
   for (int k : {4, 6, 8, 10}) {
     bdd::BddManager mgr(2 * k);
     bdd::Bdd f = disjoint_ands(mgr, k);
     const size_t before = mgr.node_count(f);
+    bdd::SiftTelemetry telemetry;
     bdd::SiftOptions options;
     options.passes = 2;
+    options.telemetry = &telemetry;
     const size_t after = bdd::sift(mgr, options);
     table.add_row({"sum of x_i&y_i (k=" + std::to_string(k) + ")",
                    std::to_string(2 * k), std::to_string(before),
                    std::to_string(after),
                    fixed(100.0 * (1.0 - static_cast<double>(after) /
                                             static_cast<double>(before)),
-                         1) + "%"});
+                         1) + "%",
+                   std::to_string(telemetry.swaps),
+                   std::to_string(telemetry.peak_arena)});
   }
 
   // Random CFSM characteristic functions with the constrained sift used by
@@ -54,13 +59,19 @@ void report_sift_effect() {
     bdd::BddManager mgr;
     cfsm::ReactiveFunction rf(m, mgr);
     const size_t before = mgr.node_count(rf.chi());
-    const size_t after = bdd::sift(mgr, rf.precedence_outputs_after_support());
+    bdd::SiftTelemetry telemetry;
+    bdd::SiftOptions sift_options;
+    sift_options.telemetry = &telemetry;
+    const size_t after =
+        bdd::sift(mgr, rf.precedence_outputs_after_support(), sift_options);
     table.add_row({"CFSM χ #" + std::to_string(i),
                    std::to_string(mgr.num_vars()), std::to_string(before),
                    std::to_string(after),
                    fixed(100.0 * (1.0 - static_cast<double>(after) /
                                             static_cast<double>(before)),
-                         1) + "%"});
+                         1) + "%",
+                   std::to_string(telemetry.swaps),
+                   std::to_string(telemetry.peak_arena)});
   }
   table.print(std::cout);
   std::cout << "\n";
@@ -106,6 +117,21 @@ void BM_Sift(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Sift)->Arg(4)->Arg(6)->Arg(8);
+
+// The pre-swap implementation (scratch-manager rebuild per candidate
+// position), timed on the same workload so the speedup is visible in one
+// run.
+void BM_SiftRebuild(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    bdd::BddManager mgr(2 * k);
+    bdd::Bdd f = disjoint_ands(mgr, k);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(bdd::sift_by_rebuild(mgr, {}));
+  }
+}
+BENCHMARK(BM_SiftRebuild)->Arg(4)->Arg(6)->Arg(8);
 
 void BM_CharacteristicFunction(benchmark::State& state) {
   Rng rng(11);

@@ -8,9 +8,12 @@
 // free-order (FBDD-style) build — per-branch greedy variable choice,
 // actions emitted as soon as they are forced — on the paper's systems, the
 // composed wheel chain, and a random corpus.
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 
 #include "baseline/compose.hpp"
+#include "bdd/reorder.hpp"
 #include "cfsm/random.hpp"
 #include "cfsm/reactive.hpp"
 #include "core/systems.hpp"
@@ -22,6 +25,89 @@
 namespace {
 
 using namespace polis;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// In-place swap-based sifting vs the rebuild-per-candidate reference, on the
+// constrained-sift workload this bench exercises (outputs after support).
+void report_sift_speed() {
+  std::cout << "Sifting: in-place adjacent-level swaps vs rebuild reference\n";
+  Table table({"CFSM", "vars", "fast size", "rebuild size", "swaps",
+               "peak arena", "fast ms", "rebuild ms", "speedup"});
+
+  double fast_total_ms = 0.0;
+  double rebuild_total_ms = 0.0;
+  constexpr int kReps = 3;  // best-of-3 to tame scheduler noise
+  auto add = [&](const cfsm::Cfsm& m) {
+    bdd::SiftTelemetry telemetry;
+    size_t fast_size = 0;
+    double fast_ms = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      bdd::BddManager mgr;
+      cfsm::ReactiveFunction rf(m, mgr);
+      bdd::SiftOptions options;
+      options.passes = 2;
+      options.telemetry = &telemetry;
+      const auto t0 = std::chrono::steady_clock::now();
+      fast_size = bdd::sift(mgr, rf.precedence_outputs_after_support(), options);
+      const double ms = ms_since(t0);
+      fast_ms = rep == 0 ? ms : std::min(fast_ms, ms);
+    }
+    size_t rebuild_size = 0;
+    double rebuild_ms = 0.0;
+    int vars = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      bdd::BddManager mgr;
+      cfsm::ReactiveFunction rf(m, mgr);
+      vars = mgr.num_vars();
+      bdd::SiftOptions options;
+      options.passes = 2;
+      const auto t0 = std::chrono::steady_clock::now();
+      rebuild_size =
+          bdd::sift_by_rebuild(mgr, rf.precedence_outputs_after_support(), options);
+      const double ms = ms_since(t0);
+      rebuild_ms = rep == 0 ? ms : std::min(rebuild_ms, ms);
+    }
+    fast_total_ms += fast_ms;
+    rebuild_total_ms += rebuild_ms;
+    table.add_row({m.name(), std::to_string(vars), std::to_string(fast_size),
+                   std::to_string(rebuild_size),
+                   std::to_string(telemetry.swaps),
+                   std::to_string(telemetry.peak_arena), fixed(fast_ms, 3),
+                   fixed(rebuild_ms, 3),
+                   fixed(fast_ms > 0 ? rebuild_ms / fast_ms : 0.0, 1) + "x"});
+  };
+
+  for (const auto& m : systems::dashboard_modules()) add(*m);
+  for (const auto& m : systems::shock_modules()) add(*m);
+  Rng rng(31);
+  for (int i = 0; i < 4; ++i) {
+    cfsm::RandomCfsmOptions options;
+    options.num_inputs = 4 + i % 2;
+    options.num_rules = 6 + i % 3;
+    add(cfsm::random_cfsm(rng, options, "rand_sift" + std::to_string(i)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    cfsm::RandomCfsmOptions options;
+    options.num_inputs = 6;
+    options.num_rules = 10 + 2 * i;
+    add(cfsm::random_cfsm(rng, options, "rand_big" + std::to_string(i)));
+  }
+
+  table.add_separator();
+  table.add_row({"TOTAL", "", "", "", "", "", fixed(fast_total_ms, 3),
+                 fixed(rebuild_total_ms, 3),
+                 fixed(fast_total_ms > 0 ? rebuild_total_ms / fast_total_ms
+                                         : 0.0,
+                       1) +
+                     "x"});
+  table.print(std::cout);
+  std::cout << "\n";
+}
 
 struct Row {
   long long ordered_bytes = 0;
@@ -62,6 +148,8 @@ Row measure(const cfsm::Cfsm& m, bool with_timing) {
 }  // namespace
 
 int main() {
+  report_sift_speed();
+
   std::cout << "Free-order (unordered) decision graphs vs constrained sift "
                "(§VI future work)\n";
   Table table({"CFSM", "sift bytes", "free bytes", "sift maxcyc",

@@ -71,10 +71,22 @@ Bdd Bdd::low() const {
   return Bdd(mgr_, mgr_->nodes_[idx_].lo);
 }
 
-Bdd Bdd::operator&(const Bdd& o) const { return mgr_->band(*this, o); }
-Bdd Bdd::operator|(const Bdd& o) const { return mgr_->bor(*this, o); }
-Bdd Bdd::operator^(const Bdd& o) const { return mgr_->bxor(*this, o); }
-Bdd Bdd::operator!() const { return mgr_->bnot(*this); }
+Bdd Bdd::operator&(const Bdd& o) const {
+  POLIS_CHECK_MSG(!is_null() && !o.is_null(), "Boolean op on a null BDD handle");
+  return mgr_->band(*this, o);
+}
+Bdd Bdd::operator|(const Bdd& o) const {
+  POLIS_CHECK_MSG(!is_null() && !o.is_null(), "Boolean op on a null BDD handle");
+  return mgr_->bor(*this, o);
+}
+Bdd Bdd::operator^(const Bdd& o) const {
+  POLIS_CHECK_MSG(!is_null() && !o.is_null(), "Boolean op on a null BDD handle");
+  return mgr_->bxor(*this, o);
+}
+Bdd Bdd::operator!() const {
+  POLIS_CHECK_MSG(!is_null(), "Boolean op on a null BDD handle");
+  return mgr_->bnot(*this);
+}
 
 // --- Manager ---------------------------------------------------------------------
 
@@ -101,6 +113,7 @@ int BddManager::new_var(std::string name) {
   invperm_.push_back(v);
   if (name.empty()) name = "v" + std::to_string(v);
   names_.push_back(std::move(name));
+  var_nodes_.emplace_back();
   return v;
 }
 
@@ -137,6 +150,7 @@ std::uint32_t BddManager::find_or_add(std::uint32_t var, std::uint32_t lo,
   const std::uint32_t idx = static_cast<std::uint32_t>(nodes_.size());
   nodes_.push_back(Node{var, lo, hi});
   unique_.emplace(key, idx);
+  var_nodes_[var].push_back(idx);
   return idx;
 }
 
@@ -381,14 +395,79 @@ size_t BddManager::node_count(const std::vector<Bdd>& roots) {
   while (!stack.empty()) {
     const std::uint32_t n = stack.back();
     stack.pop_back();
-    if (!seen.insert(n).second) continue;
+    if (is_term(n) || !seen.insert(n).second) continue;
     ++count;
-    if (!is_term(n)) {
-      stack.push_back(nodes_[n].lo);
-      stack.push_back(nodes_[n].hi);
-    }
+    stack.push_back(nodes_[n].lo);
+    stack.push_back(nodes_[n].hi);
   }
   return count;
+}
+
+size_t BddManager::live_node_count() {
+  if (visit_epoch_.size() < nodes_.size()) visit_epoch_.resize(nodes_.size(), 0);
+  ++epoch_;
+  visit_stack_.clear();
+  for (const Bdd* h : handles_) visit_stack_.push_back(h->idx_);
+  size_t count = 0;
+  while (!visit_stack_.empty()) {
+    const std::uint32_t n = visit_stack_.back();
+    visit_stack_.pop_back();
+    if (is_term(n) || visit_epoch_[n] == epoch_) continue;
+    visit_epoch_[n] = epoch_;
+    ++count;
+    visit_stack_.push_back(nodes_[n].lo);
+    visit_stack_.push_back(nodes_[n].hi);
+  }
+  return count;
+}
+
+size_t BddManager::swap_adjacent_levels(int level) {
+  POLIS_CHECK_MSG(level >= 0 && level + 1 < num_vars(),
+                  "swap_adjacent_levels: level " << level << " out of range");
+  const int x = invperm_[static_cast<size_t>(level)];      // upper var
+  const int y = invperm_[static_cast<size_t>(level + 1)];  // lower var
+  const std::uint32_t xv = static_cast<std::uint32_t>(x);
+  const std::uint32_t yv = static_cast<std::uint32_t>(y);
+
+  // Only nodes labelled x can change: a node x ? f1 : f0 whose cofactors
+  // depend on y is relabelled, in place, to
+  //   y ? (x ? f11 : f01) : (x ? f10 : f00),
+  // preserving its function (and hence its index, all handles and the
+  // computed cache). Nodes labelled x with y-free cofactors just ride to
+  // the lower level untouched; all other nodes are unaffected.
+  auto& x_list = var_nodes_[static_cast<size_t>(x)];
+  auto& y_list = var_nodes_[static_cast<size_t>(y)];
+  swap_scratch_.assign(x_list.begin(), x_list.end());
+  x_list.clear();  // capacity retained: steady-state swaps do not allocate
+  size_t rewritten = 0;
+  for (const std::uint32_t n : swap_scratch_) {
+    const std::uint32_t f1 = nodes_[n].hi;
+    const std::uint32_t f0 = nodes_[n].lo;
+    const bool hi_dep = !is_term(f1) && nodes_[f1].var == yv;
+    const bool lo_dep = !is_term(f0) && nodes_[f0].var == yv;
+    if (!hi_dep && !lo_dep) {
+      x_list.push_back(n);
+      continue;
+    }
+    const std::uint32_t f11 = hi_dep ? nodes_[f1].hi : f1;
+    const std::uint32_t f10 = hi_dep ? nodes_[f1].lo : f1;
+    const std::uint32_t f01 = lo_dep ? nodes_[f0].hi : f0;
+    const std::uint32_t f00 = lo_dep ? nodes_[f0].lo : f0;
+    // The grandchildren sit strictly below both levels, so these lookups
+    // can only hit (or create) y-free x-nodes — never a pending rewrite.
+    const std::uint32_t new_hi = find_or_add(xv, f01, f11);
+    const std::uint32_t new_lo = find_or_add(xv, f00, f10);
+    unique_.erase(UniqueKey{xv, f0, f1});
+    nodes_[n] = Node{yv, new_lo, new_hi};
+    unique_.emplace(UniqueKey{yv, new_lo, new_hi}, n);
+    y_list.push_back(n);
+    ++rewritten;
+  }
+  std::swap(invperm_[static_cast<size_t>(level)],
+            invperm_[static_cast<size_t>(level + 1)]);
+  perm_[static_cast<size_t>(x)] = level + 1;
+  perm_[static_cast<size_t>(y)] = level;
+  return rewritten;
 }
 
 std::uint32_t BddManager::transfer_from(
@@ -461,9 +540,33 @@ void BddManager::set_order(const std::vector<int>& order) {
   ite_cache_.clear();
   perm_ = std::move(scratch.perm_);
   invperm_ = std::move(scratch.invperm_);
+  var_nodes_ = std::move(scratch.var_nodes_);
 }
 
 void BddManager::garbage_collect() { set_order(invperm_); }
+
+size_t BddManager::prune_dead_nodes() {
+  // Mark live nodes (epoch left in visit_epoch_ for the filter below).
+  live_node_count();
+  size_t removed = 0;
+  for (auto& list : var_nodes_) {
+    size_t keep = 0;
+    for (const std::uint32_t idx : list) {
+      if (visit_epoch_[idx] == epoch_) {
+        list[keep++] = idx;
+      } else {
+        const Node& n = nodes_[idx];
+        unique_.erase(UniqueKey{n.var, n.lo, n.hi});
+        ++removed;
+      }
+    }
+    list.resize(keep);
+  }
+  // Cached ITE results may point at pruned nodes; those indices would no
+  // longer be re-keyed by future level swaps, so drop the cache.
+  if (removed > 0) ite_cache_.clear();
+  return removed;
+}
 
 size_t BddManager::size_under_order(const std::vector<int>& order) {
   POLIS_CHECK(static_cast<int>(order.size()) == num_vars());

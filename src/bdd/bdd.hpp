@@ -142,9 +142,12 @@ class BddManager {
   /// Requires a satisfiable f.
   std::vector<std::pair<int, bool>> one_sat(const Bdd& f);
 
-  /// Nodes reachable from `f`, including both terminals if reached.
+  /// Internal (non-terminal) nodes reachable from `f`. Terminals are
+  /// excluded so the count agrees with `var_node_profile` and with the
+  /// sifting objective.
   size_t node_count(const Bdd& f);
-  /// Nodes reachable from any of `roots` (shared nodes counted once).
+  /// Internal nodes reachable from any of `roots` (shared nodes counted
+  /// once, terminals excluded).
   size_t node_count(const std::vector<Bdd>& roots);
   /// Total nodes in the arena (live + garbage).
   size_t arena_size() const { return nodes_.size(); }
@@ -155,8 +158,29 @@ class BddManager {
   /// top to bottom. All registered handles are retargeted.
   void set_order(const std::vector<int>& order);
 
+  /// Rudell's adjacent-level swap: exchanges the variables at `level` and
+  /// `level + 1` by rewriting, in place, only the nodes labelled with the
+  /// upper variable. Every node index keeps denoting the same Boolean
+  /// function, so registered handles, the unique table and the computed
+  /// cache all stay valid — no arena rebuild. Children of swapped nodes may
+  /// be orphaned (collected by the next `garbage_collect`). Returns the
+  /// number of nodes rewritten.
+  size_t swap_adjacent_levels(int level);
+
+  /// Internal nodes reachable from the registered handles (terminals
+  /// excluded): the sifting objective. O(live) per call, allocation-free
+  /// after the first call — much cheaper than `size_under_order`.
+  size_t live_node_count();
+
   /// Compacts the arena, keeping only nodes reachable from live handles.
   void garbage_collect();
+
+  /// Removes nodes unreachable from live handles from the unique table and
+  /// the per-variable subtables without rebuilding the arena (their slots
+  /// stay allocated until `garbage_collect`). O(arena), no handle
+  /// retargeting — cheap enough for the sifting hot loop. Returns the
+  /// number of nodes pruned.
+  size_t prune_dead_nodes();
 
   /// Size (node count) the live handles would have under `order`, without
   /// modifying this manager. Used by the sifting reorderer.
@@ -234,6 +258,14 @@ class BddManager {
   std::vector<int> invperm_;  // level -> var
   std::vector<std::string> names_;
   std::unordered_set<Bdd*> handles_;
+  // Per-variable subtables (node indices labelled with each var, live or
+  // garbage) so a level swap touches only the affected nodes.
+  std::vector<std::vector<std::uint32_t>> var_nodes_;
+  // Epoch-marked visit buffer for allocation-free live traversals.
+  std::vector<std::uint64_t> visit_epoch_;
+  std::vector<std::uint32_t> visit_stack_;
+  std::vector<std::uint32_t> swap_scratch_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace polis::bdd

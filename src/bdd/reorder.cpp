@@ -10,7 +10,7 @@ namespace polis::bdd {
 namespace {
 
 // Legal insertion window [lo, hi] (inclusive, as positions in `order` with
-// `var` removed) given the precedence pairs.
+// `var` removed) given the precedence pairs. Used by the rebuild reference.
 std::pair<size_t, size_t> legal_window(
     const std::vector<int>& order_without_var, int var,
     const std::vector<std::pair<int, int>>& precedence) {
@@ -39,6 +39,54 @@ std::pair<size_t, size_t> legal_window(
   return {lo, hi};
 }
 
+void check_precedence(int num_vars,
+                      const std::vector<std::pair<int, int>>& precedence) {
+  for (const auto& [above, below] : precedence) {
+    POLIS_CHECK_MSG(above >= 0 && above < num_vars && below >= 0 &&
+                        below < num_vars,
+                    "precedence pair (" << above << ", " << below
+                                        << ") mentions an unknown variable");
+  }
+  // Kahn's algorithm: cyclic constraints (including self-pairs) admit no
+  // legal order at all, so fail loudly instead of sifting into a corner.
+  std::vector<std::vector<int>> adj(static_cast<size_t>(num_vars));
+  std::vector<int> indeg(static_cast<size_t>(num_vars), 0);
+  for (const auto& [above, below] : precedence) {
+    adj[static_cast<size_t>(above)].push_back(below);
+    indeg[static_cast<size_t>(below)]++;
+  }
+  std::vector<int> queue;
+  for (int v = 0; v < num_vars; ++v)
+    if (indeg[static_cast<size_t>(v)] == 0) queue.push_back(v);
+  int ordered = 0;
+  while (!queue.empty()) {
+    const int v = queue.back();
+    queue.pop_back();
+    ++ordered;
+    for (int w : adj[static_cast<size_t>(v)])
+      if (--indeg[static_cast<size_t>(w)] == 0) queue.push_back(w);
+  }
+  POLIS_CHECK_MSG(ordered == num_vars,
+                  "precedence constraints are cyclic: no legal order exists");
+}
+
+// Variables to sift this pass, fattest level first (the classic heuristic:
+// the fattest level has the most to gain). Variables with no live nodes are
+// dropped: no order can give them any, so sifting them cannot improve size.
+std::vector<int> sift_candidates(BddManager& mgr, const SiftOptions& options) {
+  const std::vector<size_t> profile = mgr.var_node_profile();
+  std::vector<int> vars;
+  vars.reserve(profile.size());
+  for (size_t v = 0; v < profile.size(); ++v)
+    if (profile[v] > 0) vars.push_back(static_cast<int>(v));
+  std::stable_sort(vars.begin(), vars.end(), [&](int a, int b) {
+    return profile[static_cast<size_t>(a)] > profile[static_cast<size_t>(b)];
+  });
+  if (options.max_vars > 0 && static_cast<int>(vars.size()) > options.max_vars)
+    vars.resize(static_cast<size_t>(options.max_vars));
+  return vars;
+}
+
 }  // namespace
 
 bool order_respects(const std::vector<int>& order,
@@ -57,6 +105,137 @@ size_t sift(BddManager& mgr,
             const std::vector<std::pair<int, int>>& precedence,
             const SiftOptions& options) {
   const int n = mgr.num_vars();
+  check_precedence(n, precedence);
+
+  SiftTelemetry local;
+  SiftTelemetry& tel = options.telemetry ? *options.telemetry : local;
+  tel = SiftTelemetry{};
+
+  auto measure = [&]() -> size_t {
+    ++tel.size_evaluations;
+    tel.peak_arena = std::max(tel.peak_arena, mgr.arena_size());
+    const size_t live = mgr.live_node_count();
+    if (options.verify_with_oracle) {
+      POLIS_CHECK_MSG(live == mgr.size_under_order(mgr.current_order()),
+                      "fast sift size diverged from the rebuild oracle");
+    }
+    return live;
+  };
+
+  size_t current = measure();
+  tel.initial_size = current;
+  tel.final_size = current;
+  if (n <= 1) return current;
+
+  POLIS_CHECK_MSG(order_respects(mgr.current_order(), precedence),
+                  "initial order violates the precedence constraints");
+
+  // blocks_down[v][w]: v may not move below w; blocks_up[v][u]: v may not
+  // move above u.
+  std::vector<std::vector<char>> blocks_down(
+      static_cast<size_t>(n), std::vector<char>(static_cast<size_t>(n), 0));
+  std::vector<std::vector<char>> blocks_up(
+      static_cast<size_t>(n), std::vector<char>(static_cast<size_t>(n), 0));
+  for (const auto& [above, below] : precedence) {
+    blocks_down[static_cast<size_t>(above)][static_cast<size_t>(below)] = 1;
+    blocks_up[static_cast<size_t>(below)][static_cast<size_t>(above)] = 1;
+  }
+
+  size_t arena_floor = mgr.arena_size();
+  for (int pass = 0; pass < options.passes; ++pass) {
+    bool improved_this_pass = false;
+    for (int v : sift_candidates(mgr, options)) {
+      // Swaps leave orphaned nodes behind; prune them from the subtables
+      // once the growth since the last prune dominates the live size, so a
+      // swap's cost stays proportional to the nodes actually on its levels.
+      if (mgr.arena_size() > arena_floor + std::max<size_t>(128, 2 * current)) {
+        mgr.prune_dead_nodes();
+        ++tel.garbage_collections;
+        arena_floor = mgr.arena_size();
+      }
+      // Pruning leaves dead slots allocated; compact outright if the arena
+      // has grown far beyond the live size.
+      if (mgr.arena_size() > std::max<size_t>(size_t{1} << 16, 64 * current)) {
+        mgr.garbage_collect();
+        ++tel.garbage_collections;
+        arena_floor = mgr.arena_size();
+      }
+
+      const int start = mgr.level_of(v);
+      size_t best_size = current;
+      int best_level = start;
+      int level = start;
+      size_t here = current;  // live size at v's current position
+
+      // A swap that rewrites no nodes cannot change the live size (the two
+      // levels do not interact), so the previous measurement stands.
+      const auto size_after_swap = [&](size_t rewritten) -> size_t {
+        if (rewritten == 0 && !options.verify_with_oracle) return here;
+        return measure();
+      };
+
+      // Walk down to the bottom of the legal window, measuring each stop.
+      while (level + 1 < n &&
+             !blocks_down[static_cast<size_t>(v)]
+                         [static_cast<size_t>(mgr.var_at_level(level + 1))]) {
+        tel.swaps += 1;
+        here = size_after_swap(mgr.swap_adjacent_levels(level));
+        ++level;
+        if (here < best_size) {
+          best_size = here;
+          best_level = level;
+        }
+      }
+      // Walk back up to the top of the window. `<=` so that among equal
+      // minima the topmost position wins, like the rebuild reference.
+      while (level > 0 &&
+             !blocks_up[static_cast<size_t>(v)]
+                       [static_cast<size_t>(mgr.var_at_level(level - 1))]) {
+        tel.swaps += 1;
+        here = size_after_swap(mgr.swap_adjacent_levels(level - 1));
+        --level;
+        if (here <= best_size) {
+          best_size = here;
+          best_level = level;
+        }
+      }
+
+      // Settle: move to the best position, or back to the start if nothing
+      // strictly improved.
+      const int target = best_size < current ? best_level : start;
+      while (level < target) {
+        tel.swaps += 1;
+        mgr.swap_adjacent_levels(level);
+        ++level;
+      }
+      while (level > target) {
+        tel.swaps += 1;
+        mgr.swap_adjacent_levels(level - 1);
+        --level;
+      }
+      if (best_size < current) {
+        current = best_size;
+        improved_this_pass = true;
+      }
+    }
+    ++tel.passes_run;
+    tel.pass_sizes.push_back(current);
+    if (!improved_this_pass) break;
+  }
+
+  tel.final_size = current;
+  return current;
+}
+
+size_t sift(BddManager& mgr, const SiftOptions& options) {
+  return sift(mgr, {}, options);
+}
+
+size_t sift_by_rebuild(BddManager& mgr,
+                       const std::vector<std::pair<int, int>>& precedence,
+                       const SiftOptions& options) {
+  const int n = mgr.num_vars();
+  check_precedence(n, precedence);
   if (n <= 1) return mgr.size_under_order(mgr.current_order());
 
   POLIS_CHECK_MSG(order_respects(mgr.current_order(), precedence),
@@ -65,35 +244,20 @@ size_t sift(BddManager& mgr,
   size_t best_total = mgr.size_under_order(mgr.current_order());
 
   for (int pass = 0; pass < options.passes; ++pass) {
-    // Sift variables in decreasing order of node contribution, the classic
-    // heuristic: the fattest level has the most to gain.
-    std::vector<size_t> profile = mgr.var_node_profile();
-    std::vector<int> vars(static_cast<size_t>(n));
-    std::iota(vars.begin(), vars.end(), 0);
-    std::stable_sort(vars.begin(), vars.end(), [&](int a, int b) {
-      return profile[static_cast<size_t>(a)] > profile[static_cast<size_t>(b)];
-    });
-    if (options.max_vars > 0 &&
-        static_cast<int>(vars.size()) > options.max_vars)
-      vars.resize(static_cast<size_t>(options.max_vars));
-
     bool improved_this_pass = false;
-    for (int v : vars) {
+    for (int v : sift_candidates(mgr, options)) {
       std::vector<int> order = mgr.current_order();
       std::vector<int> without;
       without.reserve(order.size() - 1);
-      size_t cur_pos = 0;
       for (size_t i = 0; i < order.size(); ++i) {
-        if (order[i] == v) {
-          cur_pos = i;
-        } else {
-          without.push_back(order[i]);
-        }
+        if (order[i] != v) without.push_back(order[i]);
       }
 
       const auto [lo, hi] = legal_window(without, v, precedence);
+      POLIS_CHECK_MSG(lo <= hi, "empty legal window for variable "
+                                    << v << ": contradictory precedence");
       size_t best_size = best_total;
-      size_t best_pos = cur_pos <= hi && cur_pos >= lo ? cur_pos : lo;
+      size_t best_pos = lo;
       bool have_best = false;
       for (size_t p = lo; p <= hi; ++p) {
         std::vector<int> candidate = without;
@@ -107,7 +271,8 @@ size_t sift(BddManager& mgr,
       }
 
       std::vector<int> final_order = without;
-      final_order.insert(final_order.begin() + static_cast<std::ptrdiff_t>(best_pos), v);
+      final_order.insert(
+          final_order.begin() + static_cast<std::ptrdiff_t>(best_pos), v);
       if (final_order != order && best_size < best_total) {
         mgr.set_order(final_order);
         best_total = best_size;
@@ -117,10 +282,6 @@ size_t sift(BddManager& mgr,
     if (!improved_this_pass) break;
   }
   return best_total;
-}
-
-size_t sift(BddManager& mgr, const SiftOptions& options) {
-  return sift(mgr, {}, options);
 }
 
 }  // namespace polis::bdd

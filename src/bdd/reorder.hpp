@@ -8,10 +8,12 @@
 //
 // Each variable is moved, one at a time, through every legal position; it is
 // frozen at the position minimising the total live-BDD node count (exactly
-// the sift objective). Positions are evaluated by rebuilding the live
-// functions under the candidate order, which yields the same final order as
-// in-place level swapping, at a cost acceptable for the problem sizes of the
-// paper's domain (CFSM reactive functions).
+// the sift objective). `sift` walks the variable down and then up through
+// its legal window with in-place adjacent-level swaps
+// (`BddManager::swap_adjacent_levels`), measuring the live size after each
+// swap — no arena rebuilds on the hot path. `sift_by_rebuild` is the
+// original rebuild-per-candidate implementation, kept as a slow reference
+// oracle: both produce identical final orders and sizes.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +24,26 @@
 
 namespace polis::bdd {
 
+/// Counters filled in by `sift`, consumable by the bench harness.
+struct SiftTelemetry {
+  /// Adjacent-level swaps performed (including settle-back moves).
+  size_t swaps = 0;
+  /// Live-size measurements taken (one per candidate position visited).
+  size_t size_evaluations = 0;
+  /// Live node count before / after sifting (terminals excluded).
+  size_t initial_size = 0;
+  size_t final_size = 0;
+  /// Largest arena (live + garbage nodes) seen while sifting.
+  size_t peak_arena = 0;
+  /// Mid-sift garbage collections triggered by arena growth.
+  int garbage_collections = 0;
+  /// Passes actually executed (≤ SiftOptions::passes; stops when a pass
+  /// yields no improvement).
+  int passes_run = 0;
+  /// Live size at the end of each executed pass.
+  std::vector<size_t> pass_sizes;
+};
+
 struct SiftOptions {
   /// Full sweeps over all variables. One pass reproduces the paper's
   /// "single-pass dynamic variable ordering (sift)" (§V-A).
@@ -29,16 +51,31 @@ struct SiftOptions {
   /// If >0, only the `max_vars` highest-node-count variables are sifted per
   /// pass (CUDD-style economy); 0 sifts all.
   int max_vars = 0;
+  /// Cross-check every fast-path size measurement against the
+  /// `size_under_order` rebuild oracle (slow; meant for tests).
+  bool verify_with_oracle = false;
+  /// Optional sink for sift telemetry.
+  SiftTelemetry* telemetry = nullptr;
 };
 
-/// Sifts the manager's live functions. `precedence` lists (above, below)
-/// variable pairs that must be respected. Returns the final live node count.
+/// Sifts the manager's live functions with in-place adjacent-level swaps.
+/// `precedence` lists (above, below) variable pairs that must be respected;
+/// cyclic constraints are rejected with a CheckError. Returns the final
+/// live node count (terminals excluded).
 size_t sift(BddManager& mgr,
             const std::vector<std::pair<int, int>>& precedence,
             const SiftOptions& options = {});
 
 /// Unconstrained sifting.
 size_t sift(BddManager& mgr, const SiftOptions& options = {});
+
+/// Reference implementation: evaluates every candidate position by
+/// rebuilding the live functions in a scratch manager (`size_under_order`).
+/// O(vars² × rebuild) — kept only so tests and benches can compare the fast
+/// path against it.
+size_t sift_by_rebuild(BddManager& mgr,
+                       const std::vector<std::pair<int, int>>& precedence,
+                       const SiftOptions& options = {});
 
 /// True if `order` (top to bottom) satisfies all precedence pairs.
 bool order_respects(const std::vector<int>& order,

@@ -317,6 +317,8 @@ Sgraph build_sgraph(cfsm::ReactiveFunction& rf, OrderingScheme scheme,
               : rf.precedence_outputs_after_support();
       bdd::SiftOptions sift_options;
       sift_options.passes = options.sift_passes;
+      sift_options.max_vars = options.sift_max_vars;
+      sift_options.telemetry = options.sift_telemetry;
       bdd::sift(mgr, precedence, sift_options);
       order = mgr.current_order();
       break;

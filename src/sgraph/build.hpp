@@ -26,6 +26,7 @@
 #include <map>
 #include <vector>
 
+#include "bdd/reorder.hpp"
 #include "cfsm/reactive.hpp"
 #include "sgraph/sgraph.hpp"
 
@@ -55,6 +56,11 @@ struct BuildOptions {
   std::uint64_t care_enum_limit = 1u << 22;
   /// Sifting passes for the sift-based schemes.
   int sift_passes = 1;
+  /// If >0, only the fattest `sift_max_vars` variables are sifted per pass.
+  int sift_max_vars = 0;
+  /// Optional sink for sift telemetry (swaps, peak arena, per-pass sizes);
+  /// filled only by the sift-based schemes.
+  bdd::SiftTelemetry* sift_telemetry = nullptr;
 };
 
 /// Builds the s-graph for `rf` under `scheme`. Sift-based schemes reorder

@@ -5,6 +5,7 @@
 
 #include "bdd/bdd.hpp"
 #include "bdd/io.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace polis::bdd {
@@ -191,10 +192,80 @@ TEST(Bdd, NodeCountSharing) {
   const Bdd b = mgr.var(1);
   const Bdd f = a & b;
   const Bdd g = a | b;
-  // Shared counting: counting both roots together is fewer than the sum.
+  // Terminals excluded: f and g are two internal nodes each, sharing the
+  // (b ? 1 : 0) node, so counting both roots together gives three.
+  EXPECT_EQ(mgr.node_count(f), 2u);
+  EXPECT_EQ(mgr.node_count(g), 2u);
   const size_t together = mgr.node_count(std::vector<Bdd>{f, g});
+  EXPECT_EQ(together, 3u);
   EXPECT_LE(together, mgr.node_count(f) + mgr.node_count(g));
   EXPECT_GE(together, mgr.node_count(f));
+}
+
+TEST(Bdd, NodeCountExcludesTerminals) {
+  BddManager mgr(3);
+  // Constants reach only terminal nodes: the internal count is zero.
+  EXPECT_EQ(mgr.node_count(mgr.one()), 0u);
+  EXPECT_EQ(mgr.node_count(mgr.zero()), 0u);
+  EXPECT_EQ(mgr.node_count(mgr.var(0)), 1u);
+  // The count agrees with the per-variable profile, so the sifting size
+  // metric and its variable-ordering heuristic see the same quantity.
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | mgr.var(2);
+  size_t profile_total = 0;
+  for (const size_t c : mgr.var_node_profile()) profile_total += c;
+  EXPECT_EQ(mgr.node_count(f), profile_total);
+  EXPECT_EQ(mgr.size_under_order(mgr.current_order()), profile_total);
+}
+
+TEST(Bdd, NullHandleOperatorsFailLoudly) {
+  Bdd a;
+  Bdd b;
+  EXPECT_THROW(a & b, CheckError);
+  EXPECT_THROW(a | b, CheckError);
+  EXPECT_THROW(a ^ b, CheckError);
+  EXPECT_THROW(!a, CheckError);
+  // Mixing a live handle with a null one must fail on either side.
+  BddManager mgr(1);
+  const Bdd x = mgr.var(0);
+  EXPECT_THROW(x & a, CheckError);
+  EXPECT_THROW(a & x, CheckError);
+  // Handles nulled by manager destruction fail the same way.
+  Bdd survivor;
+  {
+    BddManager scoped(1);
+    survivor = scoped.var(0);
+  }
+  EXPECT_THROW(!survivor, CheckError);
+}
+
+TEST(Bdd, SwapAdjacentLevelsPreservesFunctionsAndCanonicity) {
+  BddManager mgr(4);
+  const Bdd f = (mgr.var(0) & mgr.var(2)) | (mgr.var(1) & mgr.var(3));
+  const Bdd g = mgr.var(0) ^ mgr.var(3);
+  const Table ft = table_of(mgr, f, 4);
+  const Table gt = table_of(mgr, g, 4);
+
+  mgr.swap_adjacent_levels(0);
+  EXPECT_EQ(mgr.var_at_level(0), 1);
+  EXPECT_EQ(mgr.var_at_level(1), 0);
+  EXPECT_EQ(mgr.level_of(0), 1);
+
+  for (const int level : {1, 2, 0, 2, 1, 0}) {
+    mgr.swap_adjacent_levels(level);
+    EXPECT_EQ(table_of(mgr, f, 4), ft);
+    EXPECT_EQ(table_of(mgr, g, 4), gt);
+    // The in-place arena stays reduced: the live count equals a clean
+    // rebuild under the same order.
+    EXPECT_EQ(mgr.node_count(std::vector<Bdd>{f, g}),
+              mgr.size_under_order(mgr.current_order()));
+  }
+
+  // The unique table stays coherent after swaps: new operations still
+  // hash-cons against the rewritten nodes.
+  const Bdd h1 = (mgr.var(0) & mgr.var(2)) | (mgr.var(1) & mgr.var(3));
+  EXPECT_EQ(h1, f);
+  EXPECT_THROW(mgr.swap_adjacent_levels(3), CheckError);
+  EXPECT_THROW(mgr.swap_adjacent_levels(-1), CheckError);
 }
 
 TEST(Bdd, SetOrderPreservesSemantics) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "bdd/bdd.hpp"
 #include "bdd/reorder.hpp"
 #include "util/check.hpp"
@@ -31,9 +34,11 @@ TEST(Sift, RecoversInterleavingForDisjointAnds) {
   const size_t optimal = mgr.size_under_order(interleaved);
   SiftOptions options;
   options.passes = 3;
+  options.verify_with_oracle = true;  // every swap must match the rebuild
   const size_t sifted = sift(mgr, options);
   EXPECT_LT(sifted, bad);
   EXPECT_LE(sifted, optimal + 2);  // sifting should get essentially there
+  EXPECT_EQ(sifted, mgr.size_under_order(mgr.current_order()));
   // Function unchanged.
   for (int m = 0; m < (1 << (2 * k)); ++m) {
     bool want = false;
@@ -60,7 +65,9 @@ TEST(Sift, NeverIncreasesSize) {
       f = f | cube;
     }
     const size_t before = mgr.size_under_order(mgr.current_order());
-    const size_t after = sift(mgr);
+    SiftOptions options;
+    options.verify_with_oracle = true;
+    const size_t after = sift(mgr, options);
     EXPECT_LE(after, before);
   }
 }
@@ -76,7 +83,9 @@ TEST(Sift, RespectsPrecedenceConstraints) {
   std::vector<std::pair<int, int>> precedence;
   for (int i = 0; i < k; ++i)
     for (int j = 0; j < k; ++j) precedence.emplace_back(i, j + k);
-  sift(mgr, precedence);
+  SiftOptions options;
+  options.verify_with_oracle = true;
+  sift(mgr, precedence, options);
   EXPECT_TRUE(order_respects(mgr.current_order(), precedence));
 }
 
@@ -86,6 +95,21 @@ TEST(Sift, PrecedenceViolatingStartRejected) {
   (void)f;
   mgr.set_order({1, 0});
   EXPECT_THROW(sift(mgr, {{0, 1}}), CheckError);
+}
+
+TEST(Sift, CyclicPrecedenceRejected) {
+  BddManager mgr(3);
+  Bdd f = mgr.var(0) & mgr.var(1);
+  (void)f;
+  // 0 above 1, 1 above 2, 2 above 0: no order can satisfy this; the sift
+  // must fail loudly instead of silently clamping to an empty window.
+  const std::vector<std::pair<int, int>> cyclic{{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_THROW(sift(mgr, cyclic), CheckError);
+  EXPECT_THROW(sift_by_rebuild(mgr, cyclic), CheckError);
+  // A self-pair is the smallest cycle.
+  EXPECT_THROW(sift(mgr, {{1, 1}}), CheckError);
+  // Out-of-range variables are also rejected.
+  EXPECT_THROW(sift(mgr, {{0, 7}}), CheckError);
 }
 
 TEST(Sift, SingleVariableTrivial) {
@@ -106,6 +130,145 @@ TEST(Sift, MaxVarsLimitsWork) {
   const size_t after = sift(mgr, {}, options);
   EXPECT_LE(after, before);
 }
+
+TEST(Sift, FastPathMatchesRebuildReference) {
+  // Build the same functions in two managers; the swap-based path and the
+  // rebuild-per-candidate reference must land on the same final order and
+  // size (same window, same tie-breaks).
+  Rng rng(4242);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int n = 7;
+    std::vector<std::vector<int>> cubes;  // 0 = pos, 1 = neg, 2 = absent
+    for (int t = 0; t < 4; ++t) {
+      std::vector<int> cube;
+      for (int v = 0; v < n; ++v) cube.push_back(rng.uniform(0, 2));
+      cubes.push_back(cube);
+    }
+    const auto build = [&](BddManager& mgr) {
+      Bdd f = mgr.zero();
+      for (const auto& cube : cubes) {
+        Bdd c = mgr.one();
+        for (int v = 0; v < n; ++v) {
+          if (cube[static_cast<size_t>(v)] == 0) c = c & mgr.var(v);
+          if (cube[static_cast<size_t>(v)] == 1) c = c & mgr.nvar(v);
+        }
+        f = f | c;
+      }
+      return f;
+    };
+    const std::vector<std::pair<int, int>> precedence{{0, n - 1}, {1, n - 2}};
+
+    BddManager fast_mgr(n);
+    const Bdd fast_f = build(fast_mgr);
+    (void)fast_f;
+    SiftOptions options;
+    options.passes = 2;
+    options.verify_with_oracle = true;
+    const size_t fast = sift(fast_mgr, precedence, options);
+
+    BddManager ref_mgr(n);
+    const Bdd ref_f = build(ref_mgr);
+    (void)ref_f;
+    SiftOptions ref_options;
+    ref_options.passes = 2;
+    const size_t ref = sift_by_rebuild(ref_mgr, precedence, ref_options);
+
+    EXPECT_EQ(fast, ref) << "trial " << trial;
+    EXPECT_EQ(fast_mgr.current_order(), ref_mgr.current_order())
+        << "trial " << trial;
+    EXPECT_EQ(fast, fast_mgr.size_under_order(fast_mgr.current_order()));
+  }
+}
+
+TEST(Sift, TelemetryReportsWork) {
+  const int k = 4;
+  BddManager mgr(2 * k);
+  Bdd f = mgr.zero();
+  for (int i = 0; i < k; ++i) f = f | (mgr.var(i) & mgr.var(i + k));
+  SiftTelemetry telemetry;
+  SiftOptions options;
+  options.passes = 3;
+  options.telemetry = &telemetry;
+  const size_t after = sift(mgr, options);
+  EXPECT_GT(telemetry.swaps, 0u);
+  EXPECT_GT(telemetry.size_evaluations, 0u);
+  EXPECT_EQ(telemetry.final_size, after);
+  EXPECT_LE(telemetry.final_size, telemetry.initial_size);
+  EXPECT_GE(telemetry.peak_arena, telemetry.final_size);
+  EXPECT_GT(telemetry.passes_run, 0);
+  EXPECT_LE(telemetry.passes_run, options.passes);
+  EXPECT_EQ(telemetry.pass_sizes.size(),
+            static_cast<size_t>(telemetry.passes_run));
+  EXPECT_EQ(telemetry.pass_sizes.back(), after);
+}
+
+// --- Property: sifting (with and without precedence) preserves function
+// --- semantics and lands on an order that respects the constraints, with
+// --- sizes identical to the rebuild oracle.
+class SiftProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SiftProperty, PreservesSemanticsAndRespectsPrecedence) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6271 + 5);
+  const int n = 4 + static_cast<int>(rng.uniform(0, 8));  // 4..12 vars
+  BddManager mgr(n);
+
+  // A few random functions built from random cubes, kept live together so
+  // sifting optimises their shared arena.
+  std::vector<Bdd> funcs;
+  for (int fi = 0; fi < 3; ++fi) {
+    Bdd f = mgr.zero();
+    const int num_cubes = 2 + static_cast<int>(rng.uniform(0, 3));
+    for (int t = 0; t < num_cubes; ++t) {
+      Bdd cube = mgr.one();
+      for (int v = 0; v < n; ++v) {
+        const auto c = rng.uniform(0, 3);
+        if (c == 0) cube = cube & mgr.var(v);
+        if (c == 1) cube = cube & mgr.nvar(v);
+      }
+      f = f | cube;
+    }
+    funcs.push_back(f);
+  }
+
+  // Reference truth tables before reordering.
+  std::vector<std::vector<bool>> tables;
+  for (const Bdd& f : funcs) {
+    std::vector<bool> t(static_cast<size_t>(1) << n);
+    for (size_t m = 0; m < t.size(); ++m)
+      t[m] = mgr.eval(f, [m](int v) { return (m >> v) & 1; });
+    tables.push_back(std::move(t));
+  }
+
+  // Random acyclic precedence: pairs (a, b) with a before b in the initial
+  // order are both acyclic and satisfied at the start.
+  std::vector<std::pair<int, int>> precedence;
+  const bool constrained = (GetParam() % 2) == 0;
+  if (constrained) {
+    for (int t = 0; t < n / 2; ++t) {
+      const int a = static_cast<int>(rng.uniform(0, n - 2));
+      const int b =
+          a + 1 + static_cast<int>(rng.uniform(0, n - a - 2));
+      precedence.emplace_back(a, b);
+    }
+  }
+
+  SiftOptions options;
+  options.passes = 2;
+  options.verify_with_oracle = true;
+  const size_t after = sift(mgr, precedence, options);
+
+  EXPECT_TRUE(order_respects(mgr.current_order(), precedence));
+  EXPECT_EQ(after, mgr.size_under_order(mgr.current_order()));
+  for (size_t i = 0; i < funcs.size(); ++i) {
+    for (size_t m = 0; m < tables[i].size(); ++m) {
+      ASSERT_EQ(mgr.eval(funcs[i], [m](int v) { return (m >> v) & 1; }),
+                tables[i][m])
+          << "func " << i << " minterm " << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SiftProperty, ::testing::Range(0, 12));
 
 }  // namespace
 }  // namespace polis::bdd
