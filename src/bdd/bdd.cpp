@@ -295,10 +295,11 @@ Bdd BddManager::restrict(const Bdd& f, const Bdd& care) {
     const int lc = level(c);
     if (lc < lg) {
       // The care set constrains a variable above g's top: merge branches.
-      const Node& cn = nodes_[c];
+      // Copy: recursion below may grow nodes_ and invalidate references.
+      const Node cn = nodes_[c];
       r = self(g, ite_rec(cn.lo, kOne, cn.hi), self);  // c|v=0 ∨ c|v=1
     } else {
-      const Node& gn = nodes_[g];
+      const Node gn = nodes_[g];
       const std::uint32_t c1 = (lc == lg) ? nodes_[c].hi : c;
       const std::uint32_t c0 = (lc == lg) ? nodes_[c].lo : c;
       if (c1 == kZero) {

@@ -78,21 +78,31 @@ std::vector<std::string> Network::external_outputs() const {
   return out;
 }
 
-std::vector<std::string> Network::topological_order() const {
-  // Edge u -> v when some net produced by u is consumed by v.
-  std::map<std::string, std::set<std::string>> succ;
-  std::map<std::string, int> indegree;
-  for (const Instance& inst : instances_) indegree[inst.name] = 0;
+std::vector<std::pair<std::string, std::string>> Network::instance_edges()
+    const {
+  std::vector<std::pair<std::string, std::string>> edges;
+  std::set<std::pair<std::string, std::string>> seen;
   for (const auto& [name, net] : nets()) {
     (void)name;
     for (const auto& [pi, pp] : net.producers) {
       (void)pp;
       for (const auto& [ci, cp] : net.consumers) {
         (void)cp;
-        if (pi == ci) return {};  // self-loop
-        if (succ[pi].insert(ci).second) indegree[ci]++;
+        if (seen.emplace(pi, ci).second) edges.emplace_back(pi, ci);
       }
     }
+  }
+  return edges;
+}
+
+std::vector<std::string> Network::topological_order() const {
+  // Edge u -> v when some net produced by u is consumed by v.
+  std::map<std::string, std::set<std::string>> succ;
+  std::map<std::string, int> indegree;
+  for (const Instance& inst : instances_) indegree[inst.name] = 0;
+  for (const auto& [pi, ci] : instance_edges()) {
+    if (pi == ci) return {};  // self-loop
+    if (succ[pi].insert(ci).second) indegree[ci]++;
   }
   // Kahn's algorithm; ties broken by declaration order for determinism.
   std::map<std::string, size_t> decl;

@@ -57,6 +57,11 @@ class Network {
   /// Nets produced inside but not consumed inside (observed by environment).
   std::vector<std::string> external_outputs() const;
 
+  /// Producer→consumer instance pairs induced by the nets, deduplicated,
+  /// in deterministic (net-name, then declaration) order. Self-loops are
+  /// included; topological_order() rejects them.
+  std::vector<std::pair<std::string, std::string>> instance_edges() const;
+
   /// Topological order of instances along internal nets; empty if the
   /// internal-signal graph has a cycle.
   std::vector<std::string> topological_order() const;

@@ -42,4 +42,28 @@ SynthesisResult synthesize(std::shared_ptr<const cfsm::Cfsm> machine,
   return result;
 }
 
+NetworkSynthesis synthesize_network(const cfsm::Network& network,
+                                    const SynthesisOptions& options) {
+  SynthesisOptions shared = options;
+  estim::CostModel local_model;
+  if (shared.cost_model == nullptr) {
+    local_model = estim::calibrate(shared.target);
+    shared.cost_model = &local_model;
+  }
+
+  NetworkSynthesis out;
+  std::map<const cfsm::Cfsm*, SynthesisResult> by_machine;
+  for (const cfsm::Instance& inst : network.instances()) {
+    auto cached = by_machine.find(inst.machine.get());
+    if (cached == by_machine.end())
+      cached = by_machine
+                   .emplace(inst.machine.get(),
+                            synthesize(inst.machine, shared))
+                   .first;
+    out.per_instance[inst.name] = cached->second;
+    out.max_cycles[inst.name] = cached->second.estimate.max_cycles;
+  }
+  return out;
+}
+
 }  // namespace polis

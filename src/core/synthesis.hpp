@@ -4,11 +4,13 @@
 // specifications" the paper describes, packaged as one call.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 
 #include "bdd/bdd.hpp"
 #include "cfsm/cfsm.hpp"
+#include "cfsm/network.hpp"
 #include "cfsm/reactive.hpp"
 #include "codegen/c_codegen.hpp"
 #include "estim/calibrate.hpp"
@@ -47,5 +49,19 @@ struct SynthesisResult {
 /// Runs the full flow for one CFSM.
 SynthesisResult synthesize(std::shared_ptr<const cfsm::Cfsm> machine,
                            const SynthesisOptions& options = {});
+
+/// The per-CFSM flow applied to every instance of a network, with the cost
+/// model calibrated once and shared. `max_cycles` is the per-instance WCET
+/// the estimator derives (PERT max path, §III-C1) — the input both to the
+/// §I-H step-4 schedulability tests (sched::) and to the RTOS robustness
+/// layer's latency cross-check (estim::network_latency_bounds +
+/// rtos::sweep_faults). Instances sharing one machine are synthesized once.
+struct NetworkSynthesis {
+  std::map<std::string, SynthesisResult> per_instance;  // by instance name
+  std::map<std::string, long long> max_cycles;          // estimator WCET
+};
+
+NetworkSynthesis synthesize_network(const cfsm::Network& network,
+                                    const SynthesisOptions& options = {});
 
 }  // namespace polis

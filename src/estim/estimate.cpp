@@ -212,4 +212,42 @@ Estimate estimate(const sgraph::Sgraph& graph, const CostModel& m,
   return e;
 }
 
+std::map<std::string, long long> network_latency_bounds(
+    const cfsm::Network& network,
+    const std::map<std::string, long long>& instance_max_cycles,
+    long long per_hop_overhead_cycles) {
+  const std::vector<std::string> order = network.topological_order();
+  if (order.empty() && !network.instances().empty()) return {};  // cyclic
+
+  auto wcet = [&instance_max_cycles](const std::string& inst) -> long long {
+    auto it = instance_max_cycles.find(inst);
+    return it == instance_max_cycles.end() ? 0 : it->second;
+  };
+
+  // PERT forward pass over the instance DAG: dist[i] is the worst-case time
+  // from any environment stimulus to the completion of instance i.
+  std::map<std::string, std::vector<std::string>> preds;
+  for (const auto& [producer, consumer] : network.instance_edges())
+    preds[consumer].push_back(producer);
+  std::map<std::string, long long> dist;
+  for (const std::string& inst : order) {
+    long long upstream = 0;
+    for (const std::string& p : preds[inst])
+      upstream = std::max(upstream, dist.at(p));
+    dist[inst] = upstream + wcet(inst) + per_hop_overhead_cycles;
+  }
+
+  std::map<std::string, long long> bounds;
+  const auto nets = network.nets();
+  for (const std::string& out : network.external_outputs()) {
+    long long bound = 0;
+    for (const auto& [producer, port] : nets.at(out).producers) {
+      (void)port;
+      bound = std::max(bound, dist.at(producer));
+    }
+    bounds[out] = bound;
+  }
+  return bounds;
+}
+
 }  // namespace polis::estim

@@ -10,10 +10,12 @@
 // paper assigns edge costs.
 #pragma once
 
+#include <map>
 #include <set>
 #include <string>
 
 #include "cfsm/cfsm.hpp"
+#include "cfsm/network.hpp"
 #include "estim/cost_model.hpp"
 #include "sgraph/sgraph.hpp"
 
@@ -36,6 +38,20 @@ EstimateContext context_for(const cfsm::Cfsm& machine);
 
 Estimate estimate(const sgraph::Sgraph& graph, const CostModel& model,
                   const EstimateContext& context);
+
+/// PERT max-path bound lifted from one s-graph to a whole network: the
+/// worst-case input→output latency of each external-output net, assuming
+/// every instance on the path runs uncontended and costs its estimated
+/// `max_cycles` plus `per_hop_overhead_cycles` of RTOS dispatch (context
+/// switch / ISR). Longest path over the instance DAG (the network-level
+/// analogue of the §III-C1 max-cycles PERT pass); the RTOS robustness
+/// layer cross-checks observed latencies against these bounds. Returns an
+/// empty map when the instance graph is cyclic (no static bound exists).
+/// Instances absent from `instance_max_cycles` cost 0 (e.g. hw-CFSMs).
+std::map<std::string, long long> network_latency_bounds(
+    const cfsm::Network& network,
+    const std::map<std::string, long long>& instance_max_cycles,
+    long long per_hop_overhead_cycles);
 
 /// Expression cost helpers (exposed for the multiway baseline and tests).
 double expr_cycles(const expr::Expr& e, const CostModel& model,

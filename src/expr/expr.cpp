@@ -250,6 +250,32 @@ void print_c(const Expr& e, int parent_prec, std::ostream& os) {
       os << " : ";
       print_c(*e.args()[2], 20, os);
       break;
+    case Op::kDiv:
+    case Op::kMod: {
+      const Expr& den = *e.args()[1];
+      if (den.op() == Op::kConst) {
+        if (den.value() == 0) {
+          os << '0';  // apply_op and the VM define x/0 == x%0 == 0
+        } else {
+          print_c(*e.args()[0], prec, os);
+          os << ' ' << symbol(e.op()) << ' ';
+          print_c(den, prec + 1, os);
+        }
+        break;
+      }
+      // Runtime guard matching apply_op and the VM: x/0 == x%0 == 0.
+      // Operands of generated C are pure reads, so printing the divisor
+      // twice is sound. Always parenthesized: the ternary binds looser
+      // than the division this node claims via `prec`.
+      os << '(';
+      print_c(den, 51, os);
+      os << " == 0 ? 0 : ";
+      print_c(*e.args()[0], prec, os);
+      os << ' ' << symbol(e.op()) << ' ';
+      print_c(den, prec + 1, os);
+      os << ')';
+      break;
+    }
     default:
       print_c(*e.args()[0], prec, os);
       os << ' ' << symbol(e.op()) << ' ';

@@ -1,5 +1,9 @@
 #include "frontend/parser.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "frontend/lexer.hpp"
 #include "util/check.hpp"
 
@@ -15,9 +19,11 @@ class Parser {
     ParsedFile file;
     while (!at(Tok::kEof)) {
       if (at_keyword("module")) {
+        const int decl_line = cur().line;
         auto m = parse_module_decl();
         if (file.modules.count(m->name()) != 0)
           fail("duplicate module '" + m->name() + "'");
+        file.module_lines.emplace(m->name(), decl_line);
         file.modules.emplace(m->name(), std::move(m));
       } else if (at_keyword("network")) {
         auto n = parse_network_decl(file);
@@ -279,9 +285,19 @@ ParsedFile parse(std::string_view source) {
 
 std::shared_ptr<const cfsm::Cfsm> parse_module(std::string_view source) {
   ParsedFile file = parse(source);
-  POLIS_CHECK_MSG(file.modules.size() == 1,
-                  "expected exactly one module, found "
-                      << file.modules.size());
+  if (file.modules.empty())
+    throw ParseError(1, "expected exactly one module, found none");
+  if (file.modules.size() > 1) {
+    // Point at the second module in declaration order, not map order.
+    std::vector<std::pair<int, std::string>> decls;
+    for (const auto& [name, line] : file.module_lines)
+      decls.emplace_back(line, name);
+    std::sort(decls.begin(), decls.end());
+    throw ParseError(decls[1].first,
+                     "expected exactly one module, found " +
+                         std::to_string(file.modules.size()) +
+                         " (second module '" + decls[1].second + "')");
+  }
   return file.modules.begin()->second;
 }
 

@@ -46,12 +46,15 @@ class ParseError : public std::runtime_error {
 struct ParsedFile {
   std::map<std::string, std::shared_ptr<const cfsm::Cfsm>> modules;
   std::map<std::string, std::shared_ptr<cfsm::Network>> networks;
+  std::map<std::string, int> module_lines;  // 'module' keyword line per module
 };
 
 /// Parses a complete source text. Throws ParseError on malformed input.
 ParsedFile parse(std::string_view source);
 
-/// Convenience: parses a source containing exactly one module.
+/// Convenience: parses a source containing exactly one module. Throws
+/// ParseError — pointing at the offending line — when the source declares
+/// zero modules or more than one.
 std::shared_ptr<const cfsm::Cfsm> parse_module(std::string_view source);
 
 }  // namespace polis::frontend

@@ -1,0 +1,129 @@
+// Deterministic fault injection and graceful-degradation policies for the
+// generated RTOS — the robustness layer over the paper's §II-D/§IV
+// semantics.
+//
+// A FaultPlan perturbs one simulation run: environment events can be
+// dropped, delayed or duplicated (§IV-C delivery stress), ISR/polling
+// overheads spiked, reaction execution times jittered by a bounded factor
+// (§III-C estimation stress), and designated tasks stalled at dispatch
+// (§IV-A scheduling stress). Every perturbation is drawn from one stream
+// seeded by FaultPlan::seed, in a fixed order (per external event in input
+// order, then per dispatch in simulation order), so any failing trace
+// replays byte-identically from its seed.
+//
+// The degradation policies replace the paper's single hard-wired behaviour
+// (silent 1-place-buffer overwrite) with per-net overflow policies,
+// per-task deadline monitors, and a global watchdog that turns livelock or
+// starvation into a diagnostic instead of an endless spin. With an empty
+// plan and all policies at their defaults the simulation is exactly the
+// paper's.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace polis::rtos {
+
+/// What to do when an event lands on a 1-place buffer that already holds an
+/// undetected event (§II-D). The paper's semantics is kOverwrite.
+enum class OverflowPolicy {
+  kOverwrite,            // paper default: newest wins, old event lost
+  kDropNew,              // oldest wins, new event lost
+  kAbortWithDiagnostic,  // terminate the run with a diagnostic
+};
+
+/// Per-task deadline monitor: a reaction completing more than
+/// `deadline_cycles` after the earliest event that enabled it is a miss.
+struct DeadlineMonitor {
+  enum class MissAction {
+    kCount,         // record the miss only
+    kFlushRestart,  // also drop all pending inputs and reset the task state
+    kDemote,        // also lower the task's priority by demote_by
+  };
+  long long deadline_cycles = 0;  // 0 disables the monitor
+  MissAction action = MissAction::kCount;
+  int demote_by = 10;  // for kDemote (larger value = lower priority)
+};
+
+/// Global watchdog; a limit of 0 disables that check.
+struct WatchdogConfig {
+  /// Livelock: abort after this many reactions with no external output.
+  long long livelock_reactions = 0;
+  /// Starvation: abort when a runnable task waits longer than this without
+  /// being dispatched.
+  long long starvation_cycles = 0;
+
+  bool enabled() const {
+    return livelock_reactions > 0 || starvation_cycles > 0;
+  }
+};
+
+/// Stalling fault for one designated task: with `probability`, an
+/// activation is preceded by `cycles` of dispatch stall (charged as CPU
+/// overhead, so it delays everything behind it).
+struct StallFault {
+  double probability = 1.0;
+  long long cycles = 0;
+};
+
+/// A seeded, replayable perturbation of one simulation run.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // --- Environment-event faults (drawn per external event, input order) ---
+  double drop_probability = 0.0;       // event never delivered
+  double delay_probability = 0.0;      // event late by U[1, max_delay]
+  long long max_delay = 0;
+  double duplicate_probability = 0.0;  // event re-emitted duplicate_gap later
+  long long duplicate_gap = 1;
+  /// ISR / polling-routine overhead spike: the delivery is `spike_cycles`
+  /// late and the spike is charged as overhead.
+  double spike_probability = 0.0;
+  long long spike_cycles = 0;
+
+  // --- Execution-time faults (drawn per dispatch, simulation order) -------
+  /// Reaction cycles grow by up to this bounded factor: c *= 1 + U[0, j].
+  double exec_jitter = 0.0;
+  /// Task name -> stall fault applied at its dispatches.
+  std::map<std::string, StallFault> stalls;
+
+  /// True when the plan perturbs nothing (the paper-faithful default).
+  bool empty() const {
+    return drop_probability <= 0 && delay_probability <= 0 &&
+           duplicate_probability <= 0 && spike_probability <= 0 &&
+           exec_jitter <= 0 && stalls.empty();
+  }
+
+  /// The plan with every probability and the jitter factor scaled by `m`
+  /// (clamped to [0, 1]); magnitudes in cycles are unchanged. Used to find
+  /// the smallest fault magnitude that first violates a deadline.
+  FaultPlan scaled(double m) const {
+    auto clamp01 = [](double p) { return p < 0 ? 0.0 : (p > 1 ? 1.0 : p); };
+    FaultPlan out = *this;
+    out.drop_probability = clamp01(drop_probability * m);
+    out.delay_probability = clamp01(delay_probability * m);
+    out.duplicate_probability = clamp01(duplicate_probability * m);
+    out.spike_probability = clamp01(spike_probability * m);
+    out.exec_jitter = exec_jitter * m;
+    for (auto& [task, stall] : out.stalls)
+      stall.probability = clamp01(stall.probability * m);
+    return out;
+  }
+};
+
+/// What a run actually injected (for reports and determinism checks).
+struct FaultCounts {
+  long long drops = 0;
+  long long delays = 0;
+  long long duplicates = 0;
+  long long spikes = 0;
+  long long stalls = 0;
+  long long jittered = 0;
+
+  long long total() const {
+    return drops + delays + duplicates + spikes + stalls + jittered;
+  }
+};
+
+}  // namespace polis::rtos

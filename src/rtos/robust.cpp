@@ -1,0 +1,146 @@
+#include "rtos/robust.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace polis::rtos {
+
+namespace {
+
+SimStats one_run(const cfsm::Network& network, const RtosConfig& config,
+                 const TaskBinder& bind_tasks,
+                 const std::vector<ExternalEvent>& events, long long horizon) {
+  RtosSimulation sim(network, config);
+  bind_tasks(sim);
+  return sim.run(events, horizon);
+}
+
+void merge_worst(std::map<std::string, long long>* into,
+                 const std::map<std::string, std::vector<long long>>& samples) {
+  for (const auto& [net, lat] : samples) {
+    if (lat.empty()) continue;
+    const long long worst = *std::max_element(lat.begin(), lat.end());
+    auto [it, inserted] = into->emplace(net, worst);
+    if (!inserted) it->second = std::max(it->second, worst);
+  }
+}
+
+}  // namespace
+
+double RobustnessReport::lost_rate(const std::string& net) const {
+  auto e = emitted.find(net);
+  if (e == emitted.end() || e->second == 0) return 0.0;
+  auto l = lost.find(net);
+  return l == lost.end()
+             ? 0.0
+             : static_cast<double>(l->second) / static_cast<double>(e->second);
+}
+
+std::string RobustnessReport::to_string() const {
+  std::ostringstream os;
+  os << "RobustnessReport{runs=" << fault_runs
+     << " injected=" << faults_injected
+     << " deadline_misses=" << deadline_misses << " aborted=" << aborted_runs
+     << " watchdog=" << watchdog_fires << "\n";
+  for (const auto& [net, count] : emitted) {
+    os << "  net " << net << ": emitted=" << count;
+    auto l = lost.find(net);
+    os << " lost=" << (l == lost.end() ? 0 : l->second) << "\n";
+  }
+  for (const auto& [net, worst] : fault_worst_latency) {
+    os << "  latency " << net << ": baseline=";
+    auto b = baseline_worst_latency.find(net);
+    os << (b == baseline_worst_latency.end() ? -1 : b->second)
+       << " faulted=" << worst;
+    auto bound = latency_bound.find(net);
+    if (bound != latency_bound.end()) os << " bound=" << bound->second;
+    os << "\n";
+  }
+  auto list = [&os](const char* label, const std::vector<std::string>& nets) {
+    os << "  " << label << ":";
+    for (const std::string& n : nets) os << " " << n;
+    os << "\n";
+  };
+  list("over-bound at baseline", bound_violations_baseline);
+  list("pushed over bound by faults", bound_violations_faulted);
+  os << "}";
+  return os.str();
+}
+
+RobustnessReport sweep_faults(const cfsm::Network& network,
+                              const RtosConfig& config,
+                              const TaskBinder& bind_tasks,
+                              const std::vector<ExternalEvent>& events,
+                              const FaultSweepOptions& options) {
+  POLIS_CHECK(options.runs > 0);
+  RobustnessReport report;
+  report.fault_runs = options.runs;
+  report.latency_bound = options.latency_bounds;
+
+  // Zero-fault baseline: the nominal run the estimator's bound speaks to.
+  {
+    RtosConfig nominal = config;
+    nominal.faults = FaultPlan{};
+    const SimStats stats =
+        one_run(network, nominal, bind_tasks, events, options.horizon);
+    merge_worst(&report.baseline_worst_latency, stats.input_to_output_latency);
+  }
+
+  for (int i = 0; i < options.runs; ++i) {
+    RtosConfig faulted = config;
+    faulted.faults.seed = options.base_seed + static_cast<std::uint64_t>(i);
+    const SimStats stats =
+        one_run(network, faulted, bind_tasks, events, options.horizon);
+    report.faults_injected += stats.injected.total();
+    for (const auto& [net, count] : stats.emitted_events)
+      report.emitted[net] += count;
+    for (const auto& [net, count] : stats.lost_events)
+      report.lost[net] += count;
+    for (const auto& [task, count] : stats.deadline_misses) {
+      (void)task;
+      report.deadline_misses += count;
+    }
+    if (stats.aborted) report.aborted_runs++;
+    if (stats.watchdog_fired) report.watchdog_fires++;
+    merge_worst(&report.fault_worst_latency, stats.input_to_output_latency);
+  }
+
+  for (const auto& [net, bound] : report.latency_bound) {
+    auto base = report.baseline_worst_latency.find(net);
+    if (base != report.baseline_worst_latency.end() && base->second > bound)
+      report.bound_violations_baseline.push_back(net);
+    auto faulted = report.fault_worst_latency.find(net);
+    const bool base_ok =
+        base == report.baseline_worst_latency.end() || base->second <= bound;
+    if (base_ok && faulted != report.fault_worst_latency.end() &&
+        faulted->second > bound)
+      report.bound_violations_faulted.push_back(net);
+  }
+  return report;
+}
+
+double find_breaking_magnitude(const cfsm::Network& network,
+                               const RtosConfig& config,
+                               const TaskBinder& bind_tasks,
+                               const std::vector<ExternalEvent>& events,
+                               int steps, long long horizon) {
+  POLIS_CHECK(steps > 0);
+  for (int s = 1; s <= steps; ++s) {
+    const double m = static_cast<double>(s) / static_cast<double>(steps);
+    RtosConfig scaled = config;
+    scaled.faults = config.faults.scaled(m);
+    const SimStats stats =
+        one_run(network, scaled, bind_tasks, events, horizon);
+    long long misses = 0;
+    for (const auto& [task, count] : stats.deadline_misses) {
+      (void)task;
+      misses += count;
+    }
+    if (misses > 0 || stats.aborted) return m;
+  }
+  return -1.0;
+}
+
+}  // namespace polis::rtos

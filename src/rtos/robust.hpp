@@ -1,0 +1,77 @@
+// Robustness evaluation of a synthesized system: sweep the fault space (N
+// seeded runs of one simulation under a scaled FaultPlan), aggregate
+// per-net loss rates and worst observed latencies, and cross-check the
+// zero-fault worst case against the §III-C/§V PERT max-path bound from the
+// estimator (estim::network_latency_bounds). This is the pre-deployment
+// check the paper's estimation layer exists for, extended from "does the
+// nominal run meet its constraints" to "how much fault does it absorb
+// before it stops meeting them".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rtos/rtos.hpp"
+
+namespace polis::rtos {
+
+struct RobustnessReport {
+  int fault_runs = 0;
+  long long faults_injected = 0;  // perturbations applied across all runs
+  // Per net, summed over the fault runs.
+  std::map<std::string, long long> emitted;
+  std::map<std::string, long long> lost;
+  // Worst observed input->output latency per external-output net.
+  std::map<std::string, long long> baseline_worst_latency;  // zero faults
+  std::map<std::string, long long> fault_worst_latency;     // under faults
+  // §V cross-check (only for nets with a bound provided).
+  std::map<std::string, long long> latency_bound;
+  std::vector<std::string> bound_violations_baseline;  // nets over bound
+  std::vector<std::string> bound_violations_faulted;   // pushed over by faults
+  long long deadline_misses = 0;
+  int aborted_runs = 0;
+  int watchdog_fires = 0;
+
+  /// Lost-event fraction for one net (0 when it never carried an event).
+  double lost_rate(const std::string& net) const;
+
+  /// Deterministic, byte-stable rendering (asserted identical across runs
+  /// with the same seed).
+  std::string to_string() const;
+};
+
+struct FaultSweepOptions {
+  int runs = 8;                  // seeded fault runs (seeds base_seed + i)
+  std::uint64_t base_seed = 1;
+  long long horizon = 100'000'000;
+  /// PERT max-path bound per external-output net, e.g. from
+  /// estim::network_latency_bounds(); empty disables the cross-check.
+  std::map<std::string, long long> latency_bounds;
+};
+
+/// Registers every task implementation on a freshly built simulation.
+using TaskBinder = std::function<void(RtosSimulation&)>;
+
+/// Runs one zero-fault baseline plus `options.runs` seeded fault runs of
+/// `config` (whose FaultPlan supplies the perturbations) and aggregates.
+RobustnessReport sweep_faults(const cfsm::Network& network,
+                              const RtosConfig& config,
+                              const TaskBinder& bind_tasks,
+                              const std::vector<ExternalEvent>& events,
+                              const FaultSweepOptions& options = {});
+
+/// Smallest fault magnitude that first violates a deadline: scans
+/// m = 1/steps, 2/steps, …, 1, running once per step with
+/// `config.faults.scaled(m)`, and returns the first m producing a deadline
+/// miss or an aborted run; -1 when even the full plan stays clean.
+double find_breaking_magnitude(const cfsm::Network& network,
+                               const RtosConfig& config,
+                               const TaskBinder& bind_tasks,
+                               const std::vector<ExternalEvent>& events,
+                               int steps = 20,
+                               long long horizon = 100'000'000);
+
+}  // namespace polis::rtos

@@ -1,15 +1,25 @@
 #include "rtos/rtos.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace polis::rtos {
 
 namespace {
 constexpr long long kInf = std::numeric_limits<long long>::max() / 4;
-}
+
+// Internal control-flow: a degradation policy or the watchdog terminates
+// the run; caught in run(), never escapes to the caller.
+struct AbortSim {
+  bool watchdog = false;
+  std::string diagnostic;
+};
+}  // namespace
 
 RtosSimulation::RtosSimulation(const cfsm::Network& network, RtosConfig config)
     : network_(&network), config_(std::move(config)), nets_(network.nets()) {
@@ -72,9 +82,11 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
     std::string net;
     std::int64_t value;
     bool polled;
+    long long spike = 0;  // injected ISR/polling overhead spike
   };
 
-  // Initialise task state and runnability.
+  // Initialise task state and runnability. Priorities are re-read from the
+  // config so a kDemote action in a previous run() does not leak.
   for (TaskState& t : tasks_) {
     POLIS_CHECK_MSG(t.react != nullptr,
                     "no implementation registered for task " << t.name);
@@ -82,41 +94,122 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
     t.flags.clear();
     t.incoming.clear();
     t.running = false;
+    auto it = config_.priority.find(t.name);
+    t.priority = it != config_.priority.end() ? it->second : 100;
   }
   std::vector<bool> runnable(tasks_.size(), false);
 
+  SimStats stats;
+
+  auto log_event = [&](long long time, LogEvent::Kind kind,
+                       const std::string& subject, std::int64_t value) {
+    if (!config_.collect_log) return;
+    stats.log.push_back(LogEvent{time, kind, subject, value});
+  };
+
+  // All fault perturbations are drawn from this one seeded stream in a
+  // fixed order (per event below, then per dispatch inside run_task), so a
+  // plan replays byte-identically from its seed.
+  const FaultPlan& plan = config_.faults;
+  const bool faulty = !plan.empty();
+  Rng fault_rng(plan.seed);
+
   // Delivery schedule: interrupts arrive at the event time; polled events
-  // are seen at the next polling tick.
+  // are seen at the next polling tick. Event faults (drop/delay/duplicate/
+  // overhead spike) are applied here, before polling quantisation.
   std::vector<Delivery> schedule;
   schedule.reserve(events.size());
-  for (const ExternalEvent& e : events) {
+  auto push_delivery = [&](long long etime, const ExternalEvent& e) {
     Delivery d;
     d.stimulus = e.time;
     d.net = e.net;
     d.value = e.value;
     d.polled = config_.delivery == RtosConfig::HwDelivery::kPolling;
     d.dtime = d.polled
-                  ? ((e.time + config_.polling_period - 1) /
+                  ? ((etime + config_.polling_period - 1) /
                      config_.polling_period) *
                         config_.polling_period
-                  : e.time;
+                  : etime;
+    if (faulty && plan.spike_probability > 0 && plan.spike_cycles > 0 &&
+        fault_rng.flip(plan.spike_probability)) {
+      d.spike = plan.spike_cycles;
+      d.dtime += d.spike;
+      stats.injected.spikes++;
+      log_event(d.dtime, LogEvent::Kind::kFault, "spike " + e.net, d.spike);
+    }
     schedule.push_back(std::move(d));
+  };
+  for (const ExternalEvent& e : events) {
+    long long etime = e.time;
+    if (faulty) {
+      if (plan.drop_probability > 0 && fault_rng.flip(plan.drop_probability)) {
+        stats.injected.drops++;
+        log_event(e.time, LogEvent::Kind::kFault, "drop " + e.net, e.value);
+        continue;
+      }
+      if (plan.delay_probability > 0 && plan.max_delay > 0 &&
+          fault_rng.flip(plan.delay_probability)) {
+        const long long late = fault_rng.uniform(1, plan.max_delay);
+        etime += late;
+        stats.injected.delays++;
+        log_event(etime, LogEvent::Kind::kFault, "delay " + e.net, late);
+      }
+    }
+    push_delivery(etime, e);
+    if (faulty && plan.duplicate_probability > 0 &&
+        fault_rng.flip(plan.duplicate_probability)) {
+      stats.injected.duplicates++;
+      log_event(etime, LogEvent::Kind::kFault, "duplicate " + e.net, e.value);
+      push_delivery(etime + std::max<long long>(1, plan.duplicate_gap), e);
+    }
   }
   std::stable_sort(schedule.begin(), schedule.end(),
                    [](const Delivery& a, const Delivery& b) {
                      return a.dtime < b.dtime;
                    });
 
-  SimStats stats;
   size_t next_delivery = 0;
   size_t rr_cursor = 0;
 
   // --- Helpers ---------------------------------------------------------------
 
-  auto log_event = [&](long long time, LogEvent::Kind kind,
-                       const std::string& subject, std::int64_t value) {
-    if (!config_.collect_log) return;
-    stats.log.push_back(LogEvent{time, kind, subject, value});
+  auto overflow_for = [&](const std::string& net) {
+    auto it = config_.overflow_by_net.find(net);
+    return it != config_.overflow_by_net.end() ? it->second
+                                               : config_.overflow_default;
+  };
+
+  // Watchdog state: reactions executed since the last external output, and
+  // since when each task has been runnable without being dispatched.
+  long long reactions_since_output = 0;
+  std::vector<long long> runnable_since(tasks_.size(), -1);
+  long long watermark = 0;  // latest simulated time (for abort diagnostics)
+
+  auto note_reaction = [&](const std::string& task, long long now) {
+    stats.reactions_run++;
+    if (config_.watchdog.livelock_reactions > 0 &&
+        ++reactions_since_output > config_.watchdog.livelock_reactions) {
+      std::ostringstream os;
+      os << "watchdog: livelock — " << reactions_since_output
+         << " reactions without an external output (last task " << task
+         << " at t=" << now << ")";
+      throw AbortSim{true, os.str()};
+    }
+  };
+
+  auto check_starvation = [&](long long now) {
+    if (config_.watchdog.starvation_cycles <= 0) return;
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      if (!runnable[i] || runnable_since[i] < 0) continue;
+      const long long waited = now - runnable_since[i];
+      if (waited > config_.watchdog.starvation_cycles) {
+        std::ostringstream os;
+        os << "watchdog: starvation — task " << tasks_[i].name
+           << " runnable for " << waited << " cycles (since t="
+           << runnable_since[i] << ") without being dispatched";
+        throw AbortSim{true, os.str()};
+      }
+    }
   };
 
   // Executes one reaction of a hw-CFSM (§I-A): instantaneous w.r.t. the
@@ -130,11 +223,14 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
                              long long now, long long stimulus,
                              const std::string& producer) -> void {
     log_event(now, LogEvent::Kind::kEmission, net, value);
+    stats.emitted_events[net]++;
+    watermark = std::max(watermark, now);
     auto net_it = nets_.find(net);
     if (net_it == nets_.end() || net_it->second.consumers.empty()) {
       // External output: observed by the environment.
       stats.outputs.push_back(ObservedEmission{now, net, value, producer});
       stats.input_to_output_latency[net].push_back(now - stimulus);
+      reactions_since_output = 0;
       return;
     }
     for (const auto& [inst_name, port] : net_it->second.consumers) {
@@ -143,7 +239,25 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
         if (c.name != inst_name) continue;
         auto& target = c.running ? c.incoming : c.flags;
         TaskState::Flag& f = target[port];
-        if (f.present) stats.lost_events[net]++;  // 1-place buffer overwrite
+        if (f.present) {
+          // 1-place buffer overflow (§II-D): apply the net's policy.
+          stats.lost_events[net]++;
+          switch (overflow_for(net)) {
+            case OverflowPolicy::kOverwrite:
+              break;  // paper default: newest wins
+            case OverflowPolicy::kDropNew:
+              // Oldest wins: the arriving event is discarded.
+              log_event(now, LogEvent::Kind::kFault, "dropnew " + net, value);
+              continue;
+            case OverflowPolicy::kAbortWithDiagnostic: {
+              std::ostringstream os;
+              os << "buffer overflow on net " << net << " at t=" << now
+                 << ": event from " << producer << " found port " << port
+                 << " of task " << c.name << " already full";
+              throw AbortSim{false, os.str()};
+            }
+          }
+        }
         f.present = true;
         f.value = value;
         f.emit_time = now;
@@ -152,6 +266,7 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
         if (config_.hardware_instances.count(c.name) != 0) {
           run_hardware(ti, now);
         } else if (!c.running) {
+          if (!runnable[ti]) runnable_since[ti] = now;
           runnable[ti] = true;
         }
       }
@@ -173,7 +288,7 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
     t.flags.clear();
     long long unused_cycles = 0;
     const cfsm::Reaction reaction = t.react(snap, t.state, &unused_cycles);
-    stats.reactions_run++;
+    note_reaction(t.name, now);
     if (!reaction.fired) {
       stats.empty_reactions++;
       for (const auto& [port, flag] : frozen)
@@ -194,8 +309,9 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
     while (next_delivery < schedule.size() &&
            schedule[next_delivery].dtime <= now) {
       const Delivery& d = schedule[next_delivery++];
-      stats.overhead_cycles += d.polled ? config_.polling_routine_cycles
-                                        : config_.isr_overhead_cycles;
+      stats.overhead_cycles += (d.polled ? config_.polling_routine_cycles
+                                         : config_.isr_overhead_cycles) +
+                               d.spike;
       deliver_to_consumers(d.net, d.value, d.dtime, d.stimulus, "env");
       if (!d.polled && config_.isr_executed_events.count(d.net) != 0) {
         auto net_it = nets_.find(d.net);
@@ -241,17 +357,32 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
                       auto&& self) -> long long {
     TaskState& t = tasks_[static_cast<size_t>(idx)];
     runnable[static_cast<size_t>(idx)] = false;
+    runnable_since[static_cast<size_t>(idx)] = -1;
+
+    // Dispatch-order fault draws: stall first, then execution jitter.
+    if (faulty) {
+      auto stall = plan.stalls.find(t.name);
+      if (stall != plan.stalls.end() && stall->second.cycles > 0 &&
+          fault_rng.flip(stall->second.probability)) {
+        dispatch_cycles += stall->second.cycles;
+        stats.injected.stalls++;
+        log_event(start, LogEvent::Kind::kFault, "stall " + t.name,
+                  stall->second.cycles);
+      }
+    }
 
     // Freeze the snapshot (§IV-D): flags are read atomically at start; any
     // event arriving during execution goes to the incoming buffer.
     cfsm::Snapshot snap;
     long long stimulus = kInf;
+    long long enabled_at = kInf;  // earliest undetected event (deadlines)
     for (auto& [port, flag] : t.flags) {
       if (!flag.present) continue;
       snap.present[port] = true;
       const cfsm::Signal* in = t.instance->machine->find_input(port);
       if (in != nullptr && !in->is_pure()) snap.value[port] = flag.value;
       stimulus = std::min(stimulus, flag.stimulus_time);
+      enabled_at = std::min(enabled_at, flag.emit_time);
     }
     std::map<std::string, TaskState::Flag> frozen = t.flags;
     t.flags.clear();
@@ -260,8 +391,18 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
 
     long long cycles = 0;
     const cfsm::Reaction reaction = t.react(snap, t.state, &cycles);
-    stats.reactions_run++;
+    note_reaction(t.name, start);
     if (!reaction.fired) stats.empty_reactions++;
+    if (faulty && plan.exec_jitter > 0) {
+      const long long extra = std::llround(static_cast<double>(cycles) *
+                                           plan.exec_jitter *
+                                           fault_rng.uniform01());
+      if (extra > 0) {
+        cycles += extra;
+        stats.injected.jittered++;
+        log_event(start, LogEvent::Kind::kFault, "jitter " + t.name, extra);
+      }
+    }
     stats.busy_cycles += cycles;
     stats.overhead_cycles += dispatch_cycles;
 
@@ -296,6 +437,7 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
         }
       }
     }
+    watermark = std::max(watermark, now);
 
     // Completion: apply effects atomically (the reaction delay has elapsed).
     t.state = reaction.next_state;
@@ -306,18 +448,67 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
       for (const auto& [port, flag] : frozen)
         if (flag.present) t.flags[port] = flag;
     }
-    // Merge buffered arrivals.
+    // Merge buffered arrivals, under the same per-net overflow policy as
+    // delivery: a preserved event and a buffered arrival contend for the
+    // same 1-place buffer.
     bool any_incoming = false;
     for (auto& [port, flag] : t.incoming) {
       if (!flag.present) continue;
-      any_incoming = true;
+      const std::string& net = t.instance->net_of(port);
       TaskState::Flag& f = t.flags[port];
-      if (f.present) stats.lost_events[t.instance->net_of(port)]++;
+      if (f.present) {
+        stats.lost_events[net]++;
+        switch (overflow_for(net)) {
+          case OverflowPolicy::kOverwrite:
+            break;
+          case OverflowPolicy::kDropNew:
+            log_event(now, LogEvent::Kind::kFault, "dropnew " + net,
+                      flag.value);
+            continue;
+          case OverflowPolicy::kAbortWithDiagnostic: {
+            std::ostringstream os;
+            os << "buffer overflow on net " << net << " at t=" << now
+               << ": arrival buffered during the reaction of task " << t.name
+               << " collided with its preserved event on port " << port;
+            throw AbortSim{false, os.str()};
+          }
+        }
+      }
+      any_incoming = true;
       f = flag;
     }
     t.incoming.clear();
     t.running = false;
-    if (any_incoming) runnable[static_cast<size_t>(idx)] = true;
+    if (any_incoming) {
+      if (!runnable[static_cast<size_t>(idx)])
+        runnable_since[static_cast<size_t>(idx)] = now;
+      runnable[static_cast<size_t>(idx)] = true;
+    }
+
+    // Deadline monitor: response time is measured from the earliest event
+    // that enabled this activation to its completion.
+    auto monitor = config_.deadline_monitors.find(t.name);
+    if (monitor != config_.deadline_monitors.end() &&
+        monitor->second.deadline_cycles > 0 && enabled_at != kInf &&
+        now - enabled_at > monitor->second.deadline_cycles) {
+      stats.deadline_misses[t.name]++;
+      log_event(now, LogEvent::Kind::kDeadlineMiss, t.name, now - enabled_at);
+      switch (monitor->second.action) {
+        case DeadlineMonitor::MissAction::kCount:
+          break;
+        case DeadlineMonitor::MissAction::kFlushRestart:
+          // Shed load: drop every pending input and restart the task.
+          t.flags.clear();
+          t.incoming.clear();
+          t.state = t.instance->machine->initial_state();
+          runnable[static_cast<size_t>(idx)] = false;
+          runnable_since[static_cast<size_t>(idx)] = -1;
+          break;
+        case DeadlineMonitor::MissAction::kDemote:
+          t.priority += monitor->second.demote_by;
+          break;
+      }
+    }
 
     log_event(now, LogEvent::Kind::kTaskEnd, t.name, 0);
     // Emissions propagate at completion time.
@@ -342,32 +533,55 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
       }
       break;
     }
+    check_starvation(now);
     return now;
   };
 
   // --- Main loop ----------------------------------------------------------------
   long long now = 0;
-  while (now <= horizon) {
-    deliver_due(now);
-    while (!isr_ready.empty()) {  // §IV-C immediate attention (idle CPU)
-      const int h = isr_ready.back();
-      isr_ready.pop_back();
-      if (runnable[static_cast<size_t>(h)] &&
-          enabled(tasks_[static_cast<size_t>(h)]))
-        now = run_task(h, now, config_.context_switch_cycles, run_task);
+  try {
+    while (now <= horizon) {
+      deliver_due(now);
+      check_starvation(now);
+      while (!isr_ready.empty()) {  // §IV-C immediate attention (idle CPU)
+        const int h = isr_ready.back();
+        isr_ready.pop_back();
+        if (runnable[static_cast<size_t>(h)] &&
+            enabled(tasks_[static_cast<size_t>(h)]))
+          now = run_task(h, now, config_.context_switch_cycles, run_task);
+      }
+      const int idx = pick_next();
+      if (idx >= 0) {
+        now = run_task(idx, now, config_.context_switch_cycles, run_task);
+        continue;
+      }
+      if (next_delivery < schedule.size()) {
+        now = schedule[next_delivery].dtime;
+        continue;
+      }
+      break;
     }
-    const int idx = pick_next();
-    if (idx >= 0) {
-      now = run_task(idx, now, config_.context_switch_cycles, run_task);
-      continue;
+  } catch (const AbortSim& abort) {
+    stats.aborted = true;
+    stats.watchdog_fired = abort.watchdog;
+    stats.diagnostic = abort.diagnostic;
+    if (config_.collect_log && !stats.log.empty()) {
+      // Append the tail of the event log as the diagnostic trace.
+      std::ostringstream os;
+      os << stats.diagnostic << "\n  trace tail:";
+      const size_t first = stats.log.size() > 8 ? stats.log.size() - 8 : 0;
+      for (size_t i = first; i < stats.log.size(); ++i) {
+        const LogEvent& e = stats.log[i];
+        static const char* const kind_names[] = {
+            "start", "end", "emit", "deliver", "fault", "deadline-miss"};
+        os << "\n    t=" << e.time << " "
+           << kind_names[static_cast<int>(e.kind)] << " " << e.subject << " "
+           << e.value;
+      }
+      stats.diagnostic = os.str();
     }
-    if (next_delivery < schedule.size()) {
-      now = schedule[next_delivery].dtime;
-      continue;
-    }
-    break;
   }
-  stats.end_time = now;
+  stats.end_time = std::max(now, watermark);
   return stats;
 }
 

@@ -26,6 +26,7 @@
 
 #include "cfsm/cfsm.hpp"
 #include "cfsm/network.hpp"
+#include "rtos/fault.hpp"
 
 namespace polis::rtos {
 
@@ -71,11 +72,29 @@ struct RtosConfig {
   /// never occupy the processor or the scheduler.
   std::set<std::string> hardware_instances;
   long long hw_reaction_cycles = 1;
+
+  /// Robustness layer (all defaults preserve the paper's exact semantics).
+  /// Seeded fault injection; a plan with `empty() == true` is a no-op.
+  FaultPlan faults;
+  /// 1-place buffer overflow policy: per-net override, else the default.
+  OverflowPolicy overflow_default = OverflowPolicy::kOverwrite;
+  std::map<std::string, OverflowPolicy> overflow_by_net;
+  /// Per-task deadline monitors, by instance name.
+  std::map<std::string, DeadlineMonitor> deadline_monitors;
+  /// Livelock/starvation watchdog; disabled by default.
+  WatchdogConfig watchdog;
 };
 
 /// One entry of the simulation event log.
 struct LogEvent {
-  enum class Kind { kTaskStart, kTaskEnd, kEmission, kDelivery };
+  enum class Kind {
+    kTaskStart,
+    kTaskEnd,
+    kEmission,
+    kDelivery,
+    kFault,         // an injected perturbation ("drop net", "stall task", …)
+    kDeadlineMiss,  // subject = task, value = observed response time
+  };
   long long time = 0;
   Kind kind = Kind::kEmission;
   std::string subject;      // task name or net name
@@ -109,11 +128,18 @@ struct SimStats {
   long long reactions_run = 0;
   long long empty_reactions = 0;      // executed but no rule fired
   std::map<std::string, long long> lost_events;   // net -> overwritten count
+  std::map<std::string, long long> emitted_events;  // net -> emission count
   std::vector<ObservedEmission> outputs;          // external outputs
   std::vector<LogEvent> log;                      // when collect_log is set
   /// Latency samples per external-output net: time from the environment
   /// stimulus that triggered the causal chain to the output emission.
   std::map<std::string, std::vector<long long>> input_to_output_latency;
+  /// Robustness layer outcomes.
+  FaultCounts injected;                           // perturbations applied
+  std::map<std::string, long long> deadline_misses;  // task -> miss count
+  bool aborted = false;         // a policy or the watchdog ended the run
+  bool watchdog_fired = false;  // the abort came from the watchdog
+  std::string diagnostic;       // why, naming the offending net/task + time
   double utilization() const {
     return end_time > 0
                ? static_cast<double>(busy_cycles + overhead_cycles) /

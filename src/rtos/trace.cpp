@@ -43,6 +43,29 @@ std::vector<ExternalEvent> poisson_trace(const std::string& net,
   return out;
 }
 
+std::vector<ExternalEvent> burst_trace(const std::string& net,
+                                       long long period, int burst,
+                                       long long gap, long long until,
+                                       int value_domain, Rng* rng) {
+  POLIS_CHECK(period > 0);
+  POLIS_CHECK(burst > 0);
+  POLIS_CHECK(gap >= 0);
+  std::vector<ExternalEvent> out;
+  for (long long start = 0; start <= until; start += period) {
+    for (int k = 0; k < burst; ++k) {
+      ExternalEvent e;
+      e.time = start + k * gap;
+      if (e.time > until) break;
+      e.net = net;
+      e.value = value_domain > 1 && rng != nullptr
+                    ? rng->uniform(0, value_domain - 1)
+                    : 0;
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
 std::vector<ExternalEvent> merge_traces(
     std::vector<std::vector<ExternalEvent>> traces) {
   std::vector<ExternalEvent> out;

@@ -26,6 +26,17 @@ std::vector<ExternalEvent> poisson_trace(const std::string& net,
                                          double mean_gap, long long until,
                                          Rng& rng, int value_domain = 1);
 
+/// Bursty source: every `period` cycles, `burst` events arrive spaced `gap`
+/// cycles apart. Back-to-back arrivals (gap smaller than the consumer's
+/// reaction time) are the canonical way to provoke the §II-D one-place
+/// buffer overwrite, so this is the workhorse stimulus for robustness
+/// sweeps and lost-event tests.
+std::vector<ExternalEvent> burst_trace(const std::string& net,
+                                       long long period, int burst,
+                                       long long gap, long long until,
+                                       int value_domain = 1,
+                                       Rng* rng = nullptr);
+
 /// Merges traces into one time-sorted stream.
 std::vector<ExternalEvent> merge_traces(
     std::vector<std::vector<ExternalEvent>> traces);

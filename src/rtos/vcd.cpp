@@ -38,6 +38,8 @@ void write_vcd(const cfsm::Network& network, const SimStats& stats,
     net_pulse[name] = vcd_id(next++);
     if (net.domain > 1) net_value[name] = vcd_id(next++);
   }
+  const std::string fault_wire = vcd_id(next++);
+  const std::string miss_wire = vcd_id(next++);
 
   os << "$date polis-repro simulation $end\n"
      << "$version polis-repro rtos simulator $end\n"
@@ -51,12 +53,16 @@ void write_vcd(const cfsm::Network& network, const SimStats& stats,
   for (const auto& [net, id] : net_value)
     os << "$var integer 32 " << id << " " << c_identifier(net)
        << "_value $end\n";
-  os << "$upscope $end\n$enddefinitions $end\n";
+  os << "$upscope $end\n$scope module robustness $end\n"
+     << "$var wire 1 " << fault_wire << " fault $end\n"
+     << "$var wire 1 " << miss_wire << " deadline_miss $end\n"
+     << "$upscope $end\n$enddefinitions $end\n";
 
   os << "$dumpvars\n";
   for (const auto& [task, id] : task_wire) os << "0" << id << "\n";
   for (const auto& [net, id] : net_pulse) os << "0" << id << "\n";
   for (const auto& [net, id] : net_value) os << "b0 " << id << "\n";
+  os << "0" << fault_wire << "\n0" << miss_wire << "\n";
   os << "$end\n";
 
   // The log is time-ordered by construction; emission pulses are dropped
@@ -93,6 +99,14 @@ void write_vcd(const cfsm::Network& network, const SimStats& stats,
       }
       case LogEvent::Kind::kDelivery:
         break;  // deliveries mirror emissions; omitted from the waveform
+      case LogEvent::Kind::kFault:
+        changes.push_back({e.time, "1" + fault_wire});
+        changes.push_back({e.time + 1, "0" + fault_wire});
+        break;
+      case LogEvent::Kind::kDeadlineMiss:
+        changes.push_back({e.time, "1" + miss_wire});
+        changes.push_back({e.time + 1, "0" + miss_wire});
+        break;
     }
   }
   std::stable_sort(changes.begin(), changes.end(),

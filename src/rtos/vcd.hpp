@@ -4,7 +4,9 @@
 //
 //   * one 1-bit wire per task — high while the task's reaction runs;
 //   * one 1-bit event wire per net — pulses at each emission;
-//   * one integer register per net — the last emitted value.
+//   * one integer register per net — the last emitted value;
+//   * a "robustness" scope with 1-bit `fault` / `deadline_miss` wires that
+//     pulse at each injected fault and deadline-monitor miss.
 //
 // Requires a SimStats produced with RtosConfig::collect_log = true.
 #pragma once

@@ -55,6 +55,18 @@ bool edf_test(const std::vector<Task>& tasks) {
   return density <= 1.0;
 }
 
+std::vector<Task> inflate_for_faults(
+    std::vector<Task> tasks, double exec_jitter,
+    const std::map<std::string, long long>& stall_cycles) {
+  for (Task& t : tasks) {
+    if (exec_jitter > 0) t.wcet *= 1.0 + exec_jitter;
+    auto stall = stall_cycles.find(t.name);
+    if (stall != stall_cycles.end() && stall->second > 0)
+      t.wcet += static_cast<double>(stall->second);
+  }
+  return tasks;
+}
+
 std::vector<Task> rate_monotonic_order(std::vector<Task> tasks) {
   std::stable_sort(tasks.begin(), tasks.end(),
                    [](const Task& a, const Task& b) {

@@ -5,6 +5,7 @@
 // RTOS generator choose one (§IV-A).
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -38,6 +39,16 @@ std::optional<std::vector<double>> response_times(
 /// Necessary-and-sufficient EDF test for deadline==period task sets (U ≤ 1);
 /// density test (sufficient) when deadlines are constrained.
 bool edf_test(const std::vector<Task>& tasks);
+
+/// Degraded-mode schedulability: the task set as the fault-injection layer
+/// sees it. Execution jitter inflates every WCET by its bounded factor
+/// (C_i *= 1 + j, matching rtos::FaultPlan::exec_jitter's worst draw) and a
+/// designated stall adds its cycles to that task's WCET (the stall burns
+/// CPU at dispatch). Feeding the result to the tests above answers "does
+/// the policy still meet its deadlines at this fault magnitude" statically.
+std::vector<Task> inflate_for_faults(
+    std::vector<Task> tasks, double exec_jitter,
+    const std::map<std::string, long long>& stall_cycles = {});
 
 /// Orders tasks rate-monotonically (shorter period = higher priority).
 std::vector<Task> rate_monotonic_order(std::vector<Task> tasks);

@@ -21,54 +21,78 @@ RunResult run(const CompiledReaction& reaction, const TargetProfile& profile,
   size_t pc = 0;
   const size_t guard = prog.code.size() * 64 + 1024;  // runaway protection
   size_t steps = 0;
+
+  // Corrupt or hand-altered bytecode must trap, not scribble: every index an
+  // instruction carries is validated before use, with the offending pc and
+  // operand in the diagnostic.
+  auto regi = [&](int idx) -> std::int64_t& {
+    POLIS_CHECK_MSG(idx >= 0 && idx < 64,
+                    "pc " << pc << ": register r" << idx
+                          << " out of range [0, 64)");
+    return reg[idx];
+  };
+  auto slot = [&](int idx) -> std::int64_t& {
+    POLIS_CHECK_MSG(idx >= 0 && static_cast<size_t>(idx) < mem.size(),
+                    "pc " << pc << ": memory slot " << idx
+                          << " out of range [0, " << mem.size() << ")");
+    return mem[static_cast<size_t>(idx)];
+  };
+  auto jump_to = [&](std::int64_t target) {
+    POLIS_CHECK_MSG(
+        target >= 0 && static_cast<size_t>(target) < prog.code.size(),
+        "pc " << pc << ": jump target " << target << " out of range [0, "
+              << prog.code.size() << ")");
+    pc = static_cast<size_t>(target);
+  };
+
   while (pc < prog.code.size()) {
     POLIS_CHECK_MSG(++steps < guard, "VM runaway (bad control flow?)");
     const Instr& i = prog.code[pc];
     out.instructions++;
     switch (i.op) {
       case Opcode::kLdi:
-        reg[i.a] = i.imm;
+        regi(i.a) = i.imm;
         out.cycles += profile.cyc_ldi;
         ++pc;
         break;
       case Opcode::kLd:
-        reg[i.a] = mem[static_cast<size_t>(i.b)];
+        regi(i.a) = slot(i.b);
         out.cycles += profile.cyc_ld;
         ++pc;
         break;
       case Opcode::kSt: {
-        std::int64_t v = reg[i.b];
+        std::int64_t v = regi(i.b);
         auto it = reaction.slot_wrap_domain.find(i.a);
         if (it != reaction.slot_wrap_domain.end())
           v = cfsm::wrap_to_domain(v, it->second);
-        mem[static_cast<size_t>(i.a)] = v;
+        slot(i.a) = v;
         out.cycles += profile.cyc_st;
         ++pc;
         break;
       }
       case Opcode::kMov:
-        reg[i.a] = reg[i.b];
+        regi(i.a) = regi(i.b);
         out.cycles += profile.cyc_mov;
         ++pc;
         break;
       case Opcode::kAlu:
-        reg[i.a] = expr::apply_op(i.alu, reg[i.b], reg[i.c]);
+        regi(i.a) = expr::apply_op(i.alu, regi(i.b), regi(i.c));
         out.cycles += profile.alu_cycles(i.alu);
         ++pc;
         break;
       case Opcode::kBrz:
-        if (reg[i.a] == 0) {
+        if (regi(i.a) == 0) {
           out.cycles += profile.cyc_branch_taken;
-          pc = static_cast<size_t>(i.b);
+          jump_to(i.b);
         } else {
           out.cycles += profile.cyc_branch_fall;
           ++pc;
         }
         break;
       case Opcode::kBrnz:
-        if (reg[i.a] != 0) {
+        if (regi(i.a) != 0) {
           out.cycles += profile.cyc_branch_taken;
-          pc = static_cast<size_t>(i.b);
+          jump_to(i.b);
         } else {
           out.cycles += profile.cyc_branch_fall;
           ++pc;
@@ -76,14 +100,14 @@ RunResult run(const CompiledReaction& reaction, const TargetProfile& profile,
         break;
       case Opcode::kJmp:
         out.cycles += profile.cyc_jmp;
-        pc = static_cast<size_t>(i.b);
+        jump_to(i.b);
         break;
       case Opcode::kJmpInd:
         out.cycles += profile.cyc_jmpind;
-        pc = static_cast<size_t>(i.b + reg[i.a]);
+        jump_to(static_cast<std::int64_t>(i.b) + regi(i.a));
         break;
       case Opcode::kDetect:
-        reg[i.a] = present(i.sym) ? 1 : 0;
+        regi(i.a) = present(i.sym) ? 1 : 0;
         out.cycles += profile.cyc_detect;
         ++pc;
         break;
@@ -91,7 +115,7 @@ RunResult run(const CompiledReaction& reaction, const TargetProfile& profile,
         std::int64_t v = 0;
         out.cycles += profile.cyc_emit;
         if (i.b >= 0) {
-          v = reg[i.b];
+          v = regi(i.b);
           auto it = reaction.signal_domain.find(i.sym);
           if (it != reaction.signal_domain.end())
             v = cfsm::wrap_to_domain(v, it->second);
@@ -109,8 +133,7 @@ RunResult run(const CompiledReaction& reaction, const TargetProfile& profile,
       case Opcode::kEnter:
         out.cycles += profile.cyc_enter +
                       static_cast<long long>(i.a) * profile.cyc_enter_per_copy;
-        for (const auto& [from, to] : reaction.copy_in)
-          mem[static_cast<size_t>(to)] = mem[static_cast<size_t>(from)];
+        for (const auto& [from, to] : reaction.copy_in) slot(to) = slot(from);
         ++pc;
         break;
       case Opcode::kRet:

@@ -10,6 +10,8 @@
 #include "sgraph/build.hpp"
 #include "util/rng.hpp"
 #include "cfsm/random.hpp"
+#include "vm/compile.hpp"
+#include "vm/machine.hpp"
 
 namespace polis::codegen {
 namespace {
@@ -123,6 +125,88 @@ TEST(CCodegen, EmittedCMatchesReferenceEndToEnd) {
         ++checked;
       });
   EXPECT_EQ(checked, 32);
+}
+
+// Division and modulo by zero are total in the reference semantics
+// (expr::apply_op defines x/0 == x%0 == 0). The VM inherits that through
+// apply_op; the emitted C must carry an explicit guard so all three
+// backends agree on every concrete case, including zero divisors.
+TEST(CCodegen, DivModByZeroAgreesAcrossBackends) {
+  const cfsm::Cfsm m(
+      "ratio", {{"a", 3}, {"b", 3}}, {{"y", 3}}, {{"s", 3, 0}},
+      {cfsm::Rule{
+          expr::land(cfsm::presence("a"), cfsm::presence("b")),
+          {cfsm::Emit{"y",
+                      expr::div(cfsm::value_of("a"), cfsm::value_of("b"))}},
+          {cfsm::Assign{"s",
+                        expr::mod(cfsm::value_of("a"), cfsm::value_of("b"))}}}});
+  bdd::BddManager mgr;
+  const sgraph::Sgraph g = build(m, mgr);
+  const vm::CompiledReaction cr = vm::compile(g, vm::SymbolInfo::from(m));
+
+  // The emitted C carries the guard, not a raw division.
+  const std::string c = generate_standalone_c(g, m);
+  EXPECT_NE(c.find("== 0 ? 0 :"), std::string::npos);
+
+  const bool have_cc = std::system("cc --version > /dev/null 2>&1") == 0;
+  const std::string bin = ::testing::TempDir() + "/polis_ratio";
+  if (have_cc) {
+    const std::string src = bin + ".c";
+    std::ofstream out(src);
+    out << c;
+    out.close();
+    ASSERT_EQ(std::system(("cc -O1 -o " + bin + " " + src).c_str()), 0)
+        << "generated C failed to compile";
+  }
+
+  int zero_divisor_cases = 0;
+  const bool complete = cfsm::enumerate_concrete_space(
+      m, 4096,
+      [&](const cfsm::Snapshot& snap,
+          const std::map<std::string, std::int64_t>& st) {
+        const cfsm::Reaction ref = m.react(snap, st);
+        // Interpreter vs VM.
+        const cfsm::Reaction got =
+            vm::run_reaction(cr, vm::hc11_like(), m, snap, st);
+        EXPECT_EQ(ref.fired, got.fired);
+        EXPECT_EQ(ref.emissions, got.emissions);
+        EXPECT_EQ(ref.next_state, got.next_state);
+        const bool zero_div = snap.is_present("a") && snap.is_present("b") &&
+                              snap.value_of("b") == 0;
+        if (zero_div) {
+          ++zero_divisor_cases;
+          if (ref.fired) {
+            ASSERT_EQ(ref.emissions.size(), 1u);
+            EXPECT_EQ(ref.emissions[0].second, 0);  // x/0 == 0
+            EXPECT_EQ(ref.next_state.at("s"), 0);   // x%0 == 0
+          }
+        }
+        if (!have_cc) return;
+        // Interpreter vs generated C run by the host toolchain.
+        // argv: presence(a), presence(b), v_a, v_b, s.
+        std::ostringstream cmd;
+        cmd << bin << " " << (snap.is_present("a") ? 1 : 0) << " "
+            << (snap.is_present("b") ? 1 : 0) << " " << snap.value_of("a")
+            << " " << snap.value_of("b") << " " << st.at("s");
+        FILE* pipe = popen(cmd.str().c_str(), "r");
+        ASSERT_NE(pipe, nullptr);
+        std::string output;
+        char buf[256];
+        while (fgets(buf, sizeof buf, pipe) != nullptr) output += buf;
+        pclose(pipe);
+        if (ref.fired) {
+          const std::string emit =
+              "emit y " + std::to_string(ref.emissions[0].second);
+          EXPECT_NE(output.find(emit), std::string::npos)
+              << cmd.str() << "\n" << output;
+        }
+        const std::string state =
+            "state s " + std::to_string(ref.next_state.at("s"));
+        EXPECT_NE(output.find(state), std::string::npos)
+            << cmd.str() << "\n" << output;
+      });
+  ASSERT_TRUE(complete);
+  EXPECT_GT(zero_divisor_cases, 0);
 }
 
 TEST(CCodegen, RandomMachineCCompiles) {

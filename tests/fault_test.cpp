@@ -1,0 +1,515 @@
+// The robustness layer: seeded fault injection, degradation policies
+// (overflow / deadline / watchdog), the fault-space sweep, and the latency
+// cross-check against the estimator's PERT bound.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cfsm/cfsm.hpp"
+#include "cfsm/network.hpp"
+#include "core/synthesis.hpp"
+#include "estim/estimate.hpp"
+#include "rtos/robust.hpp"
+#include "rtos/rtos.hpp"
+#include "rtos/tasks.hpp"
+#include "rtos/trace.hpp"
+#include "rtos/vcd.hpp"
+#include "sched/sched.hpp"
+
+namespace polis::rtos {
+namespace {
+
+// Relay: forwards input event `i` to output `o` (pure).
+std::shared_ptr<cfsm::Cfsm> relay(const std::string& name) {
+  return std::make_shared<cfsm::Cfsm>(
+      name, std::vector<cfsm::Signal>{{"i", 1}},
+      std::vector<cfsm::Signal>{{"o", 1}}, std::vector<cfsm::StateVar>{},
+      std::vector<cfsm::Rule>{
+          cfsm::Rule{cfsm::presence("i"), {cfsm::Emit{"o", nullptr}}, {}}});
+}
+
+// Valued relay: forwards value(i) to o, so overwrite-vs-dropnew is visible.
+std::shared_ptr<cfsm::Cfsm> valued_relay(const std::string& name) {
+  return std::make_shared<cfsm::Cfsm>(
+      name, std::vector<cfsm::Signal>{{"i", 8}},
+      std::vector<cfsm::Signal>{{"o", 8}}, std::vector<cfsm::StateVar>{},
+      std::vector<cfsm::Rule>{cfsm::Rule{
+          cfsm::presence("i"), {cfsm::Emit{"o", cfsm::value_of("i")}}, {}}});
+}
+
+// Counter: emits its state value and increments it, so a state reset by
+// kFlushRestart is observable in the output stream.
+std::shared_ptr<cfsm::Cfsm> counter(const std::string& name) {
+  return std::make_shared<cfsm::Cfsm>(
+      name, std::vector<cfsm::Signal>{{"i", 1}},
+      std::vector<cfsm::Signal>{{"o", 8}},
+      std::vector<cfsm::StateVar>{{"c", 8, 0}},
+      std::vector<cfsm::Rule>{cfsm::Rule{
+          cfsm::presence("i"),
+          {cfsm::Emit{"o", expr::var("c")}},
+          {cfsm::Assign{"c", expr::add(expr::var("c"), expr::constant(1))}}}});
+}
+
+std::string serialize(const std::vector<LogEvent>& log) {
+  std::ostringstream os;
+  for (const LogEvent& e : log)
+    os << e.time << ' ' << static_cast<int>(e.kind) << ' ' << e.subject << ' '
+       << e.value << '\n';
+  return os.str();
+}
+
+// --- Fault injection ---------------------------------------------------------
+
+TEST(Faults, EmptyPlanIsPaperExact) {
+  cfsm::Network net("n");
+  net.add_instance("r", relay("relay"), {{"i", "in"}, {"o", "out"}});
+  RtosConfig config;
+  config.collect_log = true;
+  EXPECT_TRUE(config.faults.empty());
+
+  RtosSimulation sim(net, config);
+  sim.set_reference_task("r", 100);
+  const SimStats stats = sim.run({{0, "in", 0}, {5000, "in", 0}});
+  EXPECT_EQ(stats.injected.total(), 0);
+  EXPECT_EQ(stats.outputs.size(), 2u);
+  EXPECT_FALSE(stats.aborted);
+  for (const LogEvent& e : stats.log)
+    EXPECT_NE(e.kind, LogEvent::Kind::kFault);
+}
+
+TEST(Faults, SameSeedReplaysByteIdentically) {
+  cfsm::Network net("n");
+  net.add_instance("r", valued_relay("relay"), {{"i", "in"}, {"o", "out"}});
+  RtosConfig config;
+  config.collect_log = true;
+  config.faults.seed = 42;
+  config.faults.drop_probability = 0.2;
+  config.faults.delay_probability = 0.3;
+  config.faults.max_delay = 400;
+  config.faults.duplicate_probability = 0.2;
+  config.faults.duplicate_gap = 700;
+  config.faults.spike_probability = 0.3;
+  config.faults.spike_cycles = 60;
+  config.faults.exec_jitter = 0.25;
+  config.faults.stalls["r"] = StallFault{0.5, 300};
+
+  const auto events = burst_trace("in", 2000, 3, 50, 40'000, 8, nullptr);
+  auto one = [&]() {
+    RtosSimulation sim(net, config);
+    sim.set_reference_task("r", 100);
+    return sim.run(events);
+  };
+  const SimStats a = one();
+  const SimStats b = one();
+  EXPECT_GT(a.injected.total(), 0);
+  EXPECT_EQ(serialize(a.log), serialize(b.log));
+  EXPECT_EQ(a.injected.total(), b.injected.total());
+  EXPECT_EQ(a.end_time, b.end_time);
+
+  // A different seed perturbs differently.
+  config.faults.seed = 43;
+  const SimStats c = one();
+  EXPECT_NE(serialize(a.log), serialize(c.log));
+}
+
+TEST(Faults, DropsSuppressDeliveries) {
+  cfsm::Network net("n");
+  net.add_instance("r", relay("relay"), {{"i", "in"}, {"o", "out"}});
+  RtosConfig config;
+  config.faults.drop_probability = 1.0;
+  RtosSimulation sim(net, config);
+  sim.set_reference_task("r", 100);
+  const SimStats stats = sim.run({{0, "in", 0}, {5000, "in", 0}});
+  EXPECT_EQ(stats.outputs.size(), 0u);
+  EXPECT_EQ(stats.injected.drops, 2);
+}
+
+TEST(Faults, DuplicatesAddDeliveries) {
+  cfsm::Network net("n");
+  net.add_instance("r", relay("relay"), {{"i", "in"}, {"o", "out"}});
+  RtosConfig config;
+  config.faults.duplicate_probability = 1.0;
+  config.faults.duplicate_gap = 5000;  // wide enough to avoid overwrite
+  RtosSimulation sim(net, config);
+  sim.set_reference_task("r", 100);
+  const SimStats stats = sim.run({{0, "in", 0}, {20'000, "in", 0}});
+  EXPECT_EQ(stats.outputs.size(), 4u);
+  EXPECT_EQ(stats.injected.duplicates, 2);
+}
+
+TEST(Faults, DelaysAndSpikesPostponeDelivery) {
+  cfsm::Network net("n");
+  net.add_instance("r", relay("relay"), {{"i", "in"}, {"o", "out"}});
+  auto latency = [&](const FaultPlan& plan) {
+    RtosConfig config;
+    config.faults = plan;
+    RtosSimulation sim(net, config);
+    sim.set_reference_task("r", 100);
+    return sim.run({{0, "in", 0}}).input_to_output_latency.at("out")[0];
+  };
+  const long long nominal = latency(FaultPlan{});
+
+  FaultPlan delayed;
+  delayed.delay_probability = 1.0;
+  delayed.max_delay = 100;
+  EXPECT_GT(latency(delayed), nominal);
+
+  FaultPlan spiked;
+  spiked.spike_probability = 1.0;
+  spiked.spike_cycles = 500;
+  EXPECT_GE(latency(spiked), nominal + 500);
+}
+
+TEST(Faults, JitterAndStallsBurnCycles) {
+  cfsm::Network net("n");
+  net.add_instance("r", relay("relay"), {{"i", "in"}, {"o", "out"}});
+  const std::vector<ExternalEvent> events = {
+      {0, "in", 0}, {10'000, "in", 0}, {20'000, "in", 0}};
+  auto run_with = [&](const FaultPlan& plan) {
+    RtosConfig config;
+    config.faults = plan;
+    RtosSimulation sim(net, config);
+    sim.set_reference_task("r", 1000);
+    return sim.run(events);
+  };
+  const SimStats nominal = run_with(FaultPlan{});
+
+  FaultPlan jittery;
+  jittery.seed = 5;
+  jittery.exec_jitter = 0.5;
+  const SimStats jittered = run_with(jittery);
+  EXPECT_GT(jittered.busy_cycles, nominal.busy_cycles);
+  EXPECT_GT(jittered.injected.jittered, 0);
+
+  FaultPlan stalling;
+  stalling.stalls["r"] = StallFault{1.0, 2000};
+  const SimStats stalled = run_with(stalling);
+  EXPECT_EQ(stalled.injected.stalls, 3);
+  EXPECT_GE(stalled.overhead_cycles, nominal.overhead_cycles + 3 * 2000);
+  EXPECT_GE(stalled.input_to_output_latency.at("out")[0],
+            nominal.input_to_output_latency.at("out")[0] + 2000);
+}
+
+TEST(Faults, FaultPulsesAppearInVcd) {
+  cfsm::Network net("n");
+  net.add_instance("r", relay("relay"), {{"i", "in"}, {"o", "out"}});
+  RtosConfig config;
+  config.collect_log = true;
+  config.faults.drop_probability = 1.0;
+  RtosSimulation sim(net, config);
+  sim.set_reference_task("r", 100);
+  const SimStats stats = sim.run({{10, "in", 0}});
+  std::ostringstream os;
+  write_vcd(net, stats, os);
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("$scope module robustness $end"), std::string::npos);
+  EXPECT_NE(vcd.find(" fault $end"), std::string::npos);
+  EXPECT_NE(vcd.find(" deadline_miss $end"), std::string::npos);
+}
+
+// --- Overflow policies -------------------------------------------------------
+
+// Two stimuli land in the same 1-place buffer while a long reaction of a
+// higher-priority task holds the CPU; the surviving value tells the policy.
+SimStats contended_run(OverflowPolicy policy) {
+  cfsm::Network net("n");
+  net.add_instance("busy", relay("rb"), {{"i", "trigger"}, {"o", "sink"}});
+  net.add_instance("u", valued_relay("rv"), {{"i", "in"}, {"o", "out"}});
+  RtosConfig config;
+  config.policy = RtosConfig::Policy::kStaticPriority;
+  config.priority = {{"busy", 1}, {"u", 2}};
+  config.overflow_by_net["in"] = policy;
+  RtosSimulation sim(net, config);
+  sim.set_reference_task("busy", 10'000);
+  sim.set_reference_task("u", 100);
+  return sim.run({{0, "trigger", 0}, {100, "in", 1}, {200, "in", 2}});
+}
+
+TEST(Overflow, OverwriteKeepsNewest) {
+  const SimStats stats = contended_run(OverflowPolicy::kOverwrite);
+  EXPECT_EQ(stats.lost_events.at("in"), 1);
+  ASSERT_EQ(stats.outputs.size(), 2u);  // sink + one out
+  EXPECT_EQ(stats.outputs.back().net, "out");
+  EXPECT_EQ(stats.outputs.back().value, 2);  // newest won
+  EXPECT_FALSE(stats.aborted);
+}
+
+TEST(Overflow, DropNewKeepsOldest) {
+  const SimStats stats = contended_run(OverflowPolicy::kDropNew);
+  EXPECT_EQ(stats.lost_events.at("in"), 1);
+  ASSERT_EQ(stats.outputs.size(), 2u);
+  EXPECT_EQ(stats.outputs.back().value, 1);  // oldest survived
+  EXPECT_FALSE(stats.aborted);
+}
+
+TEST(Overflow, AbortTerminatesWithDiagnostic) {
+  const SimStats stats = contended_run(OverflowPolicy::kAbortWithDiagnostic);
+  EXPECT_TRUE(stats.aborted);
+  EXPECT_FALSE(stats.watchdog_fired);
+  EXPECT_NE(stats.diagnostic.find("buffer overflow"), std::string::npos);
+  EXPECT_NE(stats.diagnostic.find("in"), std::string::npos);
+}
+
+// --- Deadline monitors -------------------------------------------------------
+
+TEST(Deadlines, CountRecordsMissesWithoutIntervening) {
+  cfsm::Network net("n");
+  net.add_instance("r", relay("relay"), {{"i", "in"}, {"o", "out"}});
+  RtosConfig config;
+  DeadlineMonitor monitor;
+  monitor.deadline_cycles = 500;  // reaction alone takes 1000
+  config.deadline_monitors["r"] = monitor;
+  RtosSimulation sim(net, config);
+  sim.set_reference_task("r", 1000);
+  const SimStats stats = sim.run({{0, "in", 0}, {10'000, "in", 0}});
+  EXPECT_EQ(stats.deadline_misses.at("r"), 2);
+  EXPECT_EQ(stats.outputs.size(), 2u);  // kCount never drops work
+  EXPECT_FALSE(stats.aborted);
+}
+
+TEST(Deadlines, FlushRestartResetsTaskState) {
+  cfsm::Network net("n");
+  net.add_instance("c", counter("cnt"), {{"i", "in"}, {"o", "out"}});
+  const std::vector<ExternalEvent> events = {
+      {0, "in", 0}, {10'000, "in", 0}, {20'000, "in", 0}};
+  auto values_with = [&](bool monitored) {
+    RtosConfig config;
+    if (monitored) {
+      DeadlineMonitor monitor;
+      monitor.deadline_cycles = 1;  // every reaction misses
+      monitor.action = DeadlineMonitor::MissAction::kFlushRestart;
+      config.deadline_monitors["c"] = monitor;
+    }
+    RtosSimulation sim(net, config);
+    sim.set_reference_task("c", 100);
+    std::vector<std::int64_t> values;
+    for (const ObservedEmission& e : sim.run(events).outputs)
+      values.push_back(e.value);
+    return values;
+  };
+  EXPECT_EQ(values_with(false), (std::vector<std::int64_t>{0, 1, 2}));
+  // Every miss resets the counter to its initial state.
+  EXPECT_EQ(values_with(true), (std::vector<std::int64_t>{0, 0, 0}));
+}
+
+TEST(Deadlines, DemoteReordersSubsequentScheduling) {
+  cfsm::Network net("n");
+  net.add_instance("a", relay("ra"), {{"i", "ia"}, {"o", "oa"}});
+  net.add_instance("b", relay("rb"), {{"i", "ib"}, {"o", "ob"}});
+  RtosConfig config;
+  config.policy = RtosConfig::Policy::kStaticPriority;
+  config.priority = {{"a", 1}, {"b", 2}};
+  DeadlineMonitor monitor;
+  monitor.deadline_cycles = 1;  // always missed
+  monitor.action = DeadlineMonitor::MissAction::kDemote;
+  monitor.demote_by = 10;  // 1 -> 11: now below b
+  config.deadline_monitors["a"] = monitor;
+  RtosSimulation sim(net, config);
+  sim.set_reference_task("a", 100);
+  sim.set_reference_task("b", 100);
+  const SimStats stats = sim.run(
+      {{0, "ia", 0}, {0, "ib", 0}, {10'000, "ia", 0}, {10'000, "ib", 0}});
+  ASSERT_EQ(stats.outputs.size(), 4u);
+  // First wave: a (priority 1) before b; after the miss demotes a to 11,
+  // the second wave runs b first.
+  EXPECT_EQ(stats.outputs[0].net, "oa");
+  EXPECT_EQ(stats.outputs[1].net, "ob");
+  EXPECT_EQ(stats.outputs[2].net, "ob");
+  EXPECT_EQ(stats.outputs[3].net, "oa");
+
+  // The demotion must not leak into a fresh run of the same simulation.
+  const SimStats again = sim.run({{0, "ia", 0}, {0, "ib", 0}});
+  ASSERT_EQ(again.outputs.size(), 2u);
+  EXPECT_EQ(again.outputs[0].net, "oa");
+}
+
+// --- Watchdog ----------------------------------------------------------------
+
+TEST(Watchdog, LivelockDetectedInEventCycle) {
+  // a and b feed each other; one stimulus ping-pongs forever with no
+  // external output.
+  cfsm::Network net("cycle");
+  net.add_instance("a", relay("ra"), {{"i", "x"}, {"o", "y"}});
+  net.add_instance("b", relay("rb"), {{"i", "y"}, {"o", "x"}});
+  RtosConfig config;
+  config.watchdog.livelock_reactions = 50;
+  RtosSimulation sim(net, config);
+  sim.set_reference_task("a", 100);
+  sim.set_reference_task("b", 100);
+  const SimStats stats = sim.run({{0, "x", 0}});
+  EXPECT_TRUE(stats.aborted);
+  EXPECT_TRUE(stats.watchdog_fired);
+  EXPECT_NE(stats.diagnostic.find("livelock"), std::string::npos);
+  EXPECT_GT(stats.reactions_run, 50);
+  EXPECT_LT(stats.reactions_run, 60);  // terminated promptly
+}
+
+TEST(Watchdog, StarvationDetectedUnderPriorityMonopoly) {
+  cfsm::Network net("n");
+  net.add_instance("hog", relay("rh"), {{"i", "t"}, {"o", "s"}});
+  net.add_instance("starved", relay("rs"), {{"i", "in"}, {"o", "out"}});
+  RtosConfig config;
+  config.policy = RtosConfig::Policy::kStaticPriority;
+  config.priority = {{"hog", 1}, {"starved", 2}};
+  config.watchdog.starvation_cycles = 3000;
+  RtosSimulation sim(net, config);
+  sim.set_reference_task("hog", 300);  // always beats its 200-cycle period
+  sim.set_reference_task("starved", 100);
+  std::vector<ExternalEvent> events =
+      periodic_trace(PeriodicSource{"t", 200, 0, 0.0, 1}, 20'000);
+  events.push_back({50, "in", 0});
+  const SimStats stats = sim.run(merge_traces({events}));
+  EXPECT_TRUE(stats.aborted);
+  EXPECT_TRUE(stats.watchdog_fired);
+  EXPECT_NE(stats.diagnostic.find("starvation"), std::string::npos);
+  EXPECT_NE(stats.diagnostic.find("starved"), std::string::npos);
+}
+
+// --- Sweep + estimator cross-check -------------------------------------------
+
+TEST(Sweep, CrossChecksLatencyAgainstEstimatorBound) {
+  cfsm::Network net("pipe");
+  net.add_instance("a", relay("r1"), {{"i", "in"}, {"o", "mid"}});
+  net.add_instance("b", relay("r2"), {{"i", "mid"}, {"o", "out"}});
+
+  // Synthesize both stages once; the VM backend supplies measured per-
+  // reaction cycles and the estimator the per-instance WCET bound.
+  const NetworkSynthesis ns = synthesize_network(net);
+  ASSERT_EQ(ns.per_instance.size(), 2u);
+  ASSERT_GT(ns.max_cycles.at("a"), 0);
+
+  RtosConfig config;
+  config.faults.seed = 11;
+  config.faults.delay_probability = 0.5;
+  config.faults.max_delay = 200;
+  config.faults.stalls["a"] = StallFault{1.0, 50'000};
+
+  const TaskBinder bind = [&](RtosSimulation& sim) {
+    for (const cfsm::Instance& inst : net.instances())
+      sim.set_task(inst.name,
+                   vm_task(ns.per_instance.at(inst.name).compiled,
+                           vm::hc11_like(), inst.machine));
+  };
+  const std::vector<ExternalEvent> events = {
+      {0, "in", 0}, {200'000, "in", 0}, {400'000, "in", 0}};
+
+  FaultSweepOptions options;
+  options.runs = 4;
+  options.latency_bounds = estim::network_latency_bounds(
+      net, ns.max_cycles, config.context_switch_cycles);
+  ASSERT_EQ(options.latency_bounds.count("out"), 1u);
+  ASSERT_GT(options.latency_bounds.at("out"), 0);
+
+  const RobustnessReport report =
+      sweep_faults(net, config, bind, events, options);
+  EXPECT_EQ(report.fault_runs, 4);
+  EXPECT_GT(report.faults_injected, 0);
+  // The zero-fault worst case respects the PERT bound...
+  ASSERT_EQ(report.baseline_worst_latency.count("out"), 1u);
+  EXPECT_LE(report.baseline_worst_latency.at("out"),
+            report.latency_bound.at("out"));
+  EXPECT_TRUE(report.bound_violations_baseline.empty());
+  // ...and the 50k-cycle stall pushes the faulted worst case over it.
+  EXPECT_GT(report.fault_worst_latency.at("out"),
+            report.latency_bound.at("out"));
+  ASSERT_EQ(report.bound_violations_faulted.size(), 1u);
+  EXPECT_EQ(report.bound_violations_faulted[0], "out");
+
+  // The report is deterministic: same seeds, same bytes.
+  const RobustnessReport replay =
+      sweep_faults(net, config, bind, events, options);
+  EXPECT_EQ(report.to_string(), replay.to_string());
+}
+
+TEST(Sweep, FindBreakingMagnitudeBracketsTheFailure) {
+  cfsm::Network net("n");
+  net.add_instance("r", relay("relay"), {{"i", "in"}, {"o", "out"}});
+  RtosConfig config;
+  DeadlineMonitor monitor;
+  monitor.deadline_cycles = 1000;
+  config.deadline_monitors["r"] = monitor;
+  config.faults.seed = 3;
+  config.faults.stalls["r"] = StallFault{1.0, 5000};  // stall >> deadline
+
+  const TaskBinder bind = [](RtosSimulation& sim) {
+    sim.set_reference_task("r", 100);
+  };
+  const std::vector<ExternalEvent> events = {
+      {0, "in", 0}, {50'000, "in", 0}, {100'000, "in", 0}};
+
+  const double m = find_breaking_magnitude(net, config, bind, events, 10);
+  EXPECT_GT(m, 0.0);  // at full magnitude the stall always fires
+  EXPECT_LE(m, 1.0);
+
+  // A plan with no perturbations never breaks.
+  RtosConfig clean = config;
+  clean.faults = FaultPlan{};
+  EXPECT_EQ(find_breaking_magnitude(net, clean, bind, events, 5), -1.0);
+}
+
+// --- Burst trace + degraded-mode schedulability ------------------------------
+
+TEST(Trace, BurstTraceProvokesBufferLoss) {
+  const auto events = burst_trace("in", 1000, 3, 10, 3000);
+  EXPECT_EQ(events.size(), 10u);  // 3+3+3 full bursts + 1 clipped at until
+  for (size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].time, events[i - 1].time);
+  EXPECT_EQ(events[1].time, 10);
+  EXPECT_EQ(events[3].time, 1000);
+
+  cfsm::Network net("n");
+  net.add_instance("r", relay("relay"), {{"i", "in"}, {"o", "out"}});
+  RtosSimulation sim(net, RtosConfig{});
+  sim.set_reference_task("r", 100);
+  const SimStats stats = sim.run(events);
+  // In each full burst the 2nd and 3rd events arrive inside the 140-cycle
+  // reaction window; the 3rd overwrites the buffered 2nd (§II-D).
+  EXPECT_EQ(stats.lost_events.at("in"), 3);
+  EXPECT_EQ(stats.outputs.size(), 7u);
+}
+
+TEST(Sched, InflateForFaultsMatchesWorstDraw) {
+  std::vector<sched::Task> tasks = {{"a", 400, 1000, 0, 0},
+                                    {"b", 600, 2000, 0, 0}};
+  EXPECT_TRUE(sched::rm_utilization_test(tasks));
+  const auto degraded =
+      sched::inflate_for_faults(tasks, 0.5, {{"a", 200}});
+  EXPECT_DOUBLE_EQ(degraded[0].wcet, 400 * 1.5 + 200);
+  EXPECT_DOUBLE_EQ(degraded[1].wcet, 600 * 1.5);
+  // The degraded set no longer passes the Liu–Layland bound.
+  EXPECT_FALSE(sched::rm_utilization_test(degraded));
+}
+
+// --- Estimator network bound -------------------------------------------------
+
+TEST(Estim, NetworkLatencyBoundsTakeTheMaxPath) {
+  auto join = std::make_shared<cfsm::Cfsm>(
+      "join", std::vector<cfsm::Signal>{{"a", 1}, {"b", 1}},
+      std::vector<cfsm::Signal>{{"o", 1}}, std::vector<cfsm::StateVar>{},
+      std::vector<cfsm::Rule>{
+          cfsm::Rule{expr::land(cfsm::presence("a"), cfsm::presence("b")),
+                     {cfsm::Emit{"o", nullptr}},
+                     {}}});
+  cfsm::Network net("diamond");
+  net.add_instance("fastpath", relay("rf"), {{"i", "in"}, {"o", "m1"}});
+  net.add_instance("slowpath", relay("rs"), {{"i", "in"}, {"o", "m2"}});
+  net.add_instance("sink", join, {{"a", "m1"}, {"b", "m2"}, {"o", "out"}});
+  const auto bounds = estim::network_latency_bounds(
+      net, {{"fastpath", 100}, {"slowpath", 500}, {"sink", 100}}, 10);
+  ASSERT_EQ(bounds.count("out"), 1u);
+  // PERT: max(100+10, 500+10) + 100 + 10 through the slow branch.
+  EXPECT_EQ(bounds.at("out"), 620);
+
+  // A cyclic network has no DAG bound.
+  cfsm::Network cyclic("cycle");
+  cyclic.add_instance("a", relay("ra"), {{"i", "x"}, {"o", "y"}});
+  cyclic.add_instance("b", relay("rb"), {{"i", "y"}, {"o", "x"}});
+  EXPECT_TRUE(
+      estim::network_latency_bounds(cyclic, {{"a", 1}, {"b", 1}}, 0).empty());
+}
+
+}  // namespace
+}  // namespace polis::rtos

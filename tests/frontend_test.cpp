@@ -129,8 +129,25 @@ TEST(Parser, ErrorsCarryLineNumbers) {
 }
 
 TEST(Parser, ParseModuleRequiresExactlyOne) {
-  EXPECT_THROW(parse_module("module a { input i; } module b { input i; }"),
-               CheckError);
+  try {
+    parse_module("module a { input i; }\nmodule b { input i; }");
+    FAIL() << "two modules must be rejected";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);  // points at the second declaration
+    EXPECT_NE(std::string(e.what()).find("'b'"), std::string::npos);
+  }
+  try {
+    parse_module("");
+    FAIL() << "zero modules must be rejected";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_NE(std::string(e.what()).find("none"), std::string::npos);
+  }
+  // The declaration lines are recorded for every module.
+  const ParsedFile file =
+      parse("module a { input i; }\n\nmodule b { input i; }");
+  EXPECT_EQ(file.module_lines.at("a"), 1);
+  EXPECT_EQ(file.module_lines.at("b"), 3);
 }
 
 TEST(Systems, DashboardSourceParses) {

@@ -72,6 +72,81 @@ TEST(Rtos, OverwriteLosesEvent) {
   EXPECT_EQ(stats.outputs.size(), 2u);  // sink1 + only one out
 }
 
+TEST(Rtos, LostEventCountsAtDeliverySite) {
+  // Three stimuli land in the same 1-place buffer while a higher-priority
+  // long reaction holds the CPU: exactly 2 of them are overwritten at the
+  // delivery site (rtos.cpp's deliver_to_consumers), under both delivery
+  // disciplines.
+  cfsm::Network net("n");
+  net.add_instance("busy", relay("rb"), {{"i", "trigger"}, {"o", "sink"}});
+  net.add_instance("u", relay("ru"), {{"i", "a"}, {"o", "out"}});
+  const std::vector<ExternalEvent> events = {
+      {0, "trigger", 0}, {100, "a", 0}, {200, "a", 0}, {300, "a", 0}};
+
+  auto run_with = [&](RtosConfig::HwDelivery delivery) {
+    RtosConfig config;
+    config.policy = RtosConfig::Policy::kStaticPriority;
+    config.priority = {{"busy", 1}, {"u", 2}};
+    config.delivery = delivery;
+    config.polling_period = 2000;
+    RtosSimulation sim(net, config);
+    sim.set_reference_task("busy", 10'000);
+    sim.set_reference_task("u", 100);
+    return sim.run(events);
+  };
+
+  // Interrupt: all three "a" events are delivered while "busy" runs.
+  const SimStats by_interrupt = run_with(RtosConfig::HwDelivery::kInterrupt);
+  EXPECT_EQ(by_interrupt.lost_events.at("a"), 2);
+  EXPECT_EQ(by_interrupt.outputs.size(), 2u);  // sink + a single out
+
+  // Polling: all three collapse onto the same polling tick back to back.
+  const SimStats by_polling = run_with(RtosConfig::HwDelivery::kPolling);
+  EXPECT_EQ(by_polling.lost_events.at("a"), 2);
+  EXPECT_EQ(by_polling.outputs.size(), 2u);
+}
+
+TEST(Rtos, LostEventCountsAtPreservedMergeSite) {
+  // §IV-D: a non-firing reaction preserves its events; an arrival buffered
+  // during that reaction collides with the preserved event at the merge in
+  // run_task. Exactly 1 loss, under both delivery disciplines.
+  auto both = std::make_shared<cfsm::Cfsm>(
+      "both", std::vector<cfsm::Signal>{{"a", 1}, {"b", 1}},
+      std::vector<cfsm::Signal>{{"o", 1}}, std::vector<cfsm::StateVar>{},
+      std::vector<cfsm::Rule>{
+          cfsm::Rule{expr::land(cfsm::presence("a"), cfsm::presence("b")),
+                     {cfsm::Emit{"o", nullptr}},
+                     {}}});
+  cfsm::Network net("n");
+  net.add_instance("u", both);
+
+  {
+    // Interrupt: a@0 starts a 1000-cycle no-fire reaction; a@500 lands
+    // mid-run, is buffered, and overwrites the preserved event afterwards.
+    RtosSimulation sim(net, RtosConfig{});
+    sim.set_reference_task("u", 1000);
+    const SimStats stats = sim.run({{0, "a", 0}, {500, "a", 0}});
+    EXPECT_EQ(stats.lost_events.at("a"), 1);
+    EXPECT_EQ(stats.reactions_run, 2);   // the merged event re-enables u
+    EXPECT_EQ(stats.empty_reactions, 2); // b never arrives
+    EXPECT_TRUE(stats.outputs.empty());
+  }
+  {
+    // Polling (period 2000): a@0 is seen at t=2000 and starts a 3000-cycle
+    // reaction; a@2500 is seen at the t=4000 tick, inside that reaction.
+    RtosConfig config;
+    config.delivery = RtosConfig::HwDelivery::kPolling;
+    config.polling_period = 2000;
+    RtosSimulation sim(net, config);
+    sim.set_reference_task("u", 3000);
+    const SimStats stats = sim.run({{0, "a", 0}, {2500, "a", 0}});
+    EXPECT_EQ(stats.lost_events.at("a"), 1);
+    EXPECT_EQ(stats.reactions_run, 2);
+    EXPECT_EQ(stats.empty_reactions, 2);
+    EXPECT_TRUE(stats.outputs.empty());
+  }
+}
+
 TEST(Rtos, EventsPreservedWhenNoRuleFires) {
   // A machine that only reacts when both a and b are present; a alone must
   // be preserved (§IV-D) and consumed once b arrives.

@@ -181,6 +181,66 @@ TEST(Machine, MovAndComputedJumpSemantics) {
   EXPECT_EQ(r.emissions[0].first, "hit");
 }
 
+TEST(Machine, CorruptBytecodeTrapsWithDiagnostic) {
+  // Every index an instruction carries — register, memory slot, jump
+  // target — must be validated before use, so corrupt bytecode traps as a
+  // CheckError naming the offending pc instead of scribbling memory.
+  using I = Instr;
+  auto run_prog = [](std::vector<I> code,
+                     std::vector<std::string> slots = {}) {
+    CompiledReaction cr;
+    cr.program.name = "corrupt";
+    cr.program.code = std::move(code);
+    cr.program.slot_names = std::move(slots);
+    return run(cr, hc11_like(), {},
+               [](const std::string&) { return false; });
+  };
+  const I ret{Opcode::kRet, 0, 0, 0, 0, expr::Op::kAdd, ""};
+
+  // kLd from a slot past the memory table.
+  EXPECT_THROW(
+      run_prog({I{Opcode::kLd, 0, 999, 0, 0, expr::Op::kAdd, ""}, ret}, {"x"}),
+      CheckError);
+  // kSt to a negative slot.
+  EXPECT_THROW(
+      run_prog({I{Opcode::kSt, -3, 0, 0, 0, expr::Op::kAdd, ""}, ret}, {"x"}),
+      CheckError);
+  // kAlu destination register out of the 64-register file.
+  EXPECT_THROW(
+      run_prog({I{Opcode::kAlu, 70, 0, 0, 0, expr::Op::kAdd, ""}, ret}),
+      CheckError);
+  // kJmp to a negative target.
+  EXPECT_THROW(run_prog({I{Opcode::kJmp, 0, -5, 0, 0, expr::Op::kAdd, ""}}),
+               CheckError);
+  // kJmpInd dispatching past the end of the program.
+  EXPECT_THROW(
+      run_prog({I{Opcode::kLdi, 0, 0, 0, 100, expr::Op::kAdd, ""},
+                I{Opcode::kJmpInd, 0, 2, 0, 0, expr::Op::kAdd, ""}, ret}),
+      CheckError);
+  // kBrz taken towards an out-of-range target.
+  EXPECT_THROW(run_prog({I{Opcode::kBrz, 0, 77, 0, 0, expr::Op::kAdd, ""}}),
+               CheckError);
+
+  // The diagnostic names the faulting pc and the bad operand.
+  try {
+    run_prog({I{Opcode::kJmp, 0, 42, 0, 0, expr::Op::kAdd, ""}});
+    FAIL() << "out-of-range jump must trap";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pc 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("42"), std::string::npos) << what;
+  }
+
+  // A well-formed program still runs to completion.
+  const RunResult ok = run_prog({I{Opcode::kLdi, 0, 0, 0, 7, expr::Op::kAdd,
+                                   ""},
+                                 I{Opcode::kSt, 0, 0, 0, 0, expr::Op::kAdd,
+                                   ""},
+                                 ret},
+                                {"x"});
+  EXPECT_EQ(ok.memory_out.at("x"), 7);
+}
+
 TEST(Machine, RunawayProgramDetected) {
   CompiledReaction cr;
   cr.program.name = "loop";
