@@ -4,12 +4,14 @@
 // operations and of sifting itself.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <iostream>
 
 #include "bdd/bdd.hpp"
 #include "bdd/reorder.hpp"
 #include "cfsm/random.hpp"
 #include "cfsm/reactive.hpp"
+#include "report.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -75,6 +77,111 @@ void report_sift_effect() {
   }
   table.print(std::cout);
   std::cout << "\n";
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Fixed-size kernel workloads with wall time, op/s, cache hit rate and peak
+// node counts from BddManager::stats(), written to BENCH_BDD.json so
+// PR-over-PR kernel perf can be diffed mechanically.
+void write_kernel_report() {
+  bench::Report report("bench_bdd");
+
+  // ITE-heavy workload: random conjunction/disjunction churn over a rolling
+  // window of functions — the access pattern the computed cache is built for.
+  {
+    const int n = 32;
+    const size_t kIters = 200000;  // two ITEs per iteration
+    bdd::BddManager mgr(n);
+    Rng rng(1);
+    std::vector<bdd::Bdd> funcs;
+    for (int i = 0; i < n; ++i) funcs.push_back(mgr.var(i));
+    mgr.reset_stats();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t it = 0; it < kIters; ++it) {
+      bdd::Bdd f = funcs[static_cast<size_t>(rng.uniform(0, n - 1))] &
+                   funcs[static_cast<size_t>(rng.uniform(0, n - 1))];
+      f = f | funcs[static_cast<size_t>(rng.uniform(0, n - 1))];
+      benchmark::DoNotOptimize(f.raw_index());
+      funcs.push_back(std::move(f));
+      if (funcs.size() > 256) funcs.resize(static_cast<size_t>(n));
+    }
+    const double secs = seconds_since(t0);
+    const bdd::KernelStats s = mgr.stats();
+    report.entry("ite_heavy")
+        .metric("vars", n)
+        .metric("ite_ops", static_cast<std::uint64_t>(2 * kIters))
+        .metric("wall_seconds", secs)
+        .metric("ops_per_sec", secs > 0 ? 2.0 * static_cast<double>(kIters) / secs : 0.0)
+        .metric("cache_hit_rate", s.cache_hit_rate())
+        .metric("cache_lookups", s.cache_lookups)
+        .metric("cache_evictions", s.cache_evictions)
+        .metric("cache_capacity", s.cache_capacity)
+        .metric("unique_hit_rate",
+                s.unique_lookups > 0
+                    ? static_cast<double>(s.unique_hits) /
+                          static_cast<double>(s.unique_lookups)
+                    : 0.0)
+        .metric("peak_nodes", s.peak_nodes)
+        .metric("nodes_recycled", s.nodes_recycled);
+  }
+
+  // Quantification over the disjoint-ands family (exercises the cube-based
+  // exists path and its cache tag).
+  {
+    const int k = 8;
+    bdd::BddManager mgr(2 * k);
+    bdd::Bdd f = disjoint_ands(mgr, k);
+    std::vector<int> vars{0, 2, 4, 6};
+    mgr.reset_stats();
+    const size_t kIters = 100000;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t it = 0; it < kIters; ++it) {
+      bdd::Bdd g = mgr.smooth(f, vars);
+      benchmark::DoNotOptimize(g.raw_index());
+    }
+    const double secs = seconds_since(t0);
+    const bdd::KernelStats s = mgr.stats();
+    report.entry("smooth")
+        .metric("vars", 2 * k)
+        .metric("ops", kIters)
+        .metric("wall_seconds", secs)
+        .metric("ops_per_sec",
+                secs > 0 ? static_cast<double>(kIters) / secs : 0.0)
+        .metric("cache_hit_rate", s.cache_hit_rate())
+        .metric("peak_nodes", s.peak_nodes);
+  }
+
+  // Sifting on the ordering-sensitive family: wall time of the in-place
+  // swap path, plus what the kernel did underneath (GC runs, recycling).
+  for (int k : {4, 6, 8}) {
+    bdd::BddManager mgr(2 * k);
+    bdd::Bdd f = disjoint_ands(mgr, k);
+    const size_t before = mgr.node_count(f);
+    mgr.reset_stats();
+    bdd::SiftTelemetry telemetry;
+    bdd::SiftOptions options;
+    options.telemetry = &telemetry;
+    const auto t0 = std::chrono::steady_clock::now();
+    const size_t after = bdd::sift(mgr, options);
+    const double secs = seconds_since(t0);
+    const bdd::KernelStats s = mgr.stats();
+    report.entry("sift_k" + std::to_string(k))
+        .metric("vars", 2 * k)
+        .metric("initial_nodes", before)
+        .metric("sifted_nodes", after)
+        .metric("swaps", telemetry.swaps)
+        .metric("wall_seconds", secs)
+        .metric("gc_runs", s.gc_runs)
+        .metric("nodes_reclaimed", s.nodes_reclaimed)
+        .metric("nodes_recycled", s.nodes_recycled)
+        .metric("peak_nodes", s.peak_nodes);
+  }
+
+  report.write("BENCH_BDD.json");
 }
 
 void BM_BddIte(benchmark::State& state) {
@@ -148,6 +255,7 @@ BENCHMARK(BM_CharacteristicFunction);
 
 int main(int argc, char** argv) {
   report_sift_effect();
+  write_kernel_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

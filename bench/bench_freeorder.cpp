@@ -17,6 +17,7 @@
 #include "cfsm/random.hpp"
 #include "cfsm/reactive.hpp"
 #include "core/systems.hpp"
+#include "report.hpp"
 #include "sgraph/build.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -38,6 +39,7 @@ void report_sift_speed() {
   std::cout << "Sifting: in-place adjacent-level swaps vs rebuild reference\n";
   Table table({"CFSM", "vars", "fast size", "rebuild size", "swaps",
                "peak arena", "fast ms", "rebuild ms", "speedup"});
+  bench::Report report("bench_freeorder");
 
   double fast_total_ms = 0.0;
   double rebuild_total_ms = 0.0;
@@ -46,16 +48,19 @@ void report_sift_speed() {
     bdd::SiftTelemetry telemetry;
     size_t fast_size = 0;
     double fast_ms = 0.0;
+    bdd::KernelStats stats;
     for (int rep = 0; rep < kReps; ++rep) {
       bdd::BddManager mgr;
       cfsm::ReactiveFunction rf(m, mgr);
       bdd::SiftOptions options;
       options.passes = 2;
       options.telemetry = &telemetry;
+      mgr.reset_stats();
       const auto t0 = std::chrono::steady_clock::now();
       fast_size = bdd::sift(mgr, rf.precedence_outputs_after_support(), options);
       const double ms = ms_since(t0);
       fast_ms = rep == 0 ? ms : std::min(fast_ms, ms);
+      stats = mgr.stats();
     }
     size_t rebuild_size = 0;
     double rebuild_ms = 0.0;
@@ -74,6 +79,17 @@ void report_sift_speed() {
     }
     fast_total_ms += fast_ms;
     rebuild_total_ms += rebuild_ms;
+    report.entry(m.name())
+        .metric("vars", vars)
+        .metric("sifted_nodes", fast_size)
+        .metric("swaps", telemetry.swaps)
+        .metric("sift_ms", fast_ms)
+        .metric("rebuild_ms", rebuild_ms)
+        .metric("speedup", fast_ms > 0 ? rebuild_ms / fast_ms : 0.0)
+        .metric("cache_hit_rate", stats.cache_hit_rate())
+        .metric("peak_nodes", stats.peak_nodes)
+        .metric("gc_runs", stats.gc_runs)
+        .metric("nodes_reclaimed", stats.nodes_reclaimed);
     table.add_row({m.name(), std::to_string(vars), std::to_string(fast_size),
                    std::to_string(rebuild_size),
                    std::to_string(telemetry.swaps),
@@ -105,6 +121,12 @@ void report_sift_speed() {
                                          : 0.0,
                        1) +
                      "x"});
+  report.entry("TOTAL")
+      .metric("sift_ms", fast_total_ms)
+      .metric("rebuild_ms", rebuild_total_ms)
+      .metric("speedup",
+              fast_total_ms > 0 ? rebuild_total_ms / fast_total_ms : 0.0);
+  report.write("BENCH_FREEORDER.json");
   table.print(std::cout);
   std::cout << "\n";
 }

@@ -5,13 +5,20 @@
 // dashboard CFSMs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <iostream>
+
 #include "bdd/reorder.hpp"
 #include "cfsm/reactive.hpp"
 #include "codegen/c_codegen.hpp"
 #include "core/synthesis.hpp"
 #include "core/systems.hpp"
 #include "estim/calibrate.hpp"
+#include "report.hpp"
 #include "sgraph/build.hpp"
+#include "util/thread_pool.hpp"
 #include "vm/compile.hpp"
 
 namespace {
@@ -117,6 +124,95 @@ void BM_FullSynthesis(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSynthesis)->DenseRange(0, 5);
 
+bool same_program(const vm::Program& x, const vm::Program& y) {
+  if (x.code.size() != y.code.size()) return false;
+  for (size_t i = 0; i < x.code.size(); ++i) {
+    const vm::Instr& p = x.code[i];
+    const vm::Instr& q = y.code[i];
+    if (p.op != q.op || p.a != q.a || p.b != q.b || p.c != q.c ||
+        p.imm != q.imm || p.alu != q.alu || p.sym != q.sym)
+      return false;
+  }
+  return true;
+}
+
+double best_of(int reps, const std::function<NetworkSynthesis()>& run) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const NetworkSynthesis out = run();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    benchmark::DoNotOptimize(out.per_instance.size());
+    best = r == 0 ? secs : std::min(best, secs);
+  }
+  return best;
+}
+
+// Serial vs parallel network synthesis on the paper's systems; the parallel
+// path is share-nothing per machine and must produce byte-identical output,
+// so only wall time may differ. Written to BENCH_SYNTHESIS.json.
+void write_synthesis_report() {
+  bench::Report report("bench_synthesis");
+  static const estim::CostModel model = estim::calibrate(vm::hc11_like());
+
+  auto add = [&](const std::string& name,
+                 const std::shared_ptr<cfsm::Network>& net) {
+    SynthesisOptions serial;
+    serial.cost_model = &model;
+    serial.num_threads = 1;
+    SynthesisOptions parallel = serial;
+    // At least 4 workers even on small CI boxes, so the threaded path (and
+    // not the serial fallback) is what gets timed and diffed.
+    parallel.num_threads =
+        static_cast<int>(std::max<size_t>(4, ThreadPool::default_threads()));
+
+    const double serial_s =
+        best_of(3, [&] { return synthesize_network(*net, serial); });
+    const double parallel_s =
+        best_of(3, [&] { return synthesize_network(*net, parallel); });
+
+    // Cross-check determinism on the artifacts the flow ships.
+    const NetworkSynthesis a = synthesize_network(*net, serial);
+    const NetworkSynthesis b = synthesize_network(*net, parallel);
+    bool identical = a.per_instance.size() == b.per_instance.size();
+    for (const auto& [inst, ra] : a.per_instance) {
+      const auto it = b.per_instance.find(inst);
+      if (it == b.per_instance.end() ||
+          ra.c_code != it->second.c_code ||
+          ra.vm_size_bytes != it->second.vm_size_bytes ||
+          !same_program(ra.compiled->program, it->second.compiled->program) ||
+          ra.estimate.max_cycles != it->second.estimate.max_cycles) {
+        identical = false;
+      }
+    }
+
+    report.entry(name)
+        .metric("instances", net->instances().size())
+        .metric("serial_seconds", serial_s)
+        .metric("parallel_seconds", parallel_s)
+        .metric("speedup", parallel_s > 0 ? serial_s / parallel_s : 0.0)
+        .metric("threads", parallel.num_threads)
+        .metric("identical_output", identical ? 1 : 0);
+    std::cout << name << ": serial " << serial_s << "s, parallel "
+              << parallel_s << "s ("
+              << (parallel_s > 0 ? serial_s / parallel_s : 0.0)
+              << "x), outputs " << (identical ? "identical" : "DIVERGED")
+              << "\n";
+  };
+
+  add("dash", systems::dash_network());
+  add("shock", systems::shock_network());
+  add("microwave", systems::microwave_network());
+  report.write("BENCH_SYNTHESIS.json");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_synthesis_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/check.hpp"
 
@@ -46,6 +47,8 @@ void Bdd::detach() {
   if (mgr_ != nullptr) mgr_->unregister_handle(this);
   mgr_ = nullptr;
   idx_ = 0;
+  prev_ = nullptr;
+  next_ = nullptr;
 }
 
 bool Bdd::is_zero() const {
@@ -88,11 +91,72 @@ Bdd Bdd::operator!() const {
   return mgr_->bnot(*this);
 }
 
+// --- Handle registry + reference-counted roots ---------------------------------
+
+void BddManager::register_handle(Bdd* h) {
+  h->prev_ = nullptr;
+  h->next_ = handle_head_;
+  if (handle_head_ != nullptr) handle_head_->prev_ = h;
+  handle_head_ = h;
+  add_ref(h->idx_);
+}
+
+void BddManager::unregister_handle(Bdd* h) {
+  deref(h->idx_);
+  if (h->prev_ != nullptr) {
+    h->prev_->next_ = h->next_;
+  } else {
+    handle_head_ = h->next_;
+  }
+  if (h->next_ != nullptr) h->next_->prev_ = h->prev_;
+}
+
+void BddManager::add_ref(std::uint32_t idx) {
+  if (idx <= kOne) return;  // terminals are always live
+  if (idx >= extref_.size()) {
+    extref_.resize(nodes_.size(), 0);
+    in_roots_.resize(nodes_.size(), 0);
+  }
+  if (extref_[idx]++ == 0 && !in_roots_[idx]) {
+    in_roots_[idx] = 1;
+    roots_.push_back(idx);
+  }
+}
+
+void BddManager::deref(std::uint32_t idx) {
+  if (idx <= kOne) return;
+  // The roots_ entry stays until the next compact_roots; re-referencing the
+  // node before then must not duplicate it (in_roots_ stays set).
+  --extref_[idx];
+}
+
+void BddManager::compact_roots() {
+  size_t keep = 0;
+  for (const std::uint32_t idx : roots_) {
+    if (extref_[idx] > 0) {
+      roots_[keep++] = idx;
+    } else {
+      in_roots_[idx] = 0;
+    }
+  }
+  roots_.resize(keep);
+}
+
+void BddManager::rebuild_refs() {
+  extref_.assign(nodes_.size(), 0);
+  in_roots_.assign(nodes_.size(), 0);
+  roots_.clear();
+  for (Bdd* h = handle_head_; h != nullptr; h = h->next_) add_ref(h->idx_);
+}
+
 // --- Manager ---------------------------------------------------------------------
 
 BddManager::BddManager() {
-  nodes_.push_back(Node{kTermVar, kZero, kZero});  // index 0 = false
-  nodes_.push_back(Node{kTermVar, kOne, kOne});    // index 1 = true
+  nodes_.push_back(Node{kTermVar, kZero, kZero, kNil});  // index 0 = false
+  nodes_.push_back(Node{kTermVar, kOne, kOne, kNil});    // index 1 = true
+  cache_.resize(kInitCacheEntries);
+  cache_mask_ = kInitCacheEntries - 1;
+  stats_.peak_nodes = nodes_.size();
 }
 
 BddManager::BddManager(int num_vars) : BddManager() {
@@ -101,9 +165,13 @@ BddManager::BddManager(int num_vars) : BddManager() {
 
 BddManager::~BddManager() {
   // Null out surviving handles so they do not dangle.
-  for (Bdd* h : handles_) {
+  for (Bdd* h = handle_head_; h != nullptr;) {
+    Bdd* next = h->next_;
     h->mgr_ = nullptr;
     h->idx_ = 0;
+    h->prev_ = nullptr;
+    h->next_ = nullptr;
+    h = next;
   }
 }
 
@@ -113,7 +181,7 @@ int BddManager::new_var(std::string name) {
   invperm_.push_back(v);
   if (name.empty()) name = "v" + std::to_string(v);
   names_.push_back(std::move(name));
-  var_nodes_.emplace_back();
+  subtables_.emplace_back();
   return v;
 }
 
@@ -141,18 +209,139 @@ Bdd BddManager::nvar(int v) {
   return make(find_or_add(static_cast<std::uint32_t>(v), kOne, kZero));
 }
 
+// --- Unique table ----------------------------------------------------------------
+
 std::uint32_t BddManager::find_or_add(std::uint32_t var, std::uint32_t lo,
                                       std::uint32_t hi) {
   if (lo == hi) return lo;
-  const UniqueKey key{var, lo, hi};
-  auto it = unique_.find(key);
-  if (it != unique_.end()) return it->second;
-  const std::uint32_t idx = static_cast<std::uint32_t>(nodes_.size());
-  nodes_.push_back(Node{var, lo, hi});
-  unique_.emplace(key, idx);
-  var_nodes_[var].push_back(idx);
+  Subtable& st = subtables_[var];
+  if (st.buckets.empty()) st.buckets.assign(kInitBuckets, kNil);
+  ++stats_.unique_lookups;
+  const size_t slot = hash_children(lo, hi) & (st.buckets.size() - 1);
+  for (std::uint32_t n = st.buckets[slot]; n != kNil; n = nodes_[n].next) {
+    const Node& nd = nodes_[n];
+    if (nd.lo == lo && nd.hi == hi) {
+      ++stats_.unique_hits;
+      return n;
+    }
+  }
+  std::uint32_t idx;
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = nodes_[idx].next;
+    ++stats_.nodes_recycled;
+  } else {
+    idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+    stats_.peak_nodes = std::max(stats_.peak_nodes, nodes_.size());
+    ++stats_.nodes_created;
+  }
+  nodes_[idx] = Node{var, lo, hi, st.buckets[slot]};
+  st.buckets[slot] = idx;
+  if (++st.count > st.buckets.size() * kMaxChainLoad) grow_subtable(st);
   return idx;
 }
+
+void BddManager::subtable_insert(std::uint32_t var, std::uint32_t idx) {
+  Subtable& st = subtables_[var];
+  if (st.buckets.empty()) st.buckets.assign(kInitBuckets, kNil);
+  const size_t slot =
+      hash_children(nodes_[idx].lo, nodes_[idx].hi) & (st.buckets.size() - 1);
+  nodes_[idx].next = st.buckets[slot];
+  st.buckets[slot] = idx;
+  if (++st.count > st.buckets.size() * kMaxChainLoad) grow_subtable(st);
+}
+
+void BddManager::grow_subtable(Subtable& st) {
+  std::vector<std::uint32_t> old = std::move(st.buckets);
+  st.buckets.assign(old.size() * 2, kNil);
+  const size_t mask = st.buckets.size() - 1;
+  for (std::uint32_t head : old) {
+    while (head != kNil) {
+      const std::uint32_t next = nodes_[head].next;
+      const size_t slot = hash_children(nodes_[head].lo, nodes_[head].hi) & mask;
+      nodes_[head].next = st.buckets[slot];
+      st.buckets[slot] = head;
+      head = next;
+    }
+  }
+}
+
+// --- Computed cache --------------------------------------------------------------
+
+bool BddManager::cache_lookup(std::uint32_t op, std::uint32_t a,
+                              std::uint32_t b, std::uint32_t c,
+                              std::uint32_t* result) {
+  ++stats_.cache_lookups;
+  const CacheEntry& e = cache_[cache_slot(op, a, b, c)];
+  if (e.op == op && e.a == a && e.b == b && e.c == c) {
+    ++stats_.cache_hits;
+    *result = e.result;
+    return true;
+  }
+  return false;
+}
+
+void BddManager::cache_insert(std::uint32_t op, std::uint32_t a,
+                              std::uint32_t b, std::uint32_t c,
+                              std::uint32_t result) {
+  ++stats_.cache_inserts;
+  CacheEntry& e = cache_[cache_slot(op, a, b, c)];
+  if (e.op != kOpNone && !(e.op == op && e.a == a && e.b == b && e.c == c))
+    ++stats_.cache_evictions;
+  e = CacheEntry{op, a, b, c, result};
+
+  // Resize policy: once we have inserted a full cache's worth of entries
+  // since the last resize, the cache is under pressure; double it while the
+  // hit rate over that window shows it is earning its keep.
+  if (stats_.cache_inserts - cache_inserts_at_resize_ > cache_.size() &&
+      cache_.size() < kMaxCacheEntries) {
+    const std::uint64_t lookups = stats_.cache_lookups - cache_lookups_at_resize_;
+    const std::uint64_t hits = stats_.cache_hits - cache_hits_at_resize_;
+    if (lookups > 0 && hits * 10 >= lookups * 3) {
+      resize_cache(cache_.size() * 2);
+    } else {
+      // Not earning hits: restart the observation window at this size.
+      cache_lookups_at_resize_ = stats_.cache_lookups;
+      cache_hits_at_resize_ = stats_.cache_hits;
+      cache_inserts_at_resize_ = stats_.cache_inserts;
+    }
+  }
+}
+
+void BddManager::cache_clear() {
+  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+}
+
+void BddManager::resize_cache(size_t new_entries) {
+  std::vector<CacheEntry> old = std::move(cache_);
+  cache_.assign(new_entries, CacheEntry{});
+  cache_mask_ = new_entries - 1;
+  for (const CacheEntry& e : old) {
+    if (e.op != kOpNone) cache_[cache_slot(e.op, e.a, e.b, e.c)] = e;
+  }
+  ++stats_.cache_resizes;
+  cache_lookups_at_resize_ = stats_.cache_lookups;
+  cache_hits_at_resize_ = stats_.cache_hits;
+  cache_inserts_at_resize_ = stats_.cache_inserts;
+}
+
+KernelStats BddManager::stats() const {
+  KernelStats out = stats_;
+  out.cache_capacity = cache_.size();
+  out.arena_nodes = nodes_.size();
+  return out;
+}
+
+void BddManager::reset_stats() {
+  stats_ = KernelStats{};
+  stats_.peak_nodes = nodes_.size();
+  cache_lookups_at_resize_ = 0;
+  cache_hits_at_resize_ = 0;
+  cache_inserts_at_resize_ = 0;
+}
+
+// --- Core operations -------------------------------------------------------------
 
 std::uint32_t BddManager::ite_rec(std::uint32_t f, std::uint32_t g,
                                   std::uint32_t h) {
@@ -160,11 +349,14 @@ std::uint32_t BddManager::ite_rec(std::uint32_t f, std::uint32_t g,
   if (f == kOne) return g;
   if (f == kZero) return h;
   if (g == h) return g;
+  // Equal-operand normalisation raises the cache hit rate: ite(f, f, h) =
+  // ite(f, 1, h) and ite(f, g, f) = ite(f, g, 0).
+  if (f == g) g = kOne;
+  if (f == h) h = kZero;
   if (g == kOne && h == kZero) return f;
 
-  const IteKey key{f, g, h};
-  auto it = ite_cache_.find(key);
-  if (it != ite_cache_.end()) return it->second;
+  std::uint32_t r;
+  if (cache_lookup(kOpIte, f, g, h, &r)) return r;
 
   const int lf = level(f);
   const int lg = level(g);
@@ -182,8 +374,8 @@ std::uint32_t BddManager::ite_rec(std::uint32_t f, std::uint32_t g,
 
   const std::uint32_t t = ite_rec(f1, g1, h1);
   const std::uint32_t e = ite_rec(f0, g0, h0);
-  const std::uint32_t r = find_or_add(v, e, t);
-  ite_cache_.emplace(key, r);
+  r = find_or_add(v, e, t);
+  cache_insert(kOpIte, f, g, h, r);
   return r;
 }
 
@@ -192,144 +384,190 @@ Bdd BddManager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
   return make(ite_rec(f.idx_, g.idx_, h.idx_));
 }
 
-std::uint32_t BddManager::cofactor_rec(
-    std::uint32_t f, int var, bool val,
-    std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
+std::uint32_t BddManager::bnot_rec(std::uint32_t f) {
+  if (f == kZero) return kOne;
+  if (f == kOne) return kZero;
+  std::uint32_t r;
+  if (cache_lookup(kOpNot, f, 0, 0, &r)) return r;
+  const Node n = nodes_[f];  // copy: recursion below may grow nodes_
+  const std::uint32_t lo = bnot_rec(n.lo);
+  const std::uint32_t hi = bnot_rec(n.hi);
+  r = find_or_add(n.var, lo, hi);
+  cache_insert(kOpNot, f, 0, 0, r);
+  cache_insert(kOpNot, r, 0, 0, f);  // involution: ¬r = f for free
+  return r;
+}
+
+Bdd BddManager::bnot(const Bdd& f) {
+  POLIS_CHECK(f.mgr_ == this);
+  return make(bnot_rec(f.idx_));
+}
+
+Bdd BddManager::bxor(const Bdd& f, const Bdd& g) {
+  POLIS_CHECK(f.mgr_ == this && g.mgr_ == this);
+  return make(ite_rec(f.idx_, bnot_rec(g.idx_), g.idx_));
+}
+
+std::uint32_t BddManager::cofactor_rec(std::uint32_t f, int var, bool val) {
   if (is_term(f)) return f;
   const int vlevel = perm_[static_cast<size_t>(var)];
   if (level(f) > vlevel) return f;  // var cannot appear below its level
-  auto it = memo.find(f);
-  if (it != memo.end()) return it->second;
   const Node n = nodes_[f];
+  if (static_cast<int>(n.var) == var) return val ? n.hi : n.lo;
   std::uint32_t r;
-  if (static_cast<int>(n.var) == var) {
-    r = val ? n.hi : n.lo;
-  } else {
-    const std::uint32_t lo = cofactor_rec(n.lo, var, val, memo);
-    const std::uint32_t hi = cofactor_rec(n.hi, var, val, memo);
-    r = find_or_add(n.var, lo, hi);
-  }
-  memo.emplace(f, r);
+  const std::uint32_t tag =
+      (static_cast<std::uint32_t>(var) << 1) | (val ? 1u : 0u);
+  if (cache_lookup(kOpCofactor, f, tag, 0, &r)) return r;
+  const std::uint32_t lo = cofactor_rec(n.lo, var, val);
+  const std::uint32_t hi = cofactor_rec(n.hi, var, val);
+  r = find_or_add(n.var, lo, hi);
+  cache_insert(kOpCofactor, f, tag, 0, r);
   return r;
 }
 
 Bdd BddManager::cofactor(const Bdd& f, int var, bool val) {
   POLIS_CHECK(f.mgr_ == this);
   check_var(var);
-  std::unordered_map<std::uint32_t, std::uint32_t> memo;
-  return make(cofactor_rec(f.idx_, var, val, memo));
+  return make(cofactor_rec(f.idx_, var, val));
 }
 
-std::uint32_t BddManager::quant_rec(
-    std::uint32_t f, const std::vector<bool>& in_set, bool existential,
-    std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
-  if (is_term(f)) return f;
-  auto it = memo.find(f);
-  if (it != memo.end()) return it->second;
-  const Node n = nodes_[f];
-  const std::uint32_t lo = quant_rec(n.lo, in_set, existential, memo);
-  const std::uint32_t hi = quant_rec(n.hi, in_set, existential, memo);
+std::uint32_t BddManager::make_cube(const std::vector<int>& vars) {
+  // Conjunction of positive literals, built bottom-up in level order so each
+  // step is a single unique-table insertion.
+  std::vector<int> sorted = vars;
+  std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+    return perm_[static_cast<size_t>(a)] > perm_[static_cast<size_t>(b)];
+  });
+  std::uint32_t cube = kOne;
+  int prev = -1;
+  for (const int v : sorted) {
+    if (v == prev) continue;  // duplicate var in the set
+    prev = v;
+    cube = find_or_add(static_cast<std::uint32_t>(v), kZero, cube);
+  }
+  return cube;
+}
+
+std::uint32_t BddManager::quant_rec(std::uint32_t f, std::uint32_t cube,
+                                    bool existential) {
+  // Quantified vars above f's top variable cannot appear in f: skip them.
+  while (!is_term(cube) && level(cube) < level(f)) cube = nodes_[cube].hi;
+  if (is_term(f) || cube == kOne) return f;
   std::uint32_t r;
-  if (in_set[n.var]) {
+  const std::uint32_t op = existential ? kOpExists : kOpForall;
+  if (cache_lookup(op, f, cube, 0, &r)) return r;
+  const Node n = nodes_[f];  // copy: recursion below may grow nodes_
+  if (level(f) == level(cube)) {
+    const std::uint32_t rest = nodes_[cube].hi;
+    const std::uint32_t lo = quant_rec(n.lo, rest, existential);
+    const std::uint32_t hi = quant_rec(n.hi, rest, existential);
     r = existential ? ite_rec(lo, kOne, hi) : ite_rec(lo, hi, kZero);
   } else {
+    const std::uint32_t lo = quant_rec(n.lo, cube, existential);
+    const std::uint32_t hi = quant_rec(n.hi, cube, existential);
     r = find_or_add(n.var, lo, hi);
   }
-  memo.emplace(f, r);
+  cache_insert(op, f, cube, 0, r);
   return r;
 }
 
 Bdd BddManager::smooth(const Bdd& f, const std::vector<int>& vars) {
   POLIS_CHECK(f.mgr_ == this);
   if (vars.empty()) return f;
-  std::vector<bool> in_set(static_cast<size_t>(num_vars()), false);
-  for (int v : vars) {
-    check_var(v);
-    in_set[static_cast<size_t>(v)] = true;
-  }
-  std::unordered_map<std::uint32_t, std::uint32_t> memo;
-  return make(quant_rec(f.idx_, in_set, /*existential=*/true, memo));
+  for (int v : vars) check_var(v);
+  const std::uint32_t cube = make_cube(vars);
+  return make(quant_rec(f.idx_, cube, /*existential=*/true));
 }
 
 Bdd BddManager::forall(const Bdd& f, const std::vector<int>& vars) {
   POLIS_CHECK(f.mgr_ == this);
   if (vars.empty()) return f;
-  std::vector<bool> in_set(static_cast<size_t>(num_vars()), false);
-  for (int v : vars) {
-    check_var(v);
-    in_set[static_cast<size_t>(v)] = true;
+  for (int v : vars) check_var(v);
+  const std::uint32_t cube = make_cube(vars);
+  return make(quant_rec(f.idx_, cube, /*existential=*/false));
+}
+
+std::uint32_t BddManager::compose_rec(std::uint32_t f, int var,
+                                      std::uint32_t g) {
+  if (is_term(f)) return f;
+  if (level(f) > perm_[static_cast<size_t>(var)]) return f;  // var ∉ support
+  std::uint32_t r;
+  if (cache_lookup(kOpCompose, f, g, static_cast<std::uint32_t>(var), &r))
+    return r;
+  const Node n = nodes_[f];  // copy: recursion below may grow nodes_
+  if (static_cast<int>(n.var) == var) {
+    r = ite_rec(g, n.hi, n.lo);
+  } else {
+    const std::uint32_t lo = compose_rec(n.lo, var, g);
+    const std::uint32_t hi = compose_rec(n.hi, var, g);
+    // g may depend on variables above n.var, so rebuild with ITE on the
+    // branch variable instead of a direct find_or_add.
+    const std::uint32_t v = find_or_add(n.var, kZero, kOne);
+    r = ite_rec(v, hi, lo);
   }
-  std::unordered_map<std::uint32_t, std::uint32_t> memo;
-  return make(quant_rec(f.idx_, in_set, /*existential=*/false, memo));
+  cache_insert(kOpCompose, f, g, static_cast<std::uint32_t>(var), r);
+  return r;
 }
 
 Bdd BddManager::compose(const Bdd& f, int var, const Bdd& g) {
   POLIS_CHECK(f.mgr_ == this && g.mgr_ == this);
-  const Bdd f1 = cofactor(f, var, true);
-  const Bdd f0 = cofactor(f, var, false);
-  return ite(g, f1, f0);
+  check_var(var);
+  return make(compose_rec(f.idx_, var, g.idx_));
 }
 
-namespace {
-struct PairHash {
-  size_t operator()(const std::pair<std::uint32_t, std::uint32_t>& p) const {
-    return (static_cast<std::uint64_t>(p.first) << 32 | p.second) *
-           0x9e3779b97f4a7c15ULL;
+std::uint32_t BddManager::restrict_rec(std::uint32_t g, std::uint32_t c) {
+  if (c == kZero) return kZero;  // entirely don't care: anything goes
+  if (c == kOne || is_term(g)) return g;
+  std::uint32_t r;
+  if (cache_lookup(kOpRestrict, g, c, 0, &r)) return r;
+
+  const int lg = level(g);
+  const int lc = level(c);
+  if (lc < lg) {
+    // The care set constrains a variable above g's top: merge branches.
+    // Copy: recursion below may grow nodes_ and invalidate references.
+    const Node cn = nodes_[c];
+    r = restrict_rec(g, ite_rec(cn.lo, kOne, cn.hi));  // c|v=0 ∨ c|v=1
+  } else {
+    const Node gn = nodes_[g];
+    const std::uint32_t c1 = (lc == lg) ? nodes_[c].hi : c;
+    const std::uint32_t c0 = (lc == lg) ? nodes_[c].lo : c;
+    if (c1 == kZero) {
+      r = restrict_rec(gn.lo, c0);  // sibling substitution
+    } else if (c0 == kZero) {
+      r = restrict_rec(gn.hi, c1);
+    } else {
+      const std::uint32_t lo = restrict_rec(gn.lo, c0);
+      const std::uint32_t hi = restrict_rec(gn.hi, c1);
+      r = find_or_add(gn.var, lo, hi);
+    }
   }
-};
-}  // namespace
+  cache_insert(kOpRestrict, g, c, 0, r);
+  return r;
+}
 
 Bdd BddManager::restrict(const Bdd& f, const Bdd& care) {
   POLIS_CHECK(f.mgr_ == this && care.mgr_ == this);
-  std::unordered_map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t,
-                     PairHash>
-      memo;
-  auto rec = [&](std::uint32_t g, std::uint32_t c, auto&& self) -> std::uint32_t {
-    if (c == kZero) return kZero;  // entirely don't care: anything goes
-    if (c == kOne || is_term(g)) return g;
-    auto it = memo.find({g, c});
-    if (it != memo.end()) return it->second;
-
-    std::uint32_t r;
-    const int lg = level(g);
-    const int lc = level(c);
-    if (lc < lg) {
-      // The care set constrains a variable above g's top: merge branches.
-      // Copy: recursion below may grow nodes_ and invalidate references.
-      const Node cn = nodes_[c];
-      r = self(g, ite_rec(cn.lo, kOne, cn.hi), self);  // c|v=0 ∨ c|v=1
-    } else {
-      const Node gn = nodes_[g];
-      const std::uint32_t c1 = (lc == lg) ? nodes_[c].hi : c;
-      const std::uint32_t c0 = (lc == lg) ? nodes_[c].lo : c;
-      if (c1 == kZero) {
-        r = self(gn.lo, c0, self);  // sibling substitution
-      } else if (c0 == kZero) {
-        r = self(gn.hi, c1, self);
-      } else {
-        const std::uint32_t lo = self(gn.lo, c0, self);
-        const std::uint32_t hi = self(gn.hi, c1, self);
-        r = find_or_add(gn.var, lo, hi);
-      }
-    }
-    memo.emplace(std::make_pair(g, c), r);
-    return r;
-  };
-  return make(rec(f.idx_, care.idx_, rec));
+  return make(restrict_rec(f.idx_, care.idx_));
 }
+
+// --- Queries ---------------------------------------------------------------------
 
 std::set<int> BddManager::support(const Bdd& f) {
   POLIS_CHECK(f.mgr_ == this);
   std::set<int> out;
-  std::unordered_set<std::uint32_t> seen;
-  std::vector<std::uint32_t> stack{f.idx_};
-  while (!stack.empty()) {
-    const std::uint32_t n = stack.back();
-    stack.pop_back();
-    if (is_term(n) || !seen.insert(n).second) continue;
+  if (visit_epoch_.size() < nodes_.size()) visit_epoch_.resize(nodes_.size(), 0);
+  ++epoch_;
+  visit_stack_.clear();
+  visit_stack_.push_back(f.idx_);
+  while (!visit_stack_.empty()) {
+    const std::uint32_t n = visit_stack_.back();
+    visit_stack_.pop_back();
+    if (is_term(n) || visit_epoch_[n] == epoch_) continue;
+    visit_epoch_[n] = epoch_;
     out.insert(static_cast<int>(nodes_[n].var));
-    stack.push_back(nodes_[n].lo);
-    stack.push_back(nodes_[n].hi);
+    visit_stack_.push_back(nodes_[n].lo);
+    visit_stack_.push_back(nodes_[n].hi);
   }
   return out;
 }
@@ -386,29 +624,13 @@ size_t BddManager::node_count(const Bdd& f) {
 }
 
 size_t BddManager::node_count(const std::vector<Bdd>& roots) {
-  std::unordered_set<std::uint32_t> seen;
-  std::vector<std::uint32_t> stack;
-  for (const Bdd& r : roots) {
-    POLIS_CHECK(r.mgr_ == this);
-    stack.push_back(r.idx_);
-  }
-  size_t count = 0;
-  while (!stack.empty()) {
-    const std::uint32_t n = stack.back();
-    stack.pop_back();
-    if (is_term(n) || !seen.insert(n).second) continue;
-    ++count;
-    stack.push_back(nodes_[n].lo);
-    stack.push_back(nodes_[n].hi);
-  }
-  return count;
-}
-
-size_t BddManager::live_node_count() {
   if (visit_epoch_.size() < nodes_.size()) visit_epoch_.resize(nodes_.size(), 0);
   ++epoch_;
   visit_stack_.clear();
-  for (const Bdd* h : handles_) visit_stack_.push_back(h->idx_);
+  for (const Bdd& r : roots) {
+    POLIS_CHECK(r.mgr_ == this);
+    visit_stack_.push_back(r.idx_);
+  }
   size_t count = 0;
   while (!visit_stack_.empty()) {
     const std::uint32_t n = visit_stack_.back();
@@ -421,6 +643,29 @@ size_t BddManager::live_node_count() {
   }
   return count;
 }
+
+size_t BddManager::mark_live() {
+  if (visit_epoch_.size() < nodes_.size()) visit_epoch_.resize(nodes_.size(), 0);
+  compact_roots();
+  ++epoch_;
+  visit_stack_.clear();
+  for (const std::uint32_t r : roots_) visit_stack_.push_back(r);
+  size_t count = 0;
+  while (!visit_stack_.empty()) {
+    const std::uint32_t n = visit_stack_.back();
+    visit_stack_.pop_back();
+    if (is_term(n) || visit_epoch_[n] == epoch_) continue;
+    visit_epoch_[n] = epoch_;
+    ++count;
+    visit_stack_.push_back(nodes_[n].lo);
+    visit_stack_.push_back(nodes_[n].hi);
+  }
+  return count;
+}
+
+size_t BddManager::live_node_count() { return mark_live(); }
+
+// --- Reordering / memory ---------------------------------------------------------
 
 size_t BddManager::swap_adjacent_levels(int level) {
   POLIS_CHECK_MSG(level >= 0 && level + 1 < num_vars(),
@@ -436,20 +681,38 @@ size_t BddManager::swap_adjacent_levels(int level) {
   // preserving its function (and hence its index, all handles and the
   // computed cache). Nodes labelled x with y-free cofactors just ride to
   // the lower level untouched; all other nodes are unaffected.
-  auto& x_list = var_nodes_[static_cast<size_t>(x)];
-  auto& y_list = var_nodes_[static_cast<size_t>(y)];
-  swap_scratch_.assign(x_list.begin(), x_list.end());
-  x_list.clear();  // capacity retained: steady-state swaps do not allocate
-  size_t rewritten = 0;
+  //
+  // Steal x's chains wholesale, then reinsert in two passes: y-independent
+  // nodes first, so the find_or_add calls of the rewrite pass hash-cons
+  // against them (a rewrite's new children are y-free x-nodes, which can
+  // never equal a pending rewrite — those still have a y-labelled child).
+  Subtable& stx = subtables_[static_cast<size_t>(x)];
+  swap_scratch_.clear();
+  for (std::uint32_t& head : stx.buckets) {
+    for (std::uint32_t n = head; n != kNil; n = nodes_[n].next)
+      swap_scratch_.push_back(n);
+    head = kNil;
+  }
+  stx.count = 0;
+
+  size_t deps = 0;
   for (const std::uint32_t n : swap_scratch_) {
     const std::uint32_t f1 = nodes_[n].hi;
     const std::uint32_t f0 = nodes_[n].lo;
     const bool hi_dep = !is_term(f1) && nodes_[f1].var == yv;
     const bool lo_dep = !is_term(f0) && nodes_[f0].var == yv;
-    if (!hi_dep && !lo_dep) {
-      x_list.push_back(n);
-      continue;
+    if (hi_dep || lo_dep) {
+      swap_scratch_[deps++] = n;  // rewrite below
+    } else {
+      subtable_insert(xv, n);  // rides to the lower level untouched
     }
+  }
+  for (size_t i = 0; i < deps; ++i) {
+    const std::uint32_t n = swap_scratch_[i];
+    const std::uint32_t f1 = nodes_[n].hi;
+    const std::uint32_t f0 = nodes_[n].lo;
+    const bool hi_dep = !is_term(f1) && nodes_[f1].var == yv;
+    const bool lo_dep = !is_term(f0) && nodes_[f0].var == yv;
     const std::uint32_t f11 = hi_dep ? nodes_[f1].hi : f1;
     const std::uint32_t f10 = hi_dep ? nodes_[f1].lo : f1;
     const std::uint32_t f01 = lo_dep ? nodes_[f0].hi : f0;
@@ -458,52 +721,47 @@ size_t BddManager::swap_adjacent_levels(int level) {
     // can only hit (or create) y-free x-nodes — never a pending rewrite.
     const std::uint32_t new_hi = find_or_add(xv, f01, f11);
     const std::uint32_t new_lo = find_or_add(xv, f00, f10);
-    unique_.erase(UniqueKey{xv, f0, f1});
-    nodes_[n] = Node{yv, new_lo, new_hi};
-    unique_.emplace(UniqueKey{yv, new_lo, new_hi}, n);
-    y_list.push_back(n);
-    ++rewritten;
+    nodes_[n].var = yv;
+    nodes_[n].lo = new_lo;
+    nodes_[n].hi = new_hi;
+    subtable_insert(yv, n);
   }
   std::swap(invperm_[static_cast<size_t>(level)],
             invperm_[static_cast<size_t>(level + 1)]);
   perm_[static_cast<size_t>(x)] = level + 1;
   perm_[static_cast<size_t>(y)] = level;
-  return rewritten;
+  return deps;
 }
 
-std::uint32_t BddManager::transfer_from(
-    BddManager& src, std::uint32_t f,
-    std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
+std::uint32_t BddManager::transfer_from(BddManager& src, std::uint32_t f,
+                                        std::vector<std::uint32_t>& memo) {
   if (src.is_term(f)) return f;  // terminals share indices across managers
-  auto it = memo.find(f);
-  if (it != memo.end()) return it->second;
+  if (memo[f] != kNil) return memo[f];
   const Node n = src.nodes_[f];
   const std::uint32_t lo = transfer_from(src, n.lo, memo);
   const std::uint32_t hi = transfer_from(src, n.hi, memo);
   const std::uint32_t v_idx =
       find_or_add(n.var, kZero, kOne);  // the variable itself
   const std::uint32_t r = ite_rec(v_idx, hi, lo);
-  memo.emplace(f, r);
+  memo[f] = r;
   return r;
 }
 
 std::vector<std::uint32_t> BddManager::live_roots() const {
-  std::unordered_set<std::uint32_t> uniq;
-  for (const Bdd* h : handles_) uniq.insert(h->idx_);
-  return std::vector<std::uint32_t>(uniq.begin(), uniq.end());
+  std::vector<std::uint32_t> out;
+  out.reserve(roots_.size());
+  for (const std::uint32_t idx : roots_) {
+    if (extref_[idx] > 0) out.push_back(idx);
+  }
+  return out;
 }
 
 std::vector<size_t> BddManager::var_node_profile() {
   std::vector<size_t> profile(static_cast<size_t>(num_vars()), 0);
-  std::unordered_set<std::uint32_t> seen;
-  std::vector<std::uint32_t> stack = live_roots();
-  while (!stack.empty()) {
-    const std::uint32_t n = stack.back();
-    stack.pop_back();
-    if (is_term(n) || !seen.insert(n).second) continue;
-    profile[nodes_[n].var]++;
-    stack.push_back(nodes_[n].lo);
-    stack.push_back(nodes_[n].hi);
+  mark_live();
+  // Every node marked with the current epoch is live; bucket it by var.
+  for (std::uint32_t n = 2; n < nodes_.size(); ++n) {
+    if (visit_epoch_[n] == epoch_) profile[nodes_[n].var]++;
   }
   return profile;
 }
@@ -524,48 +782,93 @@ void BddManager::set_order(const std::vector<int>& order) {
   for (int lvl = 0; lvl < num_vars(); ++lvl)
     scratch.perm_[static_cast<size_t>(order[static_cast<size_t>(lvl)])] = lvl;
 
-  std::unordered_map<std::uint32_t, std::uint32_t> memo;
-  // Retarget every handle to its image in the scratch arena.
-  std::unordered_map<std::uint32_t, std::uint32_t> image;
-  for (Bdd* h : handles_) {
-    auto it = image.find(h->idx_);
-    if (it == image.end()) {
-      const std::uint32_t r = scratch.transfer_from(*this, h->idx_, memo);
-      it = image.emplace(h->idx_, r).first;
-    }
-    h->idx_ = it->second;
+  // Retarget every handle to its image in the scratch arena. The old arena
+  // stays intact for the whole loop, so handles sharing an index and index
+  // coincidences between old and new values are both harmless.
+  std::vector<std::uint32_t> memo(nodes_.size(), kNil);
+  for (Bdd* h = handle_head_; h != nullptr; h = h->next_) {
+    h->idx_ = scratch.transfer_from(*this, h->idx_, memo);
   }
 
   nodes_ = std::move(scratch.nodes_);
-  unique_ = std::move(scratch.unique_);
-  ite_cache_.clear();
+  subtables_ = std::move(scratch.subtables_);
   perm_ = std::move(scratch.perm_);
   invperm_ = std::move(scratch.invperm_);
-  var_nodes_ = std::move(scratch.var_nodes_);
+  free_head_ = kNil;
+  cache_clear();
+  rebuild_refs();
+  visit_epoch_.assign(nodes_.size(), 0);
+  stats_.peak_nodes = std::max(stats_.peak_nodes, nodes_.size());
 }
 
-void BddManager::garbage_collect() { set_order(invperm_); }
+void BddManager::garbage_collect() {
+  const size_t before = nodes_.size();
+  mark_live();
+
+  // Compact in place: remap old → new indices (terminals are fixed points),
+  // rewrite children through the completed map, then rehash the subtables.
+  std::vector<std::uint32_t> remap(nodes_.size(), kNil);
+  remap[kZero] = kZero;
+  remap[kOne] = kOne;
+  std::uint32_t next = 2;
+  for (std::uint32_t i = 2; i < nodes_.size(); ++i) {
+    if (visit_epoch_[i] == epoch_) remap[i] = next++;
+  }
+  for (std::uint32_t i = 2; i < nodes_.size(); ++i) {
+    if (remap[i] == kNil) continue;
+    const Node n = nodes_[i];
+    nodes_[remap[i]] = Node{n.var, remap[n.lo], remap[n.hi], kNil};
+  }
+  nodes_.resize(next);
+
+  for (Subtable& st : subtables_) {
+    std::fill(st.buckets.begin(), st.buckets.end(), kNil);
+    st.count = 0;
+  }
+  for (std::uint32_t i = 2; i < next; ++i) subtable_insert(nodes_[i].var, i);
+
+  for (Bdd* h = handle_head_; h != nullptr; h = h->next_) {
+    if (h->idx_ > kOne) h->idx_ = remap[h->idx_];
+  }
+
+  free_head_ = kNil;
+  cache_clear();
+  rebuild_refs();
+  visit_epoch_.assign(nodes_.size(), 0);
+  if (before > nodes_.size()) {
+    ++stats_.gc_runs;
+    stats_.nodes_reclaimed += before - nodes_.size();
+  }
+}
 
 size_t BddManager::prune_dead_nodes() {
-  // Mark live nodes (epoch left in visit_epoch_ for the filter below).
-  live_node_count();
+  mark_live();  // leaves the liveness epoch in visit_epoch_
   size_t removed = 0;
-  for (auto& list : var_nodes_) {
-    size_t keep = 0;
-    for (const std::uint32_t idx : list) {
-      if (visit_epoch_[idx] == epoch_) {
-        list[keep++] = idx;
-      } else {
-        const Node& n = nodes_[idx];
-        unique_.erase(UniqueKey{n.var, n.lo, n.hi});
-        ++removed;
+  for (Subtable& st : subtables_) {
+    for (std::uint32_t& head : st.buckets) {
+      std::uint32_t* link = &head;
+      while (*link != kNil) {
+        const std::uint32_t n = *link;
+        if (visit_epoch_[n] == epoch_) {
+          link = &nodes_[n].next;
+        } else {
+          *link = nodes_[n].next;
+          nodes_[n].var = kDeadVar;
+          nodes_[n].next = free_head_;
+          free_head_ = n;
+          --st.count;
+          ++removed;
+        }
       }
     }
-    list.resize(keep);
   }
-  // Cached ITE results may point at pruned nodes; those indices would no
-  // longer be re-keyed by future level swaps, so drop the cache.
-  if (removed > 0) ite_cache_.clear();
+  if (removed > 0) {
+    // Cached results may reference pruned slots, which the free list will
+    // recycle into different functions; drop the cache.
+    cache_clear();
+    ++stats_.gc_runs;
+    stats_.nodes_reclaimed += removed;
+  }
   return removed;
 }
 
@@ -577,7 +880,7 @@ size_t BddManager::size_under_order(const std::vector<int>& order) {
   for (int lvl = 0; lvl < num_vars(); ++lvl)
     scratch.perm_[static_cast<size_t>(order[static_cast<size_t>(lvl)])] = lvl;
 
-  std::unordered_map<std::uint32_t, std::uint32_t> memo;
+  std::vector<std::uint32_t> memo(nodes_.size(), kNil);
   std::vector<Bdd> roots;
   for (std::uint32_t idx : live_roots()) {
     const std::uint32_t r = scratch.transfer_from(*this, idx, memo);

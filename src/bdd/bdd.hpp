@@ -3,18 +3,41 @@
 // smoothing (existential quantification, §II-C), support computation, and
 // order replacement used by the sifting reorderer (Rudell [31]).
 //
-// Handles (`Bdd`) are registered with their `BddManager`, which lets the
-// manager retarget every live handle when the variable order changes or when
-// the node arena is compacted. Handles must not outlive their manager; if the
-// manager is destroyed first, surviving handles become null.
+// The kernel follows Brace–Rudell–Bryant ("Efficient Implementation of a BDD
+// Package") and Somenzi's CUDD:
+//
+//   * The unique table is split into per-variable subtables. Each subtable is
+//     an open-addressed bucket array whose collision chains are intrusive
+//     `next` indices threaded through the node arena — no separate hash-map
+//     nodes, no per-insert allocation. The chains double as the per-variable
+//     node enumeration that `swap_adjacent_levels` rewrites.
+//   * All operation results go through one fixed-size, power-of-two, lossy
+//     computed cache, tagged by operation (ITE, NOT, cofactor, exists,
+//     forall, compose, restrict). Collisions simply overwrite (no chains, no
+//     allocation); hit/miss/eviction counters feed the bench harnesses and a
+//     high-load policy doubles the cache while it keeps earning hits.
+//   * Garbage collection is reference-count based: registered handles hold
+//     external references, so the distinct live roots are known without
+//     scanning the handle set. `prune_dead_nodes` unlinks dead nodes from the
+//     subtable chains onto an intrusive free list (slots are recycled by the
+//     next allocation); `garbage_collect` compacts the arena in place and
+//     rehashes the subtables — no scratch-manager rebuild.
+//
+// Handles (`Bdd`) are registered with their `BddManager` on an intrusive
+// doubly-linked list (registration is O(1) and allocation-free), which lets
+// the manager retarget every live handle when the variable order changes or
+// when the node arena is compacted. Handles must not outlive their manager;
+// if the manager is destroyed first, surviving handles become null.
+//
+// A manager and its handles are confined to one thread; share-nothing
+// parallelism (one manager per CFSM, as in `synthesize_network`) is the
+// supported concurrency model.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <set>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace polis::bdd {
@@ -65,9 +88,43 @@ class Bdd {
 
   BddManager* mgr_ = nullptr;
   std::uint32_t idx_ = 0;
+  // Intrusive registry links (owned by the manager).
+  Bdd* prev_ = nullptr;
+  Bdd* next_ = nullptr;
 };
 
-/// Owns the node arena, unique table, computed cache and variable order.
+/// Kernel counters, snapshotted by `BddManager::stats()`. All counts are
+/// cumulative since construction (or the last `reset_stats`).
+struct KernelStats {
+  // Computed cache.
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_inserts = 0;
+  std::uint64_t cache_evictions = 0;  // overwrites of a different live entry
+  std::uint64_t cache_resizes = 0;
+  std::size_t cache_capacity = 0;  // current entry count (power of two)
+  // Unique table.
+  std::uint64_t unique_lookups = 0;
+  std::uint64_t unique_hits = 0;
+  // Arena.
+  std::size_t arena_nodes = 0;  // allocated slots (live + garbage + free)
+  std::size_t peak_nodes = 0;   // high-water arena size
+  std::uint64_t nodes_created = 0;
+  std::uint64_t nodes_recycled = 0;  // allocations served from the free list
+  // Garbage collection.
+  std::uint64_t gc_runs = 0;  // prune or compaction passes that freed nodes
+  std::uint64_t nodes_reclaimed = 0;
+
+  double cache_hit_rate() const {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_lookups);
+  }
+};
+
+/// Owns the node arena, per-variable unique subtables, computed cache and
+/// variable order.
 class BddManager {
  public:
   BddManager();
@@ -107,8 +164,11 @@ class BddManager {
   Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
   Bdd band(const Bdd& f, const Bdd& g) { return ite(f, g, zero()); }
   Bdd bor(const Bdd& f, const Bdd& g) { return ite(f, one(), g); }
-  Bdd bxor(const Bdd& f, const Bdd& g) { return ite(f, bnot(g), g); }
-  Bdd bnot(const Bdd& f) { return ite(f, zero(), one()); }
+  Bdd bxor(const Bdd& f, const Bdd& g);
+  /// Complement, memoized in the computed cache under its own tag (both
+  /// directions: ¬f → r and ¬r → f), so repeated negations in
+  /// reactive-function construction are O(1) hits instead of ITE recursions.
+  Bdd bnot(const Bdd& f);
   Bdd implies(const Bdd& f, const Bdd& g) { return ite(f, g, one()); }
 
   /// Restriction f|_{var=val} (cofactor, §II-C).
@@ -149,8 +209,24 @@ class BddManager {
   /// Internal nodes reachable from any of `roots` (shared nodes counted
   /// once, terminals excluded).
   size_t node_count(const std::vector<Bdd>& roots);
-  /// Total nodes in the arena (live + garbage).
+  /// Total node slots in the arena (live + garbage + free).
   size_t arena_size() const { return nodes_.size(); }
+
+  /// Nodes currently threaded on the unique-table chains (live + garbage,
+  /// excluding recycled free slots). The gap to `live_node_count` is the
+  /// garbage a `prune_dead_nodes` would reclaim — the sifting loop's prune
+  /// trigger.
+  size_t table_node_count() const {
+    size_t total = 0;
+    for (const Subtable& st : subtables_) total += st.count;
+    return total;
+  }
+
+  /// Kernel counter snapshot (cache hit rates, peak nodes, GC work).
+  KernelStats stats() const;
+  /// Clears the cumulative counters; `peak_nodes` restarts from the current
+  /// arena size.
+  void reset_stats();
 
   // --- Reordering / memory -----------------------------------------------------
 
@@ -163,30 +239,34 @@ class BddManager {
   /// upper variable. Every node index keeps denoting the same Boolean
   /// function, so registered handles, the unique table and the computed
   /// cache all stay valid — no arena rebuild. Children of swapped nodes may
-  /// be orphaned (collected by the next `garbage_collect`). Returns the
+  /// be orphaned (reclaimed by the next `prune_dead_nodes`). Returns the
   /// number of nodes rewritten.
   size_t swap_adjacent_levels(int level);
 
   /// Internal nodes reachable from the registered handles (terminals
-  /// excluded): the sifting objective. O(live) per call, allocation-free
-  /// after the first call — much cheaper than `size_under_order`.
+  /// excluded): the sifting objective. O(live) per call via the
+  /// reference-counted root set — independent of how many handles alias the
+  /// same roots.
   size_t live_node_count();
 
-  /// Compacts the arena, keeping only nodes reachable from live handles.
+  /// Compacts the arena in place, keeping only nodes reachable from live
+  /// handles: dead slots are squeezed out, live nodes are remapped, and the
+  /// subtables are rehashed (no scratch-manager rebuild). Registered handles
+  /// are retargeted to the compacted indices.
   void garbage_collect();
 
-  /// Removes nodes unreachable from live handles from the unique table and
-  /// the per-variable subtables without rebuilding the arena (their slots
-  /// stay allocated until `garbage_collect`). O(arena), no handle
-  /// retargeting — cheap enough for the sifting hot loop. Returns the
-  /// number of nodes pruned.
+  /// Unlinks nodes unreachable from live handles from the subtable chains
+  /// and pushes their slots onto the free list for recycling (the arena is
+  /// not compacted). O(arena), no handle retargeting — cheap enough for the
+  /// sifting hot loop. Returns the number of nodes pruned.
   size_t prune_dead_nodes();
 
   /// Size (node count) the live handles would have under `order`, without
   /// modifying this manager. Used by the sifting reorderer.
   size_t size_under_order(const std::vector<int>& order);
 
-  /// Distinct node indices of all registered handles (live roots).
+  /// Distinct node indices of all registered handles (live roots; terminals
+  /// excluded).
   std::vector<std::uint32_t> live_roots() const;
 
   /// Per-variable count of live nodes (reachable from registered handles).
@@ -199,73 +279,139 @@ class BddManager {
     std::uint32_t var;
     std::uint32_t lo;
     std::uint32_t hi;
+    /// Intrusive link: next node in this node's unique-subtable collision
+    /// chain, or next slot on the free list once the node is dead.
+    std::uint32_t next;
   };
-  struct UniqueKey {
-    std::uint32_t var, lo, hi;
-    bool operator==(const UniqueKey& o) const {
-      return var == o.var && lo == o.lo && hi == o.hi;
-    }
+
+  /// Per-variable unique subtable: bucket heads into the intrusive chains.
+  struct Subtable {
+    std::vector<std::uint32_t> buckets;  // kNil-terminated chain heads
+    std::uint32_t count = 0;             // nodes currently in the chains
   };
-  struct UniqueKeyHash {
-    size_t operator()(const UniqueKey& k) const {
-      std::uint64_t h = (std::uint64_t)k.var * 0x9e3779b97f4a7c15ULL;
-      h ^= (std::uint64_t)k.lo + 0xbf58476d1ce4e5b9ULL + (h << 6);
-      h ^= (std::uint64_t)k.hi + 0x94d049bb133111ebULL + (h << 12);
-      return static_cast<size_t>(h ^ (h >> 29));
-    }
+
+  /// One lossy computed-cache entry; `op == kOpNone` marks an empty slot.
+  struct CacheEntry {
+    std::uint32_t op = 0;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint32_t c = 0;
+    std::uint32_t result = 0;
   };
-  struct IteKey {
-    std::uint32_t f, g, h;
-    bool operator==(const IteKey& o) const {
-      return f == o.f && g == o.g && h == o.h;
-    }
-  };
-  struct IteKeyHash {
-    size_t operator()(const IteKey& k) const {
-      return UniqueKeyHash()(UniqueKey{k.f, k.g, k.h});
-    }
+
+  enum CacheOp : std::uint32_t {
+    kOpNone = 0,
+    kOpIte,
+    kOpNot,
+    kOpCofactor,  // b = (var << 1) | val
+    kOpExists,    // b = positive cube of the quantified vars
+    kOpForall,    // b = positive cube of the quantified vars
+    kOpCompose,   // b = g, c = var
+    kOpRestrict,  // b = care
   };
 
   static constexpr std::uint32_t kZero = 0;
   static constexpr std::uint32_t kOne = 1;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
   static constexpr std::uint32_t kTermVar = 0xffffffffu;
+  static constexpr std::uint32_t kDeadVar = 0xfffffffeu;
+  static constexpr size_t kInitBuckets = 8;         // per-subtable
+  static constexpr size_t kMaxChainLoad = 4;        // avg chain length bound
+  static constexpr size_t kInitCacheEntries = 1u << 12;
+  static constexpr size_t kMaxCacheEntries = 1u << 22;
 
   Bdd make(std::uint32_t idx) { return Bdd(this, idx); }
   bool is_term(std::uint32_t n) const { return n <= kOne; }
   int level(std::uint32_t n) const {
     return is_term(n) ? kTermLevel : perm_[nodes_[n].var];
   }
+
+  // Unique table.
   std::uint32_t find_or_add(std::uint32_t var, std::uint32_t lo,
                             std::uint32_t hi);
+  void subtable_insert(std::uint32_t var, std::uint32_t idx);
+  void grow_subtable(Subtable& st);
+  static std::uint32_t hash_children(std::uint32_t lo, std::uint32_t hi) {
+    std::uint64_t h = (static_cast<std::uint64_t>(lo) << 32) | hi;
+    h *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::uint32_t>(h >> 32);
+  }
+
+  // Computed cache.
+  bool cache_lookup(std::uint32_t op, std::uint32_t a, std::uint32_t b,
+                    std::uint32_t c, std::uint32_t* result);
+  void cache_insert(std::uint32_t op, std::uint32_t a, std::uint32_t b,
+                    std::uint32_t c, std::uint32_t result);
+  void cache_clear();
+  void resize_cache(size_t new_entries);
+  size_t cache_slot(std::uint32_t op, std::uint32_t a, std::uint32_t b,
+                    std::uint32_t c) const {
+    std::uint64_t h = a * 0x9e3779b97f4a7c15ULL;
+    h = (h ^ b) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ c) * 0x94d049bb133111ebULL;
+    h ^= op * 0x2545f4914f6cdd1dULL;
+    h ^= h >> 29;
+    return static_cast<size_t>(h) & cache_mask_;
+  }
+
+  // Operations on raw indices.
   std::uint32_t ite_rec(std::uint32_t f, std::uint32_t g, std::uint32_t h);
-  std::uint32_t cofactor_rec(std::uint32_t f, int var, bool val,
-                             std::unordered_map<std::uint32_t, std::uint32_t>& memo);
-  std::uint32_t quant_rec(std::uint32_t f, const std::vector<bool>& in_set,
-                          bool existential,
-                          std::unordered_map<std::uint32_t, std::uint32_t>& memo);
+  std::uint32_t bnot_rec(std::uint32_t f);
+  std::uint32_t cofactor_rec(std::uint32_t f, int var, bool val);
+  std::uint32_t quant_rec(std::uint32_t f, std::uint32_t cube,
+                          bool existential);
+  std::uint32_t compose_rec(std::uint32_t f, int var, std::uint32_t g);
+  std::uint32_t restrict_rec(std::uint32_t f, std::uint32_t care);
+  /// Positive cube (ordered conjunction) of `vars`, built bottom-up.
+  std::uint32_t make_cube(const std::vector<int>& vars);
   std::uint32_t transfer_from(BddManager& src, std::uint32_t f,
-                              std::unordered_map<std::uint32_t, std::uint32_t>& memo);
-  void register_handle(Bdd* h) { handles_.insert(h); }
-  void unregister_handle(Bdd* h) { handles_.erase(h); }
+                              std::vector<std::uint32_t>& memo);
+
+  // Handle registry + reference-counted roots.
+  void register_handle(Bdd* h);
+  void unregister_handle(Bdd* h);
+  void add_ref(std::uint32_t idx);
+  void deref(std::uint32_t idx);
+  /// Drops zero-reference entries from the root list.
+  void compact_roots();
+  /// Recomputes extref_/roots_ from the registered handles (used after
+  /// compaction or order replacement remaps every index).
+  void rebuild_refs();
+
+  /// Marks nodes reachable from the live roots with a fresh epoch and
+  /// returns the internal-node count. Leaves the epoch in visit_epoch_ for
+  /// callers that filter by liveness.
+  size_t mark_live();
+
   void check_var(int v) const;
 
   static constexpr int kTermLevel = 0x7fffffff;
 
   std::vector<Node> nodes_;
-  std::unordered_map<UniqueKey, std::uint32_t, UniqueKeyHash> unique_;
-  std::unordered_map<IteKey, std::uint32_t, IteKeyHash> ite_cache_;
+  std::vector<Subtable> subtables_;   // one per variable
+  std::uint32_t free_head_ = kNil;    // intrusive free list through `next`
+  std::vector<CacheEntry> cache_;
+  size_t cache_mask_ = 0;
   std::vector<int> perm_;     // var -> level
   std::vector<int> invperm_;  // level -> var
   std::vector<std::string> names_;
-  std::unordered_set<Bdd*> handles_;
-  // Per-variable subtables (node indices labelled with each var, live or
-  // garbage) so a level swap touches only the affected nodes.
-  std::vector<std::vector<std::uint32_t>> var_nodes_;
+  Bdd* handle_head_ = nullptr;  // intrusive doubly-linked handle registry
+  // External (handle) reference counts and the lazily-compacted list of
+  // distinct referenced nodes. in_roots_ keeps roots_ duplicate-free across
+  // 1→0→1 refcount churn.
+  std::vector<std::uint32_t> extref_;
+  std::vector<std::uint8_t> in_roots_;
+  std::vector<std::uint32_t> roots_;
   // Epoch-marked visit buffer for allocation-free live traversals.
   std::vector<std::uint64_t> visit_epoch_;
   std::vector<std::uint32_t> visit_stack_;
   std::vector<std::uint32_t> swap_scratch_;
   std::uint64_t epoch_ = 0;
+  // Cache resize policy state.
+  std::uint64_t cache_lookups_at_resize_ = 0;
+  std::uint64_t cache_hits_at_resize_ = 0;
+  std::uint64_t cache_inserts_at_resize_ = 0;
+  KernelStats stats_;
 };
 
 }  // namespace polis::bdd

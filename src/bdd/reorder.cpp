@@ -141,24 +141,24 @@ size_t sift(BddManager& mgr,
     blocks_up[static_cast<size_t>(below)][static_cast<size_t>(above)] = 1;
   }
 
-  size_t arena_floor = mgr.arena_size();
   for (int pass = 0; pass < options.passes; ++pass) {
     bool improved_this_pass = false;
     for (int v : sift_candidates(mgr, options)) {
-      // Swaps leave orphaned nodes behind; prune them from the subtables
-      // once the growth since the last prune dominates the live size, so a
-      // swap's cost stays proportional to the nodes actually on its levels.
-      if (mgr.arena_size() > arena_floor + std::max<size_t>(128, 2 * current)) {
+      // Swaps leave orphaned nodes behind, still threaded on the unique
+      // table where later swaps would keep rewriting them; prune once the
+      // garbage dominates the live size, so a swap's cost stays
+      // proportional to the nodes actually on its levels. (The arena itself
+      // barely grows — freed slots are recycled — so table occupancy, not
+      // arena size, is the signal.)
+      if (mgr.table_node_count() > std::max<size_t>(128, 3 * current)) {
         mgr.prune_dead_nodes();
         ++tel.garbage_collections;
-        arena_floor = mgr.arena_size();
       }
       // Pruning leaves dead slots allocated; compact outright if the arena
       // has grown far beyond the live size.
       if (mgr.arena_size() > std::max<size_t>(size_t{1} << 16, 64 * current)) {
         mgr.garbage_collect();
         ++tel.garbage_collections;
-        arena_floor = mgr.arena_size();
       }
 
       const int start = mgr.level_of(v);

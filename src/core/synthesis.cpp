@@ -1,8 +1,12 @@
 #include "core/synthesis.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <exception>
+#include <vector>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace polis {
 
@@ -51,17 +55,54 @@ NetworkSynthesis synthesize_network(const cfsm::Network& network,
     shared.cost_model = &local_model;
   }
 
-  NetworkSynthesis out;
-  std::map<const cfsm::Cfsm*, SynthesisResult> by_machine;
+  // Distinct machines in first-appearance order (instances sharing one
+  // machine are synthesized once). Each machine's flow owns a private
+  // BddManager, so the per-machine jobs below share only the read-only cost
+  // model and write to disjoint result slots — the parallel path is
+  // byte-identical to the serial one.
+  std::vector<std::shared_ptr<const cfsm::Cfsm>> machines;
+  std::map<const cfsm::Cfsm*, size_t> slot_of;
   for (const cfsm::Instance& inst : network.instances()) {
-    auto cached = by_machine.find(inst.machine.get());
-    if (cached == by_machine.end())
-      cached = by_machine
-                   .emplace(inst.machine.get(),
-                            synthesize(inst.machine, shared))
-                   .first;
-    out.per_instance[inst.name] = cached->second;
-    out.max_cycles[inst.name] = cached->second.estimate.max_cycles;
+    if (slot_of.emplace(inst.machine.get(), machines.size()).second)
+      machines.push_back(inst.machine);
+  }
+
+  std::vector<SynthesisResult> results(machines.size());
+  std::vector<std::exception_ptr> errors(machines.size());
+  const size_t want =
+      shared.num_threads > 0 ? static_cast<size_t>(shared.num_threads)
+                             : ThreadPool::default_threads();
+  const size_t threads = std::min(want, machines.size());
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < machines.size(); ++i) {
+      pool.submit([&, i] {
+        try {
+          results[i] = synthesize(machines[i], shared);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  } else {
+    for (size_t i = 0; i < machines.size(); ++i) {
+      try {
+        results[i] = synthesize(machines[i], shared);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  NetworkSynthesis out;
+  for (const cfsm::Instance& inst : network.instances()) {
+    const SynthesisResult& r = results[slot_of.at(inst.machine.get())];
+    out.per_instance[inst.name] = r;
+    out.max_cycles[inst.name] = r.estimate.max_cycles;
   }
   return out;
 }

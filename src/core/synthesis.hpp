@@ -32,6 +32,11 @@ struct SynthesisOptions {
   /// Reuse a pre-calibrated cost model (calibration is deterministic but
   /// not free); when null, one is calibrated for `target`.
   const estim::CostModel* cost_model = nullptr;
+  /// Worker threads for `synthesize_network`. Each distinct machine owns an
+  /// independent BddManager, so per-machine synthesis is share-nothing and
+  /// the parallel path is byte-identical to the serial one. 0 = one thread
+  /// per hardware core; 1 = serial.
+  int num_threads = 0;
 };
 
 struct SynthesisResult {

@@ -1,0 +1,55 @@
+// A small fixed-size thread pool for share-nothing parallelism: the
+// synthesis flow runs one BddManager per CFSM, so distinct machines can be
+// synthesized concurrently with no shared mutable state (§I-H synthesizes
+// one CFSM at a time; the network loop is embarrassingly parallel).
+//
+// Jobs are plain std::function<void()>; `wait_idle` blocks until every
+// submitted job has finished. Exceptions must be handled inside the job
+// (capture an std::exception_ptr per slot and rethrow after wait_idle), so
+// a worker never dies mid-pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace polis {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Must not be called after destruction has begun.
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and no worker is running a job.
+  void wait_idle();
+
+  size_t size() const { return workers_.size(); }
+
+  /// Hardware concurrency with a sane floor (std::thread::hardware_concurrency
+  /// may return 0).
+  static size_t default_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;   // signalled on submit / shutdown
+  std::condition_variable all_idle_;     // signalled when a job finishes
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;  // jobs currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace polis

@@ -1,0 +1,314 @@
+// Kernel-level stress tests for the CUDD-style BddManager internals:
+// randomized operation interleavings checked against truth tables and the
+// rebuild sifting oracle, handle churn through compaction and reordering,
+// and the computed-cache contracts (bnot memoization, stats counters).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "bdd/reorder.hpp"
+#include "util/rng.hpp"
+
+namespace polis::bdd {
+namespace {
+
+using Table = std::vector<bool>;
+
+Table table_of(BddManager& mgr, const Bdd& f, int n) {
+  Table t(static_cast<size_t>(1) << n);
+  for (size_t m = 0; m < t.size(); ++m) {
+    t[m] = mgr.eval(f, [m](int v) { return (m >> v) & 1; });
+  }
+  return t;
+}
+
+// Interleaves every kernel operation — ITE, complement, cofactor,
+// quantification, composition, restrict, GC, in-place sifting (against the
+// rebuild oracle) and order resets — over a rolling pool of functions whose
+// truth tables are maintained independently. Any canonicity bug, stale cache
+// entry, or botched swap/compaction shows up as a truth-table mismatch.
+TEST(BddKernel, RandomizedStressVsTruthTables) {
+  const int n = 8;
+  const size_t kTable = static_cast<size_t>(1) << n;
+  BddManager mgr(n);
+  Rng rng(1234);
+
+  std::vector<std::pair<Bdd, Table>> pool;
+  for (int v = 0; v < n; ++v) {
+    Table t(kTable);
+    for (size_t m = 0; m < kTable; ++m) t[m] = (m >> v) & 1;
+    pool.emplace_back(mgr.var(v), std::move(t));
+  }
+
+  auto pick = [&] {
+    return static_cast<size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1));
+  };
+  auto verify_pool = [&] {
+    for (const auto& [f, t] : pool) EXPECT_EQ(table_of(mgr, f, n), t);
+  };
+
+  for (int it = 0; it < 400; ++it) {
+    const int dice = static_cast<int>(rng.uniform(0, 99));
+    if (dice < 30) {
+      const auto [f, tf] = pool[pick()];
+      const auto [g, tg] = pool[pick()];
+      const auto [h, th] = pool[pick()];
+      const Bdd r = mgr.ite(f, g, h);
+      Table want(kTable);
+      for (size_t m = 0; m < kTable; ++m) want[m] = tf[m] ? tg[m] : th[m];
+      EXPECT_EQ(table_of(mgr, r, n), want);
+      pool.emplace_back(r, std::move(want));
+    } else if (dice < 42) {
+      const auto [f, tf] = pool[pick()];
+      const Bdd r = !f;
+      Table want(kTable);
+      for (size_t m = 0; m < kTable; ++m) want[m] = !tf[m];
+      EXPECT_EQ(table_of(mgr, r, n), want);
+      pool.emplace_back(r, std::move(want));
+    } else if (dice < 52) {
+      const auto [f, tf] = pool[pick()];
+      const int v = static_cast<int>(rng.uniform(0, n - 1));
+      const bool val = rng.flip();
+      const Bdd r = mgr.cofactor(f, v, val);
+      Table want(kTable);
+      for (size_t m = 0; m < kTable; ++m) {
+        const size_t fixed =
+            (m & ~(static_cast<size_t>(1) << v)) |
+            (static_cast<size_t>(val) << v);
+        want[m] = tf[fixed];
+      }
+      EXPECT_EQ(table_of(mgr, r, n), want);
+      pool.emplace_back(r, std::move(want));
+    } else if (dice < 66) {
+      // smooth (∃) or forall (∀) over a small random variable subset.
+      const auto [f, tf] = pool[pick()];
+      const bool exist = dice < 60;
+      std::vector<int> vars;
+      for (int v = 0; v < n; ++v)
+        if (rng.flip(0.25)) vars.push_back(v);
+      if (vars.empty()) vars.push_back(static_cast<int>(rng.uniform(0, n - 1)));
+      const Bdd r = exist ? mgr.smooth(f, vars) : mgr.forall(f, vars);
+      Table want(kTable);
+      for (size_t m = 0; m < kTable; ++m) {
+        bool acc = !exist;
+        for (size_t combo = 0; combo < (static_cast<size_t>(1) << vars.size());
+             ++combo) {
+          size_t point = m;
+          for (size_t i = 0; i < vars.size(); ++i) {
+            point &= ~(static_cast<size_t>(1) << vars[i]);
+            point |= ((combo >> i) & 1) << vars[i];
+          }
+          acc = exist ? (acc || tf[point]) : (acc && tf[point]);
+        }
+        want[m] = acc;
+      }
+      EXPECT_EQ(table_of(mgr, r, n), want);
+      pool.emplace_back(r, std::move(want));
+    } else if (dice < 74) {
+      const auto [f, tf] = pool[pick()];
+      const auto [g, tg] = pool[pick()];
+      const int v = static_cast<int>(rng.uniform(0, n - 1));
+      const Bdd r = mgr.compose(f, v, g);
+      Table want(kTable);
+      for (size_t m = 0; m < kTable; ++m) {
+        const size_t point =
+            (m & ~(static_cast<size_t>(1) << v)) |
+            (static_cast<size_t>(tg[m]) << v);
+        want[m] = tf[point];
+      }
+      EXPECT_EQ(table_of(mgr, r, n), want);
+      pool.emplace_back(r, std::move(want));
+    } else if (dice < 80) {
+      // restrict only promises agreement on the care set; table it
+      // afterwards so it can live in the pool.
+      const auto [f, tf] = pool[pick()];
+      const auto [care, tcare] = pool[pick()];
+      const Bdd r = mgr.restrict(f, care);
+      Table got = table_of(mgr, r, n);
+      for (size_t m = 0; m < kTable; ++m) {
+        if (tcare[m]) {
+          EXPECT_EQ(got[m], tf[m]) << "minterm " << m;
+        }
+      }
+      pool.emplace_back(r, std::move(got));
+    } else if (dice < 86) {
+      mgr.prune_dead_nodes();
+    } else if (dice < 90) {
+      mgr.garbage_collect();
+    } else if (dice < 95) {
+      SiftOptions options;
+      options.verify_with_oracle = true;  // every swap vs sift_by_rebuild
+      sift(mgr, options);
+    } else {
+      mgr.set_order(rng.permutation(n));
+    }
+
+    // Churn handles: drop random non-variable entries once the pool is full,
+    // creating garbage mid-stream.
+    while (pool.size() > 24) {
+      const size_t victim = static_cast<size_t>(
+          rng.uniform(n, static_cast<std::int64_t>(pool.size()) - 1));
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    if (it % 64 == 63) verify_pool();
+  }
+
+  mgr.garbage_collect();
+  verify_pool();
+  const KernelStats s = mgr.stats();
+  EXPECT_GT(s.cache_lookups, 0u);
+  EXPECT_GT(s.cache_hits, 0u);
+  EXPECT_GE(s.peak_nodes, mgr.live_node_count());
+}
+
+// Thousands of live handles surviving prune, compaction, sifting and order
+// resets: every handle must keep denoting its function, and copies must stay
+// identical to their originals.
+TEST(BddKernel, HandleChurnThroughCompactionAndReorder) {
+  const int n = 12;
+  BddManager mgr(n);
+  Rng rng(77);
+
+  // Each handle is a product of 4 literals; remember the literals so the
+  // function can be spot-checked without a full truth table.
+  struct Product {
+    Bdd f;
+    std::vector<std::pair<int, bool>> literals;  // (var, positive)
+  };
+  std::vector<Product> handles;
+  handles.reserve(3000);
+  for (int i = 0; i < 3000; ++i) {
+    Product p;
+    p.f = mgr.one();
+    for (int l = 0; l < 4; ++l) {
+      const int v = static_cast<int>(rng.uniform(0, n - 1));
+      const bool positive = rng.flip();
+      p.literals.emplace_back(v, positive);
+      p.f = p.f & (positive ? mgr.var(v) : !mgr.var(v));
+    }
+    handles.push_back(std::move(p));
+  }
+
+  auto verify = [&] {
+    for (const Product& p : handles) {
+      // On the satisfying assignment the product is true...
+      std::vector<int> want(static_cast<size_t>(n), -1);
+      bool consistent = true;
+      for (const auto& [v, positive] : p.literals) {
+        const int bit = positive ? 1 : 0;
+        if (want[static_cast<size_t>(v)] == (1 - bit)) consistent = false;
+        want[static_cast<size_t>(v)] = bit;
+      }
+      const bool sat = mgr.eval(p.f, [&](int v) {
+        return want[static_cast<size_t>(v)] == 1;
+      });
+      EXPECT_EQ(sat, consistent);
+      // ...and false when the first literal is flipped.
+      if (consistent) {
+        const int flip_var = p.literals[0].first;
+        EXPECT_FALSE(mgr.eval(p.f, [&](int v) {
+          const int bit = want[static_cast<size_t>(v)];
+          return v == flip_var ? bit != 1 : bit == 1;
+        }));
+      }
+    }
+  };
+
+  const Bdd pinned = handles[0].f;  // a copy that must track its original
+
+  verify();
+  // Drop a random half → garbage; prune in place.
+  for (size_t i = handles.size(); i-- > 0;) {
+    if (rng.flip()) handles.erase(handles.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  mgr.prune_dead_nodes();
+  verify();
+
+  const size_t live = mgr.live_node_count();
+  mgr.garbage_collect();  // compaction must not change the live set
+  EXPECT_EQ(mgr.live_node_count(), live);
+  EXPECT_LE(mgr.live_node_count(), mgr.table_node_count());
+  verify();
+
+  sift(mgr);
+  verify();
+
+  std::vector<int> order = mgr.current_order();
+  std::reverse(order.begin(), order.end());
+  mgr.set_order(order);
+  verify();
+
+  // Second churn round through compaction.
+  for (size_t i = handles.size(); i-- > 1;) {
+    if (rng.flip()) handles.erase(handles.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  mgr.garbage_collect();
+  verify();
+  EXPECT_EQ(pinned, handles[0].f);
+}
+
+TEST(BddKernel, BnotMemoizedInComputedCache) {
+  BddManager mgr(6);
+  const Bdd f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) ^ mgr.var(3)) |
+                (mgr.var(4) & !mgr.var(5));
+
+  mgr.reset_stats();
+  const Bdd g = !f;
+  const KernelStats after_first = mgr.stats();
+  EXPECT_GT(after_first.cache_inserts, 0u);
+
+  const Bdd g2 = !f;  // memoized: answered from the computed cache
+  EXPECT_EQ(g, g2);
+  const KernelStats after_second = mgr.stats();
+  EXPECT_GT(after_second.cache_hits, after_first.cache_hits);
+
+  const Bdd back = !g;  // involution entry inserted alongside the result
+  EXPECT_EQ(back, f);
+  const KernelStats after_inv = mgr.stats();
+  EXPECT_GT(after_inv.cache_hits, after_second.cache_hits);
+}
+
+TEST(BddKernel, CacheStatsAndFreeListRecycling) {
+  const int n = 16;
+  BddManager mgr(n);
+  Rng rng(5);
+  std::vector<Bdd> funcs;
+  for (int v = 0; v < n; ++v) funcs.push_back(mgr.var(v));
+  for (int i = 0; i < 4000; ++i) {
+    Bdd f = funcs[static_cast<size_t>(rng.uniform(0, n - 1))] &
+            funcs[static_cast<size_t>(rng.uniform(0, n - 1))];
+    f = f | funcs[static_cast<size_t>(rng.uniform(0, n - 1))];
+    funcs.push_back(std::move(f));
+    if (funcs.size() > 64) funcs.resize(static_cast<size_t>(n));
+  }
+
+  const KernelStats s = mgr.stats();
+  EXPECT_GT(s.cache_lookups, 0u);
+  EXPECT_GT(s.cache_hit_rate(), 0.0);
+  EXPECT_LE(s.cache_hit_rate(), 1.0);
+  // Direct-mapped cache stays a power of two through resizes.
+  EXPECT_NE(s.cache_capacity, 0u);
+  EXPECT_EQ(s.cache_capacity & (s.cache_capacity - 1), 0u);
+  EXPECT_GE(s.peak_nodes, mgr.live_node_count());
+
+  // Dropping the intermediates and pruning feeds the free list; subsequent
+  // allocation must recycle slots instead of growing the arena.
+  funcs.resize(static_cast<size_t>(n));
+  mgr.prune_dead_nodes();
+  const size_t arena = mgr.arena_size();
+  for (int i = 0; i < 200; ++i) {
+    Bdd f = funcs[static_cast<size_t>(rng.uniform(0, n - 1))] &
+            funcs[static_cast<size_t>(rng.uniform(0, n - 1))];
+    funcs.push_back(std::move(f));
+  }
+  EXPECT_GT(mgr.stats().nodes_recycled, 0u);
+  EXPECT_LE(mgr.arena_size(), arena);
+}
+
+}  // namespace
+}  // namespace polis::bdd

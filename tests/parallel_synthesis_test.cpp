@@ -1,0 +1,109 @@
+// Parallel `synthesize_network` is share-nothing (one BddManager per
+// distinct CFSM), so its artifacts — generated C, compiled VM programs,
+// size/cycle estimates — must be byte-identical to the serial path on every
+// system in the repository, at any thread count.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/synthesis.hpp"
+#include "core/systems.hpp"
+
+namespace polis {
+namespace {
+
+void expect_identical(const NetworkSynthesis& a, const NetworkSynthesis& b) {
+  ASSERT_EQ(a.per_instance.size(), b.per_instance.size());
+  for (const auto& [name, ra] : a.per_instance) {
+    SCOPED_TRACE("instance " + name);
+    const auto it = b.per_instance.find(name);
+    ASSERT_NE(it, b.per_instance.end());
+    const SynthesisResult& rb = it->second;
+
+    EXPECT_EQ(ra.c_code, rb.c_code);
+    EXPECT_EQ(ra.vm_size_bytes, rb.vm_size_bytes);
+    EXPECT_EQ(ra.estimate.size_bytes, rb.estimate.size_bytes);
+    EXPECT_EQ(ra.estimate.min_cycles, rb.estimate.min_cycles);
+    EXPECT_EQ(ra.estimate.max_cycles, rb.estimate.max_cycles);
+
+    const vm::Program& pa = ra.compiled->program;
+    const vm::Program& pb = rb.compiled->program;
+    ASSERT_EQ(pa.code.size(), pb.code.size());
+    EXPECT_EQ(pa.slot_names, pb.slot_names);
+    for (size_t i = 0; i < pa.code.size(); ++i) {
+      SCOPED_TRACE("instr " + std::to_string(i));
+      EXPECT_EQ(pa.code[i].op, pb.code[i].op);
+      EXPECT_EQ(pa.code[i].a, pb.code[i].a);
+      EXPECT_EQ(pa.code[i].b, pb.code[i].b);
+      EXPECT_EQ(pa.code[i].c, pb.code[i].c);
+      EXPECT_EQ(pa.code[i].imm, pb.code[i].imm);
+      EXPECT_EQ(pa.code[i].alu, pb.code[i].alu);
+      EXPECT_EQ(pa.code[i].sym, pb.code[i].sym);
+    }
+  }
+  EXPECT_EQ(a.max_cycles, b.max_cycles);
+}
+
+void check_network(const std::shared_ptr<cfsm::Network>& net) {
+  static const estim::CostModel model = estim::calibrate(vm::hc11_like());
+  SynthesisOptions serial;
+  serial.cost_model = &model;
+  serial.num_threads = 1;
+
+  const NetworkSynthesis base = synthesize_network(*net, serial);
+  EXPECT_FALSE(base.per_instance.empty());
+
+  for (const int threads : {2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SynthesisOptions parallel = serial;
+    parallel.num_threads = threads;
+    expect_identical(base, synthesize_network(*net, parallel));
+  }
+}
+
+TEST(ParallelSynthesis, DashboardIdenticalToSerial) {
+  check_network(systems::dash_network());
+}
+
+TEST(ParallelSynthesis, ShockIdenticalToSerial) {
+  check_network(systems::shock_network());
+}
+
+TEST(ParallelSynthesis, MicrowaveIdenticalToSerial) {
+  check_network(systems::microwave_network());
+}
+
+TEST(ParallelSynthesis, DefaultThreadCountAlsoIdentical) {
+  static const estim::CostModel model = estim::calibrate(vm::hc11_like());
+  SynthesisOptions serial;
+  serial.cost_model = &model;
+  serial.num_threads = 1;
+  SynthesisOptions defaulted = serial;
+  defaulted.num_threads = 0;  // one thread per hardware core
+  const auto net = systems::dash_network();
+  expect_identical(synthesize_network(*net, serial),
+                   synthesize_network(*net, defaulted));
+}
+
+// A repeated-instance network synthesizes each distinct machine exactly
+// once; both paths must agree on the shared result.
+TEST(ParallelSynthesis, SharedMachinesSynthesizedOnce) {
+  const auto net = systems::dash_network();
+  SynthesisOptions options;
+  options.num_threads = 4;
+  const NetworkSynthesis out = synthesize_network(*net, options);
+  std::map<const cfsm::Cfsm*, const SynthesisResult*> seen;
+  for (const auto& [name, r] : out.per_instance) {
+    const auto [it, fresh] = seen.emplace(r.machine.get(), &r);
+    if (!fresh) {
+      // Same machine → same synthesized artifacts (shared result slot).
+      EXPECT_EQ(it->second->c_code, r.c_code);
+      EXPECT_EQ(it->second->vm_size_bytes, r.vm_size_bytes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace polis

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <vector>
 
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace polis {
 namespace {
@@ -123,6 +126,69 @@ TEST(Table, RejectsWrongArity) {
 TEST(Table, Fixed) {
   EXPECT_EQ(fixed(1.2345, 2), "1.23");
   EXPECT_EQ(fixed(2.0, 1), "2.0");
+}
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 50 * (round + 1));
+  }
+}
+
+TEST(ThreadPool, DisjointSlotsNeedNoLocking) {
+  // The synthesis fan-out pattern: each job writes only its own slot.
+  ThreadPool pool(8);
+  std::vector<int> slots(256, 0);
+  for (size_t i = 0; i < slots.size(); ++i) {
+    pool.submit([&slots, i] { slots[i] = static_cast<int>(i) + 1; });
+  }
+  pool.wait_idle();
+  for (size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait_idle: destruction must still run everything already queued.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SingleThreadPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> seen;
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&seen, i] { seen.push_back(i); });
+  }
+  pool.wait_idle();
+  ASSERT_EQ(seen.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
 }
 
 }  // namespace
