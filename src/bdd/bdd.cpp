@@ -487,6 +487,65 @@ Bdd BddManager::forall(const Bdd& f, const std::vector<int>& vars) {
   return make(quant_rec(f.idx_, cube, /*existential=*/false));
 }
 
+std::uint32_t BddManager::and_exists_rec(std::uint32_t f, std::uint32_t g,
+                                         std::uint32_t cube) {
+  ++stats_.and_exists_recursions;
+  // Terminal cases: f∧g collapses, or no quantified vars remain below.
+  if (f == kZero || g == kZero) return kZero;
+  if (f == kOne && g == kOne) return kOne;
+  if (f == kOne) return quant_rec(g, cube, /*existential=*/true);
+  if (g == kOne || f == g) return quant_rec(f, cube, /*existential=*/true);
+  // Commutative: normalise operand order for cache hits.
+  if (f > g) std::swap(f, g);
+
+  const int lf = level(f);
+  const int lg = level(g);
+  const int top = std::min(lf, lg);
+  // Quantified vars above both operands cannot appear in either: skip them.
+  while (!is_term(cube) && level(cube) < top) cube = nodes_[cube].hi;
+  if (cube == kOne) return ite_rec(f, g, kZero);  // plain conjunction
+
+  std::uint32_t r;
+  if (cache_lookup(kOpAndExists, f, g, cube, &r)) {
+    ++stats_.and_exists_cache_hits;
+    return r;
+  }
+
+  const std::uint32_t v =
+      static_cast<std::uint32_t>(invperm_[static_cast<size_t>(top)]);
+  // Copies: the recursion below may grow nodes_.
+  const std::uint32_t f1 = (lf == top) ? nodes_[f].hi : f;
+  const std::uint32_t f0 = (lf == top) ? nodes_[f].lo : f;
+  const std::uint32_t g1 = (lg == top) ? nodes_[g].hi : g;
+  const std::uint32_t g0 = (lg == top) ? nodes_[g].lo : g;
+
+  if (level(cube) == top) {
+    const std::uint32_t rest = nodes_[cube].hi;
+    const std::uint32_t hi = and_exists_rec(f1, g1, rest);
+    if (hi == kOne) {
+      r = kOne;  // ∃v absorbs: the other branch cannot add anything
+    } else {
+      const std::uint32_t lo = and_exists_rec(f0, g0, rest);
+      r = ite_rec(hi, kOne, lo);
+    }
+  } else {
+    const std::uint32_t hi = and_exists_rec(f1, g1, cube);
+    const std::uint32_t lo = and_exists_rec(f0, g0, cube);
+    r = find_or_add(v, lo, hi);
+  }
+  cache_insert(kOpAndExists, f, g, cube, r);
+  return r;
+}
+
+Bdd BddManager::and_exists(const Bdd& f, const Bdd& g,
+                           const std::vector<int>& vars) {
+  POLIS_CHECK(f.mgr_ == this && g.mgr_ == this);
+  ++stats_.and_exists_calls;
+  for (int v : vars) check_var(v);
+  const std::uint32_t cube = make_cube(vars);
+  return make(and_exists_rec(f.idx_, g.idx_, cube));
+}
+
 std::uint32_t BddManager::compose_rec(std::uint32_t f, int var,
                                       std::uint32_t g) {
   if (is_term(f)) return f;

@@ -114,6 +114,10 @@ struct KernelStats {
   // Garbage collection.
   std::uint64_t gc_runs = 0;  // prune or compaction passes that freed nodes
   std::uint64_t nodes_reclaimed = 0;
+  // Relational product (and_exists).
+  std::uint64_t and_exists_calls = 0;       // top-level invocations
+  std::uint64_t and_exists_recursions = 0;  // recursive steps taken
+  std::uint64_t and_exists_cache_hits = 0;  // computed-cache hits on kOpAndExists
 
   double cache_hit_rate() const {
     return cache_lookups == 0
@@ -177,6 +181,12 @@ class BddManager {
   /// Smoothing S_vars(f) = existential quantification of `vars` (§II-C).
   Bdd smooth(const Bdd& f, const std::vector<int>& vars);
   Bdd forall(const Bdd& f, const std::vector<int>& vars);
+
+  /// Relational product ∃vars. f ∧ g — the image-computation workhorse.
+  /// Conjoins and quantifies in one recursion (with its own computed-cache
+  /// tag) instead of materialising f ∧ g first, so the intermediate
+  /// conjunction over the quantified variables is never built.
+  Bdd and_exists(const Bdd& f, const Bdd& g, const std::vector<int>& vars);
 
   /// Substitutes `g` for variable `var` in `f`.
   Bdd compose(const Bdd& f, int var, const Bdd& g);
@@ -306,8 +316,9 @@ class BddManager {
     kOpCofactor,  // b = (var << 1) | val
     kOpExists,    // b = positive cube of the quantified vars
     kOpForall,    // b = positive cube of the quantified vars
-    kOpCompose,   // b = g, c = var
-    kOpRestrict,  // b = care
+    kOpCompose,    // b = g, c = var
+    kOpRestrict,   // b = care
+    kOpAndExists,  // b = second conjunct, c = positive cube of the vars
   };
 
   static constexpr std::uint32_t kZero = 0;
@@ -360,6 +371,8 @@ class BddManager {
   std::uint32_t cofactor_rec(std::uint32_t f, int var, bool val);
   std::uint32_t quant_rec(std::uint32_t f, std::uint32_t cube,
                           bool existential);
+  std::uint32_t and_exists_rec(std::uint32_t f, std::uint32_t g,
+                               std::uint32_t cube);
   std::uint32_t compose_rec(std::uint32_t f, int var, std::uint32_t g);
   std::uint32_t restrict_rec(std::uint32_t f, std::uint32_t care);
   /// Positive cube (ordered conjunction) of `vars`, built bottom-up.

@@ -30,12 +30,13 @@ std::int64_t wrap_to_domain(std::int64_t v, int domain) {
 
 Cfsm::Cfsm(std::string name, std::vector<Signal> inputs,
            std::vector<Signal> outputs, std::vector<StateVar> state,
-           std::vector<Rule> rules)
+           std::vector<Rule> rules, std::vector<Assertion> assertions)
     : name_(std::move(name)),
       inputs_(std::move(inputs)),
       outputs_(std::move(outputs)),
       state_(std::move(state)),
-      rules_(std::move(rules)) {
+      rules_(std::move(rules)),
+      assertions_(std::move(assertions)) {
   validate();
 }
 
@@ -117,6 +118,7 @@ void Cfsm::validate() const {
       check_expr(a.value, "state assignment");
     }
   }
+  for (const Assertion& a : assertions_) check_expr(a.expr, "assert");
 }
 
 std::map<std::string, std::int64_t> Cfsm::initial_state() const {

@@ -62,6 +62,16 @@ struct Rule {
   std::vector<Assign> assigns;
 };
 
+/// A module-level safety property over the machine's inputs and state
+/// (same variable convention as guards): the verifier checks it against
+/// every reachable network state, reading absent signals as presence 0 /
+/// value 0. `line` is the source line of the `assert` clause (0 when the
+/// machine was built programmatically).
+struct Assertion {
+  expr::ExprRef expr;
+  int line = 0;
+};
+
 /// Presence/value snapshot of the inputs of one CFSM at reaction time.
 struct Snapshot {
   std::map<std::string, bool> present;
@@ -95,13 +105,14 @@ class Cfsm {
  public:
   Cfsm(std::string name, std::vector<Signal> inputs,
        std::vector<Signal> outputs, std::vector<StateVar> state,
-       std::vector<Rule> rules);
+       std::vector<Rule> rules, std::vector<Assertion> assertions = {});
 
   const std::string& name() const { return name_; }
   const std::vector<Signal>& inputs() const { return inputs_; }
   const std::vector<Signal>& outputs() const { return outputs_; }
   const std::vector<StateVar>& state() const { return state_; }
   const std::vector<Rule>& rules() const { return rules_; }
+  const std::vector<Assertion>& assertions() const { return assertions_; }
 
   const Signal* find_input(const std::string& name) const;
   const Signal* find_output(const std::string& name) const;
@@ -125,6 +136,7 @@ class Cfsm {
   std::vector<Signal> outputs_;
   std::vector<StateVar> state_;
   std::vector<Rule> rules_;
+  std::vector<Assertion> assertions_;
 };
 
 /// Wraps a value into [0, domain).

@@ -271,11 +271,12 @@ Reaction ReactiveFunction::decode_actions(
 }
 
 std::optional<bdd::Bdd> ReactiveFunction::reachable_care_set(
-    std::uint64_t limit) {
+    std::uint64_t limit, const CareFilter& filter) {
   bdd::Bdd care = mgr_->zero();
   const bool complete = enumerate_concrete_space(
       *machine_, limit,
       [&](const Snapshot& snap, const std::map<std::string, std::int64_t>& st) {
+        if (filter && !filter(snap, st)) return;
         const std::vector<bool> tv = test_valuation(snap, st);
         bdd::Bdd minterm = mgr_->one();
         for (size_t i = 0; i < tests_.size(); ++i) {

@@ -13,6 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -23,6 +26,34 @@
 #include "expr/expr.hpp"
 
 namespace polis::cfsm {
+
+/// Predicate over the machine's concrete space: true iff the (snapshot,
+/// state) combination should be *cared about* during s-graph minimisation.
+/// Combinations rejected by the filter are treated as don't cares on top of
+/// the local false-path analysis — verif::care_filters_by_machine produces
+/// filters encoding network-level unreachability. Must be thread-safe
+/// (synthesize_network evaluates filters from its worker threads).
+/// The callable is held behind a shared_ptr: copying a filter (options
+/// structs are copied once per synthesis worker) copies a pointer, not the
+/// closure state, and the empty filter stays a pair of null pointers.
+class CareFilter {
+ public:
+  using Fn = std::function<bool(const Snapshot&,
+                                const std::map<std::string, std::int64_t>&)>;
+
+  CareFilter() = default;
+  CareFilter(Fn fn)
+      : fn_(fn ? std::make_shared<const Fn>(std::move(fn)) : nullptr) {}
+
+  explicit operator bool() const { return fn_ != nullptr; }
+  bool operator()(const Snapshot& snapshot,
+                  const std::map<std::string, std::int64_t>& state) const {
+    return (*fn_)(snapshot, state);
+  }
+
+ private:
+  std::shared_ptr<const Fn> fn_;
+};
 
 /// A Boolean abstraction of one atomic predicate appearing in the guards.
 struct TestVariable {
@@ -88,7 +119,10 @@ class ReactiveFunction {
   /// valuations induced by every concrete (snapshot, state) combination.
   /// Enumerates the concrete space; returns nullopt if it exceeds `limit`
   /// combinations. Valuations outside the care set are false paths (§III-C).
-  std::optional<bdd::Bdd> reachable_care_set(std::uint64_t limit = 1u << 22);
+  /// A non-null `filter` additionally drops combinations it rejects —
+  /// network-level (global) don't cares on top of the local analysis.
+  std::optional<bdd::Bdd> reachable_care_set(std::uint64_t limit = 1u << 22,
+                                             const CareFilter& filter = {});
 
  private:
   int intern_test(const expr::ExprRef& predicate, bool is_presence);

@@ -67,6 +67,15 @@ NetworkSynthesis synthesize_network(const cfsm::Network& network,
       machines.push_back(inst.machine);
   }
 
+  // Per-machine options: identical to `shared` except for the global care
+  // filter looked up by machine name (value captured by the jobs below).
+  std::vector<SynthesisOptions> per_machine(machines.size(), shared);
+  for (size_t i = 0; i < machines.size(); ++i) {
+    auto it = shared.care_filter_by_machine.find(machines[i]->name());
+    if (it != shared.care_filter_by_machine.end())
+      per_machine[i].build.care_filter = it->second;
+  }
+
   std::vector<SynthesisResult> results(machines.size());
   std::vector<std::exception_ptr> errors(machines.size());
   const size_t want =
@@ -78,7 +87,7 @@ NetworkSynthesis synthesize_network(const cfsm::Network& network,
     for (size_t i = 0; i < machines.size(); ++i) {
       pool.submit([&, i] {
         try {
-          results[i] = synthesize(machines[i], shared);
+          results[i] = synthesize(machines[i], per_machine[i]);
         } catch (...) {
           errors[i] = std::current_exception();
         }
@@ -88,7 +97,7 @@ NetworkSynthesis synthesize_network(const cfsm::Network& network,
   } else {
     for (size_t i = 0; i < machines.size(); ++i) {
       try {
-        results[i] = synthesize(machines[i], shared);
+        results[i] = synthesize(machines[i], per_machine[i]);
       } catch (...) {
         errors[i] = std::current_exception();
       }

@@ -37,6 +37,12 @@ struct SynthesisOptions {
   /// the parallel path is byte-identical to the serial one. 0 = one thread
   /// per hardware core; 1 = serial.
   int num_threads = 0;
+  /// Global (network-level) care filters keyed by *machine* name, typically
+  /// from verif::care_filters_by_machine. `synthesize_network` installs the
+  /// matching filter as `build.care_filter` for each machine it synthesizes;
+  /// machines without an entry keep the shared `build.care_filter` (usually
+  /// none). Filters must be thread-safe — they run on the worker threads.
+  std::map<std::string, cfsm::CareFilter> care_filter_by_machine;
 };
 
 struct SynthesisResult {

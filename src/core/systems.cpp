@@ -71,6 +71,8 @@ module belt {
   state st : int[3] = 0;     # 0 idle, 1 waiting for the belt, 2 alarmed
   state cnt : int[4] = 0;
 
+  assert st != 2 || cnt >= 3;   # the alarm only ever latches off a full count
+
   when present(key_on)                        -> { st := 1; cnt := 0; }
   when st == 1 && present(belt_on)            -> { st := 0; }
   when st == 1 && present(tick) && cnt < 3    -> { cnt := cnt + 1; }
@@ -236,6 +238,51 @@ frontend::ParsedFile dashboard() {
   return frontend::parse(dashboard_source());
 }
 
+const char* level_meter_source() {
+  return R"rsl(
+# --- Level meter --------------------------------------------------------------
+# A quantizer thresholds a sensor into levels 0..3; the display drives a bar
+# gauge. The display also has an overload latch for levels >= 4 — locally
+# plausible (the net carries int[8]) but globally unreachable, since the
+# quantizer never emits one. Symbolic reachability proves the assertion and
+# feeds the dead branch back into synthesis as a global don't-care.
+
+module quantizer {
+  input sensor : int[8];
+  output level : int[8];
+
+  when present(sensor) && value(sensor) < 2 -> { emit level(0); }
+  when present(sensor) && value(sensor) < 4 -> { emit level(1); }
+  when present(sensor) && value(sensor) < 6 -> { emit level(2); }
+  when present(sensor)                      -> { emit level(3); }
+}
+
+module display {
+  input level : int[8];
+  output bar_pwm : int[8];
+  state bars : int[4] = 0;
+  state overload : int[2] = 0;
+
+  assert overload == 0;      # provable only with the whole network in view
+
+  when present(level) && value(level) >= 4 ->
+    { overload := 1; bars := 3; emit bar_pwm(7); }
+  when present(level) && value(level) != bars ->
+    { bars := value(level); emit bar_pwm(value(level) * 2); }
+  when present(level) -> { }
+}
+
+network meter {
+  instance q : quantizer (sensor = sensor, level = level);
+  instance d : display   (level = level, bar_pwm = bar_pwm);
+}
+)rsl";
+}
+
+frontend::ParsedFile level_meter() {
+  return frontend::parse(level_meter_source());
+}
+
 frontend::ParsedFile microwave() {
   return frontend::parse(microwave_source());
 }
@@ -285,6 +332,15 @@ std::vector<std::shared_ptr<const cfsm::Cfsm>> shock_modules() {
   const frontend::ParsedFile file = shock_absorber();
   return {module_of(file, "sampler"), module_of(file, "control_law"),
           module_of(file, "actuator"), module_of(file, "watchdog")};
+}
+
+std::shared_ptr<cfsm::Network> meter_network() {
+  return network_of(level_meter(), "meter");
+}
+
+std::vector<std::shared_ptr<const cfsm::Cfsm>> meter_modules() {
+  const frontend::ParsedFile file = level_meter();
+  return {module_of(file, "quantizer"), module_of(file, "display")};
 }
 
 std::shared_ptr<cfsm::Network> microwave_network() {

@@ -39,6 +39,17 @@ std::shared_ptr<cfsm::Network> dash_core_network();
 std::shared_ptr<cfsm::Network> shock_network();
 std::vector<std::shared_ptr<const cfsm::Cfsm>> shock_modules();
 
+/// RSL source of the level-meter system: a quantizer that only ever emits
+/// levels 0..3 into an int[8] net feeding a bar display. The display's
+/// overload branch (`value(level) >= 4`) is locally reachable but globally
+/// dead — the showcase for symbolic reachability proving an assertion the
+/// per-CFSM analysis cannot, and for the reached-set care filter shrinking
+/// the display's s-graph.
+const char* level_meter_source();
+frontend::ParsedFile level_meter();
+std::shared_ptr<cfsm::Network> meter_network();
+std::vector<std::shared_ptr<const cfsm::Cfsm>> meter_modules();
+
 /// RSL source of a third control-dominated system from the paper's
 /// motivating domain (§I-A "from microwave ovens and watches to
 /// telecommunication"): a microwave oven controller — keypad, cooking

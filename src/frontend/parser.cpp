@@ -1,6 +1,7 @@
 #include "frontend/parser.hpp"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -86,6 +87,7 @@ class Parser {
     std::vector<cfsm::Signal> outputs;
     std::vector<cfsm::StateVar> state;
     std::vector<cfsm::Rule> rules;
+    std::vector<cfsm::Assertion> assertions;
 
     while (!accept(Tok::kRBrace)) {
       if (at_keyword("input") || at_keyword("output")) {
@@ -116,15 +118,41 @@ class Parser {
         expect(Tok::kLBrace, "'{'");
         while (!accept(Tok::kRBrace)) parse_action(rule);
         rules.push_back(std::move(rule));
+      } else if (at_keyword("assert")) {
+        const int line = cur().line;
+        take();
+        cfsm::Assertion a;
+        a.expr = parse_expr();
+        a.line = line;
+        expect(Tok::kSemi, "';'");
+        assertions.push_back(std::move(a));
       } else {
-        fail("expected 'input', 'output', 'state' or 'when'");
+        fail("expected 'input', 'output', 'state', 'when' or 'assert'");
+      }
+    }
+    // Assertions may reference declarations made after them, so their
+    // variables are resolved here — pointing the error at the assert's own
+    // line rather than at the end of the module.
+    std::set<std::string> legal;
+    for (const cfsm::Signal& s : inputs) {
+      legal.insert(cfsm::presence_name(s.name));
+      if (!s.is_pure()) legal.insert(cfsm::value_name(s.name));
+    }
+    for (const cfsm::StateVar& v : state) legal.insert(v.name);
+    for (const cfsm::Assertion& a : assertions) {
+      for (const std::string& v : expr::support(*a.expr)) {
+        if (legal.count(v) == 0)
+          throw ParseError(a.line, "assert in module '" + name +
+                                       "' references unknown variable '" + v +
+                                       "'");
       }
     }
     // Cfsm's constructor validates names, domains and expressions.
     try {
       return std::make_shared<cfsm::Cfsm>(name, std::move(inputs),
                                           std::move(outputs), std::move(state),
-                                          std::move(rules));
+                                          std::move(rules),
+                                          std::move(assertions));
     } catch (const CheckError& e) {
       throw ParseError(cur().line, e.what());
     }

@@ -286,6 +286,7 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
     }
     const std::map<std::string, TaskState::Flag> frozen = t.flags;
     t.flags.clear();
+    if (config_.on_task_start) config_.on_task_start(t.name, now, snap, t.state);
     long long unused_cycles = 0;
     const cfsm::Reaction reaction = t.react(snap, t.state, &unused_cycles);
     note_reaction(t.name, now);
@@ -296,6 +297,7 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
     }
     t.state = reaction.next_state;
     const long long done = now + config_.hw_reaction_cycles;
+    if (config_.on_task_end) config_.on_task_end(t.name, done, t.state);
     for (const auto& [port, value] : reaction.emissions)
       deliver_to_consumers(t.instance->net_of(port), value, done,
                            stimulus == kInf ? done : stimulus, t.name);
@@ -388,6 +390,8 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
     t.flags.clear();
     t.running = true;
     log_event(start, LogEvent::Kind::kTaskStart, t.name, 0);
+    if (config_.on_task_start)
+      config_.on_task_start(t.name, start, snap, t.state);
 
     long long cycles = 0;
     const cfsm::Reaction reaction = t.react(snap, t.state, &cycles);
@@ -441,6 +445,7 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
 
     // Completion: apply effects atomically (the reaction delay has elapsed).
     t.state = reaction.next_state;
+    if (config_.on_task_end) config_.on_task_end(t.name, now, t.state);
     if (!reaction.fired) {
       // No rule matched: preserve the input events for the next execution
       // (§IV-D). A fresh arrival for the same port (merged below) overwrites

@@ -83,6 +83,19 @@ struct RtosConfig {
   std::map<std::string, DeadlineMonitor> deadline_monitors;
   /// Livelock/starvation watchdog; disabled by default.
   WatchdogConfig watchdog;
+
+  /// Observability probes, e.g. for confirming a verif counterexample by
+  /// replay. `on_task_start` fires at every dispatch with the frozen input
+  /// snapshot and the pre-reaction state; `on_task_end` fires at completion
+  /// with the post-reaction state. Hardware instances fire both around their
+  /// immediate reaction. Null = disabled; probes take no simulated time.
+  std::function<void(const std::string& task, long long time,
+                     const cfsm::Snapshot& snapshot,
+                     const std::map<std::string, std::int64_t>& state)>
+      on_task_start;
+  std::function<void(const std::string& task, long long time,
+                     const std::map<std::string, std::int64_t>& state)>
+      on_task_end;
 };
 
 /// One entry of the simulation event log.

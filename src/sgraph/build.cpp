@@ -238,7 +238,9 @@ bdd::Bdd restricted_chi(cfsm::ReactiveFunction& rf,
                         const BuildOptions& options) {
   bdd::Bdd chi = rf.chi();
   if (options.use_care_set) {
-    if (auto care = rf.reachable_care_set(options.care_enum_limit)) {
+    if (auto care = rf.reachable_care_set(options.care_enum_limit,
+                                          options.care_filter);
+        care && !care->is_zero()) {
       // Coudert–Madre restrict: minimise χ using the unreachable test
       // valuations (false paths, §III-C) as don't cares.
       chi = rf.manager().restrict(chi, *care);

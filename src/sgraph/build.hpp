@@ -54,6 +54,10 @@ struct BuildOptions {
   /// larger than `care_enum_limit`.
   bool use_care_set = false;
   std::uint64_t care_enum_limit = 1u << 22;
+  /// Optional *global* care filter (network-level reachability from
+  /// verif::care_filters_by_machine): concrete combinations it rejects are
+  /// added to the don't cares. Only consulted when `use_care_set` is set.
+  cfsm::CareFilter care_filter;
   /// Sifting passes for the sift-based schemes.
   int sift_passes = 1;
   /// If >0, only the fattest `sift_max_vars` variables are sifted per pass.

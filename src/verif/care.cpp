@@ -1,0 +1,104 @@
+#include "verif/care.hpp"
+
+#include <memory>
+#include <set>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "cfsm/network.hpp"
+
+namespace polis::verif {
+
+namespace {
+
+/// Packs one local combination into a mixed-radix key. Both sides of the
+/// filter (construction below, query at synthesis time) see combinations
+/// through `enumerate_concrete_space`, so the packing only has to be a
+/// deterministic function of (snapshot, state) over the machine interface.
+std::uint64_t combo_key(const cfsm::Cfsm& machine, const cfsm::Snapshot& snap,
+                        const std::map<std::string, std::int64_t>& state) {
+  std::uint64_t key = 0;
+  for (const cfsm::Signal& in : machine.inputs()) {
+    key = key * 2 + (snap.is_present(in.name) ? 1u : 0u);
+    if (!in.is_pure()) {
+      const auto domain = static_cast<std::uint64_t>(in.domain);
+      const auto v = static_cast<std::uint64_t>(snap.value_of(in.name));
+      key = key * domain + v % domain;
+    }
+  }
+  for (const cfsm::StateVar& sv : machine.state()) {
+    const auto domain = static_cast<std::uint64_t>(sv.domain);
+    const auto v = static_cast<std::uint64_t>(state.at(sv.name));
+    key = key * domain + v % domain;
+  }
+  return key;
+}
+
+}  // namespace
+
+std::map<std::string, cfsm::CareFilter> care_filters_by_machine(
+    NetworkEncoding& enc, const bdd::Bdd& reached, std::uint64_t enum_limit) {
+  bdd::BddManager& mgr = enc.manager();
+  const cfsm::Network& network = enc.network();
+  const std::vector<int> all_present = enc.present_vars();
+
+  std::map<std::string, std::vector<const cfsm::Instance*>> by_machine;
+  for (const cfsm::Instance& inst : network.instances())
+    by_machine[inst.machine->name()].push_back(&inst);
+
+  std::map<std::string, cfsm::CareFilter> out;
+  for (const auto& [machine_name, insts] : by_machine) {
+    const std::shared_ptr<const cfsm::Cfsm> machine = insts.front()->machine;
+    auto cared = std::make_shared<std::unordered_set<std::uint64_t>>();
+    bool complete = true;
+    for (const cfsm::Instance* inst : insts) {
+      // Project the reached set onto this instance's bits.
+      const std::vector<int> mine = enc.instance_present_vars(inst->name);
+      const std::set<int> mine_set(mine.begin(), mine.end());
+      std::vector<int> others;
+      for (int v : all_present)
+        if (mine_set.count(v) == 0) others.push_back(v);
+      bdd::Bdd proj = mgr.smooth(reached, others);
+
+      complete = cfsm::enumerate_concrete_space(
+          *machine, enum_limit,
+          [&](const cfsm::Snapshot& snap,
+              const std::map<std::string, std::int64_t>& st) {
+            // Bit pattern of the combination; non-canonical combinations
+            // (absent but stale nonzero value) never occur in the reached
+            // set and fail the membership test by themselves.
+            std::map<int, bool> bits;
+            for (const StateSlot& slot : enc.state_slots()) {
+              if (slot.instance != inst->name) continue;
+              const std::int64_t v = st.at(slot.var);
+              for (size_t b = 0; b < slot.bits.size(); ++b)
+                bits[slot.bits[b].present] = ((v >> b) & 1) != 0;
+            }
+            for (const BufferSlot& slot : enc.buffer_slots()) {
+              if (slot.instance != inst->name) continue;
+              bits[slot.presence.present] = snap.is_present(slot.port);
+              const std::int64_t v = snap.value_of(slot.port);
+              for (size_t b = 0; b < slot.value_bits.size(); ++b)
+                bits[slot.value_bits[b].present] = ((v >> b) & 1) != 0;
+            }
+            const bool member = mgr.eval(proj, [&](int var) {
+              auto it = bits.find(var);
+              return it != bits.end() && it->second;
+            });
+            if (member) cared->insert(combo_key(*machine, snap, st));
+          });
+      if (!complete) break;
+    }
+    if (!complete) continue;  // too big: leave synthesis on the local care set
+
+    out.emplace(machine_name,
+                [machine, cared](const cfsm::Snapshot& snap,
+                                 const std::map<std::string, std::int64_t>& st) {
+                  return cared->count(combo_key(*machine, snap, st)) != 0;
+                });
+  }
+  return out;
+}
+
+}  // namespace polis::verif

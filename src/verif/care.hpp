@@ -1,0 +1,29 @@
+// Global don't-cares from symbolic reachability (the tentpole feedback
+// loop): the reached set projected onto each machine's local view becomes a
+// `cfsm::CareFilter`, so s-graph synthesis restricts its characteristic
+// function to combinations the *network* can actually reach — strictly
+// stronger than the per-CFSM local analysis whenever the environment or the
+// upstream machines can never produce some input/state combination.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "bdd/bdd.hpp"
+#include "cfsm/reactive.hpp"
+#include "verif/encode.hpp"
+
+namespace polis::verif {
+
+/// Builds one care filter per machine *name* (keys match
+/// `core::SynthesisOptions::care_filter_by_machine`): a local (snapshot,
+/// state) combination is cared about iff some instance of that machine can
+/// observe it in some reachable global state. Machines whose local concrete
+/// space exceeds `enum_limit` are skipped (no filter — synthesis falls back
+/// to the local care set). Filters are self-contained and thread-safe.
+std::map<std::string, cfsm::CareFilter> care_filters_by_machine(
+    NetworkEncoding& enc, const bdd::Bdd& reached,
+    std::uint64_t enum_limit = 1u << 20);
+
+}  // namespace polis::verif

@@ -1,0 +1,203 @@
+#include "verif/encode.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace polis::verif {
+
+int bits_for_domain(int domain) {
+  int bits = 0;
+  while ((1 << bits) < domain) ++bits;
+  return bits;
+}
+
+NetworkEncoding::NetworkEncoding(const cfsm::Network& network,
+                                 bdd::BddManager& mgr)
+    : network_(&network), mgr_(&mgr) {
+  POLIS_CHECK_MSG(mgr.num_vars() == 0,
+                  "NetworkEncoding needs a fresh BddManager");
+  auto new_pair = [&](const std::string& name) {
+    VarPair p;
+    p.present = mgr_->new_var(name);
+    p.next = mgr_->new_var(name + "'");
+    ++num_present_vars_;
+    return p;
+  };
+  // Group each instance's bits together (state first, then its input
+  // buffers) so intra-machine correlations stay local in the order.
+  for (const cfsm::Instance& inst : network.instances()) {
+    for (const cfsm::StateVar& v : inst.machine->state()) {
+      StateSlot slot;
+      slot.instance = inst.name;
+      slot.var = v.name;
+      slot.domain = v.domain;
+      slot.init = v.init;
+      const int nbits = std::max(1, bits_for_domain(v.domain));
+      for (int b = 0; b < nbits; ++b)
+        slot.bits.push_back(
+            new_pair(inst.name + "." + v.name + "[" + std::to_string(b) + "]"));
+      state_slots_.push_back(std::move(slot));
+    }
+    for (const cfsm::Signal& in : inst.machine->inputs()) {
+      BufferSlot slot;
+      slot.instance = inst.name;
+      slot.port = in.name;
+      slot.net = inst.net_of(in.name);
+      slot.domain = in.domain;
+      slot.presence = new_pair(inst.name + "." + in.name + ".p");
+      for (int b = 0; b < bits_for_domain(in.domain); ++b)
+        slot.value_bits.push_back(
+            new_pair(inst.name + "." + in.name + "[" + std::to_string(b) + "]"));
+      buffer_index_.emplace(std::make_pair(inst.name, in.name),
+                            buffer_slots_.size());
+      buffer_slots_.push_back(std::move(slot));
+    }
+  }
+  for (size_t i = 0; i < state_slots_.size(); ++i)
+    for (size_t b = 0; b < state_slots_[i].bits.size(); ++b)
+      bit_of_[state_slots_[i].bits[b].present] =
+          BitLocation{true, i, static_cast<int>(b)};
+  for (size_t i = 0; i < buffer_slots_.size(); ++i) {
+    bit_of_[buffer_slots_[i].presence.present] = BitLocation{false, i, -1};
+    for (size_t b = 0; b < buffer_slots_[i].value_bits.size(); ++b)
+      bit_of_[buffer_slots_[i].value_bits[b].present] =
+          BitLocation{false, i, static_cast<int>(b)};
+  }
+}
+
+const BufferSlot& NetworkEncoding::buffer_slot(const std::string& instance,
+                                               const std::string& port) const {
+  auto it = buffer_index_.find(std::make_pair(instance, port));
+  POLIS_CHECK_MSG(it != buffer_index_.end(),
+                  "no buffer for " << instance << "." << port);
+  return buffer_slots_[it->second];
+}
+
+std::vector<int> NetworkEncoding::present_vars() const {
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(num_present_vars_));
+  for (const StateSlot& s : state_slots_)
+    for (const VarPair& b : s.bits) out.push_back(b.present);
+  for (const BufferSlot& s : buffer_slots_) {
+    out.push_back(s.presence.present);
+    for (const VarPair& b : s.value_bits) out.push_back(b.present);
+  }
+  return out;
+}
+
+std::vector<int> NetworkEncoding::instance_present_vars(
+    const std::string& instance) const {
+  std::vector<int> out;
+  for (const StateSlot& s : state_slots_)
+    if (s.instance == instance)
+      for (const VarPair& b : s.bits) out.push_back(b.present);
+  for (const BufferSlot& s : buffer_slots_) {
+    if (s.instance != instance) continue;
+    out.push_back(s.presence.present);
+    for (const VarPair& b : s.value_bits) out.push_back(b.present);
+  }
+  return out;
+}
+
+GlobalState NetworkEncoding::initial_state() const {
+  GlobalState s;
+  for (const StateSlot& slot : state_slots_)
+    s.state[slot.instance][slot.var] = slot.init;
+  for (const BufferSlot& slot : buffer_slots_)
+    s.buffers[slot.instance][slot.port] = GlobalState::Buffer{};
+  return s;
+}
+
+bdd::Bdd NetworkEncoding::initial_set() { return state_cube(initial_state()); }
+
+bdd::Bdd NetworkEncoding::literal(const VarPair& bit, bool value,
+                                  bool next_column) {
+  const int v = next_column ? bit.next : bit.present;
+  return value ? mgr_->var(v) : mgr_->nvar(v);
+}
+
+bdd::Bdd NetworkEncoding::value_cube(const std::vector<VarPair>& bits,
+                                     std::int64_t value, bool next_column) {
+  bdd::Bdd cube = mgr_->one();
+  for (size_t b = 0; b < bits.size(); ++b)
+    cube = cube & literal(bits[b], ((value >> b) & 1) != 0, next_column);
+  return cube;
+}
+
+bdd::Bdd NetworkEncoding::state_cube(const GlobalState& s) {
+  bdd::Bdd cube = mgr_->one();
+  for (const StateSlot& slot : state_slots_) {
+    const auto& vars = s.state.at(slot.instance);
+    cube = cube & value_cube(slot.bits, vars.at(slot.var), /*next=*/false);
+  }
+  for (const BufferSlot& slot : buffer_slots_) {
+    const GlobalState::Buffer& buf = s.buffers.at(slot.instance).at(slot.port);
+    cube = cube & literal(slot.presence, buf.present, /*next=*/false);
+    cube = cube & value_cube(slot.value_bits, buf.value, /*next=*/false);
+  }
+  return cube;
+}
+
+bdd::Bdd NetworkEncoding::local_combo_cube(
+    const std::string& instance, const cfsm::Snapshot& snapshot,
+    const std::map<std::string, std::int64_t>& state) {
+  bdd::Bdd cube = mgr_->one();
+  for (const StateSlot& slot : state_slots_) {
+    if (slot.instance != instance) continue;
+    cube = cube & value_cube(slot.bits, state.at(slot.var), /*next=*/false);
+  }
+  for (const BufferSlot& slot : buffer_slots_) {
+    if (slot.instance != instance) continue;
+    const bool present = snapshot.is_present(slot.port);
+    const std::int64_t value = snapshot.value_of(slot.port);
+    if (!present && value != 0) return mgr_->zero();  // non-canonical
+    cube = cube & literal(slot.presence, present, /*next=*/false);
+    cube = cube & value_cube(slot.value_bits, value, /*next=*/false);
+  }
+  return cube;
+}
+
+GlobalState NetworkEncoding::decode(
+    const std::vector<std::pair<int, bool>>& assignment) const {
+  std::unordered_map<int, bool> bit;
+  for (const auto& [var, value] : assignment) bit.emplace(var, value);
+  auto value_of = [&](const std::vector<VarPair>& bits) {
+    std::int64_t v = 0;
+    for (size_t b = 0; b < bits.size(); ++b) {
+      auto it = bit.find(bits[b].present);
+      if (it != bit.end() && it->second) v |= std::int64_t{1} << b;
+    }
+    return v;
+  };
+  GlobalState s;
+  for (const StateSlot& slot : state_slots_)
+    s.state[slot.instance][slot.var] = value_of(slot.bits);
+  for (const BufferSlot& slot : buffer_slots_) {
+    GlobalState::Buffer buf;
+    auto it = bit.find(slot.presence.present);
+    buf.present = it != bit.end() && it->second;
+    buf.value = value_of(slot.value_bits);
+    s.buffers[slot.instance][slot.port] = buf;
+  }
+  return s;
+}
+
+bool NetworkEncoding::state_bit(const GlobalState& s, int present_var) const {
+  auto it = bit_of_.find(present_var);
+  POLIS_CHECK_MSG(it != bit_of_.end(),
+                  "not a present-state variable: " << present_var);
+  const BitLocation& loc = it->second;
+  if (loc.in_state) {
+    const StateSlot& slot = state_slots_[loc.slot];
+    const std::int64_t v = s.state.at(slot.instance).at(slot.var);
+    return ((v >> loc.bit) & 1) != 0;
+  }
+  const BufferSlot& slot = buffer_slots_[loc.slot];
+  const GlobalState::Buffer& buf = s.buffers.at(slot.instance).at(slot.port);
+  if (loc.bit < 0) return buf.present;
+  return ((buf.value >> loc.bit) & 1) != 0;
+}
+
+}  // namespace polis::verif

@@ -1,0 +1,151 @@
+// Boolean encoding of the global state of a CFSM network for symbolic
+// reachability (the VIS-style verification backend of the paper's flow,
+// §I-H step 2).
+//
+// Global state = every instance's state-variable valuation plus, for every
+// *consumer port*, the 1-place event buffer in front of it (a presence flag
+// and, for valued nets, a buffered value). Each state bit gets a
+// present/next variable pair, interleaved in creation order and grouped by
+// instance so that related bits stay adjacent in the BDD order.
+//
+// Canonical-form invariant: an absent buffer stores value 0. The initial
+// state and every transition written by `build_transition_system` maintain
+// it (consuming a buffer clears its value bits), so the reached set never
+// carries "stale value" garbage and `sat_count` over the present variables
+// is exactly the number of distinct observable global states.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "cfsm/cfsm.hpp"
+#include "cfsm/network.hpp"
+
+namespace polis::verif {
+
+/// Bits needed to encode 0..domain-1 (0 for presence-only domains).
+int bits_for_domain(int domain);
+
+/// One state bit: its present-state and next-state BDD variables.
+struct VarPair {
+  int present = -1;
+  int next = -1;
+};
+
+/// One instance state variable, encoded LSB-first.
+struct StateSlot {
+  std::string instance;
+  std::string var;
+  int domain = 2;
+  std::int64_t init = 0;
+  std::vector<VarPair> bits;
+};
+
+/// The 1-place event buffer in front of one consumer port.
+struct BufferSlot {
+  std::string instance;  // consumer instance
+  std::string port;      // consumer's formal input port
+  std::string net;       // net the port is bound to
+  int domain = 1;
+  VarPair presence;
+  std::vector<VarPair> value_bits;  // empty for pure nets
+};
+
+/// A concrete global network state (the explicit-state mirror of one
+/// minterm over the present variables).
+struct GlobalState {
+  struct Buffer {
+    bool present = false;
+    std::int64_t value = 0;
+    bool operator==(const Buffer& o) const {
+      return present == o.present && value == o.value;
+    }
+    bool operator<(const Buffer& o) const {
+      return present != o.present ? present < o.present : value < o.value;
+    }
+  };
+  /// instance -> state var -> value.
+  std::map<std::string, std::map<std::string, std::int64_t>> state;
+  /// instance -> consumer port -> buffer.
+  std::map<std::string, std::map<std::string, Buffer>> buffers;
+
+  bool operator==(const GlobalState& o) const {
+    return state == o.state && buffers == o.buffers;
+  }
+  bool operator<(const GlobalState& o) const {
+    return state != o.state ? state < o.state : buffers < o.buffers;
+  }
+};
+
+/// Owns the variable layout of one network over one BddManager. The manager
+/// must be fresh (the encoding creates its variables).
+class NetworkEncoding {
+ public:
+  NetworkEncoding(const cfsm::Network& network, bdd::BddManager& mgr);
+
+  const cfsm::Network& network() const { return *network_; }
+  bdd::BddManager& manager() const { return *mgr_; }
+
+  const std::vector<StateSlot>& state_slots() const { return state_slots_; }
+  const std::vector<BufferSlot>& buffer_slots() const { return buffer_slots_; }
+  const BufferSlot& buffer_slot(const std::string& instance,
+                                const std::string& port) const;
+
+  /// All present-state variables, creation order.
+  std::vector<int> present_vars() const;
+  int num_present_vars() const { return num_present_vars_; }
+  /// Present-state variables belonging to one instance (its state bits and
+  /// its consumer-port buffer bits).
+  std::vector<int> instance_present_vars(const std::string& instance) const;
+
+  GlobalState initial_state() const;
+  /// Singleton BDD of the initial state (all buffers empty).
+  bdd::Bdd initial_set();
+
+  /// Positive/negative literal of one bit, present or next column.
+  bdd::Bdd literal(const VarPair& bit, bool value, bool next_column);
+  /// Cube asserting `bits` encode `value` (LSB-first binary).
+  bdd::Bdd value_cube(const std::vector<VarPair>& bits, std::int64_t value,
+                      bool next_column);
+  /// Full present-column cube of one concrete global state.
+  bdd::Bdd state_cube(const GlobalState& s);
+
+  /// Cube over one instance's present variables matching a concrete local
+  /// (snapshot, state) combination; zero() for non-canonical combinations
+  /// (an absent valued port paired with a nonzero stale value).
+  bdd::Bdd local_combo_cube(const std::string& instance,
+                            const cfsm::Snapshot& snapshot,
+                            const std::map<std::string, std::int64_t>& state);
+
+  /// Decodes a (possibly partial) assignment over the present variables into
+  /// a concrete state; unassigned bits default to 0 (sound for cubes from
+  /// one_sat: every completion satisfies the function).
+  GlobalState decode(const std::vector<std::pair<int, bool>>& assignment) const;
+
+  /// Value of the bit whose present-column variable is `present_var` in a
+  /// concrete state (used to build per-cluster cubes during counterexample
+  /// extraction).
+  bool state_bit(const GlobalState& s, int present_var) const;
+
+ private:
+  const cfsm::Network* network_;
+  bdd::BddManager* mgr_;
+  std::vector<StateSlot> state_slots_;
+  std::vector<BufferSlot> buffer_slots_;
+  std::map<std::pair<std::string, std::string>, size_t> buffer_index_;
+  /// present var -> (slot index into state_slots_ or buffer_slots_, bit
+  /// position; bit -1 = a buffer presence flag).
+  struct BitLocation {
+    bool in_state = false;
+    size_t slot = 0;
+    int bit = 0;
+  };
+  std::map<int, BitLocation> bit_of_;
+  int num_present_vars_ = 0;
+};
+
+}  // namespace polis::verif

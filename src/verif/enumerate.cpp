@@ -1,0 +1,112 @@
+#include "verif/enumerate.hpp"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace polis::verif {
+
+GlobalState initial_global_state(const cfsm::Network& network) {
+  GlobalState s;
+  for (const cfsm::Instance& inst : network.instances()) {
+    s.state[inst.name] = inst.machine->initial_state();
+    for (const cfsm::Signal& in : inst.machine->inputs())
+      s.buffers[inst.name][in.name] = GlobalState::Buffer{};
+  }
+  return s;
+}
+
+namespace {
+
+/// Delivers `value` into every consumer buffer of `net` (1-place overwrite).
+void deliver(const cfsm::Net& net, std::int64_t value, GlobalState& s) {
+  for (const auto& [ci, cp] : net.consumers)
+    s.buffers.at(ci).at(cp) = GlobalState::Buffer{true, value};
+}
+
+}  // namespace
+
+void apply_env_event(const cfsm::Network& network, const std::string& net,
+                     std::int64_t value, GlobalState& s) {
+  const std::map<std::string, cfsm::Net> nets = network.nets();
+  auto nit = nets.find(net);
+  POLIS_CHECK_MSG(nit != nets.end(), "unknown net " << net);
+  deliver(nit->second, value, s);
+}
+
+bool apply_machine_step(const cfsm::Network& network,
+                        const std::string& instance, GlobalState& s) {
+  const std::map<std::string, cfsm::Net> nets = network.nets();
+  const cfsm::Instance& inst = network.instance(instance);
+  const auto& bufs = s.buffers.at(inst.name);
+  cfsm::Snapshot snap;
+  bool any_present = false;
+  for (const auto& [port, buf] : bufs) {
+    if (!buf.present) continue;
+    any_present = true;
+    snap.present[port] = true;
+    const cfsm::Signal* in = inst.machine->find_input(port);
+    if (in != nullptr && !in->is_pure()) snap.value[port] = buf.value;
+  }
+  if (!any_present) return false;
+  const cfsm::Reaction reaction =
+      inst.machine->react(snap, s.state.at(inst.name));
+  if (!reaction.fired) return false;  // stutter: events preserved, no change
+  s.state[inst.name] = reaction.next_state;
+  for (auto& [port, buf] : s.buffers.at(inst.name))
+    buf = GlobalState::Buffer{};  // snapshot consumed
+  for (const auto& [sig, value] : reaction.emissions) {
+    auto nit = nets.find(inst.net_of(sig));
+    if (nit != nets.end()) deliver(nit->second, value, s);
+  }
+  return true;
+}
+
+std::vector<GlobalState> successor_states(const cfsm::Network& network,
+                                          const GlobalState& s) {
+  const std::map<std::string, cfsm::Net> nets = network.nets();
+  std::vector<GlobalState> out;
+
+  // Environment: one delivery on one external input net.
+  for (const std::string& net_name : network.external_inputs()) {
+    const cfsm::Net& net = nets.at(net_name);
+    const int values = net.domain <= 1 ? 1 : net.domain;
+    for (int v = 0; v < values; ++v) {
+      GlobalState next = s;
+      deliver(net, v, next);
+      out.push_back(std::move(next));
+    }
+  }
+
+  // Machines: one enabled instance fires atomically.
+  for (const cfsm::Instance& inst : network.instances()) {
+    GlobalState next = s;
+    if (apply_machine_step(network, inst.name, next))
+      out.push_back(std::move(next));
+  }
+  return out;
+}
+
+std::optional<std::vector<GlobalState>> enumerate_reachable_states(
+    const cfsm::Network& network, std::uint64_t limit) {
+  std::set<GlobalState> seen;
+  std::deque<GlobalState> queue;
+  const GlobalState init = initial_global_state(network);
+  seen.insert(init);
+  queue.push_back(init);
+  while (!queue.empty()) {
+    const GlobalState s = std::move(queue.front());
+    queue.pop_front();
+    for (GlobalState& next : successor_states(network, s)) {
+      if (!seen.insert(next).second) continue;
+      if (seen.size() > limit) return std::nullopt;
+      queue.push_back(std::move(next));
+    }
+  }
+  return std::vector<GlobalState>(seen.begin(), seen.end());
+}
+
+}  // namespace polis::verif

@@ -1,0 +1,40 @@
+// Explicit-state BFS over the same GALS transition system the symbolic
+// engine encodes (atomic machine reactions + environment deliveries into
+// 1-place buffers, stutter steps skipped). The oracle for cross-checking
+// symbolic reachability on small networks, and the concrete replayer for
+// counterexample traces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cfsm/network.hpp"
+#include "verif/encode.hpp"
+
+namespace polis::verif {
+
+/// The initial global state: machine initial valuations, all buffers empty.
+GlobalState initial_global_state(const cfsm::Network& network);
+
+/// All successors of `s` under one-step interleaving: every external input
+/// net delivering each of its values, and every enabled instance firing.
+/// Non-firing (stutter) reactions produce no successor.
+std::vector<GlobalState> successor_states(const cfsm::Network& network,
+                                          const GlobalState& s);
+
+/// Applies one environment delivery of `value` on `net` in place.
+void apply_env_event(const cfsm::Network& network, const std::string& net,
+                     std::int64_t value, GlobalState& s);
+
+/// Fires one atomic reaction of `instance` in place; returns false (leaving
+/// `s` unchanged) if the instance is not enabled or the reaction stutters.
+bool apply_machine_step(const cfsm::Network& network,
+                        const std::string& instance, GlobalState& s);
+
+/// BFS from the initial state; nullopt once more than `limit` distinct
+/// states have been discovered.
+std::optional<std::vector<GlobalState>> enumerate_reachable_states(
+    const cfsm::Network& network, std::uint64_t limit = 1u << 20);
+
+}  // namespace polis::verif

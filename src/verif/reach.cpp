@@ -1,0 +1,90 @@
+#include "verif/reach.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace polis::verif {
+
+namespace {
+
+/// Budget exceeded: existentially smooth the present variable contributing
+/// the most live nodes out of `reached`. Monotone (only enlarges the set),
+/// so the fixpoint still terminates — just on an overapproximation.
+bdd::Bdd widen(NetworkEncoding& enc, const bdd::Bdd& reached) {
+  bdd::BddManager& mgr = enc.manager();
+  const std::vector<size_t> profile = mgr.var_node_profile();
+  const std::set<int> support = mgr.support(reached);
+  int fattest = -1;
+  size_t best = 0;
+  for (int v : enc.present_vars()) {
+    if (support.count(v) == 0) continue;
+    const size_t weight = profile[static_cast<size_t>(v)];
+    if (fattest < 0 || weight > best) {
+      fattest = v;
+      best = weight;
+    }
+  }
+  if (fattest < 0) return reached;  // nothing left to smooth
+  return mgr.smooth(reached, {fattest});
+}
+
+}  // namespace
+
+ReachResult reachable_states(const TransitionSystem& tr,
+                             const ReachOptions& options) {
+  POLIS_CHECK(tr.enc != nullptr);
+  NetworkEncoding& enc = *tr.enc;
+  bdd::BddManager& mgr = enc.manager();
+
+  ReachResult result;
+  result.reached = enc.initial_set();
+  bdd::Bdd frontier = result.reached;
+  if (options.keep_layers) result.layers.push_back(frontier);
+  result.stats.peak_live_nodes = mgr.live_node_count();
+
+  while (!frontier.is_zero()) {
+    if (options.max_iterations > 0 &&
+        result.stats.iterations >= options.max_iterations) {
+      result.stats.exact = false;
+      result.layers.clear();
+      break;
+    }
+    ++result.stats.iterations;
+
+    const bdd::Bdd img = image(tr, frontier);
+    frontier = img & !result.reached;
+    result.reached = result.reached | frontier;
+    if (options.keep_layers && !frontier.is_zero())
+      result.layers.push_back(frontier);
+
+    if (options.node_budget > 0 &&
+        mgr.node_count(result.reached) > options.node_budget) {
+      result.reached = widen(enc, result.reached);
+      // The overapproximated set has no meaningful BFS structure: restart
+      // the frontier from the whole set and drop the layers.
+      frontier = result.reached;
+      result.layers.clear();
+      result.stats.exact = false;
+      ++result.stats.widenings;
+    }
+
+    result.stats.peak_live_nodes =
+        std::max(result.stats.peak_live_nodes, mgr.live_node_count());
+    if (options.gc_threshold > 0 &&
+        mgr.table_node_count() > options.gc_threshold) {
+      // The frontier/reached/layer handles are registered roots: collection
+      // compacts the arena and retargets them in place.
+      mgr.garbage_collect();
+      ++result.stats.gc_runs;
+    }
+  }
+
+  result.stats.reached_nodes = mgr.node_count(result.reached);
+  result.stats.reached_states =
+      mgr.sat_count(result.reached, enc.num_present_vars());
+  return result;
+}
+
+}  // namespace polis::verif

@@ -1,0 +1,51 @@
+// BDD reachability fixpoint over the partitioned transition relation:
+// forward image iteration with frontier-vs-accumulated sets, per-iteration
+// telemetry, in-fixpoint garbage collection, and a node budget that degrades
+// gracefully to an overapproximation (existentially smoothing the fattest
+// state bits) instead of failing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "verif/transition.hpp"
+
+namespace polis::verif {
+
+struct ReachOptions {
+  /// Cap on the node count of the reached set; exceeding it triggers
+  /// widening (overapproximation, `exact` turns false). 0 = unlimited.
+  std::size_t node_budget = 0;
+  /// Run BddManager::garbage_collect between iterations once the unique
+  /// table holds more than this many nodes. 0 = never collect.
+  std::size_t gc_threshold = std::size_t{1} << 18;
+  /// Iteration cap; exceeding it stops with `exact == false`. 0 = none.
+  int max_iterations = 0;
+  /// Keep the BFS onion layers (needed for counterexample extraction).
+  bool keep_layers = true;
+};
+
+struct ReachStats {
+  int iterations = 0;
+  std::size_t peak_live_nodes = 0;  // max live BDD nodes over the fixpoint
+  std::size_t reached_nodes = 0;    // node count of the final reached set
+  double reached_states = 0;        // sat_count over the present variables
+  std::uint64_t gc_runs = 0;        // in-fixpoint garbage collections
+  int widenings = 0;                // budget-triggered overapproximations
+  bool exact = true;
+};
+
+struct ReachResult {
+  bdd::Bdd reached;
+  /// layers[k] = states first reached after exactly k steps (layers[0] is
+  /// the initial state). Empty when not kept or after widening.
+  std::vector<bdd::Bdd> layers;
+  ReachStats stats;
+};
+
+ReachResult reachable_states(const TransitionSystem& tr,
+                             const ReachOptions& options = {});
+
+}  // namespace polis::verif

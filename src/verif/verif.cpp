@@ -1,0 +1,32 @@
+#include "verif/verif.hpp"
+
+#include "bdd/bdd.hpp"
+#include "verif/care.hpp"
+#include "verif/encode.hpp"
+
+namespace polis::verif {
+
+VerifyResult verify_network(const cfsm::Network& network,
+                            const VerifyOptions& options) {
+  bdd::BddManager mgr;
+  NetworkEncoding enc(network, mgr);
+  TransitionSystem tr = build_transition_system(enc, options.transition);
+  const ReachResult reach = reachable_states(tr, options.reach);
+
+  VerifyResult result;
+  result.reach = reach.stats;
+  result.clusters = tr.clusters.size();
+  for (const Cluster& c : tr.clusters) result.transitions += c.transitions;
+  result.assertions = check_assertions(tr, reach, options.enum_limit);
+  if (options.check_lost_events)
+    result.lost_events = check_no_lost_events(tr, reach);
+  // Care filters come only from an *exact* reached set: an overapproximation
+  // would be sound too (a superset of care is just less effective), but
+  // keeping them exact makes the reported code-size win reproducible.
+  if (options.extract_care && reach.stats.exact)
+    result.care_filters =
+        care_filters_by_machine(enc, reach.reached, options.enum_limit);
+  return result;
+}
+
+}  // namespace polis::verif

@@ -25,6 +25,7 @@
 #include "rtos/trace.hpp"
 #include "rtos/vcd.hpp"
 #include "util/rng.hpp"
+#include "verif/verif.hpp"
 #include "sgraph/io.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -45,6 +46,7 @@ struct Args {
   bool preemptive = false;
   bool polling = false;
   bool care = false;
+  bool verify = false;
   bool opt_copyin = false;
   bool report = false;
   bool dot = false;
@@ -62,6 +64,11 @@ void usage() {
       "  --scheme S             naive | sift (default) | sift-in | "
       "out-first | free\n"
       "  --care                 exploit the reachable care set (false paths)\n"
+      "  --verify               symbolic reachability over the network:\n"
+      "                         check the modules' assert clauses and the\n"
+      "                         built-in lost-event property; with --care,\n"
+      "                         feed the reached set into synthesis as a\n"
+      "                         global don't-care set\n"
       "  --opt-copyin           data-flow copy-in optimization (§V-B)\n"
       "  --target T             hc11 (default) | risc32\n"
       "  --policy P             rr (default) | prio\n"
@@ -93,6 +100,7 @@ bool parse_args(int argc, char** argv, Args& args) {
     else if (a == "--preemptive") args.preemptive = true;
     else if (a == "--polling") args.polling = true;
     else if (a == "--care") args.care = true;
+    else if (a == "--verify") args.verify = true;
     else if (a == "--opt-copyin") args.opt_copyin = true;
     else if (a == "--report") args.report = true;
     else if (a == "--simulate") args.simulate = std::stoll(value());
@@ -132,14 +140,56 @@ void write_artifact(const Args& args, const std::string& name,
 SynthesisResult synthesize_one(std::shared_ptr<const cfsm::Cfsm> machine,
                                const Args& args,
                                const estim::CostModel& model,
-                               const vm::TargetProfile& target) {
+                               const vm::TargetProfile& target,
+                               const cfsm::CareFilter& care_filter = {}) {
   SynthesisOptions options;
   options.scheme = scheme_of(args.scheme);
   options.build.use_care_set = args.care;
+  options.build.care_filter = care_filter;
   options.optimize_copy_in = args.opt_copyin;
   options.target = target;
   options.cost_model = &model;
   return synthesize(std::move(machine), options);
+}
+
+/// Runs the symbolic engine over a network, prints the verdicts (assert
+/// clauses + the built-in lost-event property) and a replay confirmation for
+/// every counterexample. Returns the per-machine care filters (empty unless
+/// the reached set is exact).
+std::map<std::string, cfsm::CareFilter> run_verify(const cfsm::Network& net) {
+  const verif::VerifyResult v = verif::verify_network(net);
+  std::cout << "verify: " << v.reach.reached_states << " reachable states in "
+            << v.reach.iterations << " iterations ("
+            << (v.reach.exact ? "exact" : "overapproximate") << "), "
+            << v.clusters << " clusters / " << v.transitions
+            << " transitions, peak " << v.reach.peak_live_nodes
+            << " live nodes\n";
+  for (const verif::CheckResult& r : v.assertions) {
+    std::cout << "  assert " << r.property.name;
+    if (r.property.line > 0) std::cout << " (line " << r.property.line << ")";
+    std::cout << ": " << verif::to_string(r.verdict);
+    if (r.verdict != verif::Verdict::kProved)
+      std::cout << " — " << r.violating_states << " reachable violating state"
+                << (r.violating_states == 1 ? "" : "s");
+    if (r.cex) {
+      const bool interp = verif::replay_counterexample(net, *r.cex, r.property);
+      const bool on_rtos = verif::replay_on_rtos(net, *r.cex, r.property);
+      std::cout << "; counterexample of " << r.cex->steps.size()
+                << " steps (interpreter replay "
+                << (interp ? "confirms" : "DIVERGES") << ", RTOS replay "
+                << (on_rtos ? "confirms" : "diverges") << ")";
+    }
+    std::cout << "\n";
+  }
+  if (v.lost_events.possible) {
+    for (const auto& [subject, states] : v.lost_events.offenders)
+      std::cout << "  lost-event risk: a step of '" << subject
+                << "' can overwrite a pending event (in " << states
+                << " reachable states)\n";
+  } else {
+    std::cout << "  no reachable state can lose an event\n";
+  }
+  return v.care_filters;
 }
 
 void add_report_row(Table& table, const std::string& name,
@@ -212,6 +262,13 @@ int run(const Args& args) {
     }
     const cfsm::Network& net = *it->second;
 
+    std::map<std::string, cfsm::CareFilter> care_filters;
+    if (args.verify) care_filters = run_verify(net);
+    auto filter_of = [&](const cfsm::Instance& inst) -> cfsm::CareFilter {
+      auto fit = care_filters.find(inst.machine->name());
+      return fit == care_filters.end() ? cfsm::CareFilter{} : fit->second;
+    };
+
     rtos::RtosConfig config;
     if (args.policy == "prio")
       config.policy = rtos::RtosConfig::Policy::kStaticPriority;
@@ -223,7 +280,7 @@ int run(const Args& args) {
     write_artifact(args, "polis_rtos.c", rtos::generate_rtos_c(net, config));
     for (const cfsm::Instance& inst : net.instances()) {
       const SynthesisResult r =
-          synthesize_one(inst.machine, args, model, target);
+          synthesize_one(inst.machine, args, model, target, filter_of(inst));
       codegen::CCodegenOptions c_options;
       c_options.optimize_copy_in = args.opt_copyin;
       write_artifact(args, "cfsm_" + c_identifier(inst.name) + ".c",
@@ -242,7 +299,7 @@ int run(const Args& args) {
       rtos::RtosSimulation sim(net, config);
       for (const cfsm::Instance& inst : net.instances()) {
         const SynthesisResult r =
-            synthesize_one(inst.machine, args, model, target);
+            synthesize_one(inst.machine, args, model, target, filter_of(inst));
         sim.set_task(inst.name,
                      rtos::vm_task(r.compiled, target, inst.machine));
       }
