@@ -89,6 +89,10 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 // PR-over-PR kernel perf can be diffed mechanically.
 void write_kernel_report() {
   bench::Report report("bench_bdd");
+  // Span recording on only for the report workloads (off again before the
+  // google-benchmark loops so tracing cannot skew their timings); the span
+  // totals land in the report's "phases" section.
+  obs::TraceRecorder::global().set_enabled(true);
 
   // ITE-heavy workload: random conjunction/disjunction churn over a rolling
   // window of functions — the access pattern the computed cache is built for.
@@ -181,6 +185,8 @@ void write_kernel_report() {
         .metric("peak_nodes", s.peak_nodes);
   }
 
+  report.capture_phases();
+  obs::TraceRecorder::global().set_enabled(false);
   report.write("BENCH_BDD.json");
 }
 

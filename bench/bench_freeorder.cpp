@@ -40,6 +40,7 @@ void report_sift_speed() {
   Table table({"CFSM", "vars", "fast size", "rebuild size", "swaps",
                "peak arena", "fast ms", "rebuild ms", "speedup"});
   bench::Report report("bench_freeorder");
+  obs::TraceRecorder::global().set_enabled(true);
 
   double fast_total_ms = 0.0;
   double rebuild_total_ms = 0.0;
@@ -126,6 +127,8 @@ void report_sift_speed() {
       .metric("rebuild_ms", rebuild_total_ms)
       .metric("speedup",
               fast_total_ms > 0 ? rebuild_total_ms / fast_total_ms : 0.0);
+  report.capture_phases();
+  obs::TraceRecorder::global().set_enabled(false);
   report.write("BENCH_FREEORDER.json");
   table.print(std::cout);
   std::cout << "\n";

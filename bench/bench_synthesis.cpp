@@ -155,6 +155,9 @@ double best_of(int reps, const std::function<NetworkSynthesis()>& run) {
 // so only wall time may differ. Written to BENCH_SYNTHESIS.json.
 void write_synthesis_report() {
   bench::Report report("bench_synthesis");
+  // Spans on for the report (off before the google-benchmark loops); totals
+  // land in the report's "phases" section as the per-stage breakdown.
+  obs::TraceRecorder::global().set_enabled(true);
   static const estim::CostModel model = estim::calibrate(vm::hc11_like());
 
   auto add = [&](const std::string& name,
@@ -205,6 +208,8 @@ void write_synthesis_report() {
   add("dash", systems::dash_network());
   add("shock", systems::shock_network());
   add("microwave", systems::microwave_network());
+  report.capture_phases();
+  obs::TraceRecorder::global().set_enabled(false);
   report.write("BENCH_SYNTHESIS.json");
 }
 

@@ -96,6 +96,7 @@ void run_network(const std::string& name, const cfsm::Network& net,
 int main() {
   const estim::CostModel model = estim::calibrate(vm::hc11_like());
   bench::Report report("bench_verif");
+  obs::TraceRecorder::global().set_enabled(true);
 
   std::cout << "Symbolic reachability & verification\n";
   Table verify_table({"network", "reached", "iters", "peak nodes", "gc",
@@ -113,6 +114,8 @@ int main() {
   verify_table.print(std::cout);
   std::cout << "\nCode size with local vs global (reached-set) care\n";
   care_table.print(std::cout);
+  report.capture_phases();
+  obs::TraceRecorder::global().set_enabled(false);
   report.write("BENCH_VERIF.json");
   std::cout << "\nwrote BENCH_VERIF.json\n";
   return 0;

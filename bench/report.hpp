@@ -9,18 +9,27 @@
 //     "entries": [
 //       { "name": "ite_heavy", "metrics": { "ops_per_sec": 123456.7, ... } },
 //       ...
-//     ]
+//     ],
+//     "phases": { "bdd.sift": 12.5, ... }   // span wall-time totals, ms
 //   }
+//
+// The optional "phases" section is the obs tracing layer's per-phase wall
+// time breakdown: call `Report::capture_phases()` (typically once, at the
+// end of main, with the recorder enabled for the whole run) and every named
+// span's total duration lands in the report.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 namespace polis::bench {
 
@@ -62,6 +71,14 @@ class Report {
     return entries_.back();
   }
 
+  /// Snapshots the recorder's per-span wall-time totals into the report's
+  /// "phases" section (milliseconds by span name). No-op totals (recorder
+  /// never enabled) leave the section out entirely.
+  void capture_phases(
+      const obs::TraceRecorder& recorder = obs::TraceRecorder::global()) {
+    phases_ = recorder.span_totals_ms();
+  }
+
   /// Writes the report; complains on stderr (but does not throw) when the
   /// file cannot be opened, so benches still run in read-only sandboxes.
   void write(const std::string& path) const {
@@ -81,7 +98,19 @@ class Report {
       }
       os << " } }";
     }
-    os << "\n  ]\n}\n";
+    os << "\n  ]";
+    if (!phases_.empty()) {
+      os << ",\n  \"phases\": { ";
+      bool first = true;
+      for (const auto& [name, ms] : phases_) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.3f", ms);
+        os << (first ? "" : ", ") << "\"" << escaped(name) << "\": " << buf;
+        first = false;
+      }
+      os << " }";
+    }
+    os << "\n}\n";
     std::cout << "wrote " << path << " (" << entries_.size() << " entries)\n";
   }
 
@@ -110,6 +139,7 @@ class Report {
 
   std::string bench_;
   std::vector<Entry> entries_;
+  std::map<std::string, double> phases_;
 };
 
 }  // namespace polis::bench

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace polis::bdd {
@@ -164,6 +165,7 @@ BddManager::BddManager(int num_vars) : BddManager() {
 }
 
 BddManager::~BddManager() {
+  flush_stats_to_obs();
   // Null out surviving handles so they do not dangle.
   for (Bdd* h = handle_head_; h != nullptr;) {
     Bdd* next = h->next_;
@@ -314,6 +316,11 @@ void BddManager::cache_clear() {
 }
 
 void BddManager::resize_cache(size_t new_entries) {
+  OBS_SPAN(span, "bdd.cache_resize", "bdd");
+  if (span.armed()) {
+    span.arg("old_entries", cache_.size());
+    span.arg("new_entries", new_entries);
+  }
   std::vector<CacheEntry> old = std::move(cache_);
   cache_.assign(new_entries, CacheEntry{});
   cache_mask_ = new_entries - 1;
@@ -335,10 +342,65 @@ KernelStats BddManager::stats() const {
 
 void BddManager::reset_stats() {
   stats_ = KernelStats{};
+  flushed_stats_ = KernelStats{};
   stats_.peak_nodes = nodes_.size();
   cache_lookups_at_resize_ = 0;
   cache_hits_at_resize_ = 0;
   cache_inserts_at_resize_ = 0;
+}
+
+void BddManager::flush_stats_to_obs() {
+  // Ids are registered once per process; updates below are the lock-free
+  // per-thread shard path, so flushing from synthesis worker threads is safe.
+  struct Ids {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    obs::MetricsRegistry::Id ite_calls = reg.counter("bdd.ite_calls");
+    obs::MetricsRegistry::Id cache_lookups = reg.counter("bdd.cache_lookups");
+    obs::MetricsRegistry::Id cache_hits = reg.counter("bdd.cache_hits");
+    obs::MetricsRegistry::Id cache_inserts = reg.counter("bdd.cache_inserts");
+    obs::MetricsRegistry::Id cache_evictions =
+        reg.counter("bdd.cache_evictions");
+    obs::MetricsRegistry::Id cache_resizes = reg.counter("bdd.cache_resizes");
+    obs::MetricsRegistry::Id unique_lookups =
+        reg.counter("bdd.unique_lookups");
+    obs::MetricsRegistry::Id unique_hits = reg.counter("bdd.unique_hits");
+    obs::MetricsRegistry::Id nodes_created = reg.counter("bdd.nodes_created");
+    obs::MetricsRegistry::Id nodes_recycled =
+        reg.counter("bdd.nodes_recycled");
+    obs::MetricsRegistry::Id gc_runs = reg.counter("bdd.gc_runs");
+    obs::MetricsRegistry::Id nodes_reclaimed =
+        reg.counter("bdd.nodes_reclaimed");
+    obs::MetricsRegistry::Id peak_nodes = reg.max_gauge("bdd.peak_nodes");
+    obs::MetricsRegistry::Id peak_hist = reg.histogram("bdd.manager_peak_nodes");
+  };
+  static const Ids ids;
+  obs::MetricsRegistry& reg = ids.reg;
+  const KernelStats& s = stats_;
+  KernelStats& f = flushed_stats_;
+  auto drain = [&](obs::MetricsRegistry::Id id, std::uint64_t now,
+                   std::uint64_t& last) {
+    if (now > last) reg.add(id, now - last);
+    last = now;
+  };
+  drain(ids.ite_calls, s.ite_calls, f.ite_calls);
+  drain(ids.cache_lookups, s.cache_lookups, f.cache_lookups);
+  drain(ids.cache_hits, s.cache_hits, f.cache_hits);
+  drain(ids.cache_inserts, s.cache_inserts, f.cache_inserts);
+  drain(ids.cache_evictions, s.cache_evictions, f.cache_evictions);
+  drain(ids.cache_resizes, s.cache_resizes, f.cache_resizes);
+  drain(ids.unique_lookups, s.unique_lookups, f.unique_lookups);
+  drain(ids.unique_hits, s.unique_hits, f.unique_hits);
+  drain(ids.nodes_created, s.nodes_created, f.nodes_created);
+  drain(ids.nodes_recycled, s.nodes_recycled, f.nodes_recycled);
+  drain(ids.gc_runs, s.gc_runs, f.gc_runs);
+  drain(ids.nodes_reclaimed, s.nodes_reclaimed, f.nodes_reclaimed);
+  reg.set(ids.peak_nodes, static_cast<std::int64_t>(s.peak_nodes));
+  if (f.peak_nodes != s.peak_nodes) {
+    // One histogram sample per manager lifetime peak (sampled at the first
+    // flush that observes the final value — later flushes skip duplicates).
+    reg.observe(ids.peak_hist, s.peak_nodes);
+    f.peak_nodes = s.peak_nodes;
+  }
 }
 
 // --- Core operations -------------------------------------------------------------
@@ -381,6 +443,7 @@ std::uint32_t BddManager::ite_rec(std::uint32_t f, std::uint32_t g,
 
 Bdd BddManager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
   POLIS_CHECK(f.mgr_ == this && g.mgr_ == this && h.mgr_ == this);
+  ++stats_.ite_calls;
   return make(ite_rec(f.idx_, g.idx_, h.idx_));
 }
 
@@ -861,6 +924,7 @@ void BddManager::set_order(const std::vector<int>& order) {
 }
 
 void BddManager::garbage_collect() {
+  OBS_SPAN(span, "bdd.gc", "bdd");
   const size_t before = nodes_.size();
   mark_live();
 
@@ -898,9 +962,14 @@ void BddManager::garbage_collect() {
     ++stats_.gc_runs;
     stats_.nodes_reclaimed += before - nodes_.size();
   }
+  if (span.armed()) {
+    span.arg("arena_before", before);
+    span.arg("arena_after", nodes_.size());
+  }
 }
 
 size_t BddManager::prune_dead_nodes() {
+  OBS_SPAN(span, "bdd.prune", "bdd");
   mark_live();  // leaves the liveness epoch in visit_epoch_
   size_t removed = 0;
   for (Subtable& st : subtables_) {
@@ -928,6 +997,7 @@ size_t BddManager::prune_dead_nodes() {
     ++stats_.gc_runs;
     stats_.nodes_reclaimed += removed;
   }
+  if (span.armed()) span.arg("pruned", removed);
   return removed;
 }
 

@@ -96,6 +96,8 @@ class Bdd {
 /// Kernel counters, snapshotted by `BddManager::stats()`. All counts are
 /// cumulative since construction (or the last `reset_stats`).
 struct KernelStats {
+  // Top-level operation counts.
+  std::uint64_t ite_calls = 0;  // public ite()/band/bor/bxor entries
   // Computed cache.
   std::uint64_t cache_lookups = 0;
   std::uint64_t cache_hits = 0;
@@ -237,6 +239,14 @@ class BddManager {
   /// Clears the cumulative counters; `peak_nodes` restarts from the current
   /// arena size.
   void reset_stats();
+
+  /// Adds everything counted since the last flush into the process-wide
+  /// `obs::MetricsRegistry` under the "bdd.*" names (cache hit counters, GC
+  /// work, peak nodes). Incremental and idempotent — flushing twice adds
+  /// nothing new — and also run by the destructor, so short-lived managers
+  /// (one per CFSM in `synthesize_network`) are never lost from a
+  /// `--metrics` snapshot. The local `stats()` view is unaffected.
+  void flush_stats_to_obs();
 
   // --- Reordering / memory -----------------------------------------------------
 
@@ -425,6 +435,7 @@ class BddManager {
   std::uint64_t cache_hits_at_resize_ = 0;
   std::uint64_t cache_inserts_at_resize_ = 0;
   KernelStats stats_;
+  KernelStats flushed_stats_;  // high-water mark of flush_stats_to_obs
 };
 
 }  // namespace polis::bdd

@@ -3,11 +3,41 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace polis::bdd {
 
 namespace {
+
+// Mirrors a finished sift run into the process-wide metrics registry.
+// Called once per `sift` invocation (cheap: a handful of shard adds), so the
+// per-swap hot path carries no observability cost at all.
+void publish_sift_telemetry(const SiftTelemetry& tel) {
+  struct Ids {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    obs::MetricsRegistry::Id runs = reg.counter("sift.runs");
+    obs::MetricsRegistry::Id swaps = reg.counter("sift.swaps");
+    obs::MetricsRegistry::Id evals = reg.counter("sift.size_evaluations");
+    obs::MetricsRegistry::Id passes = reg.counter("sift.passes_run");
+    obs::MetricsRegistry::Id gcs = reg.counter("sift.garbage_collections");
+    obs::MetricsRegistry::Id saved = reg.counter("sift.nodes_saved");
+    obs::MetricsRegistry::Id peak = reg.max_gauge("sift.peak_arena");
+    obs::MetricsRegistry::Id shrink = reg.histogram("sift.run_shrink_nodes");
+  };
+  static const Ids ids;
+  obs::MetricsRegistry& reg = ids.reg;
+  reg.add(ids.runs, 1);
+  reg.add(ids.swaps, tel.swaps);
+  reg.add(ids.evals, tel.size_evaluations);
+  reg.add(ids.passes, static_cast<std::uint64_t>(tel.passes_run));
+  reg.add(ids.gcs, static_cast<std::uint64_t>(tel.garbage_collections));
+  const std::uint64_t shrunk =
+      tel.initial_size > tel.final_size ? tel.initial_size - tel.final_size : 0;
+  reg.add(ids.saved, shrunk);
+  reg.set(ids.peak, static_cast<std::int64_t>(tel.peak_arena));
+  reg.observe(ids.shrink, shrunk);
+}
 
 // Legal insertion window [lo, hi] (inclusive, as positions in `order` with
 // `var` removed) given the precedence pairs. Used by the rebuild reference.
@@ -107,6 +137,8 @@ size_t sift(BddManager& mgr,
   const int n = mgr.num_vars();
   check_precedence(n, precedence);
 
+  OBS_SPAN(sift_span, "bdd.sift", "reorder");
+
   SiftTelemetry local;
   SiftTelemetry& tel = options.telemetry ? *options.telemetry : local;
   tel = SiftTelemetry{};
@@ -125,7 +157,10 @@ size_t sift(BddManager& mgr,
   size_t current = measure();
   tel.initial_size = current;
   tel.final_size = current;
-  if (n <= 1) return current;
+  if (n <= 1) {
+    publish_sift_telemetry(tel);
+    return current;
+  }
 
   POLIS_CHECK_MSG(order_respects(mgr.current_order(), precedence),
                   "initial order violates the precedence constraints");
@@ -144,6 +179,8 @@ size_t sift(BddManager& mgr,
   for (int pass = 0; pass < options.passes; ++pass) {
     bool improved_this_pass = false;
     for (int v : sift_candidates(mgr, options)) {
+      OBS_SPAN(var_span, "sift.var", "reorder");
+      if (var_span.armed()) var_span.arg("var", v);
       // Swaps leave orphaned nodes behind, still threaded on the unique
       // table where later swaps would keep rewriting them; prune once the
       // garbage dominates the live size, so a swap's cost stays
@@ -213,6 +250,11 @@ size_t sift(BddManager& mgr,
         mgr.swap_adjacent_levels(level - 1);
         --level;
       }
+      if (var_span.armed()) {
+        var_span.arg("start_level", start);
+        var_span.arg("settled_level", target);
+        var_span.arg("size_after", best_size < current ? best_size : current);
+      }
       if (best_size < current) {
         current = best_size;
         improved_this_pass = true;
@@ -224,6 +266,13 @@ size_t sift(BddManager& mgr,
   }
 
   tel.final_size = current;
+  if (sift_span.armed()) {
+    sift_span.arg("initial_size", tel.initial_size);
+    sift_span.arg("final_size", tel.final_size);
+    sift_span.arg("swaps", tel.swaps);
+    sift_span.arg("passes", tel.passes_run);
+  }
+  publish_sift_telemetry(tel);
   return current;
 }
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -15,39 +17,68 @@ SynthesisResult synthesize(std::shared_ptr<const cfsm::Cfsm> machine,
   POLIS_CHECK(machine != nullptr);
   const auto t0 = std::chrono::steady_clock::now();
 
+  OBS_SPAN(span, "synthesize", "pipeline");
+  if (span.armed()) span.arg("machine", machine->name());
+
   SynthesisResult result;
   result.machine = machine;
   result.manager = std::make_shared<bdd::BddManager>();
-  result.reactive =
-      std::make_shared<cfsm::ReactiveFunction>(*machine, *result.manager);
+  {
+    OBS_SPAN(stage, "cfsm.reactive_function", "pipeline");
+    result.reactive =
+        std::make_shared<cfsm::ReactiveFunction>(*machine, *result.manager);
+  }
   result.graph = std::make_shared<sgraph::Sgraph>(
       sgraph::build_sgraph(*result.reactive, options.scheme, options.build));
-  vm::CompileOptions compile_options;
-  compile_options.optimize_copy_in = options.optimize_copy_in;
-  result.compiled = std::make_shared<vm::CompiledReaction>(vm::compile(
-      *result.graph, vm::SymbolInfo::from(*machine), compile_options));
-  codegen::CCodegenOptions c_options;
-  c_options.optimize_copy_in = options.optimize_copy_in;
-  result.c_code = codegen::generate_c(*result.graph, *machine, c_options);
-  result.vm_size_bytes = result.compiled->program.size_bytes(options.target);
-
-  estim::CostModel local_model;
-  const estim::CostModel* model = options.cost_model;
-  if (model == nullptr) {
-    local_model = estim::calibrate(options.target);
-    model = &local_model;
+  {
+    OBS_SPAN(stage, "vm.compile", "pipeline");
+    vm::CompileOptions compile_options;
+    compile_options.optimize_copy_in = options.optimize_copy_in;
+    result.compiled = std::make_shared<vm::CompiledReaction>(vm::compile(
+        *result.graph, vm::SymbolInfo::from(*machine), compile_options));
   }
-  result.estimate =
-      estim::estimate(*result.graph, *model, estim::context_for(*machine));
+  {
+    OBS_SPAN(stage, "codegen.generate_c", "pipeline");
+    codegen::CCodegenOptions c_options;
+    c_options.optimize_copy_in = options.optimize_copy_in;
+    result.c_code = codegen::generate_c(*result.graph, *machine, c_options);
+    result.vm_size_bytes = result.compiled->program.size_bytes(options.target);
+  }
+
+  {
+    OBS_SPAN(stage, "estim.estimate", "pipeline");
+    estim::CostModel local_model;
+    const estim::CostModel* model = options.cost_model;
+    if (model == nullptr) {
+      local_model = estim::calibrate(options.target);
+      model = &local_model;
+    }
+    result.estimate =
+        estim::estimate(*result.graph, *model, estim::context_for(*machine));
+  }
+
+  // Fold this machine's kernel counters into the global registry now rather
+  // than waiting for the manager's destructor: the result (and its manager)
+  // may outlive any metrics snapshot the caller takes next.
+  result.manager->flush_stats_to_obs();
+  obs::MetricsRegistry::global().add(
+      obs::MetricsRegistry::global().counter("synthesis.machines"), 1);
 
   result.synthesis_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (span.armed()) {
+    span.arg("sgraph_nodes", result.graph->num_nodes());
+    span.arg("vm_size_bytes", result.vm_size_bytes);
+  }
   return result;
 }
 
 NetworkSynthesis synthesize_network(const cfsm::Network& network,
                                     const SynthesisOptions& options) {
+  OBS_SPAN(span, "synthesize_network", "pipeline");
+  if (span.armed()) span.arg("network", network.name());
+
   SynthesisOptions shared = options;
   estim::CostModel local_model;
   if (shared.cost_model == nullptr) {
@@ -86,6 +117,10 @@ NetworkSynthesis synthesize_network(const cfsm::Network& network,
     ThreadPool pool(threads);
     for (size_t i = 0; i < machines.size(); ++i) {
       pool.submit([&, i] {
+        // Sticky label for this worker's wall-clock trace lane; first job on
+        // each pool thread wins, later calls are idempotent re-inserts.
+        obs::TraceRecorder::global().name_this_thread(
+            "synthesis worker #" + std::to_string(obs::this_thread_id()));
         try {
           results[i] = synthesize(machines[i], per_machine[i]);
         } catch (...) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "frontend/lexer.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace polis::frontend {
@@ -307,8 +308,15 @@ class Parser {
 }  // namespace
 
 ParsedFile parse(std::string_view source) {
+  OBS_SPAN(span, "frontend.parse", "pipeline");
   Parser parser(source);
-  return parser.parse_file();
+  ParsedFile file = parser.parse_file();
+  if (span.armed()) {
+    span.arg("source_bytes", source.size());
+    span.arg("modules", file.modules.size());
+    span.arg("networks", file.networks.size());
+  }
+  return file;
 }
 
 std::shared_ptr<const cfsm::Cfsm> parse_module(std::string_view source) {

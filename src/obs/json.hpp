@@ -1,0 +1,55 @@
+// Minimal strict JSON reader + string escaping, shared by the observability
+// exporters, the `obs_check` validation tool and the tests. This is a
+// validator-grade parser (everything the exporters emit, nothing more
+// lenient): UTF-8 pass-through, \uXXXX decoded to UTF-8, numbers via strtod.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace polis::obs::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Value> array;
+  /// Members in document order (duplicate keys preserved).
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// First member with `key`, or nullptr (requires an object).
+  const Value* find(std::string_view key) const;
+};
+
+/// Thrown on malformed input, with a byte offset in the message.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, size_t offset)
+      : std::runtime_error(what + " at byte " + std::to_string(offset)),
+        offset_(offset) {}
+  size_t offset() const { return offset_; }
+
+ private:
+  size_t offset_;
+};
+
+/// Parses exactly one JSON document (trailing garbage is an error).
+Value parse(std::string_view text);
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+std::string escape(const std::string& s);
+
+}  // namespace polis::obs::json

@@ -1,0 +1,265 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace polis::obs {
+
+std::atomic<std::uint64_t> MetricsRegistry::next_uid_{1};
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+int MetricsRegistry::bucket_of(std::uint64_t value) {
+  if (value == 0) return 0;
+  const int width = std::bit_width(value);  // 1..64
+  return width > kBuckets - 1 ? kBuckets - 1 : width;
+}
+
+std::uint64_t MetricsRegistry::bucket_lo(int bucket) {
+  POLIS_CHECK(bucket >= 0 && bucket < kBuckets);
+  return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+}
+
+std::uint64_t MetricsRegistry::bucket_hi(int bucket) {
+  POLIS_CHECK(bucket >= 0 && bucket < kBuckets);
+  if (bucket == 0) return 0;
+  if (bucket == kBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+MetricsRegistry::Id MetricsRegistry::register_named(Kind kind,
+                                                    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = names_.find(name);
+  if (it != names_.end()) {
+    POLIS_CHECK_MSG(kind_of(it->second) == kind,
+                    "metric '" << name << "' re-registered with another kind");
+    return it->second;
+  }
+  std::uint32_t index = 0;
+  switch (kind) {
+    case Kind::kCounter:
+      POLIS_CHECK_MSG(num_counters_ < kMaxCounters, "too many counters");
+      index = num_counters_++;
+      break;
+    case Kind::kGauge:
+    case Kind::kMaxGauge:
+      POLIS_CHECK_MSG(num_gauges_ < kMaxGauges, "too many gauges");
+      index = num_gauges_++;
+      break;
+    case Kind::kHistogram:
+      POLIS_CHECK_MSG(num_histograms_ < kMaxHistograms, "too many histograms");
+      index = num_histograms_++;
+      break;
+  }
+  const Id id = make_id(kind, index);
+  names_.emplace(name, id);
+  return id;
+}
+
+MetricsRegistry::Id MetricsRegistry::counter(const std::string& name) {
+  return register_named(Kind::kCounter, name);
+}
+MetricsRegistry::Id MetricsRegistry::gauge(const std::string& name) {
+  return register_named(Kind::kGauge, name);
+}
+MetricsRegistry::Id MetricsRegistry::max_gauge(const std::string& name) {
+  return register_named(Kind::kMaxGauge, name);
+}
+MetricsRegistry::Id MetricsRegistry::histogram(const std::string& name) {
+  return register_named(Kind::kHistogram, name);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  // One shard per (thread, registry). The shared_ptr keeps a shard alive
+  // even if its thread exits before a later snapshot reads it.
+  thread_local std::map<std::uint64_t, std::shared_ptr<Shard>> shards;
+  auto it = shards.find(uid_);
+  if (it == shards.end()) {
+    auto shard = std::make_shared<Shard>();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shards_.push_back(shard);
+    }
+    it = shards.emplace(uid_, std::move(shard)).first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::add(Id id, std::uint64_t delta) {
+  POLIS_DCHECK(kind_of(id) == Kind::kCounter);
+  local_shard().counters[index_of(id)].fetch_add(delta,
+                                                 std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set(Id id, std::int64_t value) {
+  GaugeCell& cell = local_shard().gauges[index_of(id)];
+  if (kind_of(id) == Kind::kMaxGauge) {
+    // Monotone-max merge; seq only marks "written at least once".
+    std::int64_t seen = cell.value.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !cell.value.compare_exchange_weak(seen, value,
+                                             std::memory_order_relaxed)) {
+    }
+    cell.seq.store(1, std::memory_order_relaxed);
+    return;
+  }
+  POLIS_DCHECK(kind_of(id) == Kind::kGauge);
+  cell.value.store(value, std::memory_order_relaxed);
+  cell.seq.store(1 + gauge_seq_.fetch_add(1, std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(Id id, std::uint64_t value) {
+  POLIS_DCHECK(kind_of(id) == Kind::kHistogram);
+  HistogramCells& h = local_shard().histograms[index_of(id)];
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  h.sum.fetch_add(value, std::memory_order_relaxed);
+  h.buckets[static_cast<size_t>(bucket_of(value))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::map<std::string, Id> names;
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names = names_;
+    shards = shards_;
+  }
+  Snapshot snap;
+  for (const auto& [name, id] : names) {
+    const std::uint32_t index = index_of(id);
+    switch (kind_of(id)) {
+      case Kind::kCounter: {
+        std::uint64_t total = 0;
+        for (const auto& s : shards)
+          total += s->counters[index].load(std::memory_order_relaxed);
+        snap.counters[name] = total;
+        break;
+      }
+      case Kind::kGauge: {
+        std::uint64_t best_seq = 0;
+        std::int64_t value = 0;
+        for (const auto& s : shards) {
+          const std::uint64_t seq =
+              s->gauges[index].seq.load(std::memory_order_relaxed);
+          if (seq > best_seq) {
+            best_seq = seq;
+            value = s->gauges[index].value.load(std::memory_order_relaxed);
+          }
+        }
+        if (best_seq > 0) snap.gauges[name] = value;
+        break;
+      }
+      case Kind::kMaxGauge: {
+        bool written = false;
+        std::int64_t best = 0;
+        for (const auto& s : shards) {
+          if (s->gauges[index].seq.load(std::memory_order_relaxed) == 0)
+            continue;
+          const std::int64_t v =
+              s->gauges[index].value.load(std::memory_order_relaxed);
+          if (!written || v > best) best = v;
+          written = true;
+        }
+        if (written) snap.gauges[name] = best;
+        break;
+      }
+      case Kind::kHistogram: {
+        HistogramView view;
+        for (const auto& s : shards) {
+          const HistogramCells& h = s->histograms[index];
+          view.count += h.count.load(std::memory_order_relaxed);
+          view.sum += h.sum.load(std::memory_order_relaxed);
+          for (int b = 0; b < kBuckets; ++b)
+            view.buckets[static_cast<size_t>(b)] +=
+                h.buckets[static_cast<size_t>(b)].load(
+                    std::memory_order_relaxed);
+        }
+        snap.histograms[name] = view;
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards = shards_;
+    gauge_seq_.store(0, std::memory_order_relaxed);
+  }
+  for (const auto& s : shards) {
+    for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& g : s->gauges) {
+      g.seq.store(0, std::memory_order_relaxed);
+      g.value.store(0, std::memory_order_relaxed);
+    }
+    for (auto& h : s->histograms) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0, std::memory_order_relaxed);
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const Snapshot snap = snapshot();
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    os << (first ? "" : ",") << "\n    \"" << json::escape(name)
+       << "\": " << value;
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    os << (first ? "" : ",") << "\n    \"" << json::escape(name)
+       << "\": " << value;
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (first ? "" : ",") << "\n    \"" << json::escape(name)
+       << "\": { \"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"buckets\": [";
+    bool fb = true;
+    for (int b = 0; b < kBuckets; ++b) {
+      const std::uint64_t n = h.buckets[static_cast<size_t>(b)];
+      if (n == 0) continue;
+      os << (fb ? "" : ", ") << "[" << bucket_lo(b) << ", " << bucket_hi(b)
+         << ", " << n << "]";
+      fb = false;
+    }
+    os << "] }";
+    first = false;
+  }
+  os << "\n  },\n  \"derived\": {";
+  first = true;
+  auto ratio = [&](const char* name, const char* num, const char* den) {
+    auto n = snap.counters.find(num);
+    auto d = snap.counters.find(den);
+    if (n == snap.counters.end() || d == snap.counters.end() ||
+        d->second == 0)
+      return;
+    os << (first ? "" : ",") << "\n    \"" << name << "\": "
+       << static_cast<double>(n->second) / static_cast<double>(d->second);
+    first = false;
+  };
+  ratio("bdd.cache_hit_rate", "bdd.cache_hits", "bdd.cache_lookups");
+  ratio("bdd.unique_hit_rate", "bdd.unique_hits", "bdd.unique_lookups");
+  os << "\n  }\n}\n";
+}
+
+}  // namespace polis::obs

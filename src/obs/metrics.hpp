@@ -1,0 +1,142 @@
+// Metrics registry: named counters, gauges and log2-bucket histograms with a
+// lock-free fast path. Updates go to a per-thread shard (preallocated arrays
+// of relaxed atomics — no lock, no allocation, no hash lookup once an Id is
+// held); `snapshot` merges the shards under the registry mutex. The layer the
+// pipeline's ad-hoc telemetry structs (`BddManager::stats`, SiftTelemetry,
+// ReachStats, rtos::SimStats) mirror into, so one `--metrics` snapshot covers
+// the whole flow.
+//
+// Concurrency model: registration (name → Id) takes a mutex and is expected
+// at setup time or at coarse flush points; `add`/`set`/`observe` are safe
+// from any thread concurrently with `snapshot`. Counts are monotonic and read
+// with relaxed ordering — a snapshot taken mid-update is a valid (slightly
+// stale) prefix, never torn.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace polis::obs {
+
+class MetricsRegistry {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kInvalidId = 0xffffffffu;
+
+  /// Histogram buckets: bucket 0 holds the value 0; bucket b (1..63) holds
+  /// [2^(b-1), 2^b - 1]; the last bucket absorbs everything above.
+  static constexpr int kBuckets = 64;
+
+  // Per-shard capacity; registering more of a kind is a CheckError. Sized so
+  // a shard stays ~20 KiB — cheap enough to preallocate per thread.
+  static constexpr std::uint32_t kMaxCounters = 256;
+  static constexpr std::uint32_t kMaxGauges = 64;
+  static constexpr std::uint32_t kMaxHistograms = 32;
+
+  /// The process-wide registry every instrumented subsystem reports to.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // --- Registration (idempotent by name) ------------------------------------
+
+  Id counter(const std::string& name);
+  /// Last-write-wins gauge (writes are sequenced across threads).
+  Id gauge(const std::string& name);
+  /// Gauge merged by maximum across all writes (e.g. peak node counts).
+  Id max_gauge(const std::string& name);
+  Id histogram(const std::string& name);
+
+  // --- Updates (lock-free; Id kind must match the registration) -------------
+
+  void add(Id id, std::uint64_t delta = 1);
+  void set(Id id, std::int64_t value);
+  void observe(Id id, std::uint64_t value);
+
+  // --- Snapshot / export ----------------------------------------------------
+
+  struct HistogramView {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+  };
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, HistogramView> histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// Zeroes every metric in every shard (names and Ids stay registered).
+  void reset();
+
+  /// Machine-readable snapshot:
+  ///   { "counters": {..}, "gauges": {..},
+  ///     "histograms": { name: {"count","sum","buckets":[[lo,hi,n],..]} },
+  ///     "derived": { "bdd.cache_hit_rate": .. } }
+  /// Histogram bucket triples list only non-empty buckets.
+  void write_json(std::ostream& os) const;
+
+  static int bucket_of(std::uint64_t value);
+  static std::uint64_t bucket_lo(int bucket);
+  /// Inclusive upper bound; the last bucket returns UINT64_MAX.
+  static std::uint64_t bucket_hi(int bucket);
+
+ private:
+  enum class Kind : std::uint32_t {
+    kCounter = 0,
+    kGauge = 1,
+    kMaxGauge = 2,
+    kHistogram = 3
+  };
+  static constexpr std::uint32_t kKindShift = 28;
+  static Kind kind_of(Id id) { return static_cast<Kind>(id >> kKindShift); }
+  static std::uint32_t index_of(Id id) {
+    return id & ((1u << kKindShift) - 1);
+  }
+  static Id make_id(Kind k, std::uint32_t index) {
+    return (static_cast<std::uint32_t>(k) << kKindShift) | index;
+  }
+
+  struct GaugeCell {
+    std::atomic<std::uint64_t> seq{0};  // 0 = never written
+    std::atomic<std::int64_t> value{0};
+  };
+  struct HistogramCells {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  };
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    std::array<GaugeCell, kMaxGauges> gauges{};
+    std::array<HistogramCells, kMaxHistograms> histograms{};
+  };
+
+  Shard& local_shard();
+  Id register_named(Kind kind, const std::string& name);
+
+  mutable std::mutex mu_;
+  // Name → Id per kind (gauge and max_gauge share the gauge index space).
+  std::map<std::string, Id> names_;
+  std::uint32_t num_counters_ = 0;
+  std::uint32_t num_gauges_ = 0;
+  std::uint32_t num_histograms_ = 0;
+  std::vector<std::shared_ptr<Shard>> shards_;
+  // Distinguishes registries that reuse a freed address (thread-local shard
+  // maps are keyed by this, not by pointer).
+  const std::uint64_t uid_ = next_uid_.fetch_add(1);
+  std::atomic<std::uint64_t> gauge_seq_{0};
+  static std::atomic<std::uint64_t> next_uid_;
+};
+
+}  // namespace polis::obs

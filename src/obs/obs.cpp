@@ -1,0 +1,34 @@
+#include "obs/obs.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace polis::obs {
+
+void write_metrics_json(std::ostream& os, const MetricsRegistry& registry,
+                        const TraceRecorder* recorder) {
+  // Render the registry body, then splice the phase table in before the
+  // closing brace so both land in one document.
+  std::ostringstream body;
+  registry.write_json(body);
+  std::string text = body.str();
+  const size_t close = text.rfind('}');
+  if (close != std::string::npos) text.resize(close);
+  os << text << ",\n  \"phases\": {";
+  bool first = true;
+  if (recorder != nullptr) {
+    for (const auto& [name, ms] : recorder->span_totals_ms()) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", ms);
+      os << (first ? "" : ",") << "\n    \"" << json::escape(name)
+         << "\": " << buf;
+      first = false;
+    }
+  }
+  os << "\n  }\n}\n";
+}
+
+}  // namespace polis::obs

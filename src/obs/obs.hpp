@@ -1,0 +1,24 @@
+// Umbrella header for the observability layer: metrics registry + span
+// tracing + the combined `--metrics` snapshot exporter. See metrics.hpp and
+// trace.hpp for the two halves; DESIGN.md §9 for the architecture and the
+// overhead methodology.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace polis::obs {
+
+/// Combined machine-readable snapshot, the payload behind `polisc
+/// --metrics`: the registry's counters/gauges/histograms plus a per-phase
+/// wall-time breakdown aggregated from the recorder's spans.
+///   { "counters": .., "gauges": .., "histograms": .., "derived": ..,
+///     "phases": { "span name": milliseconds, ... } }
+void write_metrics_json(
+    std::ostream& os,
+    const MetricsRegistry& registry = MetricsRegistry::global(),
+    const TraceRecorder* recorder = &TraceRecorder::global());
+
+}  // namespace polis::obs

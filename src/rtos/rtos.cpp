@@ -5,6 +5,8 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/obs.hpp"
+#include "rtos/vcd.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -12,6 +14,44 @@ namespace polis::rtos {
 
 namespace {
 constexpr long long kInf = std::numeric_limits<long long>::max() / 4;
+
+// Mirrors a finished run into the global registry (once per run; nothing is
+// published from inside the event loop).
+void publish_sim_stats(const SimStats& stats) {
+  struct Ids {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    obs::MetricsRegistry::Id runs = reg.counter("rtos.runs");
+    obs::MetricsRegistry::Id reactions = reg.counter("rtos.reactions_run");
+    obs::MetricsRegistry::Id empty = reg.counter("rtos.empty_reactions");
+    obs::MetricsRegistry::Id busy = reg.counter("rtos.busy_cycles");
+    obs::MetricsRegistry::Id overhead = reg.counter("rtos.overhead_cycles");
+    obs::MetricsRegistry::Id lost = reg.counter("rtos.lost_events");
+    obs::MetricsRegistry::Id misses = reg.counter("rtos.deadline_misses");
+    obs::MetricsRegistry::Id aborted = reg.counter("rtos.aborted_runs");
+    obs::MetricsRegistry::Id watchdog = reg.counter("rtos.watchdog_fires");
+    obs::MetricsRegistry::Id faults = reg.counter("rtos.injected_faults");
+    obs::MetricsRegistry::Id span = reg.histogram("rtos.run_cycles");
+  };
+  static const Ids ids;
+  obs::MetricsRegistry& reg = ids.reg;
+  reg.add(ids.runs, 1);
+  reg.add(ids.reactions, static_cast<std::uint64_t>(stats.reactions_run));
+  reg.add(ids.empty, static_cast<std::uint64_t>(stats.empty_reactions));
+  reg.add(ids.busy, static_cast<std::uint64_t>(stats.busy_cycles));
+  reg.add(ids.overhead, static_cast<std::uint64_t>(stats.overhead_cycles));
+  std::uint64_t lost = 0;
+  for (const auto& [net, n] : stats.lost_events)
+    lost += static_cast<std::uint64_t>(n);
+  reg.add(ids.lost, lost);
+  std::uint64_t misses = 0;
+  for (const auto& [task, n] : stats.deadline_misses)
+    misses += static_cast<std::uint64_t>(n);
+  reg.add(ids.misses, misses);
+  if (stats.aborted) reg.add(ids.aborted, 1);
+  if (stats.watchdog_fired) reg.add(ids.watchdog, 1);
+  reg.add(ids.faults, static_cast<std::uint64_t>(stats.injected.total()));
+  reg.observe(ids.span, static_cast<std::uint64_t>(stats.end_time));
+}
 
 // Internal control-flow: a degradation policy or the watchdog terminates
 // the run; caught in run(), never escapes to the caller.
@@ -76,6 +116,12 @@ bool RtosSimulation::enabled(const TaskState& t) const {
 // reaction preserved the events.
 SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
                              long long horizon) {
+  OBS_SPAN(run_span, "rtos.simulate", "rtos");
+  if (run_span.armed()) {
+    run_span.arg("network", network_->name());
+    run_span.arg("external_events", events.size());
+  }
+
   struct Delivery {
     long long dtime;   // when the flags are actually set
     long long stimulus;  // original environment time (for latency)
@@ -103,8 +149,10 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
 
   auto log_event = [&](long long time, LogEvent::Kind kind,
                        const std::string& subject, std::int64_t value) {
-    if (!config_.collect_log) return;
-    stats.log.push_back(LogEvent{time, kind, subject, value});
+    if (!config_.collect_log && config_.live_vcd == nullptr) return;
+    const LogEvent e{time, kind, subject, value};
+    if (config_.live_vcd != nullptr) config_.live_vcd->on_event(e);
+    if (config_.collect_log) stats.log.push_back(e);
   };
 
   // All fault perturbations are drawn from this one seeded stream in a
@@ -587,6 +635,16 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
     }
   }
   stats.end_time = std::max(now, watermark);
+  // Closing the live VCD here — not at any earlier exit — is what keeps a
+  // waveform from an aborted run loadable: wires still high are dropped and
+  // the final timestamp is stamped even when AbortSim cut the run short.
+  if (config_.live_vcd != nullptr) config_.live_vcd->finish(stats.end_time);
+  if (run_span.armed()) {
+    run_span.arg("end_time", stats.end_time);
+    run_span.arg("reactions", stats.reactions_run);
+    run_span.arg("aborted", stats.aborted);
+  }
+  publish_sim_stats(stats);
   return stats;
 }
 

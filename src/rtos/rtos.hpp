@@ -30,6 +30,8 @@
 
 namespace polis::rtos {
 
+class VcdWriter;
+
 struct RtosConfig {
   enum class Policy { kRoundRobin, kStaticPriority };
   Policy policy = Policy::kRoundRobin;
@@ -49,6 +51,13 @@ struct RtosConfig {
   /// Record a full event log in SimStats::log (task activations, event
   /// emissions and deliveries) for inspection / VCD export.
   bool collect_log = false;
+
+  /// Streaming VCD export: every log event is forwarded to this writer as
+  /// it happens, and `VcdWriter::finish(end_time)` runs when the simulation
+  /// ends — including the abort path (degradation policies, watchdog), so a
+  /// terminated run still produces a loadable waveform. Independent of
+  /// `collect_log`. The writer must outlive `run()`; null = disabled.
+  VcdWriter* live_vcd = nullptr;
 
   /// §IV-C: "the user has the option to specify that for designated events,
   /// all sw-CFSMs sensitive to that event are also to be executed inside

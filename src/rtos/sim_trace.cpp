@@ -1,0 +1,102 @@
+#include "rtos/sim_trace.hpp"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace polis::rtos {
+
+void record_sim_trace(const cfsm::Network& network, const SimStats& stats,
+                      obs::TraceRecorder& recorder) {
+  if (!recorder.enabled()) return;
+
+  // Lane layout: one lane per task (declaration order, tids from 1), plus a
+  // trailing "events" lane for net emissions and injected faults.
+  std::map<std::string, std::uint32_t> lane_of;
+  std::uint32_t next_tid = 1;
+  for (const cfsm::Instance& inst : network.instances()) {
+    lane_of[inst.name] = next_tid;
+    recorder.name_sim_lane(next_tid, "task " + inst.name);
+    ++next_tid;
+  }
+  const std::uint32_t events_lane = next_tid;
+  recorder.name_sim_lane(events_lane, "events");
+
+  const auto complete = [&](std::uint32_t tid, std::string name,
+                            const char* cat, long long ts, long long dur,
+                            std::vector<obs::TraceArg> args = {}) {
+    obs::TraceEvent e;
+    e.name = std::move(name);
+    e.cat = cat;
+    e.ph = 'X';
+    e.ts = ts;
+    e.dur = dur;
+    e.pid = obs::kPidSim;
+    e.tid = tid;
+    e.args = std::move(args);
+    recorder.record(std::move(e));
+  };
+  const auto instant = [&](std::uint32_t tid, std::string name,
+                           const char* cat, long long ts,
+                           std::vector<obs::TraceArg> args = {}) {
+    obs::TraceEvent e;
+    e.name = std::move(name);
+    e.cat = cat;
+    e.ph = 'i';
+    e.ts = ts;
+    e.pid = obs::kPidSim;
+    e.tid = tid;
+    e.args = std::move(args);
+    recorder.record(std::move(e));
+  };
+
+  // A task runs at most one reaction at a time (snapshot freezing), so one
+  // open slot per task suffices; -1 = no reaction in flight.
+  std::map<std::string, long long> open_since;
+  for (const LogEvent& e : stats.log) {
+    switch (e.kind) {
+      case LogEvent::Kind::kTaskStart:
+        open_since[e.subject] = e.time;
+        break;
+      case LogEvent::Kind::kTaskEnd: {
+        auto it = open_since.find(e.subject);
+        if (it == open_since.end()) break;  // end without start: skip
+        auto lane = lane_of.find(e.subject);
+        if (lane != lane_of.end())
+          complete(lane->second, e.subject, "rtos", it->second,
+                   e.time - it->second);
+        open_since.erase(it);
+        break;
+      }
+      case LogEvent::Kind::kEmission:
+        instant(events_lane, "emit " + e.subject, "net", e.time,
+                {{"value", std::to_string(e.value)}});
+        break;
+      case LogEvent::Kind::kDelivery:
+        break;  // mirrors emissions; omitted, as in the VCD export
+      case LogEvent::Kind::kFault:
+        instant(events_lane, "fault: " + e.subject, "fault", e.time,
+                {{"magnitude", std::to_string(e.value)}});
+        break;
+      case LogEvent::Kind::kDeadlineMiss: {
+        auto lane = lane_of.find(e.subject);
+        instant(lane != lane_of.end() ? lane->second : events_lane,
+                "deadline miss", "fault", e.time,
+                {{"response_cycles", std::to_string(e.value)}});
+        break;
+      }
+    }
+  }
+
+  // Reactions the abort cut short never logged kTaskEnd: close their spans
+  // at the end of simulated time so every lane terminates cleanly.
+  for (const auto& [task, since] : open_since) {
+    auto lane = lane_of.find(task);
+    if (lane == lane_of.end()) continue;
+    complete(lane->second, task, "rtos", since, stats.end_time - since,
+             {{"aborted", "true"}});
+  }
+}
+
+}  // namespace polis::rtos

@@ -1,0 +1,27 @@
+// Replays an RTOS simulation log onto the trace recorder's simulated-cycle
+// lanes (obs::kPidSim): one lane per task carrying a complete ('X') span for
+// each reaction, plus an "events" lane with instants for emissions, injected
+// faults and deadline misses.
+//
+// The lanes use the simulator's own clock — one trace tick == one simulated
+// cycle == one VCD timescale unit — so a Chrome trace and a VCD waveform of
+// the same run line up exactly. Wall-clock pipeline lanes (obs::kPidPipeline)
+// live in the same trace file under a different Chrome "process".
+//
+// Requires a SimStats produced with RtosConfig::collect_log = true; a log
+// from an aborted run is fine (reactions cut short by the abort are closed
+// at `stats.end_time` and tagged `aborted`).
+#pragma once
+
+#include "cfsm/network.hpp"
+#include "obs/trace.hpp"
+#include "rtos/rtos.hpp"
+
+namespace polis::rtos {
+
+/// Records `stats.log` onto `recorder`'s simulated-cycle lanes. A no-op
+/// when the recorder is disabled (same contract as every other producer).
+void record_sim_trace(const cfsm::Network& network, const SimStats& stats,
+                      obs::TraceRecorder& recorder = obs::TraceRecorder::global());
+
+}  // namespace polis::rtos

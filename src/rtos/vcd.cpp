@@ -25,104 +25,125 @@ std::string vcd_id(int index) {
 
 }  // namespace
 
-void write_vcd(const cfsm::Network& network, const SimStats& stats,
-               std::ostream& os, const std::string& timescale) {
-  // Signal tables.
-  std::map<std::string, std::string> task_wire;   // task -> id
-  std::map<std::string, std::string> net_pulse;   // net -> id
-  std::map<std::string, std::string> net_value;   // net -> id
+VcdWriter::VcdWriter(const cfsm::Network& network, std::ostream& os,
+                     const std::string& timescale)
+    : os_(&os) {
   int next = 0;
   for (const cfsm::Instance& inst : network.instances())
-    task_wire[inst.name] = vcd_id(next++);
+    task_wire_[inst.name] = vcd_id(next++);
   for (const auto& [name, net] : network.nets()) {
-    net_pulse[name] = vcd_id(next++);
-    if (net.domain > 1) net_value[name] = vcd_id(next++);
+    net_pulse_[name] = vcd_id(next++);
+    if (net.domain > 1) net_value_[name] = vcd_id(next++);
   }
-  const std::string fault_wire = vcd_id(next++);
-  const std::string miss_wire = vcd_id(next++);
+  fault_wire_ = vcd_id(next++);
+  miss_wire_ = vcd_id(next++);
 
   os << "$date polis-repro simulation $end\n"
      << "$version polis-repro rtos simulator $end\n"
      << "$timescale " << timescale << " $end\n";
   os << "$scope module tasks $end\n";
-  for (const auto& [task, id] : task_wire)
+  for (const auto& [task, id] : task_wire_)
     os << "$var wire 1 " << id << " " << c_identifier(task) << " $end\n";
   os << "$upscope $end\n$scope module nets $end\n";
-  for (const auto& [net, id] : net_pulse)
+  for (const auto& [net, id] : net_pulse_)
     os << "$var wire 1 " << id << " " << c_identifier(net) << " $end\n";
-  for (const auto& [net, id] : net_value)
+  for (const auto& [net, id] : net_value_)
     os << "$var integer 32 " << id << " " << c_identifier(net)
        << "_value $end\n";
   os << "$upscope $end\n$scope module robustness $end\n"
-     << "$var wire 1 " << fault_wire << " fault $end\n"
-     << "$var wire 1 " << miss_wire << " deadline_miss $end\n"
+     << "$var wire 1 " << fault_wire_ << " fault $end\n"
+     << "$var wire 1 " << miss_wire_ << " deadline_miss $end\n"
      << "$upscope $end\n$enddefinitions $end\n";
 
   os << "$dumpvars\n";
-  for (const auto& [task, id] : task_wire) os << "0" << id << "\n";
-  for (const auto& [net, id] : net_pulse) os << "0" << id << "\n";
-  for (const auto& [net, id] : net_value) os << "b0 " << id << "\n";
-  os << "0" << fault_wire << "\n0" << miss_wire << "\n";
+  for (const auto& [task, id] : task_wire_) os << "0" << id << "\n";
+  for (const auto& [net, id] : net_pulse_) os << "0" << id << "\n";
+  for (const auto& [net, id] : net_value_) os << "b0 " << id << "\n";
+  os << "0" << fault_wire_ << "\n0" << miss_wire_ << "\n";
   os << "$end\n";
+}
 
-  // The log is time-ordered by construction; emission pulses are dropped
-  // back to 0 one cycle later via synthetic events.
-  struct Change {
-    long long time;
-    std::string text;
-  };
-  std::vector<Change> changes;
-  for (const LogEvent& e : stats.log) {
-    switch (e.kind) {
-      case LogEvent::Kind::kTaskStart:
-        changes.push_back({e.time, "1" + task_wire.at(e.subject)});
-        break;
-      case LogEvent::Kind::kTaskEnd:
-        changes.push_back({e.time, "0" + task_wire.at(e.subject)});
-        break;
-      case LogEvent::Kind::kEmission: {
-        auto pulse = net_pulse.find(e.subject);
-        if (pulse == net_pulse.end()) break;  // net unknown to the network
-        changes.push_back({e.time, "1" + pulse->second});
-        changes.push_back({e.time + 1, "0" + pulse->second});
-        auto value = net_value.find(e.subject);
-        if (value != net_value.end()) {
-          std::string bits;
-          std::uint64_t v = static_cast<std::uint64_t>(e.value);
-          do {
-            bits.insert(bits.begin(), static_cast<char>('0' + (v & 1)));
-            v >>= 1;
-          } while (v != 0);
-          changes.push_back({e.time, "b" + bits + " " + value->second});
-        }
-        break;
+void VcdWriter::push(long long time, std::string text) {
+  changes_.push_back(Change{time, std::move(text)});
+}
+
+void VcdWriter::on_event(const LogEvent& e) {
+  POLIS_CHECK_MSG(!finished_, "VcdWriter already finished");
+  switch (e.kind) {
+    case LogEvent::Kind::kTaskStart:
+      push(e.time, "1" + task_wire_.at(e.subject));
+      task_high_[e.subject] = true;
+      break;
+    case LogEvent::Kind::kTaskEnd:
+      push(e.time, "0" + task_wire_.at(e.subject));
+      task_high_[e.subject] = false;
+      break;
+    case LogEvent::Kind::kEmission: {
+      auto pulse = net_pulse_.find(e.subject);
+      if (pulse == net_pulse_.end()) break;  // net unknown to the network
+      // Emission pulses are dropped back to 0 one cycle later via synthetic
+      // changes.
+      push(e.time, "1" + pulse->second);
+      push(e.time + 1, "0" + pulse->second);
+      auto value = net_value_.find(e.subject);
+      if (value != net_value_.end()) {
+        std::string bits;
+        std::uint64_t v = static_cast<std::uint64_t>(e.value);
+        do {
+          bits.insert(bits.begin(), static_cast<char>('0' + (v & 1)));
+          v >>= 1;
+        } while (v != 0);
+        push(e.time, "b" + bits + " " + value->second);
       }
-      case LogEvent::Kind::kDelivery:
-        break;  // deliveries mirror emissions; omitted from the waveform
-      case LogEvent::Kind::kFault:
-        changes.push_back({e.time, "1" + fault_wire});
-        changes.push_back({e.time + 1, "0" + fault_wire});
-        break;
-      case LogEvent::Kind::kDeadlineMiss:
-        changes.push_back({e.time, "1" + miss_wire});
-        changes.push_back({e.time + 1, "0" + miss_wire});
-        break;
+      break;
     }
+    case LogEvent::Kind::kDelivery:
+      break;  // deliveries mirror emissions; omitted from the waveform
+    case LogEvent::Kind::kFault:
+      push(e.time, "1" + fault_wire_);
+      push(e.time + 1, "0" + fault_wire_);
+      break;
+    case LogEvent::Kind::kDeadlineMiss:
+      push(e.time, "1" + miss_wire_);
+      push(e.time + 1, "0" + miss_wire_);
+      break;
   }
-  std::stable_sort(changes.begin(), changes.end(),
+}
+
+void VcdWriter::finish(long long end_time) {
+  if (finished_) return;
+  finished_ = true;
+
+  // A reaction cut short by an abort never logged its kTaskEnd: drop the
+  // wire at the end time so the waveform closes cleanly instead of showing
+  // the task running forever.
+  for (const auto& [task, high] : task_high_)
+    if (high) push(end_time, "0" + task_wire_.at(task));
+
+  // The simulator's log is only approximately time-ordered (fault draws and
+  // pulse drop-backs interleave); VCD bodies must be monotonic.
+  std::stable_sort(changes_.begin(), changes_.end(),
                    [](const Change& a, const Change& b) {
                      return a.time < b.time;
                    });
 
   long long current = -1;
-  for (const Change& c : changes) {
+  for (const Change& c : changes_) {
     if (c.time != current) {
-      os << "#" << c.time << "\n";
+      *os_ << "#" << c.time << "\n";
       current = c.time;
     }
-    os << c.text << "\n";
+    *os_ << c.text << "\n";
   }
-  os << "#" << std::max(stats.end_time, current + 1) << "\n";
+  *os_ << "#" << std::max(end_time, current + 1) << "\n";
+  os_->flush();
+}
+
+void write_vcd(const cfsm::Network& network, const SimStats& stats,
+               std::ostream& os, const std::string& timescale) {
+  VcdWriter writer(network, os, timescale);
+  for (const LogEvent& e : stats.log) writer.on_event(e);
+  writer.finish(stats.end_time);
 }
 
 }  // namespace polis::rtos

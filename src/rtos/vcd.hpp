@@ -8,18 +8,71 @@
 //   * a "robustness" scope with 1-bit `fault` / `deadline_miss` wires that
 //     pulse at each injected fault and deadline-monitor miss.
 //
-// Requires a SimStats produced with RtosConfig::collect_log = true.
+// `VcdWriter` is the streaming form: the header goes out at construction,
+// events are ingested one at a time (e.g. live from the simulator via
+// `RtosConfig::live_vcd`), and `finish` closes the document — sorting the
+// accumulated value changes into time order, dropping any task wire that is
+// still high (a reaction cut short by an abort), stamping the final time and
+// flushing the stream. The simulator calls `finish` on its abort path too
+// (degradation policies, watchdog), so a truncated run still yields a
+// loadable waveform instead of one with wires stuck high and no end time.
+//
+// `write_vcd` is the post-hoc convenience: it replays a recorded
+// `SimStats::log` (requires RtosConfig::collect_log = true) through a
+// `VcdWriter` and produces byte-identical output to a live writer fed the
+// same events.
 #pragma once
 
 #include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "cfsm/network.hpp"
 #include "rtos/rtos.hpp"
 
 namespace polis::rtos {
 
-/// Writes the log as a VCD document. `timescale` is a free-form VCD
-/// timescale string; one simulation cycle maps to one timescale unit.
+class VcdWriter {
+ public:
+  /// Writes the VCD header (signal declarations + initial $dumpvars) for
+  /// `network` immediately. `timescale` is a free-form VCD timescale string;
+  /// one simulation cycle maps to one timescale unit. The stream must
+  /// outlive the writer.
+  VcdWriter(const cfsm::Network& network, std::ostream& os,
+            const std::string& timescale = "1us");
+
+  /// Ingests one simulation event. Events need not arrive in time order;
+  /// they are sorted at `finish` time (VCD bodies must be monotonic).
+  void on_event(const LogEvent& event);
+
+  /// Writes the body: all ingested changes in time order, a 0-drop at
+  /// `end_time` for every task wire still high, the final timestamp
+  /// (≥ `end_time`), then flushes the stream. Idempotent — only the first
+  /// call writes.
+  void finish(long long end_time);
+
+  bool finished() const { return finished_; }
+
+ private:
+  void push(long long time, std::string text);
+
+  std::ostream* os_;
+  std::map<std::string, std::string> task_wire_;  // task -> id
+  std::map<std::string, std::string> net_pulse_;  // net -> id
+  std::map<std::string, std::string> net_value_;  // net -> id
+  std::string fault_wire_;
+  std::string miss_wire_;
+  std::map<std::string, bool> task_high_;  // wire currently driven high
+  struct Change {
+    long long time;
+    std::string text;
+  };
+  std::vector<Change> changes_;
+  bool finished_ = false;
+};
+
+/// Writes the log as a VCD document (replay through a `VcdWriter`).
 void write_vcd(const cfsm::Network& network, const SimStats& stats,
                std::ostream& os, const std::string& timescale = "1us");
 

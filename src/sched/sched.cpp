@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace polis::sched {
@@ -24,6 +25,18 @@ bool rm_utilization_test(const std::vector<Task>& tasks) {
 
 std::optional<std::vector<double>> response_times(
     const std::vector<Task>& tasks) {
+  OBS_SPAN(span, "sched.response_times", "pipeline");
+  if (span.armed()) span.arg("tasks", tasks.size());
+  static const auto analyses =
+      obs::MetricsRegistry::global().counter("sched.analyses");
+  static const auto infeasible =
+      obs::MetricsRegistry::global().counter("sched.unschedulable");
+  obs::MetricsRegistry::global().add(analyses, 1);
+  const auto fail = [&] {
+    obs::MetricsRegistry::global().add(infeasible, 1);
+    if (span.armed()) span.arg("schedulable", false);
+    return std::nullopt;
+  };
   std::vector<double> r(tasks.size(), 0);
   for (size_t i = 0; i < tasks.size(); ++i) {
     const Task& ti = tasks[i];
@@ -34,11 +47,12 @@ std::optional<std::vector<double>> response_times(
         next += std::ceil(R / tasks[j].period) * tasks[j].wcet;
       if (next == R) break;
       R = next;
-      if (R > ti.effective_deadline()) return std::nullopt;
+      if (R > ti.effective_deadline()) return fail();
     }
-    if (R > ti.effective_deadline()) return std::nullopt;
+    if (R > ti.effective_deadline()) return fail();
     r[i] = R;
   }
+  if (span.armed()) span.arg("schedulable", true);
   return r;
 }
 

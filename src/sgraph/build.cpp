@@ -5,6 +5,7 @@
 
 #include "bdd/io.hpp"
 #include "bdd/reorder.hpp"
+#include "obs/obs.hpp"
 #include "sgraph/eval.hpp"
 #include "util/check.hpp"
 
@@ -270,13 +271,28 @@ Sgraph build_sgraph_with_order(cfsm::ReactiveFunction& rf,
 
 Sgraph build_sgraph(cfsm::ReactiveFunction& rf, OrderingScheme scheme,
                     const BuildOptions& options) {
+  OBS_SPAN(span, "sgraph.build", "sgraph");
+  if (span.armed()) {
+    span.arg("machine", rf.machine().name());
+    span.arg("scheme", to_string(scheme));
+  }
+  // One sample per built graph: the size distribution across machines.
+  const auto publish = [&](const Sgraph& g) {
+    static const auto nodes_hist =
+        obs::MetricsRegistry::global().histogram("sgraph.nodes");
+    obs::MetricsRegistry::global().observe(nodes_hist, g.num_nodes());
+    if (span.armed()) span.arg("nodes", g.num_nodes());
+  };
+
   bdd::BddManager& mgr = rf.manager();
   std::vector<int> order;
 
   if (scheme == OrderingScheme::kFreeOrder) {
     const bdd::Bdd chi = restricted_chi(rf, options);
     FreeOrderBuilder builder(rf);
-    return builder.run(chi);
+    Sgraph graph = builder.run(chi);
+    publish(graph);
+    return graph;
   }
 
   switch (scheme) {
@@ -326,7 +342,9 @@ Sgraph build_sgraph(cfsm::ReactiveFunction& rf, OrderingScheme scheme,
       break;
     }
   }
-  return build_sgraph_with_order(rf, order, options);
+  Sgraph graph = build_sgraph_with_order(rf, order, options);
+  publish(graph);
+  return graph;
 }
 
 cfsm::Reaction run_reaction(const Sgraph& graph, const cfsm::Cfsm& machine,

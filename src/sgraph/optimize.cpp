@@ -3,11 +3,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace polis::sgraph {
 
 Sgraph collapse_tests(const Sgraph& graph) {
+  OBS_SPAN(span, "sgraph.collapse_tests", "sgraph");
+  if (span.armed()) {
+    span.arg("machine", graph.name());
+    span.arg("nodes_before", graph.num_nodes());
+  }
   // Parent counts decide closedness: a TEST child may be absorbed only when
   // the absorbing vertex is its sole parent.
   std::vector<int> parents(graph.num_nodes(), 0);
@@ -67,6 +73,7 @@ Sgraph collapse_tests(const Sgraph& graph) {
   };
 
   out.set_entry(rebuild(graph.node(graph.begin()).next, rebuild));
+  if (span.armed()) span.arg("nodes_after", out.num_nodes());
   return out;
 }
 

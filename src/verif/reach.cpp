@@ -3,11 +3,36 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace polis::verif {
 
 namespace {
+
+// Mirrors a finished fixpoint into the global registry (once per run — the
+// per-iteration loop below publishes nothing, only optional spans).
+void publish_reach_stats(const ReachStats& s) {
+  struct Ids {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    obs::MetricsRegistry::Id runs = reg.counter("reach.runs");
+    obs::MetricsRegistry::Id iters = reg.counter("reach.iterations");
+    obs::MetricsRegistry::Id gcs = reg.counter("reach.gc_runs");
+    obs::MetricsRegistry::Id widenings = reg.counter("reach.widenings");
+    obs::MetricsRegistry::Id inexact = reg.counter("reach.inexact_runs");
+    obs::MetricsRegistry::Id peak = reg.max_gauge("reach.peak_live_nodes");
+    obs::MetricsRegistry::Id depth = reg.histogram("reach.fixpoint_depth");
+  };
+  static const Ids ids;
+  obs::MetricsRegistry& reg = ids.reg;
+  reg.add(ids.runs, 1);
+  reg.add(ids.iters, static_cast<std::uint64_t>(s.iterations));
+  reg.add(ids.gcs, s.gc_runs);
+  reg.add(ids.widenings, static_cast<std::uint64_t>(s.widenings));
+  if (!s.exact) reg.add(ids.inexact, 1);
+  reg.set(ids.peak, static_cast<std::int64_t>(s.peak_live_nodes));
+  reg.observe(ids.depth, static_cast<std::uint64_t>(s.iterations));
+}
 
 /// Budget exceeded: existentially smooth the present variable contributing
 /// the most live nodes out of `reached`. Monotone (only enlarges the set),
@@ -38,6 +63,8 @@ ReachResult reachable_states(const TransitionSystem& tr,
   NetworkEncoding& enc = *tr.enc;
   bdd::BddManager& mgr = enc.manager();
 
+  OBS_SPAN(span, "verif.reach", "verif");
+
   ReachResult result;
   result.reached = enc.initial_set();
   bdd::Bdd frontier = result.reached;
@@ -52,6 +79,14 @@ ReachResult reachable_states(const TransitionSystem& tr,
       break;
     }
     ++result.stats.iterations;
+
+    // One span per BFS onion layer; node counts are only computed when the
+    // recorder is armed (node_count walks the BDD).
+    OBS_SPAN(layer_span, "reach.layer", "verif");
+    if (layer_span.armed()) {
+      layer_span.arg("iteration", result.stats.iterations);
+      layer_span.arg("frontier_nodes", mgr.node_count(frontier));
+    }
 
     const bdd::Bdd img = image(tr, frontier);
     frontier = img & !result.reached;
@@ -79,11 +114,20 @@ ReachResult reachable_states(const TransitionSystem& tr,
       mgr.garbage_collect();
       ++result.stats.gc_runs;
     }
+    if (layer_span.armed())
+      layer_span.arg("reached_nodes", mgr.node_count(result.reached));
   }
 
   result.stats.reached_nodes = mgr.node_count(result.reached);
   result.stats.reached_states =
       mgr.sat_count(result.reached, enc.num_present_vars());
+  if (span.armed()) {
+    span.arg("iterations", result.stats.iterations);
+    span.arg("reached_nodes", result.stats.reached_nodes);
+    span.arg("reached_states", result.stats.reached_states);
+    span.arg("exact", result.stats.exact);
+  }
+  publish_reach_stats(result.stats);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace polis::verif {
@@ -22,6 +23,7 @@ bdd::Bdd frame_bits(bdd::BddManager& mgr, const std::vector<VarPair>& bits) {
 
 TransitionSystem build_transition_system(NetworkEncoding& enc,
                                          const TransitionOptions& options) {
+  OBS_SPAN(span, "verif.build_transition_system", "verif");
   bdd::BddManager& mgr = enc.manager();
   const cfsm::Network& network = enc.network();
   const std::map<std::string, cfsm::Net> nets = network.nets();
@@ -171,6 +173,13 @@ TransitionSystem build_transition_system(NetworkEncoding& enc,
       ++c.transitions;
     }
     tr.clusters.push_back(std::move(c));
+  }
+  if (span.armed()) {
+    span.arg("clusters", tr.clusters.size());
+    std::uint64_t transitions = 0;
+    for (const Cluster& c : tr.clusters)
+      transitions += static_cast<std::uint64_t>(c.transitions);
+    span.arg("transitions", transitions);
   }
   return tr;
 }

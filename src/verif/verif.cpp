@@ -1,6 +1,7 @@
 #include "verif/verif.hpp"
 
 #include "bdd/bdd.hpp"
+#include "obs/obs.hpp"
 #include "verif/care.hpp"
 #include "verif/encode.hpp"
 
@@ -8,6 +9,9 @@ namespace polis::verif {
 
 VerifyResult verify_network(const cfsm::Network& network,
                             const VerifyOptions& options) {
+  OBS_SPAN(span, "verify_network", "verif");
+  if (span.armed()) span.arg("network", network.name());
+
   bdd::BddManager mgr;
   NetworkEncoding enc(network, mgr);
   TransitionSystem tr = build_transition_system(enc, options.transition);
@@ -17,15 +21,26 @@ VerifyResult verify_network(const cfsm::Network& network,
   result.reach = reach.stats;
   result.clusters = tr.clusters.size();
   for (const Cluster& c : tr.clusters) result.transitions += c.transitions;
-  result.assertions = check_assertions(tr, reach, options.enum_limit);
-  if (options.check_lost_events)
+  {
+    OBS_SPAN(stage, "verif.check_assertions", "verif");
+    result.assertions = check_assertions(tr, reach, options.enum_limit);
+  }
+  if (options.check_lost_events) {
+    OBS_SPAN(stage, "verif.check_lost_events", "verif");
     result.lost_events = check_no_lost_events(tr, reach);
+  }
   // Care filters come only from an *exact* reached set: an overapproximation
   // would be sound too (a superset of care is just less effective), but
   // keeping them exact makes the reported code-size win reproducible.
-  if (options.extract_care && reach.stats.exact)
+  if (options.extract_care && reach.stats.exact) {
+    OBS_SPAN(stage, "verif.extract_care", "verif");
     result.care_filters =
         care_filters_by_machine(enc, reach.reached, options.enum_limit);
+  }
+  if (span.armed()) {
+    span.arg("clusters", result.clusters);
+    span.arg("transitions", result.transitions);
+  }
   return result;
 }
 

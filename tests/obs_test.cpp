@@ -1,0 +1,387 @@
+// Observability layer: histogram bucket geometry, cross-thread counter
+// merging, gauge semantics, span nesting/armament, trace + metrics JSON
+// validity (checked with the layer's own strict parser), and a concurrent
+// stress that TSan can chew on (updates racing snapshots must be clean).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+namespace polis::obs {
+namespace {
+
+// --- Histogram bucket geometry ----------------------------------------------
+
+TEST(MetricsBuckets, Log2BoundariesAreExact) {
+  // Bucket 0 holds the value 0; bucket b holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(MetricsRegistry::bucket_of(0), 0);
+  EXPECT_EQ(MetricsRegistry::bucket_of(1), 1);
+  EXPECT_EQ(MetricsRegistry::bucket_of(2), 2);
+  EXPECT_EQ(MetricsRegistry::bucket_of(3), 2);
+  EXPECT_EQ(MetricsRegistry::bucket_of(4), 3);
+  EXPECT_EQ(MetricsRegistry::bucket_of(7), 3);
+  EXPECT_EQ(MetricsRegistry::bucket_of(8), 4);
+  EXPECT_EQ(MetricsRegistry::bucket_of(1023), 10);
+  EXPECT_EQ(MetricsRegistry::bucket_of(1024), 11);
+  EXPECT_EQ(MetricsRegistry::bucket_of(UINT64_MAX),
+            MetricsRegistry::kBuckets - 1);
+}
+
+TEST(MetricsBuckets, LoHiRoundTripThroughBucketOf) {
+  for (int b = 0; b < MetricsRegistry::kBuckets; ++b) {
+    const std::uint64_t lo = MetricsRegistry::bucket_lo(b);
+    const std::uint64_t hi = MetricsRegistry::bucket_hi(b);
+    EXPECT_LE(lo, hi) << "bucket " << b;
+    EXPECT_EQ(MetricsRegistry::bucket_of(lo), b) << "bucket " << b;
+    EXPECT_EQ(MetricsRegistry::bucket_of(hi), b) << "bucket " << b;
+    if (b + 1 < MetricsRegistry::kBuckets) {
+      EXPECT_EQ(MetricsRegistry::bucket_of(hi + 1), b + 1) << "bucket " << b;
+    }
+  }
+  EXPECT_EQ(MetricsRegistry::bucket_hi(MetricsRegistry::kBuckets - 1),
+            UINT64_MAX);
+}
+
+// --- Registry semantics ------------------------------------------------------
+
+TEST(Metrics, RegistrationIsIdempotentByName) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter("c"), reg.counter("c"));
+  EXPECT_EQ(reg.gauge("g"), reg.gauge("g"));
+  EXPECT_EQ(reg.max_gauge("m"), reg.max_gauge("m"));
+  EXPECT_EQ(reg.histogram("h"), reg.histogram("h"));
+  EXPECT_NE(reg.counter("c"), reg.counter("c2"));
+}
+
+TEST(Metrics, CountersMergeAcrossThreads) {
+  MetricsRegistry reg;
+  const MetricsRegistry::Id id = reg.counter("t.count");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, id] {
+      for (int i = 0; i < kPerThread; ++i) reg.add(id);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.snapshot().counters.at("t.count"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, GaugeLastWriteWinsMaxGaugeKeepsMax) {
+  MetricsRegistry reg;
+  const auto g = reg.gauge("g");
+  const auto m = reg.max_gauge("m");
+  reg.set(g, 5);
+  reg.set(g, -3);  // later write wins, sign preserved
+  reg.set(m, 7);
+  reg.set(m, 4);  // lower write ignored
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.gauges.at("g"), -3);
+  EXPECT_EQ(snap.gauges.at("m"), 7);
+}
+
+TEST(Metrics, HistogramCountsSumAndBucketPlacement) {
+  MetricsRegistry reg;
+  const auto h = reg.histogram("h");
+  reg.observe(h, 0);
+  reg.observe(h, 1);
+  reg.observe(h, 6);
+  reg.observe(h, 6);
+  const auto view = reg.snapshot().histograms.at("h");
+  EXPECT_EQ(view.count, 4u);
+  EXPECT_EQ(view.sum, 13u);
+  EXPECT_EQ(view.buckets[MetricsRegistry::bucket_of(0)], 1u);
+  EXPECT_EQ(view.buckets[MetricsRegistry::bucket_of(1)], 1u);
+  EXPECT_EQ(view.buckets[MetricsRegistry::bucket_of(6)], 2u);
+}
+
+TEST(Metrics, ResetZeroesValuesKeepsRegistrations) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("c");
+  reg.add(c, 41);
+  reg.reset();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 0u);  // name survives, value cleared
+  EXPECT_EQ(reg.counter("c"), c);
+  reg.add(c);
+  EXPECT_EQ(reg.snapshot().counters.at("c"), 1u);
+}
+
+TEST(Metrics, JsonSnapshotParsesAndDerivesRates) {
+  MetricsRegistry reg;
+  reg.add(reg.counter("bdd.cache_lookups"), 10);
+  reg.add(reg.counter("bdd.cache_hits"), 5);
+  reg.set(reg.max_gauge("bdd.peak_nodes"), 123);
+  reg.observe(reg.histogram("h"), 12);
+  std::ostringstream os;
+  reg.write_json(os);
+
+  const json::Value v = json::parse(os.str());
+  ASSERT_TRUE(v.is_object());
+  const json::Value* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const json::Value* lookups = counters->find("bdd.cache_lookups");
+  ASSERT_NE(lookups, nullptr);
+  EXPECT_EQ(lookups->number, 10.0);
+  const json::Value* derived = v.find("derived");
+  ASSERT_NE(derived, nullptr);
+  const json::Value* rate = derived->find("bdd.cache_hit_rate");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_DOUBLE_EQ(rate->number, 0.5);
+  const json::Value* hists = v.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* h = hists->find("h");
+  ASSERT_NE(h, nullptr);
+  const json::Value* bucket_list = h->find("buckets");
+  ASSERT_NE(bucket_list, nullptr);
+  ASSERT_TRUE(bucket_list->is_array());
+  ASSERT_EQ(bucket_list->array.size(), 1u);  // only non-empty buckets listed
+  ASSERT_EQ(bucket_list->array[0].array.size(), 3u);  // [lo, hi, n]
+  EXPECT_EQ(bucket_list->array[0].array[0].number, 8.0);
+  EXPECT_EQ(bucket_list->array[0].array[1].number, 15.0);
+  EXPECT_EQ(bucket_list->array[0].array[2].number, 1.0);
+}
+
+// The TSan target: readers (snapshot, write_json) racing writers of every
+// metric kind must be data-race free, and the post-join snapshot must see
+// every update (counts are never lost, only observed late).
+TEST(Metrics, ConcurrentUpdatesRacingSnapshotsAreClean) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("stress.count");
+  const auto g = reg.gauge("stress.gauge");
+  const auto m = reg.max_gauge("stress.max");
+  const auto h = reg.histogram("stress.hist");
+
+  constexpr int kWriters = 4;
+  constexpr int kIters = 5000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto snap = reg.snapshot();
+      // Monotonic counter: any mid-flight snapshot is a valid prefix.
+      EXPECT_LE(snap.counters.at("stress.count"),
+                static_cast<std::uint64_t>(kWriters) * kIters);
+      std::ostringstream os;
+      reg.write_json(os);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.add(c);
+        reg.set(g, t * kIters + i);
+        reg.set(m, t * kIters + i);
+        reg.observe(h, static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("stress.count"),
+            static_cast<std::uint64_t>(kWriters) * kIters);
+  EXPECT_EQ(snap.gauges.at("stress.max"), kWriters * kIters - 1);
+  EXPECT_EQ(snap.histograms.at("stress.hist").count,
+            static_cast<std::uint64_t>(kWriters) * kIters);
+}
+
+// --- Span tracing ------------------------------------------------------------
+
+// collect() always prepends naming metadata ('M'); the recorded payload is
+// everything else.
+std::vector<TraceEvent> payload(const TraceRecorder& rec) {
+  std::vector<TraceEvent> all = rec.collect();
+  std::vector<TraceEvent> out;
+  for (TraceEvent& e : all)
+    if (e.ph != 'M') out.push_back(std::move(e));
+  return out;
+}
+
+TEST(Trace, DisabledRecorderSpansAreUnarmedAndRecordNothing) {
+  TraceRecorder rec;  // disabled by default
+  {
+    Span s(rec, "never");
+    EXPECT_FALSE(s.armed());
+    s.arg("free", std::int64_t{1});  // must be a no-op, not a crash
+  }
+  EXPECT_TRUE(payload(rec).empty());
+}
+
+TEST(Trace, NestedSpansEncloseAndCarryArgs) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  {
+    Span outer(rec, "outer", "test");
+    EXPECT_TRUE(outer.armed());
+    outer.arg("answer", std::int64_t{42});
+    outer.arg("label", "hello");
+    { Span inner(rec, "inner", "test"); }
+  }
+  rec.set_enabled(false);
+
+  const std::vector<TraceEvent> events = rec.collect();
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  for (const TraceEvent& e : events) {
+    if (e.name == "outer") outer = &e;
+    if (e.name == "inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->ph, 'X');
+  EXPECT_EQ(outer->pid, kPidPipeline);
+  EXPECT_EQ(outer->tid, inner->tid);  // same thread, same lane
+  // The inner span nests inside the outer one on the shared clock.
+  EXPECT_GE(inner->ts, outer->ts);
+  EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur);
+  ASSERT_EQ(outer->args.size(), 2u);
+  EXPECT_EQ(outer->args[0].key, "answer");
+  EXPECT_EQ(outer->args[0].value, "42");
+  EXPECT_EQ(outer->args[1].value, "\"hello\"");  // pre-rendered JSON
+}
+
+TEST(Trace, MinSpanFloorDropsShortSpans) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.set_min_span_us(60'000'000);  // one minute: everything is "short"
+  { Span s(rec, "dropped"); }
+  EXPECT_TRUE(payload(rec).empty());
+  rec.set_min_span_us(0);
+  { Span s(rec, "kept"); }
+  ASSERT_EQ(payload(rec).size(), 1u);
+  EXPECT_EQ(payload(rec)[0].name, "kept");
+}
+
+TEST(Trace, ChromeJsonIsValidAndCarriesLaneMetadata) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.name_sim_lane(3, "task spd");
+  { Span s(rec, "phase", "test"); }
+  rec.set_enabled(false);
+
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  const json::Value v = json::parse(os.str());
+  const json::Value* trace_events = v.find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_TRUE(trace_events->is_array());
+
+  bool saw_span = false;
+  bool saw_lane_name = false;
+  for (const json::Value& e : trace_events->array) {
+    ASSERT_TRUE(e.is_object());
+    const json::Value* ph = e.find("ph");
+    const json::Value* name = e.find("name");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (ph->str == "X" && name->str == "phase") saw_span = true;
+    if (ph->str == "M" && name->str == "thread_name") {
+      const json::Value* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      const json::Value* lane = args->find("name");
+      if (lane != nullptr && lane->str == "task spd") saw_lane_name = true;
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_lane_name);
+}
+
+TEST(Trace, SpanTotalsAggregateByName) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  auto complete = [&](const char* name, std::int64_t ts, std::int64_t dur) {
+    TraceEvent e;
+    e.name = name;
+    e.ph = 'X';
+    e.ts = ts;
+    e.dur = dur;
+    rec.record(std::move(e));
+  };
+  complete("a", 0, 1500);
+  complete("a", 2000, 500);
+  complete("b", 0, 250);
+  rec.set_enabled(false);
+
+  const auto totals = rec.span_totals_ms();
+  EXPECT_DOUBLE_EQ(totals.at("a"), 2.0);
+  EXPECT_DOUBLE_EQ(totals.at("b"), 0.25);
+}
+
+TEST(Trace, ClearDropsEventsKeepsLaneNames) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.name_sim_lane(1, "task deb");
+  { Span s(rec, "gone"); }
+  rec.clear();
+  const auto events = rec.collect();
+  for (const TraceEvent& e : events) EXPECT_EQ(e.ph, 'M');
+  ASSERT_FALSE(events.empty());  // the lane name survived the clear
+}
+
+TEST(Obs, CombinedMetricsJsonIncludesPhases) {
+  MetricsRegistry reg;
+  reg.add(reg.counter("c"), 3);
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  {
+    TraceEvent e;
+    e.name = "phase.one";
+    e.ph = 'X';
+    e.dur = 4000;
+    rec.record(std::move(e));
+  }
+  rec.set_enabled(false);
+
+  std::ostringstream os;
+  write_metrics_json(os, reg, &rec);
+  const json::Value v = json::parse(os.str());
+  const json::Value* phases = v.find("phases");
+  ASSERT_NE(phases, nullptr);
+  const json::Value* one = phases->find("phase.one");
+  ASSERT_NE(one, nullptr);
+  EXPECT_DOUBLE_EQ(one->number, 4.0);
+  ASSERT_NE(v.find("counters"), nullptr);
+}
+
+// --- The strict JSON reader itself -------------------------------------------
+
+TEST(Json, RejectsTrailingGarbageAndBadEscapes) {
+  EXPECT_THROW(json::parse("{} x"), json::ParseError);
+  EXPECT_THROW(json::parse("{\"a\": }"), json::ParseError);
+  EXPECT_THROW(json::parse("\"\\q\""), json::ParseError);
+  EXPECT_THROW(json::parse(""), json::ParseError);
+}
+
+TEST(Json, ParsesNestedStructuresAndEscapes) {
+  const json::Value v =
+      json::parse("{\"a\": [1, 2.5, true, null], \"s\": \"x\\n\\u0041\"}");
+  const json::Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 4u);
+  EXPECT_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[1].number, 2.5);
+  EXPECT_TRUE(a->array[2].boolean);
+  EXPECT_TRUE(a->array[3].is_null());
+  const json::Value* s = v.find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->str, "x\nA");
+}
+
+}  // namespace
+}  // namespace polis::obs

@@ -10,6 +10,7 @@
 
 #include "core/synthesis.hpp"
 #include "core/systems.hpp"
+#include "obs/trace.hpp"
 
 namespace polis {
 namespace {
@@ -85,6 +86,38 @@ TEST(ParallelSynthesis, DefaultThreadCountAlsoIdentical) {
   const auto net = systems::dash_network();
   expect_identical(synthesize_network(*net, serial),
                    synthesize_network(*net, defaulted));
+}
+
+// The observability layer's no-interference contract: span recording on or
+// off must not change a single synthesized byte (tracing only watches the
+// flow, it never participates in it), at any thread count.
+TEST(ParallelSynthesis, TracingOnProducesIdenticalArtifacts) {
+  static const estim::CostModel model = estim::calibrate(vm::hc11_like());
+  const auto net = systems::dash_network();
+  SynthesisOptions options;
+  options.cost_model = &model;
+  options.num_threads = 4;
+
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+  recorder.set_enabled(false);
+  const NetworkSynthesis quiet = synthesize_network(*net, options);
+
+  recorder.set_enabled(true);
+  const NetworkSynthesis traced = synthesize_network(*net, options);
+  recorder.set_enabled(false);
+
+  // The traced run actually recorded the pipeline (worker lanes included) —
+  // unless the instrumentation was compiled out entirely.
+#ifndef POLIS_OBS_DISABLED
+  bool saw_synthesis_span = false;
+  for (const obs::TraceEvent& e : recorder.collect())
+    if (e.ph == 'X' && e.name == "synthesize") saw_synthesis_span = true;
+  EXPECT_TRUE(saw_synthesis_span);
+#endif
+  recorder.clear();
+
+  // ...and changed nothing it observed.
+  expect_identical(quiet, traced);
 }
 
 // A repeated-instance network synthesizes each distinct machine exactly

@@ -1,0 +1,207 @@
+// Streaming VCD export: the abort regression (a run terminated by the
+// watchdog or a degradation policy must still flush a loadable waveform),
+// live-vs-post-hoc byte identity, and the shared timebase between the VCD
+// document and the simulated-cycle trace lanes (`record_sim_trace`).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cfsm/cfsm.hpp"
+#include "cfsm/network.hpp"
+#include "obs/trace.hpp"
+#include "rtos/rtos.hpp"
+#include "rtos/sim_trace.hpp"
+#include "rtos/vcd.hpp"
+
+namespace polis::rtos {
+namespace {
+
+std::shared_ptr<cfsm::Cfsm> relay(const std::string& name) {
+  return std::make_shared<cfsm::Cfsm>(
+      name, std::vector<cfsm::Signal>{{"i", 1}},
+      std::vector<cfsm::Signal>{{"o", 1}}, std::vector<cfsm::StateVar>{},
+      std::vector<cfsm::Rule>{
+          cfsm::Rule{cfsm::presence("i"), {cfsm::Emit{"o", nullptr}}, {}}});
+}
+
+// Minimal structural read of a VCD document: wire-name → id from the
+// declarations, then the ordered (time, change) list from the body.
+struct ParsedVcd {
+  std::map<std::string, std::string> wire_id;  // declared name -> id
+  std::vector<std::pair<long long, std::string>> changes;
+  long long final_time = -1;
+};
+
+ParsedVcd parse_vcd(const std::string& text) {
+  ParsedVcd out;
+  std::istringstream is(text);
+  std::string line;
+  bool in_body = false;
+  long long now = -1;
+  while (std::getline(is, line)) {
+    if (!in_body) {
+      // "$var wire 1 <id> <name> $end" / "$var integer 64 <id> <name> $end"
+      if (line.rfind("$var ", 0) == 0) {
+        std::istringstream ls(line);
+        std::string var, kind, width, id, name;
+        ls >> var >> kind >> width >> id >> name;
+        out.wire_id[name] = id;
+      }
+      if (line == "$enddefinitions $end") in_body = true;
+      continue;
+    }
+    if (line.empty() || line == "$dumpvars" || line == "$end") continue;
+    if (line[0] == '#') {
+      now = std::stoll(line.substr(1));
+      out.final_time = now;
+      continue;
+    }
+    // Initial values inside the $dumpvars block precede the first timestamp
+    // and are not body changes.
+    if (now >= 0) out.changes.emplace_back(now, line);
+  }
+  return out;
+}
+
+// The regression this file exists for: before the streaming writer, a run
+// that aborted produced no waveform at all (the post-hoc export ran after a
+// completed run only), and a naive streaming export would have left task
+// wires stuck high with no final timestamp.
+TEST(Vcd, AbortedRunStillFlushesLoadableWaveform) {
+  // a and b feed each other; one stimulus ping-pongs until the watchdog
+  // kills the run mid-flight.
+  cfsm::Network net("cycle");
+  net.add_instance("a", relay("ra"), {{"i", "x"}, {"o", "y"}});
+  net.add_instance("b", relay("rb"), {{"i", "y"}, {"o", "x"}});
+
+  std::ostringstream os;
+  VcdWriter live(net, os);
+  RtosConfig config;
+  config.watchdog.livelock_reactions = 50;
+  config.live_vcd = &live;  // no collect_log: streaming alone must suffice
+  RtosSimulation sim(net, config);
+  sim.set_reference_task("a", 100);
+  sim.set_reference_task("b", 100);
+  const SimStats stats = sim.run({{0, "x", 0}});
+  ASSERT_TRUE(stats.aborted);
+  ASSERT_TRUE(stats.watchdog_fired);
+  EXPECT_TRUE(live.finished());  // run() flushed on the abort path
+
+  const std::string text = os.str();
+  ASSERT_FALSE(text.empty());
+  const ParsedVcd vcd = parse_vcd(text);
+  ASSERT_GT(vcd.wire_id.count("a"), 0u);
+  ASSERT_GT(vcd.wire_id.count("b"), 0u);
+
+  // Every task activation is closed: per task wire, #rises == #falls, and
+  // the last change drives it low.
+  for (const std::string task : {"a", "b"}) {
+    const std::string& id = vcd.wire_id.at(task);
+    int rises = 0, falls = 0;
+    std::string last;
+    for (const auto& [time, change] : vcd.changes) {
+      if (change == "1" + id) { ++rises; last = change; }
+      if (change == "0" + id) { ++falls; last = change; }
+    }
+    EXPECT_EQ(rises, falls) << "task " << task << " wire left open";
+    if (!last.empty()) {
+      EXPECT_EQ(last[0], '0') << "task " << task;
+    }
+  }
+  // The document is closed with a final timestamp past the abort point.
+  EXPECT_GE(vcd.final_time, stats.end_time);
+
+  // Body is monotonic (VCD requirement) — the live writer sorted the
+  // approximately-ordered event stream.
+  long long prev = -1;
+  std::istringstream is(text);
+  std::string line;
+  bool in_body = false;
+  while (std::getline(is, line)) {
+    if (line == "$enddefinitions $end") { in_body = true; continue; }
+    if (!in_body || line.empty() || line[0] != '#') continue;
+    const long long t = std::stoll(line.substr(1));
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Vcd, LiveWriterMatchesPostHocExportByteForByte) {
+  cfsm::Network net("n");
+  net.add_instance("r", relay("relay"), {{"i", "in"}, {"o", "out"}});
+
+  std::ostringstream live_os;
+  VcdWriter live(net, live_os);
+  RtosConfig config;
+  config.collect_log = true;
+  config.live_vcd = &live;
+  RtosSimulation sim(net, config);
+  sim.set_reference_task("r", 100);
+  const SimStats stats = sim.run({{10, "in", 0}, {500, "in", 0}});
+  ASSERT_FALSE(stats.aborted);
+  ASSERT_TRUE(live.finished());
+
+  std::ostringstream posthoc_os;
+  write_vcd(net, stats, posthoc_os);
+  EXPECT_EQ(live_os.str(), posthoc_os.str());
+}
+
+TEST(Vcd, FinishIsIdempotent) {
+  cfsm::Network net("n");
+  net.add_instance("r", relay("relay"), {{"i", "in"}, {"o", "out"}});
+  std::ostringstream os;
+  VcdWriter writer(net, os);
+  writer.finish(10);
+  const std::string once = os.str();
+  writer.finish(20);  // must not write a second body
+  EXPECT_EQ(os.str(), once);
+}
+
+// One timebase across the two exports: a trace tick on the simulated-cycle
+// lanes (pid kPidSim) equals a VCD timescale unit. Every task span recorded
+// by record_sim_trace must line up with the 1/0 edges of that task's VCD
+// wire at the same integer times.
+TEST(Vcd, SimTraceAndVcdShareOneTimebase) {
+  cfsm::Network net("n");
+  net.add_instance("r", relay("relay"), {{"i", "in"}, {"o", "out"}});
+  std::ostringstream vcd_os;
+  VcdWriter live(net, vcd_os);
+  RtosConfig config;
+  config.collect_log = true;
+  config.live_vcd = &live;
+  RtosSimulation sim(net, config);
+  sim.set_reference_task("r", 100);
+  const SimStats stats = sim.run({{10, "in", 0}, {500, "in", 0}});
+
+  obs::TraceRecorder recorder;
+  recorder.set_enabled(true);
+  record_sim_trace(net, stats, recorder);
+  recorder.set_enabled(false);
+
+  const ParsedVcd vcd = parse_vcd(vcd_os.str());
+  const std::string& id = vcd.wire_id.at("r");
+  std::set<long long> rise_times, fall_times;
+  for (const auto& [time, change] : vcd.changes) {
+    if (change == "1" + id) rise_times.insert(time);
+    if (change == "0" + id) fall_times.insert(time);
+  }
+  ASSERT_FALSE(rise_times.empty());
+
+  int task_spans = 0;
+  for (const obs::TraceEvent& e : recorder.collect()) {
+    if (e.pid != obs::kPidSim || e.ph != 'X') continue;
+    ++task_spans;
+    EXPECT_EQ(rise_times.count(e.ts), 1u)
+        << "span start " << e.ts << " has no VCD rise";
+    EXPECT_EQ(fall_times.count(e.ts + e.dur), 1u)
+        << "span end " << e.ts + e.dur << " has no VCD fall";
+  }
+  EXPECT_EQ(task_spans, static_cast<int>(rise_times.size()));
+}
+
+}  // namespace
+}  // namespace polis::rtos

@@ -1,0 +1,265 @@
+// Schema validator for the observability exports (`polisc --trace` /
+// `--metrics`), run from ctest and the CI obs-smoke job right after a polisc
+// invocation. Uses the layer's own strict JSON reader, so a file that loads
+// here also loads in Perfetto / chrome://tracing (trace) and in any JSON
+// consumer (metrics).
+//
+//   obs_check [--trace FILE [--require-span NAME]... [--require-nested]
+//                           [--require-sim-lanes]]
+//             [--metrics FILE [--require-metric NAME]...]
+//
+// Exit status 0 when every file parses and every requirement holds; 1 with
+// one diagnostic per failure on stderr otherwise.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using polis::obs::json::Value;
+
+int failures = 0;
+
+void fail(const std::string& what) {
+  std::cerr << "obs_check: " << what << "\n";
+  ++failures;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    fail("cannot open " + path);
+    return "";
+  }
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+struct Event {
+  std::string name;
+  std::string ph;
+  int pid = 0;
+  std::int64_t tid = 0;
+  std::int64_t ts = 0;
+  std::int64_t dur = 0;
+};
+
+// --- Trace ------------------------------------------------------------------
+
+std::vector<Event> check_trace_shape(const Value& doc) {
+  std::vector<Event> events;
+  if (!doc.is_object()) {
+    fail("trace: top level is not an object");
+    return events;
+  }
+  const Value* list = doc.find("traceEvents");
+  if (list == nullptr || !list->is_array()) {
+    fail("trace: missing traceEvents array");
+    return events;
+  }
+  for (size_t i = 0; i < list->array.size(); ++i) {
+    const Value& e = list->array[i];
+    const std::string at = "trace: event #" + std::to_string(i);
+    if (!e.is_object()) {
+      fail(at + " is not an object");
+      continue;
+    }
+    Event out;
+    const Value* name = e.find("name");
+    const Value* ph = e.find("ph");
+    const Value* pid = e.find("pid");
+    const Value* tid = e.find("tid");
+    if (name == nullptr || !name->is_string()) fail(at + ": bad name");
+    else out.name = name->str;
+    if (pid == nullptr || !pid->is_number()) fail(at + ": bad pid");
+    else out.pid = static_cast<int>(pid->number);
+    if (tid == nullptr || !tid->is_number()) fail(at + ": bad tid");
+    else out.tid = static_cast<std::int64_t>(tid->number);
+    if (ph == nullptr || !ph->is_string() ||
+        (ph->str != "X" && ph->str != "i" && ph->str != "M")) {
+      fail(at + ": ph must be one of X/i/M");
+      continue;
+    }
+    out.ph = ph->str;
+    if (out.ph == "X" || out.ph == "i") {
+      const Value* ts = e.find("ts");
+      if (ts == nullptr || !ts->is_number() || ts->number < 0)
+        fail(at + ": X/i event needs a non-negative ts");
+      else
+        out.ts = static_cast<std::int64_t>(ts->number);
+    }
+    if (out.ph == "X") {
+      const Value* dur = e.find("dur");
+      if (dur == nullptr || !dur->is_number() || dur->number < 0)
+        fail(at + ": X event needs a non-negative dur");
+      else
+        out.dur = static_cast<std::int64_t>(dur->number);
+    }
+    events.push_back(std::move(out));
+  }
+  return events;
+}
+
+void require_span(const std::vector<Event>& events, const std::string& name) {
+  for (const Event& e : events)
+    if (e.ph == "X" && e.name == name) return;
+  fail("trace: required span \"" + name + "\" not found");
+}
+
+// At least one span strictly inside another on the same lane — the signature
+// of a stage breakdown rather than a flat event list.
+void require_nested(const std::vector<Event>& events) {
+  for (const Event& outer : events) {
+    if (outer.ph != "X") continue;
+    for (const Event& inner : events) {
+      if (&inner == &outer || inner.ph != "X") continue;
+      if (inner.pid == outer.pid && inner.tid == outer.tid &&
+          inner.ts >= outer.ts &&
+          inner.ts + inner.dur <= outer.ts + outer.dur &&
+          inner.dur < outer.dur)
+        return;
+    }
+  }
+  fail("trace: no nested spans found");
+}
+
+// Simulated-cycle lanes (pid 2): at least one task span plus lane naming.
+void require_sim_lanes(const std::vector<Event>& events) {
+  bool span = false;
+  bool named = false;
+  for (const Event& e : events) {
+    if (e.pid != 2) continue;
+    if (e.ph == "X") span = true;
+    if (e.ph == "M" && e.name == "thread_name") named = true;
+  }
+  if (!span) fail("trace: no spans on the simulated-cycle lanes (pid 2)");
+  if (!named) fail("trace: simulated-cycle lanes are unnamed");
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+const Value* check_metrics_shape(const Value& doc) {
+  if (!doc.is_object()) {
+    fail("metrics: top level is not an object");
+    return nullptr;
+  }
+  for (const char* section : {"counters", "gauges", "histograms", "derived"}) {
+    const Value* v = doc.find(section);
+    if (v == nullptr || !v->is_object())
+      fail(std::string("metrics: missing \"") + section + "\" object");
+  }
+  const Value* counters = doc.find("counters");
+  if (counters != nullptr && counters->is_object()) {
+    for (const auto& [name, v] : counters->object)
+      if (!v.is_number() || v.number < 0)
+        fail("metrics: counter \"" + name + "\" is not a non-negative number");
+  }
+  const Value* hists = doc.find("histograms");
+  if (hists != nullptr && hists->is_object()) {
+    for (const auto& [name, h] : hists->object) {
+      const std::string at = "metrics: histogram \"" + name + "\"";
+      if (!h.is_object() || h.find("count") == nullptr ||
+          h.find("sum") == nullptr) {
+        fail(at + " lacks count/sum");
+        continue;
+      }
+      const Value* buckets = h.find("buckets");
+      if (buckets == nullptr || !buckets->is_array()) {
+        fail(at + " lacks a buckets array");
+        continue;
+      }
+      for (const Value& triple : buckets->array) {
+        if (!triple.is_array() || triple.array.size() != 3 ||
+            triple.array[0].number > triple.array[1].number ||
+            triple.array[2].number <= 0)
+          fail(at + " has a malformed [lo, hi, n] bucket");
+      }
+    }
+  }
+  return &doc;
+}
+
+void require_metric(const Value& doc, const std::string& name) {
+  for (const char* section :
+       {"counters", "gauges", "histograms", "derived", "phases"}) {
+    const Value* s = doc.find(section);
+    if (s != nullptr && s->is_object() && s->find(name) != nullptr) return;
+  }
+  fail("metrics: required metric \"" + name + "\" not found");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string trace_file;
+  std::string metrics_file;
+  std::vector<std::string> spans;
+  std::vector<std::string> metrics;
+  bool want_nested = false;
+  bool want_sim_lanes = false;
+
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        std::cerr << "obs_check: " << a << " needs a value\n";
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (a == "--trace") trace_file = value();
+    else if (a == "--metrics") metrics_file = value();
+    else if (a == "--require-span") spans.push_back(value());
+    else if (a == "--require-metric") metrics.push_back(value());
+    else if (a == "--require-nested") want_nested = true;
+    else if (a == "--require-sim-lanes") want_sim_lanes = true;
+    else {
+      std::cerr << "obs_check: unknown argument " << a << "\n";
+      return 2;
+    }
+  }
+  if (trace_file.empty() && metrics_file.empty()) {
+    std::cerr << "usage: obs_check [--trace FILE [--require-span NAME]... "
+                 "[--require-nested] [--require-sim-lanes]] "
+                 "[--metrics FILE [--require-metric NAME]...]\n";
+    return 2;
+  }
+
+  if (!trace_file.empty()) {
+    const std::string text = slurp(trace_file);
+    if (!text.empty()) {
+      try {
+        const Value doc = polis::obs::json::parse(text);
+        const std::vector<Event> events = check_trace_shape(doc);
+        for (const std::string& s : spans) require_span(events, s);
+        if (want_nested) require_nested(events);
+        if (want_sim_lanes) require_sim_lanes(events);
+        std::cout << "obs_check: " << trace_file << ": " << events.size()
+                  << " events ok\n";
+      } catch (const polis::obs::json::ParseError& e) {
+        fail("trace: " + std::string(e.what()));
+      }
+    }
+  }
+  if (!metrics_file.empty()) {
+    const std::string text = slurp(metrics_file);
+    if (!text.empty()) {
+      try {
+        const Value doc = polis::obs::json::parse(text);
+        if (check_metrics_shape(doc) != nullptr)
+          for (const std::string& m : metrics) require_metric(doc, m);
+        std::cout << "obs_check: " << metrics_file << ": ok\n";
+      } catch (const polis::obs::json::ParseError& e) {
+        fail("metrics: " + std::string(e.what()));
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

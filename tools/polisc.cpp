@@ -19,11 +19,14 @@
 #include "core/synthesis.hpp"
 #include "estim/calibrate.hpp"
 #include "frontend/parser.hpp"
+#include "obs/obs.hpp"
 #include "rtos/codegen.hpp"
 #include "rtos/rtos.hpp"
+#include "rtos/sim_trace.hpp"
 #include "rtos/tasks.hpp"
 #include "rtos/trace.hpp"
 #include "rtos/vcd.hpp"
+#include "sched/sched.hpp"
 #include "util/rng.hpp"
 #include "verif/verif.hpp"
 #include "sgraph/io.hpp"
@@ -53,6 +56,8 @@ struct Args {
   long long simulate = 0;   // horizon in cycles; 0 = no simulation
   std::string vcd;
   std::string out_dir;
+  std::string trace_file;    // Chrome trace-event JSON (--trace)
+  std::string metrics_file;  // metrics snapshot JSON (--metrics)
 };
 
 void usage() {
@@ -79,17 +84,37 @@ void usage() {
       "                         RTOS simulator with a periodic workload\n"
       "  --vcd FILE             write the simulation waveform as VCD\n"
       "  --dot                  also emit the s-graph in Graphviz form\n"
-      "  --out DIR              write artifacts into DIR instead of stdout\n";
+      "  --out DIR              write artifacts into DIR instead of stdout\n"
+      "  --trace FILE           record spans across the whole run and write\n"
+      "                         them as Chrome trace-event JSON (loadable in\n"
+      "                         Perfetto / chrome://tracing); simulated-cycle\n"
+      "                         lanes share the VCD timebase\n"
+      "  --metrics FILE         write a JSON snapshot of all counters,\n"
+      "                         gauges, histograms and per-phase wall times\n"
+      "  (--trace=FILE / --metrics=FILE forms are also accepted)\n";
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.input = argv[1];
+  // Accept both "--opt value" and "--opt=value".
+  std::vector<std::string> tokens;
   for (int i = 2; i < argc; ++i) {
-    const std::string a = argv[i];
+    const std::string raw = argv[i];
+    const size_t eq = raw.find('=');
+    if (raw.rfind("--", 0) == 0 && eq != std::string::npos) {
+      tokens.push_back(raw.substr(0, eq));
+      tokens.push_back(raw.substr(eq + 1));
+    } else {
+      tokens.push_back(raw);
+    }
+  }
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string a = tokens[i];
     auto value = [&]() -> std::string {
-      if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
-      return argv[++i];
+      if (i + 1 >= tokens.size())
+        throw std::runtime_error("missing value for " + a);
+      return tokens[++i];
     };
     if (a == "--list") args.list = true;
     else if (a == "--module") args.module = value();
@@ -107,6 +132,8 @@ bool parse_args(int argc, char** argv, Args& args) {
     else if (a == "--vcd") args.vcd = value();
     else if (a == "--dot") args.dot = true;
     else if (a == "--out") args.out_dir = value();
+    else if (a == "--trace") args.trace_file = value();
+    else if (a == "--metrics") args.metrics_file = value();
     else {
       std::cerr << "unknown option: " << a << "\n";
       return false;
@@ -264,10 +291,6 @@ int run(const Args& args) {
 
     std::map<std::string, cfsm::CareFilter> care_filters;
     if (args.verify) care_filters = run_verify(net);
-    auto filter_of = [&](const cfsm::Instance& inst) -> cfsm::CareFilter {
-      auto fit = care_filters.find(inst.machine->name());
-      return fit == care_filters.end() ? cfsm::CareFilter{} : fit->second;
-    };
 
     rtos::RtosConfig config;
     if (args.policy == "prio")
@@ -278,9 +301,22 @@ int run(const Args& args) {
 
     write_artifact(args, "polis_rt.h", rtos::generate_rt_header(net));
     write_artifact(args, "polis_rtos.c", rtos::generate_rtos_c(net, config));
+
+    // One fan-out over the distinct machines (instances sharing a machine
+    // are synthesized once); verif care filters land on their machines via
+    // care_filter_by_machine. The same results feed codegen, the report and
+    // the simulator below.
+    SynthesisOptions net_options;
+    net_options.scheme = scheme_of(args.scheme);
+    net_options.build.use_care_set = args.care;
+    net_options.optimize_copy_in = args.opt_copyin;
+    net_options.target = target;
+    net_options.cost_model = &model;
+    net_options.care_filter_by_machine = care_filters;
+    const NetworkSynthesis synth = synthesize_network(net, net_options);
+
     for (const cfsm::Instance& inst : net.instances()) {
-      const SynthesisResult r =
-          synthesize_one(inst.machine, args, model, target, filter_of(inst));
+      const SynthesisResult& r = synth.per_instance.at(inst.name);
       codegen::CCodegenOptions c_options;
       c_options.optimize_copy_in = args.opt_copyin;
       write_artifact(args, "cfsm_" + c_identifier(inst.name) + ".c",
@@ -295,11 +331,28 @@ int run(const Args& args) {
     if (args.report) report.print(std::cout);
 
     if (args.simulate > 0) {
-      config.collect_log = !args.vcd.empty();
+      // §I-H step 4: static schedulability of the periodic workload the
+      // simulator runs below — estimator WCETs against the source period.
+      {
+        const long long period = std::max<long long>(args.simulate / 50, 1);
+        std::vector<sched::Task> taskset;
+        for (const cfsm::Instance& inst : net.instances())
+          taskset.push_back(
+              {inst.name, static_cast<double>(synth.max_cycles.at(inst.name)),
+               static_cast<double>(period), 0, 0});
+        taskset = sched::rate_monotonic_order(std::move(taskset));
+        const auto responses = sched::response_times(taskset);
+        std::cout << "schedulability: utilization "
+                  << fixed(100 * sched::utilization(taskset), 1)
+                  << "% at period " << period << ", rate-monotonic "
+                  << (responses.has_value() ? "feasible" : "INFEASIBLE")
+                  << "\n";
+      }
+
+      config.collect_log = !args.vcd.empty() || !args.trace_file.empty();
       rtos::RtosSimulation sim(net, config);
       for (const cfsm::Instance& inst : net.instances()) {
-        const SynthesisResult r =
-            synthesize_one(inst.machine, args, model, target, filter_of(inst));
+        const SynthesisResult& r = synth.per_instance.at(inst.name);
         sim.set_task(inst.name,
                      rtos::vm_task(r.compiled, target, inst.machine));
       }
@@ -338,6 +391,8 @@ int run(const Args& args) {
         std::cout << "wrote " << args.vcd << " (" << stats.log.size()
                   << " log events)\n";
       }
+      // The simulated-cycle lanes of the trace: same clock as the VCD.
+      if (!args.trace_file.empty()) rtos::record_sim_trace(net, stats);
     }
     return 0;
   }
@@ -348,6 +403,28 @@ int run(const Args& args) {
 
 }  // namespace
 
+// Writes the trace / metrics files requested on the command line. Runs even
+// when the flow failed part-way: a trace of a failing run is exactly what
+// one wants to look at.
+void write_obs_outputs(const Args& args) {
+  if (!args.trace_file.empty()) {
+    std::ofstream out(args.trace_file);
+    obs::TraceRecorder::global().write_chrome_json(out);
+    if (out)
+      std::cout << "wrote " << args.trace_file << " (Chrome trace)\n";
+    else
+      std::cerr << "polisc: cannot write " << args.trace_file << "\n";
+  }
+  if (!args.metrics_file.empty()) {
+    std::ofstream out(args.metrics_file);
+    obs::write_metrics_json(out);
+    if (out)
+      std::cout << "wrote " << args.metrics_file << " (metrics snapshot)\n";
+    else
+      std::cerr << "polisc: cannot write " << args.metrics_file << "\n";
+  }
+}
+
 int main(int argc, char** argv) {
   Args args;
   try {
@@ -355,12 +432,20 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
-    return run(args);
+    if (!args.trace_file.empty()) {
+      obs::TraceRecorder::global().set_enabled(true);
+      obs::TraceRecorder::global().name_this_thread("polisc main");
+    }
+    const int rc = run(args);
+    write_obs_outputs(args);
+    return rc;
   } catch (const frontend::ParseError& e) {
     std::cerr << "polisc: " << args.input << ": " << e.what() << "\n";
+    write_obs_outputs(args);
     return 1;
   } catch (const std::exception& e) {
     std::cerr << "polisc: " << e.what() << "\n";
+    write_obs_outputs(args);
     return 1;
   }
 }
