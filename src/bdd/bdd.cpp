@@ -1,7 +1,10 @@
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
@@ -9,48 +12,8 @@
 namespace polis::bdd {
 
 // --- Bdd handle ----------------------------------------------------------------
-
-Bdd::Bdd(BddManager* mgr, std::uint32_t idx) { attach(mgr, idx); }
-
-Bdd::Bdd(const Bdd& other) { attach(other.mgr_, other.idx_); }
-
-Bdd::Bdd(Bdd&& other) noexcept {
-  attach(other.mgr_, other.idx_);
-  other.detach();
-}
-
-Bdd& Bdd::operator=(const Bdd& other) {
-  if (this != &other) {
-    detach();
-    attach(other.mgr_, other.idx_);
-  }
-  return *this;
-}
-
-Bdd& Bdd::operator=(Bdd&& other) noexcept {
-  if (this != &other) {
-    detach();
-    attach(other.mgr_, other.idx_);
-    other.detach();
-  }
-  return *this;
-}
-
-Bdd::~Bdd() { detach(); }
-
-void Bdd::attach(BddManager* mgr, std::uint32_t idx) {
-  mgr_ = mgr;
-  idx_ = idx;
-  if (mgr_ != nullptr) mgr_->register_handle(this);
-}
-
-void Bdd::detach() {
-  if (mgr_ != nullptr) mgr_->unregister_handle(this);
-  mgr_ = nullptr;
-  idx_ = 0;
-  prev_ = nullptr;
-  next_ = nullptr;
-}
+// Lifecycle (ctors/dtor/moves/registry splices) is inline in bdd.hpp — it is
+// the hottest code in the kernel's public surface.
 
 bool Bdd::is_zero() const {
   return mgr_ != nullptr && idx_ == BddManager::kZero;
@@ -62,99 +25,29 @@ bool Bdd::is_one() const {
 
 int Bdd::top_var() const {
   POLIS_CHECK(!is_null() && !is_constant());
-  return static_cast<int>(mgr_->nodes_[idx_].var);
+  return static_cast<int>(mgr_->nodes_[BddManager::idx_of(idx_)].var);
 }
 
 Bdd Bdd::high() const {
   POLIS_CHECK(!is_null() && !is_constant());
-  return Bdd(mgr_, mgr_->nodes_[idx_].hi);
+  // Push the handle's complement bit into the child so the result is the
+  // positive cofactor of the *function*, not of the underlying node.
+  return Bdd(mgr_, mgr_->nodes_[BddManager::idx_of(idx_)].hi ^
+                       BddManager::comp_of(idx_));
 }
 
 Bdd Bdd::low() const {
   POLIS_CHECK(!is_null() && !is_constant());
-  return Bdd(mgr_, mgr_->nodes_[idx_].lo);
-}
-
-Bdd Bdd::operator&(const Bdd& o) const {
-  POLIS_CHECK_MSG(!is_null() && !o.is_null(), "Boolean op on a null BDD handle");
-  return mgr_->band(*this, o);
-}
-Bdd Bdd::operator|(const Bdd& o) const {
-  POLIS_CHECK_MSG(!is_null() && !o.is_null(), "Boolean op on a null BDD handle");
-  return mgr_->bor(*this, o);
-}
-Bdd Bdd::operator^(const Bdd& o) const {
-  POLIS_CHECK_MSG(!is_null() && !o.is_null(), "Boolean op on a null BDD handle");
-  return mgr_->bxor(*this, o);
-}
-Bdd Bdd::operator!() const {
-  POLIS_CHECK_MSG(!is_null(), "Boolean op on a null BDD handle");
-  return mgr_->bnot(*this);
-}
-
-// --- Handle registry + reference-counted roots ---------------------------------
-
-void BddManager::register_handle(Bdd* h) {
-  h->prev_ = nullptr;
-  h->next_ = handle_head_;
-  if (handle_head_ != nullptr) handle_head_->prev_ = h;
-  handle_head_ = h;
-  add_ref(h->idx_);
-}
-
-void BddManager::unregister_handle(Bdd* h) {
-  deref(h->idx_);
-  if (h->prev_ != nullptr) {
-    h->prev_->next_ = h->next_;
-  } else {
-    handle_head_ = h->next_;
-  }
-  if (h->next_ != nullptr) h->next_->prev_ = h->prev_;
-}
-
-void BddManager::add_ref(std::uint32_t idx) {
-  if (idx <= kOne) return;  // terminals are always live
-  if (idx >= extref_.size()) {
-    extref_.resize(nodes_.size(), 0);
-    in_roots_.resize(nodes_.size(), 0);
-  }
-  if (extref_[idx]++ == 0 && !in_roots_[idx]) {
-    in_roots_[idx] = 1;
-    roots_.push_back(idx);
-  }
-}
-
-void BddManager::deref(std::uint32_t idx) {
-  if (idx <= kOne) return;
-  // The roots_ entry stays until the next compact_roots; re-referencing the
-  // node before then must not duplicate it (in_roots_ stays set).
-  --extref_[idx];
-}
-
-void BddManager::compact_roots() {
-  size_t keep = 0;
-  for (const std::uint32_t idx : roots_) {
-    if (extref_[idx] > 0) {
-      roots_[keep++] = idx;
-    } else {
-      in_roots_[idx] = 0;
-    }
-  }
-  roots_.resize(keep);
-}
-
-void BddManager::rebuild_refs() {
-  extref_.assign(nodes_.size(), 0);
-  in_roots_.assign(nodes_.size(), 0);
-  roots_.clear();
-  for (Bdd* h = handle_head_; h != nullptr; h = h->next_) add_ref(h->idx_);
+  return Bdd(mgr_, mgr_->nodes_[BddManager::idx_of(idx_)].lo ^
+                       BddManager::comp_of(idx_));
 }
 
 // --- Manager ---------------------------------------------------------------------
 
 BddManager::BddManager() {
-  nodes_.push_back(Node{kTermVar, kZero, kZero, kNil});  // index 0 = false
-  nodes_.push_back(Node{kTermVar, kOne, kOne, kNil});    // index 1 = true
+  // The single terminal (constant one) lives at arena index 0; handle kOne
+  // is its regular phase, handle kZero its complement.
+  nodes_.push_back(Node{kTermVar, kOne, kOne, kNil});
   cache_.resize(kInitCacheEntries);
   cache_mask_ = kInitCacheEntries - 1;
   stats_.peak_nodes = nodes_.size();
@@ -216,6 +109,13 @@ Bdd BddManager::nvar(int v) {
 std::uint32_t BddManager::find_or_add(std::uint32_t var, std::uint32_t lo,
                                       std::uint32_t hi) {
   if (lo == hi) return lo;
+  // Canonical form: the stored then-edge is never complemented. A request
+  // with complemented `hi` stores the complemented node and returns a
+  // negated handle instead, so every function has exactly one
+  // representation and handle equality is function equality.
+  const std::uint32_t out_c = comp_of(hi);
+  lo ^= out_c;
+  hi ^= out_c;
   Subtable& st = subtables_[var];
   if (st.buckets.empty()) st.buckets.assign(kInitBuckets, kNil);
   ++stats_.unique_lookups;
@@ -224,7 +124,7 @@ std::uint32_t BddManager::find_or_add(std::uint32_t var, std::uint32_t lo,
     const Node& nd = nodes_[n];
     if (nd.lo == lo && nd.hi == hi) {
       ++stats_.unique_hits;
-      return n;
+      return (n << 1) | out_c;
     }
   }
   std::uint32_t idx;
@@ -233,6 +133,9 @@ std::uint32_t BddManager::find_or_add(std::uint32_t var, std::uint32_t lo,
     free_head_ = nodes_[idx].next;
     ++stats_.nodes_recycled;
   } else {
+    POLIS_CHECK_MSG(nodes_.size() < kMaxArenaNodes,
+                    "BDD arena exceeds " << kMaxArenaNodes
+                                         << " nodes (handle space exhausted)");
     idx = static_cast<std::uint32_t>(nodes_.size());
     nodes_.push_back(Node{});
     stats_.peak_nodes = std::max(stats_.peak_nodes, nodes_.size());
@@ -241,7 +144,7 @@ std::uint32_t BddManager::find_or_add(std::uint32_t var, std::uint32_t lo,
   nodes_[idx] = Node{var, lo, hi, st.buckets[slot]};
   st.buckets[slot] = idx;
   if (++st.count > st.buckets.size() * kMaxChainLoad) grow_subtable(st);
-  return idx;
+  return (idx << 1) | out_c;
 }
 
 void BddManager::subtable_insert(std::uint32_t var, std::uint32_t idx) {
@@ -269,14 +172,30 @@ void BddManager::grow_subtable(Subtable& st) {
   }
 }
 
+bool BddManager::check_canonical_form() const {
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.var == kDeadVar) continue;  // free-list slot
+    if (n.var >= static_cast<std::uint32_t>(num_vars())) return false;
+    if (comp_of(n.hi) != 0) return false;  // complemented then-edge stored
+    if (n.lo == n.hi) return false;        // redundant node stored
+    const std::uint32_t li = idx_of(n.lo);
+    const std::uint32_t hi = idx_of(n.hi);
+    if (li >= nodes_.size() || hi >= nodes_.size()) return false;
+    if (nodes_[li].var == kDeadVar || nodes_[hi].var == kDeadVar) return false;
+  }
+  return true;
+}
+
 // --- Computed cache --------------------------------------------------------------
 
 bool BddManager::cache_lookup(std::uint32_t op, std::uint32_t a,
                               std::uint32_t b, std::uint32_t c,
                               std::uint32_t* result) {
   ++stats_.cache_lookups;
-  const CacheEntry& e = cache_[cache_slot(op, a, b, c)];
-  if (e.op == op && e.a == a && e.b == b && e.c == c) {
+  const std::uint32_t key0 = a | (op << kOpShift);
+  const CacheEntry& e = cache_[cache_slot(key0, b, c)];
+  if (e.key0 == key0 && e.b == b && e.c == c) {
     ++stats_.cache_hits;
     *result = e.result;
     return true;
@@ -288,31 +207,52 @@ void BddManager::cache_insert(std::uint32_t op, std::uint32_t a,
                               std::uint32_t b, std::uint32_t c,
                               std::uint32_t result) {
   ++stats_.cache_inserts;
-  CacheEntry& e = cache_[cache_slot(op, a, b, c)];
-  if (e.op != kOpNone && !(e.op == op && e.a == a && e.b == b && e.c == c))
+  const std::uint32_t key0 = a | (op << kOpShift);
+  CacheEntry& e = cache_[cache_slot(key0, b, c)];
+  if (e.key0 != 0 && !(e.key0 == key0 && e.b == b && e.c == c))
     ++stats_.cache_evictions;
-  e = CacheEntry{op, a, b, c, result};
+  e = CacheEntry{key0, b, c, result};
+  maybe_resize_cache();
+}
 
-  // Resize policy: once we have inserted a full cache's worth of entries
-  // since the last resize, the cache is under pressure; double it while the
-  // hit rate over that window shows it is earning its keep.
-  if (stats_.cache_inserts - cache_inserts_at_resize_ > cache_.size() &&
-      cache_.size() < kMaxCacheEntries) {
-    const std::uint64_t lookups = stats_.cache_lookups - cache_lookups_at_resize_;
-    const std::uint64_t hits = stats_.cache_hits - cache_hits_at_resize_;
-    if (lookups > 0 && hits * 10 >= lookups * 3) {
-      resize_cache(cache_.size() * 2);
-    } else {
-      // Not earning hits: restart the observation window at this size.
-      cache_lookups_at_resize_ = stats_.cache_lookups;
-      cache_hits_at_resize_ = stats_.cache_hits;
-      cache_inserts_at_resize_ = stats_.cache_inserts;
-    }
+void BddManager::maybe_resize_cache() {
+  // Resize policy: once we have inserted half a cache's worth of entries
+  // since the last resize (or cache clear), the cache is under pressure;
+  // double it while the hit rate over that window shows it is earning its
+  // keep. Half-size windows let an apply-heavy run climb from the small
+  // initial cache to its working size within a few percent of its
+  // operations. The window must still be meaningful: right after a clear
+  // the counters restart, so a handful of lookups — or hits carried over
+  // from before a GC wiped the entries — can never justify doubling an
+  // empty cache.
+  if (stats_.cache_inserts - cache_inserts_at_resize_ <= cache_.size() / 2 ||
+      cache_.size() >= kMaxCacheEntries) {
+    return;
+  }
+  const std::uint64_t lookups = stats_.cache_lookups - cache_lookups_at_resize_;
+  const std::uint64_t hits = stats_.cache_hits - cache_hits_at_resize_;
+  if (lookups >= cache_.size() / 8 && hits * 10 >= lookups * 3) {
+    // A strongly-hitting window below the jump size goes straight to the
+    // working size: every doubling step it would otherwise creep through
+    // costs a window's worth of avoidable evictions.
+    const bool jump = cache_.size() < kJumpCacheEntries && hits * 10 >= lookups * 6;
+    resize_cache(jump ? kJumpCacheEntries : cache_.size() * 2);
+  } else {
+    // Not earning hits (or window too small to tell): restart the
+    // observation window at this size.
+    cache_lookups_at_resize_ = stats_.cache_lookups;
+    cache_hits_at_resize_ = stats_.cache_hits;
+    cache_inserts_at_resize_ = stats_.cache_inserts;
   }
 }
 
 void BddManager::cache_clear() {
   std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+  // An emptied cache starts a fresh observation window: lookups and hits
+  // earned against the old entries must not feed the next resize decision.
+  cache_lookups_at_resize_ = stats_.cache_lookups;
+  cache_hits_at_resize_ = stats_.cache_hits;
+  cache_inserts_at_resize_ = stats_.cache_inserts;
 }
 
 void BddManager::resize_cache(size_t new_entries) {
@@ -325,7 +265,7 @@ void BddManager::resize_cache(size_t new_entries) {
   cache_.assign(new_entries, CacheEntry{});
   cache_mask_ = new_entries - 1;
   for (const CacheEntry& e : old) {
-    if (e.op != kOpNone) cache_[cache_slot(e.op, e.a, e.b, e.c)] = e;
+    if (e.key0 != 0) cache_[cache_slot(e.key0, e.b, e.c)] = e;
   }
   ++stats_.cache_resizes;
   cache_lookups_at_resize_ = stats_.cache_lookups;
@@ -355,6 +295,7 @@ void BddManager::flush_stats_to_obs() {
   struct Ids {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
     obs::MetricsRegistry::Id ite_calls = reg.counter("bdd.ite_calls");
+    obs::MetricsRegistry::Id apply_calls = reg.counter("bdd.apply_calls");
     obs::MetricsRegistry::Id cache_lookups = reg.counter("bdd.cache_lookups");
     obs::MetricsRegistry::Id cache_hits = reg.counter("bdd.cache_hits");
     obs::MetricsRegistry::Id cache_inserts = reg.counter("bdd.cache_inserts");
@@ -383,6 +324,8 @@ void BddManager::flush_stats_to_obs() {
     last = now;
   };
   drain(ids.ite_calls, s.ite_calls, f.ite_calls);
+  drain(ids.apply_calls, s.and_apply_calls, f.and_apply_calls);
+  drain(ids.apply_calls, s.xor_apply_calls, f.xor_apply_calls);
   drain(ids.cache_lookups, s.cache_lookups, f.cache_lookups);
   drain(ids.cache_hits, s.cache_hits, f.cache_hits);
   drain(ids.cache_inserts, s.cache_inserts, f.cache_inserts);
@@ -405,6 +348,81 @@ void BddManager::flush_stats_to_obs() {
 
 // --- Core operations -------------------------------------------------------------
 
+std::uint32_t BddManager::and_rec(std::uint32_t f, std::uint32_t g) {
+  // Terminal cases, two branches on the hot path: handles differing only in
+  // the complement bit (f ∧ f = f, f ∧ ¬f = 0), then either operand
+  // constant (terminal handles are 0 and 1, so `min <= kZero` covers both).
+  if ((f ^ g) <= 1u) return f == g ? f : kZero;
+  if (std::min(f, g) <= kZero) {
+    if (f == kZero || g == kZero) return kZero;
+    return f == kOne ? g : f;
+  }
+  // Commutative: normalise operand order for cache hits.
+  if (f > g) std::swap(f, g);
+
+  std::uint32_t r;
+  if (cache_lookup(kOpAnd, f, g, 0, &r)) return r;
+
+  const int lf = level(f);
+  const int lg = level(g);
+  const int top = std::min(lf, lg);
+  const std::uint32_t v =
+      static_cast<std::uint32_t>(invperm_[static_cast<size_t>(top)]);
+  // Cofactors of the *functions*: the parent complement bit flows into the
+  // children. Extracted before recursing — the arena may grow below.
+  const std::uint32_t fc = comp_of(f);
+  const std::uint32_t gc = comp_of(g);
+  const Node& fn = nodes_[idx_of(f)];
+  const Node& gn = nodes_[idx_of(g)];
+  const std::uint32_t f1 = (lf == top) ? fn.hi ^ fc : f;
+  const std::uint32_t f0 = (lf == top) ? fn.lo ^ fc : f;
+  const std::uint32_t g1 = (lg == top) ? gn.hi ^ gc : g;
+  const std::uint32_t g0 = (lg == top) ? gn.lo ^ gc : g;
+
+  const std::uint32_t t = and_rec(f1, g1);
+  const std::uint32_t e = and_rec(f0, g0);
+  r = find_or_add(v, e, t);
+  cache_insert(kOpAnd, f, g, 0, r);
+  return r;
+}
+
+std::uint32_t BddManager::xor_rec(std::uint32_t f, std::uint32_t g) {
+  // Terminal cases (same two-branch structure as and_rec).
+  if ((f ^ g) <= 1u) return f == g ? kZero : kOne;
+  if (std::min(f, g) <= kZero) {
+    if (f <= kZero) return f == kZero ? g : negate(g);
+    return g == kZero ? f : negate(f);
+  }
+  // XOR commutes with complementation on either operand: strip both
+  // complement bits into the output, so one cache entry serves all four
+  // phase combinations of (f, g).
+  const std::uint32_t out_c = comp_of(f) ^ comp_of(g);
+  f = regular(f);
+  g = regular(g);
+  if (f > g) std::swap(f, g);
+
+  std::uint32_t r;
+  if (cache_lookup(kOpXor, f, g, 0, &r)) return r ^ out_c;
+
+  const int lf = level(f);
+  const int lg = level(g);
+  const int top = std::min(lf, lg);
+  const std::uint32_t v =
+      static_cast<std::uint32_t>(invperm_[static_cast<size_t>(top)]);
+  const Node& fn = nodes_[idx_of(f)];
+  const Node& gn = nodes_[idx_of(g)];
+  const std::uint32_t f1 = (lf == top) ? fn.hi : f;
+  const std::uint32_t f0 = (lf == top) ? fn.lo : f;
+  const std::uint32_t g1 = (lg == top) ? gn.hi : g;
+  const std::uint32_t g0 = (lg == top) ? gn.lo : g;
+
+  const std::uint32_t t = xor_rec(f1, g1);
+  const std::uint32_t e = xor_rec(f0, g0);
+  r = find_or_add(v, e, t);
+  cache_insert(kOpXor, f, g, 0, r);
+  return r ^ out_c;
+}
+
 std::uint32_t BddManager::ite_rec(std::uint32_t f, std::uint32_t g,
                                   std::uint32_t h) {
   // Terminal cases.
@@ -412,13 +430,38 @@ std::uint32_t BddManager::ite_rec(std::uint32_t f, std::uint32_t g,
   if (f == kZero) return h;
   if (g == h) return g;
   // Equal-operand normalisation raises the cache hit rate: ite(f, f, h) =
-  // ite(f, 1, h) and ite(f, g, f) = ite(f, g, 0).
+  // ite(f, 1, h), ite(f, ¬f, h) = ite(f, 0, h), and dually for h.
   if (f == g) g = kOne;
+  else if (f == negate(g)) g = kZero;
   if (f == h) h = kZero;
+  else if (f == negate(h)) h = kOne;
   if (g == kOne && h == kZero) return f;
+  if (g == kZero && h == kOne) return negate(f);
+  // 2-operand dispatch: every ITE with a constant branch (or complementary
+  // branches) is an AND or XOR in disguise — route it to the dedicated
+  // apply paths, whose cache keys are shared with the operator entrypoints.
+  if (h == kZero) return and_rec(f, g);
+  if (g == kZero) return and_rec(negate(f), h);
+  if (g == kOne) return negate(and_rec(negate(f), negate(h)));
+  if (h == kOne) return negate(and_rec(f, negate(g)));
+  if (g == negate(h)) return negate(xor_rec(f, g));  // ite(f,g,¬g) = ¬(f⊕g)
+
+  // Normalise for the cache: a complemented f swaps the branches; a
+  // complemented g complements the output. After this, f and g are regular
+  // and one entry covers the whole complementation orbit of the call.
+  std::uint32_t out_c = 0;
+  if (comp_of(f)) {
+    f = negate(f);
+    std::swap(g, h);
+  }
+  if (comp_of(g)) {
+    out_c = 1;
+    g = negate(g);
+    h = negate(h);
+  }
 
   std::uint32_t r;
-  if (cache_lookup(kOpIte, f, g, h, &r)) return r;
+  if (cache_lookup(kOpIte, f, g, h, &r)) return r ^ out_c;
 
   const int lf = level(f);
   const int lg = level(g);
@@ -427,18 +470,22 @@ std::uint32_t BddManager::ite_rec(std::uint32_t f, std::uint32_t g,
   const std::uint32_t v =
       static_cast<std::uint32_t>(invperm_[static_cast<size_t>(top)]);
 
-  const std::uint32_t f1 = (lf == top) ? nodes_[f].hi : f;
-  const std::uint32_t f0 = (lf == top) ? nodes_[f].lo : f;
-  const std::uint32_t g1 = (lg == top) ? nodes_[g].hi : g;
-  const std::uint32_t g0 = (lg == top) ? nodes_[g].lo : g;
-  const std::uint32_t h1 = (lh == top) ? nodes_[h].hi : h;
-  const std::uint32_t h0 = (lh == top) ? nodes_[h].lo : h;
+  const std::uint32_t hc = comp_of(h);
+  const Node& fn = nodes_[idx_of(f)];
+  const Node& gn = nodes_[idx_of(g)];
+  const Node& hn = nodes_[idx_of(h)];
+  const std::uint32_t f1 = (lf == top) ? fn.hi : f;
+  const std::uint32_t f0 = (lf == top) ? fn.lo : f;
+  const std::uint32_t g1 = (lg == top) ? gn.hi : g;
+  const std::uint32_t g0 = (lg == top) ? gn.lo : g;
+  const std::uint32_t h1 = (lh == top) ? hn.hi ^ hc : h;
+  const std::uint32_t h0 = (lh == top) ? hn.lo ^ hc : h;
 
   const std::uint32_t t = ite_rec(f1, g1, h1);
   const std::uint32_t e = ite_rec(f0, g0, h0);
   r = find_or_add(v, e, t);
   cache_insert(kOpIte, f, g, h, r);
-  return r;
+  return r ^ out_c;
 }
 
 Bdd BddManager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
@@ -447,45 +494,52 @@ Bdd BddManager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
   return make(ite_rec(f.idx_, g.idx_, h.idx_));
 }
 
-std::uint32_t BddManager::bnot_rec(std::uint32_t f) {
-  if (f == kZero) return kOne;
-  if (f == kOne) return kZero;
-  std::uint32_t r;
-  if (cache_lookup(kOpNot, f, 0, 0, &r)) return r;
-  const Node n = nodes_[f];  // copy: recursion below may grow nodes_
-  const std::uint32_t lo = bnot_rec(n.lo);
-  const std::uint32_t hi = bnot_rec(n.hi);
-  r = find_or_add(n.var, lo, hi);
-  cache_insert(kOpNot, f, 0, 0, r);
-  cache_insert(kOpNot, r, 0, 0, f);  // involution: ¬r = f for free
-  return r;
+Bdd BddManager::band(const Bdd& f, const Bdd& g) {
+  POLIS_CHECK(f.mgr_ == this && g.mgr_ == this);
+  ++stats_.and_apply_calls;
+  return make(and_rec(f.idx_, g.idx_));
 }
 
-Bdd BddManager::bnot(const Bdd& f) {
-  POLIS_CHECK(f.mgr_ == this);
-  return make(bnot_rec(f.idx_));
+Bdd BddManager::bor(const Bdd& f, const Bdd& g) {
+  POLIS_CHECK(f.mgr_ == this && g.mgr_ == this);
+  ++stats_.and_apply_calls;
+  return make(or_of(f.idx_, g.idx_));
 }
 
 Bdd BddManager::bxor(const Bdd& f, const Bdd& g) {
   POLIS_CHECK(f.mgr_ == this && g.mgr_ == this);
-  return make(ite_rec(f.idx_, bnot_rec(g.idx_), g.idx_));
+  ++stats_.xor_apply_calls;
+  return make(xor_rec(f.idx_, g.idx_));
+}
+
+Bdd BddManager::bnot(const Bdd& f) {
+  POLIS_CHECK(f.mgr_ == this);
+  return make(negate(f.idx_));
 }
 
 std::uint32_t BddManager::cofactor_rec(std::uint32_t f, int var, bool val) {
   if (is_term(f)) return f;
+  // Cofactor commutes with complementation: recurse on the regular function
+  // and restore the phase on the way out, so one cache entry serves both.
+  const std::uint32_t fc = comp_of(f);
+  f = regular(f);
   const int vlevel = perm_[static_cast<size_t>(var)];
-  if (level(f) > vlevel) return f;  // var cannot appear below its level
-  const Node n = nodes_[f];
-  if (static_cast<int>(n.var) == var) return val ? n.hi : n.lo;
+  if (level(f) > vlevel) return f ^ fc;  // var cannot appear below its level
+  const Node& n = nodes_[idx_of(f)];
+  if (static_cast<int>(n.var) == var) return (val ? n.hi : n.lo) ^ fc;
   std::uint32_t r;
   const std::uint32_t tag =
       (static_cast<std::uint32_t>(var) << 1) | (val ? 1u : 0u);
-  if (cache_lookup(kOpCofactor, f, tag, 0, &r)) return r;
-  const std::uint32_t lo = cofactor_rec(n.lo, var, val);
-  const std::uint32_t hi = cofactor_rec(n.hi, var, val);
-  r = find_or_add(n.var, lo, hi);
+  if (cache_lookup(kOpCofactor, f, tag, 0, &r)) return r ^ fc;
+  // Copies: the recursion below may grow nodes_ and invalidate `n`.
+  const std::uint32_t nvar = n.var;
+  const std::uint32_t nlo = n.lo;
+  const std::uint32_t nhi = n.hi;
+  const std::uint32_t lo = cofactor_rec(nlo, var, val);
+  const std::uint32_t hi = cofactor_rec(nhi, var, val);
+  r = find_or_add(nvar, lo, hi);
   cache_insert(kOpCofactor, f, tag, 0, r);
-  return r;
+  return r ^ fc;
 }
 
 Bdd BddManager::cofactor(const Bdd& f, int var, bool val) {
@@ -496,7 +550,9 @@ Bdd BddManager::cofactor(const Bdd& f, int var, bool val) {
 
 std::uint32_t BddManager::make_cube(const std::vector<int>& vars) {
   // Conjunction of positive literals, built bottom-up in level order so each
-  // step is a single unique-table insertion.
+  // step is a single unique-table insertion. A positive cube is always a
+  // regular handle with regular then-edges, so cube traversals below never
+  // need complement-bit fixups.
   std::vector<int> sorted = vars;
   std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
     return perm_[static_cast<size_t>(a)] > perm_[static_cast<size_t>(b)];
@@ -514,24 +570,30 @@ std::uint32_t BddManager::make_cube(const std::vector<int>& vars) {
 std::uint32_t BddManager::quant_rec(std::uint32_t f, std::uint32_t cube,
                                     bool existential) {
   // Quantified vars above f's top variable cannot appear in f: skip them.
-  while (!is_term(cube) && level(cube) < level(f)) cube = nodes_[cube].hi;
+  while (!is_term(cube) && level(cube) < level(f))
+    cube = nodes_[idx_of(cube)].hi;
   if (is_term(f) || cube == kOne) return f;
+  // ∃x.¬f = ¬∀x.f — strip the operand's complement by flipping the
+  // quantifier, so the cache is keyed on the regular function only.
+  const std::uint32_t fc = comp_of(f);
+  f = regular(f);
+  const bool ex = fc ? !existential : existential;
   std::uint32_t r;
-  const std::uint32_t op = existential ? kOpExists : kOpForall;
-  if (cache_lookup(op, f, cube, 0, &r)) return r;
-  const Node n = nodes_[f];  // copy: recursion below may grow nodes_
+  const std::uint32_t op = ex ? kOpExists : kOpForall;
+  if (cache_lookup(op, f, cube, 0, &r)) return r ^ fc;
+  const Node n = nodes_[idx_of(f)];  // copy: recursion below may grow nodes_
   if (level(f) == level(cube)) {
-    const std::uint32_t rest = nodes_[cube].hi;
-    const std::uint32_t lo = quant_rec(n.lo, rest, existential);
-    const std::uint32_t hi = quant_rec(n.hi, rest, existential);
-    r = existential ? ite_rec(lo, kOne, hi) : ite_rec(lo, hi, kZero);
+    const std::uint32_t rest = nodes_[idx_of(cube)].hi;
+    const std::uint32_t lo = quant_rec(n.lo, rest, ex);
+    const std::uint32_t hi = quant_rec(n.hi, rest, ex);
+    r = ex ? or_of(lo, hi) : and_rec(lo, hi);
   } else {
-    const std::uint32_t lo = quant_rec(n.lo, cube, existential);
-    const std::uint32_t hi = quant_rec(n.hi, cube, existential);
+    const std::uint32_t lo = quant_rec(n.lo, cube, ex);
+    const std::uint32_t hi = quant_rec(n.hi, cube, ex);
     r = find_or_add(n.var, lo, hi);
   }
   cache_insert(op, f, cube, 0, r);
-  return r;
+  return r ^ fc;
 }
 
 Bdd BddManager::smooth(const Bdd& f, const std::vector<int>& vars) {
@@ -554,7 +616,7 @@ std::uint32_t BddManager::and_exists_rec(std::uint32_t f, std::uint32_t g,
                                          std::uint32_t cube) {
   ++stats_.and_exists_recursions;
   // Terminal cases: f∧g collapses, or no quantified vars remain below.
-  if (f == kZero || g == kZero) return kZero;
+  if (f == kZero || g == kZero || f == negate(g)) return kZero;
   if (f == kOne && g == kOne) return kOne;
   if (f == kOne) return quant_rec(g, cube, /*existential=*/true);
   if (g == kOne || f == g) return quant_rec(f, cube, /*existential=*/true);
@@ -565,8 +627,8 @@ std::uint32_t BddManager::and_exists_rec(std::uint32_t f, std::uint32_t g,
   const int lg = level(g);
   const int top = std::min(lf, lg);
   // Quantified vars above both operands cannot appear in either: skip them.
-  while (!is_term(cube) && level(cube) < top) cube = nodes_[cube].hi;
-  if (cube == kOne) return ite_rec(f, g, kZero);  // plain conjunction
+  while (!is_term(cube) && level(cube) < top) cube = nodes_[idx_of(cube)].hi;
+  if (cube == kOne) return and_rec(f, g);  // plain conjunction
 
   std::uint32_t r;
   if (cache_lookup(kOpAndExists, f, g, cube, &r)) {
@@ -577,19 +639,23 @@ std::uint32_t BddManager::and_exists_rec(std::uint32_t f, std::uint32_t g,
   const std::uint32_t v =
       static_cast<std::uint32_t>(invperm_[static_cast<size_t>(top)]);
   // Copies: the recursion below may grow nodes_.
-  const std::uint32_t f1 = (lf == top) ? nodes_[f].hi : f;
-  const std::uint32_t f0 = (lf == top) ? nodes_[f].lo : f;
-  const std::uint32_t g1 = (lg == top) ? nodes_[g].hi : g;
-  const std::uint32_t g0 = (lg == top) ? nodes_[g].lo : g;
+  const std::uint32_t fc = comp_of(f);
+  const std::uint32_t gc = comp_of(g);
+  const Node& fn = nodes_[idx_of(f)];
+  const Node& gn = nodes_[idx_of(g)];
+  const std::uint32_t f1 = (lf == top) ? fn.hi ^ fc : f;
+  const std::uint32_t f0 = (lf == top) ? fn.lo ^ fc : f;
+  const std::uint32_t g1 = (lg == top) ? gn.hi ^ gc : g;
+  const std::uint32_t g0 = (lg == top) ? gn.lo ^ gc : g;
 
   if (level(cube) == top) {
-    const std::uint32_t rest = nodes_[cube].hi;
+    const std::uint32_t rest = nodes_[idx_of(cube)].hi;
     const std::uint32_t hi = and_exists_rec(f1, g1, rest);
     if (hi == kOne) {
       r = kOne;  // ∃v absorbs: the other branch cannot add anything
     } else {
       const std::uint32_t lo = and_exists_rec(f0, g0, rest);
-      r = ite_rec(hi, kOne, lo);
+      r = or_of(hi, lo);
     }
   } else {
     const std::uint32_t hi = and_exists_rec(f1, g1, cube);
@@ -612,11 +678,14 @@ Bdd BddManager::and_exists(const Bdd& f, const Bdd& g,
 std::uint32_t BddManager::compose_rec(std::uint32_t f, int var,
                                       std::uint32_t g) {
   if (is_term(f)) return f;
-  if (level(f) > perm_[static_cast<size_t>(var)]) return f;  // var ∉ support
+  // Composition commutes with complementation of f: recurse regular.
+  const std::uint32_t fc = comp_of(f);
+  f = regular(f);
+  if (level(f) > perm_[static_cast<size_t>(var)]) return f ^ fc;  // var ∉ support
   std::uint32_t r;
   if (cache_lookup(kOpCompose, f, g, static_cast<std::uint32_t>(var), &r))
-    return r;
-  const Node n = nodes_[f];  // copy: recursion below may grow nodes_
+    return r ^ fc;
+  const Node n = nodes_[idx_of(f)];  // copy: recursion below may grow nodes_
   if (static_cast<int>(n.var) == var) {
     r = ite_rec(g, n.hi, n.lo);
   } else {
@@ -628,7 +697,7 @@ std::uint32_t BddManager::compose_rec(std::uint32_t f, int var,
     r = ite_rec(v, hi, lo);
   }
   cache_insert(kOpCompose, f, g, static_cast<std::uint32_t>(var), r);
-  return r;
+  return r ^ fc;
 }
 
 Bdd BddManager::compose(const Bdd& f, int var, const Bdd& g) {
@@ -638,6 +707,12 @@ Bdd BddManager::compose(const Bdd& f, int var, const Bdd& g) {
 }
 
 std::uint32_t BddManager::restrict_rec(std::uint32_t g, std::uint32_t c) {
+  // Deliberately NOT complement-normalised: restrict is a heuristic (the
+  // result depends on the shape of the recursion, not just the functions),
+  // and the `c == kZero → kZero` base case would flip meaning under output
+  // complementation. Keying the cache on the tagged pair keeps the
+  // recursion — and therefore the minimised result — function-for-function
+  // identical to a kernel without complement edges.
   if (c == kZero) return kZero;  // entirely don't care: anything goes
   if (c == kOne || is_term(g)) return g;
   std::uint32_t r;
@@ -647,21 +722,27 @@ std::uint32_t BddManager::restrict_rec(std::uint32_t g, std::uint32_t c) {
   const int lc = level(c);
   if (lc < lg) {
     // The care set constrains a variable above g's top: merge branches.
-    // Copy: recursion below may grow nodes_ and invalidate references.
-    const Node cn = nodes_[c];
-    r = restrict_rec(g, ite_rec(cn.lo, kOne, cn.hi));  // c|v=0 ∨ c|v=1
+    const std::uint32_t cc = comp_of(c);
+    const std::uint32_t c1 = nodes_[idx_of(c)].hi ^ cc;
+    const std::uint32_t c0 = nodes_[idx_of(c)].lo ^ cc;
+    r = restrict_rec(g, or_of(c0, c1));  // c|v=0 ∨ c|v=1
   } else {
-    const Node gn = nodes_[g];
-    const std::uint32_t c1 = (lc == lg) ? nodes_[c].hi : c;
-    const std::uint32_t c0 = (lc == lg) ? nodes_[c].lo : c;
+    const std::uint32_t gc = comp_of(g);
+    const Node& gn = nodes_[idx_of(g)];
+    const std::uint32_t gvar = gn.var;
+    const std::uint32_t g1 = gn.hi ^ gc;
+    const std::uint32_t g0 = gn.lo ^ gc;
+    const std::uint32_t cc = comp_of(c);
+    const std::uint32_t c1 = (lc == lg) ? nodes_[idx_of(c)].hi ^ cc : c;
+    const std::uint32_t c0 = (lc == lg) ? nodes_[idx_of(c)].lo ^ cc : c;
     if (c1 == kZero) {
-      r = restrict_rec(gn.lo, c0);  // sibling substitution
+      r = restrict_rec(g0, c0);  // sibling substitution
     } else if (c0 == kZero) {
-      r = restrict_rec(gn.hi, c1);
+      r = restrict_rec(g1, c1);
     } else {
-      const std::uint32_t lo = restrict_rec(gn.lo, c0);
-      const std::uint32_t hi = restrict_rec(gn.hi, c1);
-      r = find_or_add(gn.var, lo, hi);
+      const std::uint32_t lo = restrict_rec(g0, c0);
+      const std::uint32_t hi = restrict_rec(g1, c1);
+      r = find_or_add(gvar, lo, hi);
     }
   }
   cache_insert(kOpRestrict, g, c, 0, r);
@@ -678,64 +759,80 @@ Bdd BddManager::restrict(const Bdd& f, const Bdd& care) {
 std::set<int> BddManager::support(const Bdd& f) {
   POLIS_CHECK(f.mgr_ == this);
   std::set<int> out;
-  if (visit_epoch_.size() < nodes_.size()) visit_epoch_.resize(nodes_.size(), 0);
+  if (visit_epoch_.size() < 2 * nodes_.size())
+    visit_epoch_.resize(2 * nodes_.size(), 0);
   ++epoch_;
   visit_stack_.clear();
-  visit_stack_.push_back(f.idx_);
+  // Support ignores phases: traverse physical nodes (mark by arena index).
+  visit_stack_.push_back(idx_of(f.idx_));
   while (!visit_stack_.empty()) {
     const std::uint32_t n = visit_stack_.back();
     visit_stack_.pop_back();
-    if (is_term(n) || visit_epoch_[n] == epoch_) continue;
+    if (n == 0 || visit_epoch_[n] == epoch_) continue;
     visit_epoch_[n] = epoch_;
     out.insert(static_cast<int>(nodes_[n].var));
-    visit_stack_.push_back(nodes_[n].lo);
-    visit_stack_.push_back(nodes_[n].hi);
+    visit_stack_.push_back(idx_of(nodes_[n].lo));
+    visit_stack_.push_back(idx_of(nodes_[n].hi));
   }
   return out;
 }
 
 bool BddManager::eval(const Bdd& f, const std::function<bool(int)>& assignment) {
   POLIS_CHECK(f.mgr_ == this);
-  std::uint32_t n = f.idx_;
-  while (!is_term(n)) {
-    const Node& node = nodes_[n];
-    n = assignment(static_cast<int>(node.var)) ? node.hi : node.lo;
+  std::uint32_t h = f.idx_;
+  while (!is_term(h)) {
+    const Node& node = nodes_[idx_of(h)];
+    h = (assignment(static_cast<int>(node.var)) ? node.hi : node.lo) ^
+        comp_of(h);
   }
-  return n == kOne;
+  return h == kOne;
 }
 
 double BddManager::sat_count(const Bdd& f, int nvars) {
   POLIS_CHECK(f.mgr_ == this);
+  const int num_levels = num_vars();
+  // Exact minterm count of each regular subfunction over the variables at
+  // its own level and below, memoised per node. Scaling between levels is
+  // ldexp on integer exponents — every factor is an exact power of two, so
+  // (unlike accumulating per-node 0.5 fractions against a 2^nvars scale)
+  // nothing underflows and counts are exact up to double's 2^53 integers,
+  // for any number of variables.
   std::unordered_map<std::uint32_t, double> memo;
-  // Fraction of the full space that satisfies f, then scaled by 2^nvars.
-  auto frac = [&](std::uint32_t n, auto&& self) -> double {
-    if (n == kZero) return 0.0;
-    if (n == kOne) return 1.0;
-    auto it = memo.find(n);
-    if (it != memo.end()) return it->second;
-    const double r =
-        0.5 * self(nodes_[n].lo, self) + 0.5 * self(nodes_[n].hi, self);
-    memo.emplace(n, r);
-    return r;
+  // count_at(h, l): minterms of the function h over levels l..N-1.
+  auto count_at = [&](std::uint32_t h, int l, auto&& self) -> double {
+    if (h == kZero) return 0.0;
+    if (h == kOne) return std::ldexp(1.0, num_levels - l);
+    const std::uint32_t reg = regular(h);
+    const int lr = level(reg);
+    double cnt;
+    auto it = memo.find(reg);
+    if (it != memo.end()) {
+      cnt = it->second;
+    } else {
+      const Node& n = nodes_[idx_of(reg)];
+      cnt = self(n.lo, lr + 1, self) + self(n.hi, lr + 1, self);
+      memo.emplace(reg, cnt);
+    }
+    const double scaled = std::ldexp(cnt, lr - l);
+    return comp_of(h) ? std::ldexp(1.0, num_levels - l) - scaled : scaled;
   };
-  double scale = 1.0;
-  for (int i = 0; i < nvars; ++i) scale *= 2.0;
-  return frac(f.idx_, frac) * scale;
+  return std::ldexp(count_at(f.idx_, 0, count_at), nvars - num_levels);
 }
 
 std::vector<std::pair<int, bool>> BddManager::one_sat(const Bdd& f) {
   POLIS_CHECK(f.mgr_ == this);
   POLIS_CHECK_MSG(f.idx_ != kZero, "one_sat of unsatisfiable function");
   std::vector<std::pair<int, bool>> cube;
-  std::uint32_t n = f.idx_;
-  while (!is_term(n)) {
-    const Node& node = nodes_[n];
-    if (node.hi != kZero) {
+  std::uint32_t h = f.idx_;
+  while (!is_term(h)) {
+    const Node& node = nodes_[idx_of(h)];
+    const std::uint32_t hi = node.hi ^ comp_of(h);
+    if (hi != kZero) {
       cube.emplace_back(static_cast<int>(node.var), true);
-      n = node.hi;
+      h = hi;
     } else {
       cube.emplace_back(static_cast<int>(node.var), false);
-      n = node.lo;
+      h = node.lo ^ comp_of(h);
     }
   }
   return cube;
@@ -746,41 +843,69 @@ size_t BddManager::node_count(const Bdd& f) {
 }
 
 size_t BddManager::node_count(const std::vector<Bdd>& roots) {
-  if (visit_epoch_.size() < nodes_.size()) visit_epoch_.resize(nodes_.size(), 0);
+  if (visit_epoch_.size() < 2 * nodes_.size())
+    visit_epoch_.resize(2 * nodes_.size(), 0);
   ++epoch_;
   visit_stack_.clear();
   for (const Bdd& r : roots) {
     POLIS_CHECK(r.mgr_ == this);
     visit_stack_.push_back(r.idx_);
   }
+  // Phase-pair counting: each reachable (node, phase) pair is one distinct
+  // subfunction, which matches the node count a kernel without complement
+  // edges would report for the same functions.
+  size_t count = 0;
+  while (!visit_stack_.empty()) {
+    const std::uint32_t h = visit_stack_.back();
+    visit_stack_.pop_back();
+    if (is_term(h) || visit_epoch_[h] == epoch_) continue;
+    visit_epoch_[h] = epoch_;
+    ++count;
+    const Node& n = nodes_[idx_of(h)];
+    visit_stack_.push_back(n.lo ^ comp_of(h));
+    visit_stack_.push_back(n.hi ^ comp_of(h));
+  }
+  return count;
+}
+
+size_t BddManager::shared_node_count(const Bdd& f) {
+  POLIS_CHECK(f.mgr_ == this);
+  if (visit_epoch_.size() < 2 * nodes_.size())
+    visit_epoch_.resize(2 * nodes_.size(), 0);
+  ++epoch_;
+  visit_stack_.clear();
+  visit_stack_.push_back(idx_of(f.idx_));
   size_t count = 0;
   while (!visit_stack_.empty()) {
     const std::uint32_t n = visit_stack_.back();
     visit_stack_.pop_back();
-    if (is_term(n) || visit_epoch_[n] == epoch_) continue;
+    if (n == 0 || visit_epoch_[n] == epoch_) continue;
     visit_epoch_[n] = epoch_;
     ++count;
-    visit_stack_.push_back(nodes_[n].lo);
-    visit_stack_.push_back(nodes_[n].hi);
+    visit_stack_.push_back(idx_of(nodes_[n].lo));
+    visit_stack_.push_back(idx_of(nodes_[n].hi));
   }
   return count;
 }
 
 size_t BddManager::mark_live() {
-  if (visit_epoch_.size() < nodes_.size()) visit_epoch_.resize(nodes_.size(), 0);
-  compact_roots();
+  if (visit_epoch_.size() < 2 * nodes_.size())
+    visit_epoch_.resize(2 * nodes_.size(), 0);
   ++epoch_;
   visit_stack_.clear();
-  for (const std::uint32_t r : roots_) visit_stack_.push_back(r);
+  // Roots = every registered handle; duplicates collapse on the epoch check.
+  for (const Bdd* h = handle_head_; h != nullptr; h = h->next_)
+    visit_stack_.push_back(h->idx_);
   size_t count = 0;
   while (!visit_stack_.empty()) {
-    const std::uint32_t n = visit_stack_.back();
+    const std::uint32_t h = visit_stack_.back();
     visit_stack_.pop_back();
-    if (is_term(n) || visit_epoch_[n] == epoch_) continue;
-    visit_epoch_[n] = epoch_;
+    if (is_term(h) || visit_epoch_[h] == epoch_) continue;
+    visit_epoch_[h] = epoch_;
     ++count;
-    visit_stack_.push_back(nodes_[n].lo);
-    visit_stack_.push_back(nodes_[n].hi);
+    const Node& n = nodes_[idx_of(h)];
+    visit_stack_.push_back(n.lo ^ comp_of(h));
+    visit_stack_.push_back(n.hi ^ comp_of(h));
   }
   return count;
 }
@@ -801,8 +926,10 @@ size_t BddManager::swap_adjacent_levels(int level) {
   // depend on y is relabelled, in place, to
   //   y ? (x ? f11 : f01) : (x ? f10 : f00),
   // preserving its function (and hence its index, all handles and the
-  // computed cache). Nodes labelled x with y-free cofactors just ride to
-  // the lower level untouched; all other nodes are unaffected.
+  // computed cache). The canonical form survives too: the stored then-edge
+  // f1 is regular, so f11 — and with it the rewritten then-edge
+  // x ? f11 : f01 — is regular. Nodes labelled x with y-free cofactors just
+  // ride to the lower level untouched; all other nodes are unaffected.
   //
   // Steal x's chains wholesale, then reinsert in two passes: y-independent
   // nodes first, so the find_or_add calls of the rewrite pass hash-cons
@@ -819,10 +946,10 @@ size_t BddManager::swap_adjacent_levels(int level) {
 
   size_t deps = 0;
   for (const std::uint32_t n : swap_scratch_) {
-    const std::uint32_t f1 = nodes_[n].hi;
-    const std::uint32_t f0 = nodes_[n].lo;
-    const bool hi_dep = !is_term(f1) && nodes_[f1].var == yv;
-    const bool lo_dep = !is_term(f0) && nodes_[f0].var == yv;
+    const std::uint32_t f1 = nodes_[n].hi;  // regular by canonical form
+    const std::uint32_t f0 = nodes_[n].lo;  // may carry a complement edge
+    const bool hi_dep = !is_term(f1) && nodes_[idx_of(f1)].var == yv;
+    const bool lo_dep = !is_term(f0) && nodes_[idx_of(f0)].var == yv;
     if (hi_dep || lo_dep) {
       swap_scratch_[deps++] = n;  // rewrite below
     } else {
@@ -833,14 +960,19 @@ size_t BddManager::swap_adjacent_levels(int level) {
     const std::uint32_t n = swap_scratch_[i];
     const std::uint32_t f1 = nodes_[n].hi;
     const std::uint32_t f0 = nodes_[n].lo;
-    const bool hi_dep = !is_term(f1) && nodes_[f1].var == yv;
-    const bool lo_dep = !is_term(f0) && nodes_[f0].var == yv;
-    const std::uint32_t f11 = hi_dep ? nodes_[f1].hi : f1;
-    const std::uint32_t f10 = hi_dep ? nodes_[f1].lo : f1;
-    const std::uint32_t f01 = lo_dep ? nodes_[f0].hi : f0;
-    const std::uint32_t f00 = lo_dep ? nodes_[f0].lo : f0;
+    const std::uint32_t f0c = comp_of(f0);
+    const bool hi_dep = !is_term(f1) && nodes_[idx_of(f1)].var == yv;
+    const bool lo_dep = !is_term(f0) && nodes_[idx_of(f0)].var == yv;
+    // Grandchildren as functions: f0's complement bit flows into its
+    // children. f11 stays regular (then-edge of a regular then-edge).
+    const std::uint32_t f11 = hi_dep ? nodes_[idx_of(f1)].hi : f1;
+    const std::uint32_t f10 = hi_dep ? nodes_[idx_of(f1)].lo : f1;
+    const std::uint32_t f01 = lo_dep ? nodes_[idx_of(f0)].hi ^ f0c : f0;
+    const std::uint32_t f00 = lo_dep ? nodes_[idx_of(f0)].lo ^ f0c : f0;
     // The grandchildren sit strictly below both levels, so these lookups
     // can only hit (or create) y-free x-nodes — never a pending rewrite.
+    // new_hi is regular because f11 is, so rewriting the node in place
+    // keeps it in canonical form and its function unchanged.
     const std::uint32_t new_hi = find_or_add(xv, f01, f11);
     const std::uint32_t new_lo = find_or_add(xv, f00, f10);
     nodes_[n].var = yv;
@@ -857,23 +989,29 @@ size_t BddManager::swap_adjacent_levels(int level) {
 
 std::uint32_t BddManager::transfer_from(BddManager& src, std::uint32_t f,
                                         std::vector<std::uint32_t>& memo) {
-  if (src.is_term(f)) return f;  // terminals share indices across managers
-  if (memo[f] != kNil) return memo[f];
-  const Node n = src.nodes_[f];
+  if (src.is_term(f)) return f;  // terminal handles agree across managers
+  // Memoise the image of the regular function per source node; a
+  // complemented caller gets the free complement of the memoised image.
+  const std::uint32_t fc = comp_of(f);
+  const std::uint32_t fi = idx_of(f);
+  if (memo[fi] != kNil) return memo[fi] ^ fc;
+  const Node n = src.nodes_[fi];
   const std::uint32_t lo = transfer_from(src, n.lo, memo);
   const std::uint32_t hi = transfer_from(src, n.hi, memo);
-  const std::uint32_t v_idx =
+  const std::uint32_t v_h =
       find_or_add(n.var, kZero, kOne);  // the variable itself
-  const std::uint32_t r = ite_rec(v_idx, hi, lo);
-  memo[f] = r;
-  return r;
+  const std::uint32_t r = ite_rec(v_h, hi, lo);
+  memo[fi] = r;
+  return r ^ fc;
 }
 
 std::vector<std::uint32_t> BddManager::live_roots() const {
+  // Distinct non-terminal tagged handles over the registered-handle list,
+  // first-seen order.
   std::vector<std::uint32_t> out;
-  out.reserve(roots_.size());
-  for (const std::uint32_t idx : roots_) {
-    if (extref_[idx] > 0) out.push_back(idx);
+  std::unordered_set<std::uint32_t> seen;
+  for (const Bdd* h = handle_head_; h != nullptr; h = h->next_) {
+    if (h->idx_ > kZero && seen.insert(h->idx_).second) out.push_back(h->idx_);
   }
   return out;
 }
@@ -881,9 +1019,12 @@ std::vector<std::uint32_t> BddManager::live_roots() const {
 std::vector<size_t> BddManager::var_node_profile() {
   std::vector<size_t> profile(static_cast<size_t>(num_vars()), 0);
   mark_live();
-  // Every node marked with the current epoch is live; bucket it by var.
-  for (std::uint32_t n = 2; n < nodes_.size(); ++n) {
-    if (visit_epoch_[n] == epoch_) profile[nodes_[n].var]++;
+  // Every tagged handle marked with the current epoch is a live
+  // subfunction; bucket it by the var of its node (phase-pair counting,
+  // matching node_count).
+  const size_t limit = 2 * nodes_.size();
+  for (std::uint32_t h = 2; h < limit; ++h) {
+    if (visit_epoch_[h] == epoch_) profile[nodes_[idx_of(h)].var]++;
   }
   return profile;
 }
@@ -918,8 +1059,7 @@ void BddManager::set_order(const std::vector<int>& order) {
   invperm_ = std::move(scratch.invperm_);
   free_head_ = kNil;
   cache_clear();
-  rebuild_refs();
-  visit_epoch_.assign(nodes_.size(), 0);
+  visit_epoch_.assign(2 * nodes_.size(), 0);
   stats_.peak_nodes = std::max(stats_.peak_nodes, nodes_.size());
 }
 
@@ -927,37 +1067,62 @@ void BddManager::garbage_collect() {
   OBS_SPAN(span, "bdd.gc", "bdd");
   const size_t before = nodes_.size();
   mark_live();
+  const auto live = [&](std::uint32_t i) {
+    return visit_epoch_[2 * i] == epoch_ || visit_epoch_[2 * i + 1] == epoch_;
+  };
 
-  // Compact in place: remap old → new indices (terminals are fixed points),
-  // rewrite children through the completed map, then rehash the subtables.
+  // Compact into a fresh arena ordered level by level (top first): after a
+  // collection the nodes of one variable occupy a contiguous run, which is
+  // the access pattern of swap_adjacent_levels and of the apply recursions
+  // (both touch one level at a time). In-place monotone remapping cannot
+  // produce this layout, so the collection builds a new vector.
+  std::vector<std::vector<std::uint32_t>> by_level(
+      static_cast<size_t>(num_vars()));
+  size_t live_count = 0;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].var == kDeadVar) continue;  // free-list slot
+    if (live(i)) {
+      by_level[static_cast<size_t>(perm_[nodes_[i].var])].push_back(i);
+      ++live_count;
+    }
+  }
+
   std::vector<std::uint32_t> remap(nodes_.size(), kNil);
-  remap[kZero] = kZero;
-  remap[kOne] = kOne;
-  std::uint32_t next = 2;
-  for (std::uint32_t i = 2; i < nodes_.size(); ++i) {
-    if (visit_epoch_[i] == epoch_) remap[i] = next++;
+  remap[0] = 0;  // the terminal is a fixed point
+  std::vector<Node> fresh;
+  fresh.reserve(1 + live_count);
+  fresh.push_back(nodes_[0]);
+  for (const auto& bucket : by_level) {
+    for (const std::uint32_t i : bucket) {
+      remap[i] = static_cast<std::uint32_t>(fresh.size());
+      fresh.push_back(nodes_[i]);
+    }
   }
-  for (std::uint32_t i = 2; i < nodes_.size(); ++i) {
-    if (remap[i] == kNil) continue;
-    const Node n = nodes_[i];
-    nodes_[remap[i]] = Node{n.var, remap[n.lo], remap[n.hi], kNil};
+  // Children point strictly downward, so the full remap is ready before any
+  // child handle is rewritten (complement bits ride along unchanged).
+  for (size_t i = 1; i < fresh.size(); ++i) {
+    Node& n = fresh[i];
+    n.lo = (remap[idx_of(n.lo)] << 1) | comp_of(n.lo);
+    n.hi = remap[idx_of(n.hi)] << 1;  // then-edges are regular
+    n.next = kNil;
   }
-  nodes_.resize(next);
+  nodes_ = std::move(fresh);
 
   for (Subtable& st : subtables_) {
     std::fill(st.buckets.begin(), st.buckets.end(), kNil);
     st.count = 0;
   }
-  for (std::uint32_t i = 2; i < next; ++i) subtable_insert(nodes_[i].var, i);
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i)
+    subtable_insert(nodes_[i].var, i);
 
   for (Bdd* h = handle_head_; h != nullptr; h = h->next_) {
-    if (h->idx_ > kOne) h->idx_ = remap[h->idx_];
+    if (h->idx_ > kZero)
+      h->idx_ = (remap[idx_of(h->idx_)] << 1) | comp_of(h->idx_);
   }
 
   free_head_ = kNil;
   cache_clear();
-  rebuild_refs();
-  visit_epoch_.assign(nodes_.size(), 0);
+  visit_epoch_.assign(2 * nodes_.size(), 0);
   if (before > nodes_.size()) {
     ++stats_.gc_runs;
     stats_.nodes_reclaimed += before - nodes_.size();
@@ -971,13 +1136,17 @@ void BddManager::garbage_collect() {
 size_t BddManager::prune_dead_nodes() {
   OBS_SPAN(span, "bdd.prune", "bdd");
   mark_live();  // leaves the liveness epoch in visit_epoch_
+  // A node is live iff either of its phases is a live subfunction.
+  const auto live = [&](std::uint32_t i) {
+    return visit_epoch_[2 * i] == epoch_ || visit_epoch_[2 * i + 1] == epoch_;
+  };
   size_t removed = 0;
   for (Subtable& st : subtables_) {
     for (std::uint32_t& head : st.buckets) {
       std::uint32_t* link = &head;
       while (*link != kNil) {
         const std::uint32_t n = *link;
-        if (visit_epoch_[n] == epoch_) {
+        if (live(n)) {
           link = &nodes_[n].next;
         } else {
           *link = nodes_[n].next;
@@ -1011,8 +1180,8 @@ size_t BddManager::size_under_order(const std::vector<int>& order) {
 
   std::vector<std::uint32_t> memo(nodes_.size(), kNil);
   std::vector<Bdd> roots;
-  for (std::uint32_t idx : live_roots()) {
-    const std::uint32_t r = scratch.transfer_from(*this, idx, memo);
+  for (std::uint32_t h : live_roots()) {
+    const std::uint32_t r = scratch.transfer_from(*this, h, memo);
     roots.push_back(scratch.make(r));
   }
   return scratch.node_count(roots);

@@ -1,5 +1,6 @@
 #include "bdd/io.hpp"
 
+#include <istream>
 #include <ostream>
 #include <sstream>
 #include <unordered_map>
@@ -81,6 +82,145 @@ std::string stats(BddManager& mgr, const Bdd& f) {
   std::ostringstream os;
   os << "nodes=" << mgr.node_count(f) << " vars=" << mgr.support(f).size();
   return os.str();
+}
+
+// --- Tagged-handle serialization ---------------------------------------------------
+//
+// Format (line oriented, '#' starts nowhere — no comments, fully machine
+// written/read):
+//
+//   polis-bdd 1
+//   vars <n>
+//   <name>            (n lines, variable ids 0..n-1 in id order)
+//   nodes <m>
+//   <var> <lo> <hi>   (m lines; serial ids 1..m, children-first)
+//   roots <r>
+//   <name> <ref>      (r lines)
+//
+// Every edge (<lo>, <hi>, <ref>) is a tagged reference `serial << 1 |
+// complement` mirroring the in-memory handle encoding; serial 0 is the
+// terminal one, so reference 0 is constant true and reference 1 constant
+// false. By the kernel's canonical-form invariant the stored then-edge is
+// regular, so <hi> always has a clear low bit — the reader checks this.
+
+namespace {
+
+// Serializer state: regular-phase raw handle -> serial id.
+struct WriteCtx {
+  std::unordered_map<std::uint32_t, std::uint32_t> serial;
+  std::ostringstream nodes;
+  std::uint32_t next_serial = 1;
+};
+
+// Returns the tagged reference for `f`, emitting its node (children first)
+// on first visit. `f` may be in either phase; the complement bit transfers
+// from the handle to the reference.
+std::uint32_t write_walk(const Bdd& f, WriteCtx& ctx) {
+  const std::uint32_t comp = f.is_complemented() ? 1u : 0u;
+  if (f.is_constant()) return comp;  // terminal serial is 0
+  const Bdd reg = comp ? !f : f;
+  auto it = ctx.serial.find(reg.raw_index());
+  if (it == ctx.serial.end()) {
+    // Regular phase: high() is the stored then-edge (regular by canonical
+    // form), low() carries the stored else-edge phase.
+    const std::uint32_t lo = write_walk(reg.low(), ctx);
+    const std::uint32_t hi = write_walk(reg.high(), ctx);
+    const std::uint32_t id = ctx.next_serial++;
+    it = ctx.serial.emplace(reg.raw_index(), id).first;
+    ctx.nodes << reg.top_var() << ' ' << lo << ' ' << hi << '\n';
+  }
+  return (it->second << 1) | comp;
+}
+
+}  // namespace
+
+void write_bdds(const std::vector<Bdd>& roots,
+                const std::vector<std::string>& root_names, std::ostream& os) {
+  POLIS_CHECK(roots.size() == root_names.size());
+  BddManager* mgr = nullptr;
+  for (const Bdd& r : roots) {
+    POLIS_CHECK_MSG(!r.is_null(), "cannot serialize a null BDD handle");
+    POLIS_CHECK_MSG(mgr == nullptr || r.manager() == mgr,
+                    "write_bdds roots span multiple managers");
+    mgr = r.manager();
+  }
+  WriteCtx ctx;
+  std::ostringstream root_lines;
+  for (size_t i = 0; i < roots.size(); ++i) {
+    root_lines << root_names[i] << ' ' << write_walk(roots[i], ctx) << '\n';
+  }
+  const int nvars = mgr != nullptr ? mgr->num_vars() : 0;
+  os << "polis-bdd 1\n";
+  os << "vars " << nvars << '\n';
+  for (int v = 0; v < nvars; ++v) os << mgr->var_name(v) << '\n';
+  os << "nodes " << (ctx.next_serial - 1) << '\n';
+  os << ctx.nodes.str();
+  os << "roots " << roots.size() << '\n';
+  os << root_lines.str();
+}
+
+std::vector<Bdd> read_bdds(BddManager& mgr, std::istream& is,
+                           std::vector<std::string>* root_names) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  POLIS_CHECK_MSG(magic == "polis-bdd" && version == 1,
+                  "read_bdds: bad header '" << magic << " " << version << "'");
+  std::string section;
+  size_t nvars = 0;
+  is >> section >> nvars;
+  POLIS_CHECK_MSG(section == "vars", "read_bdds: expected 'vars' section");
+  is.ignore();  // trailing newline before getline
+  // Map file variable ids onto manager ids: reuse a manager variable with
+  // the same name, otherwise append a fresh one.
+  std::unordered_map<std::string, int> by_name;
+  for (int v = 0; v < mgr.num_vars(); ++v) by_name.emplace(mgr.var_name(v), v);
+  std::vector<int> var_map(nvars, -1);
+  for (size_t v = 0; v < nvars; ++v) {
+    std::string name;
+    std::getline(is, name);
+    POLIS_CHECK_MSG(is.good(), "read_bdds: truncated vars section");
+    auto it = by_name.find(name);
+    var_map[v] = it != by_name.end() ? it->second : mgr.new_var(name);
+  }
+  size_t nnodes = 0;
+  is >> section >> nnodes;
+  POLIS_CHECK_MSG(section == "nodes", "read_bdds: expected 'nodes' section");
+  std::vector<Bdd> by_serial;
+  by_serial.reserve(nnodes + 1);
+  by_serial.push_back(mgr.one());
+  auto resolve = [&](std::uint32_t ref) -> Bdd {
+    const size_t serial = ref >> 1;
+    POLIS_CHECK_MSG(serial < by_serial.size(),
+                    "read_bdds: forward reference to serial " << serial);
+    const Bdd& f = by_serial[serial];
+    return (ref & 1u) != 0 ? !f : f;
+  };
+  for (size_t i = 0; i < nnodes; ++i) {
+    std::uint32_t var = 0, lo = 0, hi = 0;
+    is >> var >> lo >> hi;
+    POLIS_CHECK_MSG(is.good(), "read_bdds: truncated nodes section");
+    POLIS_CHECK_MSG(var < nvars, "read_bdds: node var " << var << " out of range");
+    POLIS_CHECK_MSG((hi & 1u) == 0,
+                    "read_bdds: complemented then-edge violates canonical form");
+    by_serial.push_back(
+        mgr.ite(mgr.var(var_map[var]), resolve(hi), resolve(lo)));
+  }
+  size_t nroots = 0;
+  is >> section >> nroots;
+  POLIS_CHECK_MSG(section == "roots", "read_bdds: expected 'roots' section");
+  std::vector<Bdd> out;
+  out.reserve(nroots);
+  if (root_names != nullptr) root_names->clear();
+  for (size_t i = 0; i < nroots; ++i) {
+    std::string name;
+    std::uint32_t ref = 0;
+    is >> name >> ref;
+    POLIS_CHECK_MSG(!is.fail(), "read_bdds: truncated roots section");
+    if (root_names != nullptr) root_names->push_back(name);
+    out.push_back(resolve(ref));
+  }
+  return out;
 }
 
 }  // namespace polis::bdd

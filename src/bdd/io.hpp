@@ -26,4 +26,21 @@ expr::ExprRef to_expr(const Bdd& f,
 /// One-line stats string: "nodes=N vars=V".
 std::string stats(BddManager& mgr, const Bdd& f);
 
+/// Serializes `roots` (all on the same manager) to a line-oriented text
+/// format that preserves the complement-edge structure: every edge is
+/// written as the tagged reference `serial << 1 | complement`, where serial
+/// ids number shared internal nodes in children-first order and serial 0 is
+/// the terminal one. The format is deterministic — equal functions under the
+/// same variable order serialize byte-identically.
+void write_bdds(const std::vector<Bdd>& roots,
+                const std::vector<std::string>& root_names, std::ostream& os);
+
+/// Reads the `write_bdds` format back, creating any missing variables in
+/// `mgr` (matched by name where names agree, appended otherwise). Returns
+/// the root functions in file order and fills `root_names` when non-null.
+/// Round-trip guarantee: reading into the writing manager yields handles
+/// equal to the originals.
+std::vector<Bdd> read_bdds(BddManager& mgr, std::istream& is,
+                           std::vector<std::string>* root_names = nullptr);
+
 }  // namespace polis::bdd

@@ -1,7 +1,9 @@
 // Kernel-level stress tests for the CUDD-style BddManager internals:
 // randomized operation interleavings checked against truth tables and the
 // rebuild sifting oracle, handle churn through compaction and reordering,
-// and the computed-cache contracts (bnot memoization, stats counters).
+// complement-edge canonical-form invariants, and the computed-cache
+// contracts (key normalization under complementation, resize policy across
+// GC boundaries, stats counters).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -232,7 +234,13 @@ TEST(BddKernel, HandleChurnThroughCompactionAndReorder) {
   const size_t live = mgr.live_node_count();
   mgr.garbage_collect();  // compaction must not change the live set
   EXPECT_EQ(mgr.live_node_count(), live);
-  EXPECT_LE(mgr.live_node_count(), mgr.table_node_count());
+  // live_node_count counts subfunctions (phase pairs); each live physical
+  // node contributes one or two of them, and after a compaction the table
+  // holds exactly the live physical nodes.
+  EXPECT_GE(mgr.live_node_count(), mgr.table_node_count());
+  EXPECT_LE(mgr.live_node_count(), 2 * mgr.table_node_count());
+  EXPECT_EQ(mgr.arena_size(), mgr.table_node_count() + 1);  // + terminal
+  EXPECT_TRUE(mgr.check_canonical_form());
   verify();
 
   sift(mgr);
@@ -252,25 +260,201 @@ TEST(BddKernel, HandleChurnThroughCompactionAndReorder) {
   EXPECT_EQ(pinned, handles[0].f);
 }
 
-TEST(BddKernel, BnotMemoizedInComputedCache) {
+// Under complement edges NOT is a pointer flip: no recursion, no cache
+// traffic, no new nodes, and the involution is handle-identical.
+TEST(BddKernel, ComplementIsFreePointerFlip) {
   BddManager mgr(6);
   const Bdd f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) ^ mgr.var(3)) |
                 (mgr.var(4) & !mgr.var(5));
 
   mgr.reset_stats();
   const Bdd g = !f;
-  const KernelStats after_first = mgr.stats();
-  EXPECT_GT(after_first.cache_inserts, 0u);
+  const KernelStats after = mgr.stats();
+  EXPECT_EQ(after.cache_lookups, 0u);
+  EXPECT_EQ(after.cache_inserts, 0u);
+  EXPECT_EQ(after.unique_lookups, 0u);
+  EXPECT_EQ(after.nodes_created, 0u);
 
-  const Bdd g2 = !f;  // memoized: answered from the computed cache
-  EXPECT_EQ(g, g2);
-  const KernelStats after_second = mgr.stats();
-  EXPECT_GT(after_second.cache_hits, after_first.cache_hits);
+  // The complement is the same node through a tagged edge...
+  EXPECT_EQ(g.raw_index(), f.raw_index() ^ 1u);
+  EXPECT_NE(g.is_complemented(), f.is_complemented());
+  // ...and negating twice restores the original handle bit-for-bit.
+  EXPECT_EQ(!g, f);
+  EXPECT_EQ((!g).raw_index(), f.raw_index());
 
-  const Bdd back = !g;  // involution entry inserted alongside the result
-  EXPECT_EQ(back, f);
-  const KernelStats after_inv = mgr.stats();
-  EXPECT_GT(after_inv.cache_hits, after_second.cache_hits);
+  // It is still a genuine complement as a function.
+  EXPECT_TRUE((f & g).is_zero());
+  EXPECT_TRUE((f | g).is_one());
+}
+
+// The canonical-form invariant: no stored then-edge is ever complemented,
+// at rest and through every mutation path (apply, sifting, pruning,
+// compaction, order replacement).
+TEST(BddKernel, ComplementEdgeCanonicalFormInvariants) {
+  const int n = 8;
+  BddManager mgr(n);
+  Rng rng(99);
+
+  std::vector<Bdd> pool;
+  for (int v = 0; v < n; ++v) pool.push_back(mgr.var(v));
+  auto pick = [&] {
+    return pool[static_cast<size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  };
+
+  // Via the public API: a regular handle's stored children are what high()
+  // and low() return, so the canonical form says high() of a regular handle
+  // is never complemented.
+  auto check_regular_then_edges = [&](const Bdd& root) {
+    std::vector<Bdd> stack{root};
+    while (!stack.empty()) {
+      Bdd f = stack.back();
+      stack.pop_back();
+      if (f.is_constant()) continue;
+      const Bdd reg = f.is_complemented() ? !f : f;
+      EXPECT_FALSE(reg.high().is_complemented())
+          << "complemented then-edge stored at node " << reg.raw_index();
+      stack.push_back(reg.high());
+      stack.push_back(reg.low());
+    }
+  };
+
+  for (int it = 0; it < 200; ++it) {
+    const int dice = static_cast<int>(rng.uniform(0, 9));
+    Bdd r;
+    switch (dice) {
+      case 0: r = pick() & pick(); break;
+      case 1: r = pick() | pick(); break;
+      case 2: r = pick() ^ pick(); break;
+      case 3: r = !pick(); break;
+      case 4: r = mgr.ite(pick(), pick(), pick()); break;
+      case 5: r = mgr.smooth(pick(), {static_cast<int>(rng.uniform(0, n - 1))});
+              break;
+      case 6: r = mgr.restrict(pick(), pick()); break;
+      case 7: mgr.prune_dead_nodes(); r = pick(); break;
+      case 8: mgr.garbage_collect(); r = pick(); break;
+      default: sift(mgr); r = pick(); break;
+    }
+    // bnot(bnot(f)) is handle-identical for every pool member.
+    EXPECT_EQ(!!r, r);
+    pool.push_back(r);
+    while (pool.size() > 24) {
+      pool.erase(pool.begin() +
+                 static_cast<std::ptrdiff_t>(rng.uniform(
+                     n, static_cast<std::int64_t>(pool.size()) - 1)));
+    }
+    if (it % 16 == 15) {
+      EXPECT_TRUE(mgr.check_canonical_form());
+      for (const Bdd& f : pool) check_regular_then_edges(f);
+    }
+  }
+  mgr.garbage_collect();
+  EXPECT_TRUE(mgr.check_canonical_form());
+  for (const Bdd& f : pool) check_regular_then_edges(f);
+}
+
+// Cache-key normalization under complementation must agree with plain
+// (un-complemented) evaluation: the algebraic identities that share one
+// cache entry across a complementation orbit have to hold handle-for-handle.
+TEST(BddKernel, CacheKeyNormalizationAgreesWithEvaluation) {
+  const int n = 6;
+  BddManager mgr(n);
+  Rng rng(4242);
+
+  std::vector<Bdd> pool;
+  for (int v = 0; v < n; ++v) pool.push_back(mgr.var(v));
+  auto pick = [&] {
+    return pool[static_cast<size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  };
+  for (int it = 0; it < 150; ++it) {
+    const Bdd f = pick();
+    const Bdd g = pick();
+    const Bdd h = pick();
+    // De Morgan / complement identities, all handle-identical because
+    // canonicity makes equal functions equal handles.
+    EXPECT_EQ(!(f & g), (!f) | (!g));
+    EXPECT_EQ(!(f | g), (!f) & (!g));
+    // XOR's orbit: one cache entry serves all four phase combinations.
+    EXPECT_EQ(f ^ g, !f ^ !g);
+    EXPECT_EQ(!(f ^ g), !f ^ g);
+    EXPECT_EQ(!(f ^ g), f ^ !g);
+    // ITE normalization identities.
+    EXPECT_EQ(mgr.ite(f, g, h), mgr.ite(!f, h, g));
+    EXPECT_EQ(mgr.ite(f, g, h), !mgr.ite(f, !g, !h));
+    // And against brute-force evaluation on a few random points.
+    for (int p = 0; p < 8; ++p) {
+      const std::uint64_t m = static_cast<std::uint64_t>(
+          rng.uniform(0, (std::int64_t{1} << n) - 1));
+      auto assign = [m](int v) { return (m >> v) & 1; };
+      EXPECT_EQ(mgr.eval(!f, assign), !mgr.eval(f, assign));
+      EXPECT_EQ(mgr.eval(f ^ g, assign),
+                mgr.eval(f, assign) != mgr.eval(g, assign));
+      EXPECT_EQ(mgr.eval(f & g, assign),
+                mgr.eval(f, assign) && mgr.eval(g, assign));
+    }
+    pool.push_back(mgr.ite(f, g, h));
+    pool.push_back(f ^ g);
+    while (pool.size() > 20) {
+      pool.erase(pool.begin() +
+                 static_cast<std::ptrdiff_t>(rng.uniform(
+                     n, static_cast<std::int64_t>(pool.size()) - 1)));
+    }
+  }
+}
+
+// Regression for the adaptive-resize window: a garbage collection clears
+// the computed cache, and the hits earned against the discarded entries
+// must not justify doubling the now-empty cache.
+TEST(BddKernel, CacheResizeWindowRestartsAcrossGcBoundary) {
+  const int n = 14;
+  BddManager mgr(n);
+  Rng rng(31);
+  std::vector<Bdd> funcs;
+  for (int v = 0; v < n; ++v) funcs.push_back(mgr.var(v));
+
+  // Warm the cache with a workload that earns a healthy hit rate.
+  for (int i = 0; i < 3000; ++i) {
+    Bdd f = funcs[static_cast<size_t>(rng.uniform(0, n - 1))] &
+            funcs[static_cast<size_t>(rng.uniform(0, n - 1))];
+    f = f ^ funcs[static_cast<size_t>(rng.uniform(0, n - 1))];
+    funcs.push_back(std::move(f));
+    if (funcs.size() > 48) funcs.resize(static_cast<size_t>(n));
+  }
+  ASSERT_GT(mgr.stats().cache_hits, 0u);
+
+  funcs.resize(static_cast<size_t>(n));
+  const std::uint64_t resizes_before = mgr.stats().cache_resizes;
+  const size_t capacity_before = mgr.stats().cache_capacity;
+  mgr.garbage_collect();  // clears the cache → must restart the window
+  EXPECT_EQ(mgr.stats().cache_resizes, resizes_before);
+  EXPECT_EQ(mgr.stats().cache_capacity, capacity_before);
+
+  // A handful of post-GC operations cannot legitimately double the cache:
+  // the fresh window has seen almost no lookups, whatever the pre-GC
+  // counters accumulated.
+  for (int v = 0; v + 1 < n; ++v) {
+    const Bdd f = funcs[static_cast<size_t>(v)] &
+                  funcs[static_cast<size_t>(v + 1)];
+    ASSERT_FALSE(f.is_null());
+  }
+  EXPECT_EQ(mgr.stats().cache_resizes, resizes_before);
+  EXPECT_EQ(mgr.stats().cache_capacity, capacity_before);
+
+  // The policy still works after the boundary: sustained pressure with a
+  // real hit rate may grow the cache again, and the capacity invariants
+  // hold either way.
+  for (int i = 0; i < 20000; ++i) {
+    Bdd f = funcs[static_cast<size_t>(rng.uniform(0, n - 1))] &
+            funcs[static_cast<size_t>(rng.uniform(0, n - 1))];
+    f = f | funcs[static_cast<size_t>(rng.uniform(0, n - 1))];
+    f = f ^ funcs[static_cast<size_t>(rng.uniform(0, n - 1))];
+    funcs.push_back(std::move(f));
+    if (funcs.size() > 64) funcs.resize(static_cast<size_t>(n));
+  }
+  const KernelStats s = mgr.stats();
+  EXPECT_GE(s.cache_resizes, resizes_before);
+  EXPECT_EQ(s.cache_capacity & (s.cache_capacity - 1), 0u);
 }
 
 TEST(BddKernel, CacheStatsAndFreeListRecycling) {

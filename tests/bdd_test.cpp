@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -121,6 +123,73 @@ TEST(Bdd, SatCount) {
   EXPECT_DOUBLE_EQ(mgr.sat_count(a ^ b, 4), 8.0);
   EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.one(), 4), 16.0);
   EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.zero(), 4), 0.0);
+}
+
+// Cross-check sat_count against explicit enumeration: every minterm of a
+// batch of random functions is evaluated and counted by hand.
+TEST(Bdd, SatCountMatchesExplicitEnumeration) {
+  const int n = 7;
+  BddManager mgr(n);
+  Rng rng(2024);
+  std::vector<Bdd> pool;
+  for (int v = 0; v < n; ++v) pool.push_back(mgr.var(v));
+  auto pick = [&] {
+    return pool[static_cast<size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  };
+  for (int it = 0; it < 60; ++it) {
+    Bdd f;
+    switch (rng.uniform(0, 3)) {
+      case 0: f = pick() & pick(); break;
+      case 1: f = pick() | pick(); break;
+      case 2: f = pick() ^ pick(); break;
+      default: f = !pick(); break;
+    }
+    double want = 0.0;
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+      if (mgr.eval(f, [m](int v) { return (m >> v) & 1; })) want += 1.0;
+    }
+    EXPECT_DOUBLE_EQ(mgr.sat_count(f, n), want);
+    // Complement closure: the counts of f and ¬f partition the space.
+    EXPECT_DOUBLE_EQ(mgr.sat_count(!f, n), std::ldexp(1.0, n) - want);
+    pool.push_back(f);
+    if (pool.size() > 16) pool.resize(static_cast<size_t>(n));
+  }
+}
+
+// Wide synthetic net where the old fraction-times-scale formulation
+// diverges: with over 1024 variables the 2^nvars scale factor overflows to
+// infinity, so every count — even a count of one — came back inf/nan. The
+// ldexp formulation scales by exact powers of two between node levels and
+// only converts to the full-space magnitude at the end, so any count that
+// fits in a double is exact. (Counts genuinely above DBL_MAX, like the
+// complement of a near-empty function, still saturate to inf — that is a
+// property of the return type, not of the algorithm.)
+TEST(Bdd, SatCountExactOnWideEncodings) {
+  const int n = 1060;  // beyond double's 2^1024 overflow threshold
+  BddManager mgr(n);
+
+  // AND of all 1060 variables: exactly one satisfying assignment. The old
+  // path computed frac * 2^1060 = (subnormal) * inf here.
+  Bdd chain = mgr.one();
+  for (int v = 0; v < n; ++v) chain = chain & mgr.var(v);
+  const double cnt = mgr.sat_count(chain, n);
+  EXPECT_TRUE(std::isfinite(cnt));
+  EXPECT_DOUBLE_EQ(cnt, 1.0);
+
+  // AND of the first 1050 variables, 10 left free: exactly 2^10 minterms.
+  Bdd most = mgr.one();
+  for (int v = 0; v < n - 10; ++v) most = most & mgr.var(v);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(most, n), 1024.0);
+
+  // Mixed structure with a non-power-of-two count: fix 1050 vars, leave 8
+  // free, and require v1058 ∨ v1059 → 3 · 2^8 = 768 minterms.
+  const Bdd f = most & (mgr.var(n - 2) | mgr.var(n - 1));
+  EXPECT_DOUBLE_EQ(mgr.sat_count(f, n), 768.0);
+
+  // Complement closure still holds where both sides are representable:
+  // counting over a narrow slice of the wide manager stays exact.
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.zero(), n), 0.0);
 }
 
 TEST(Bdd, OneSatYieldsSatisfyingCube) {
@@ -371,6 +440,76 @@ TEST(BddIo, DotOutputWellFormed) {
   const std::string dot = os.str();
   EXPECT_NE(dot.find("digraph"), std::string::npos);
   EXPECT_NE(dot.find("v0"), std::string::npos);
+}
+
+TEST(BddIo, WriteReadRoundTripSameManager) {
+  BddManager mgr(4);
+  std::vector<Bdd> roots;
+  roots.push_back((mgr.var(0) & mgr.var(1)) | ((!mgr.var(2)) & mgr.var(3)));
+  roots.push_back(!roots[0]);  // complemented root: ref low bit set
+  roots.push_back(mgr.var(1) ^ mgr.var(3));
+  roots.push_back(mgr.zero());
+  roots.push_back(mgr.one());
+  std::ostringstream os;
+  write_bdds(roots, {"f", "nf", "x", "zero", "one"}, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("polis-bdd 1"), std::string::npos);
+
+  std::istringstream is(text);
+  std::vector<std::string> names;
+  const std::vector<Bdd> back = read_bdds(mgr, is, &names);
+  ASSERT_EQ(back.size(), roots.size());
+  EXPECT_EQ(names, (std::vector<std::string>{"f", "nf", "x", "zero", "one"}));
+  for (size_t i = 0; i < roots.size(); ++i) {
+    EXPECT_EQ(back[i], roots[i]) << "root " << i;
+  }
+  // No new variables were created by the read.
+  EXPECT_EQ(mgr.num_vars(), 4);
+
+  // Determinism: re-serializing the read-back roots is byte-identical.
+  std::ostringstream os2;
+  write_bdds(back, names, os2);
+  EXPECT_EQ(os2.str(), text);
+}
+
+TEST(BddIo, WriteReadRoundTripFreshManagerMatchesTruthTable) {
+  BddManager mgr(3);
+  const Bdd f = (mgr.var(0) ^ mgr.var(1)) | (!mgr.var(2));
+  std::ostringstream os;
+  write_bdds({f, !f}, {"f", "nf"}, os);
+
+  BddManager fresh;
+  std::istringstream is(os.str());
+  const std::vector<Bdd> back = read_bdds(fresh, is);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(fresh.num_vars(), 3);
+  EXPECT_EQ(back[1], !back[0]);
+  for (int m = 0; m < 8; ++m) {
+    const bool want = mgr.eval(f, [m](int v) { return (m >> v) & 1; });
+    const bool got = fresh.eval(back[0], [m](int v) { return (m >> v) & 1; });
+    EXPECT_EQ(got, want) << "minterm " << m;
+  }
+}
+
+TEST(BddIo, ReadRejectsMalformedInput) {
+  BddManager mgr(2);
+  {
+    std::istringstream is("not-a-bdd 1\n");
+    EXPECT_THROW(read_bdds(mgr, is), CheckError);
+  }
+  {
+    // Complemented then-edge (hi ref with low bit set) violates the
+    // canonical-form invariant the reader enforces.
+    std::istringstream is(
+        "polis-bdd 1\nvars 1\nv0\nnodes 1\n0 1 3\nroots 1\nf 2\n");
+    EXPECT_THROW(read_bdds(mgr, is), CheckError);
+  }
+  {
+    // Forward reference to a serial that has not been defined yet.
+    std::istringstream is(
+        "polis-bdd 1\nvars 1\nv0\nnodes 1\n0 9 0\nroots 1\nf 2\n");
+    EXPECT_THROW(read_bdds(mgr, is), CheckError);
+  }
 }
 
 // --- Property: random operation DAGs match brute-force truth tables, under

@@ -97,45 +97,65 @@ void usage() {
 bool parse_args(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.input = argv[1];
-  // Accept both "--opt value" and "--opt=value".
-  std::vector<std::string> tokens;
+  // Accept both "--opt value" and "--opt=value". Each token remembers the
+  // argv spelling it came from so diagnostics can echo what the user typed
+  // ("--trce=out.json", not a half of it), and whether it is the value half
+  // of an "=" form (a flag that takes no value must reject that half, not
+  // silently re-parse it as the next option).
+  struct Token {
+    std::string text;  // flag or value after "=" splitting
+    std::string raw;   // the original argv element
+    bool eq_value;     // true for the value half of an "--opt=value"
+  };
+  std::vector<Token> tokens;
   for (int i = 2; i < argc; ++i) {
     const std::string raw = argv[i];
     const size_t eq = raw.find('=');
     if (raw.rfind("--", 0) == 0 && eq != std::string::npos) {
-      tokens.push_back(raw.substr(0, eq));
-      tokens.push_back(raw.substr(eq + 1));
+      tokens.push_back(Token{raw.substr(0, eq), raw, false});
+      tokens.push_back(Token{raw.substr(eq + 1), raw, true});
     } else {
-      tokens.push_back(raw);
+      tokens.push_back(Token{raw, raw, false});
     }
   }
   for (size_t i = 0; i < tokens.size(); ++i) {
-    const std::string a = tokens[i];
+    const std::string a = tokens[i].text;
     auto value = [&]() -> std::string {
       if (i + 1 >= tokens.size())
         throw std::runtime_error("missing value for " + a);
-      return tokens[++i];
+      return tokens[++i].text;
     };
-    if (a == "--list") args.list = true;
+    // A boolean flag given in "--flag=value" form is an error, not a flag
+    // set plus a stray token.
+    auto no_value = [&]() -> bool {
+      if (i + 1 < tokens.size() && tokens[i + 1].eq_value &&
+          tokens[i + 1].raw == tokens[i].raw) {
+        std::cerr << "polisc: option '" << a << "' does not take a value (got '"
+                  << tokens[i].raw << "')\n";
+        return false;
+      }
+      return true;
+    };
+    if (a == "--list") { if (!no_value()) return false; args.list = true; }
     else if (a == "--module") args.module = value();
     else if (a == "--network") args.network = value();
     else if (a == "--scheme") args.scheme = value();
     else if (a == "--target") args.target = value();
     else if (a == "--policy") args.policy = value();
-    else if (a == "--preemptive") args.preemptive = true;
-    else if (a == "--polling") args.polling = true;
-    else if (a == "--care") args.care = true;
-    else if (a == "--verify") args.verify = true;
-    else if (a == "--opt-copyin") args.opt_copyin = true;
-    else if (a == "--report") args.report = true;
+    else if (a == "--preemptive") { if (!no_value()) return false; args.preemptive = true; }
+    else if (a == "--polling") { if (!no_value()) return false; args.polling = true; }
+    else if (a == "--care") { if (!no_value()) return false; args.care = true; }
+    else if (a == "--verify") { if (!no_value()) return false; args.verify = true; }
+    else if (a == "--opt-copyin") { if (!no_value()) return false; args.opt_copyin = true; }
+    else if (a == "--report") { if (!no_value()) return false; args.report = true; }
     else if (a == "--simulate") args.simulate = std::stoll(value());
     else if (a == "--vcd") args.vcd = value();
-    else if (a == "--dot") args.dot = true;
+    else if (a == "--dot") { if (!no_value()) return false; args.dot = true; }
     else if (a == "--out") args.out_dir = value();
     else if (a == "--trace") args.trace_file = value();
     else if (a == "--metrics") args.metrics_file = value();
     else {
-      std::cerr << "unknown option: " << a << "\n";
+      std::cerr << "polisc: unknown option '" << tokens[i].raw << "'\n";
       return false;
     }
   }
