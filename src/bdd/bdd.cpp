@@ -8,6 +8,7 @@
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/governor.hpp"
 
 namespace polis::bdd {
 
@@ -59,6 +60,12 @@ BddManager::BddManager(int num_vars) : BddManager() {
 
 BddManager::~BddManager() {
   flush_stats_to_obs();
+  // Refund everything still charged so a long-lived governor (one per
+  // polisc run / polisd request) meters live usage across managers.
+  if (gov_charged_nodes_ != 0 || gov_charged_bytes_ != 0)
+    ResourceGovernor::charge_arena_current(
+        -static_cast<int64_t>(gov_charged_nodes_),
+        -static_cast<int64_t>(gov_charged_bytes_));
   // Null out surviving handles so they do not dangle.
   for (Bdd* h = handle_head_; h != nullptr;) {
     Bdd* next = h->next_;
@@ -133,11 +140,40 @@ std::uint32_t BddManager::find_or_add(std::uint32_t var, std::uint32_t lo,
     free_head_ = nodes_[idx].next;
     ++stats_.nodes_recycled;
   } else {
-    POLIS_CHECK_MSG(nodes_.size() < kMaxArenaNodes,
-                    "BDD arena exceeds " << kMaxArenaNodes
-                                         << " nodes (handle space exhausted)");
-    idx = static_cast<std::uint32_t>(nodes_.size());
-    nodes_.push_back(Node{});
+    // Everything that can fail happens before any mutation, so a throw here
+    // unwinds with the manager fully consistent (the satisfied lookup path
+    // above, live handles, tables and cache are all untouched) — this is the
+    // recoverable-unwind boundary the governor relies on.
+    if (nodes_.size() >= kMaxArenaNodes)
+      throw BudgetExceeded(
+          BudgetExceeded::Kind::kNodes,
+          "BDD arena exceeds " + std::to_string(kMaxArenaNodes) +
+              " nodes (handle space exhausted)");
+    ResourceGovernor::draw_alloc_fault_current("bdd.arena");
+    // Charge-then-refund-on-failure keeps the governor's counter equal to
+    // the nodes that actually exist, so the destructor's refund is exact
+    // even across many failed attempts under kDegrade retries.
+    ++gov_charged_nodes_;
+    gov_charged_bytes_ += sizeof(Node);
+    try {
+      ResourceGovernor::charge_arena_current(
+          1, static_cast<int64_t>(sizeof(Node)));
+      nodes_.push_back(Node{});
+    } catch (const std::bad_alloc&) {
+      --gov_charged_nodes_;
+      gov_charged_bytes_ -= sizeof(Node);
+      ResourceGovernor::charge_arena_current(
+          -1, -static_cast<int64_t>(sizeof(Node)));
+      throw BudgetExceeded(BudgetExceeded::Kind::kAllocation,
+                           "BDD arena allocation failed");
+    } catch (...) {
+      --gov_charged_nodes_;
+      gov_charged_bytes_ -= sizeof(Node);
+      ResourceGovernor::charge_arena_current(
+          -1, -static_cast<int64_t>(sizeof(Node)));
+      throw;
+    }
+    idx = static_cast<std::uint32_t>(nodes_.size() - 1);
     stats_.peak_nodes = std::max(stats_.peak_nodes, nodes_.size());
     ++stats_.nodes_created;
   }
@@ -158,8 +194,19 @@ void BddManager::subtable_insert(std::uint32_t var, std::uint32_t idx) {
 }
 
 void BddManager::grow_subtable(Subtable& st) {
+  // Growth is an optimization (the chains are merely over the target load
+  // factor); every failure path leaves the old buckets installed and the
+  // chains intact. The new array is fully allocated before anything moves.
+  ResourceGovernor::draw_alloc_fault_current("bdd.subtable");
+  std::vector<std::uint32_t> grown;
+  try {
+    grown.assign(st.buckets.size() * 2, kNil);
+  } catch (const std::bad_alloc&) {
+    throw BudgetExceeded(BudgetExceeded::Kind::kAllocation,
+                         "BDD unique-subtable growth failed");
+  }
   std::vector<std::uint32_t> old = std::move(st.buckets);
-  st.buckets.assign(old.size() * 2, kNil);
+  st.buckets = std::move(grown);
   const size_t mask = st.buckets.size() - 1;
   for (std::uint32_t head : old) {
     while (head != kNil) {
@@ -206,6 +253,11 @@ bool BddManager::cache_lookup(std::uint32_t op, std::uint32_t a,
 void BddManager::cache_insert(std::uint32_t op, std::uint32_t a,
                               std::uint32_t b, std::uint32_t c,
                               std::uint32_t result) {
+  // One poll per computed miss bounds every apply/ITE/quantification
+  // recursion by the governor's deadline and cancel flag. Throwing here is
+  // safe: the result's nodes exist and are reachable only through consistent
+  // structures; the entry is simply never written.
+  ResourceGovernor::poll_current();
   ++stats_.cache_inserts;
   const std::uint32_t key0 = a | (op << kOpShift);
   CacheEntry& e = cache_[cache_slot(key0, b, c)];
@@ -261,8 +313,18 @@ void BddManager::resize_cache(size_t new_entries) {
     span.arg("old_entries", cache_.size());
     span.arg("new_entries", new_entries);
   }
+  // Allocate the replacement before touching cache_: a growth failure is a
+  // recoverable BudgetExceeded with the old cache still fully installed.
+  ResourceGovernor::draw_alloc_fault_current("bdd.cache");
+  std::vector<CacheEntry> fresh;
+  try {
+    fresh.assign(new_entries, CacheEntry{});
+  } catch (const std::bad_alloc&) {
+    throw BudgetExceeded(BudgetExceeded::Kind::kAllocation,
+                         "BDD computed-cache growth failed");
+  }
   std::vector<CacheEntry> old = std::move(cache_);
-  cache_.assign(new_entries, CacheEntry{});
+  cache_ = std::move(fresh);
   cache_mask_ = new_entries - 1;
   for (const CacheEntry& e : old) {
     if (e.key0 != 0) cache_[cache_slot(e.key0, e.b, e.c)] = e;
@@ -271,6 +333,15 @@ void BddManager::resize_cache(size_t new_entries) {
   cache_lookups_at_resize_ = stats_.cache_lookups;
   cache_hits_at_resize_ = stats_.cache_hits;
   cache_inserts_at_resize_ = stats_.cache_inserts;
+  // Meter the growth (resizes only grow). A byte-budget throw lands after
+  // the new cache is fully installed, so unwinding is clean.
+  if (new_entries > old.size()) {
+    const int64_t delta =
+        static_cast<int64_t>(new_entries - old.size()) *
+        static_cast<int64_t>(sizeof(CacheEntry));
+    gov_charged_bytes_ += static_cast<std::uint64_t>(delta);
+    ResourceGovernor::charge_arena_current(0, delta);
+  }
 }
 
 KernelStats BddManager::stats() const {
@@ -922,6 +993,41 @@ size_t BddManager::swap_adjacent_levels(int level) {
   const std::uint32_t xv = static_cast<std::uint32_t>(x);
   const std::uint32_t yv = static_cast<std::uint32_t>(y);
 
+  // The swap body is not unwindable once x's chains are stolen, so every
+  // throwing path is moved in front of it: reject if the worst case (two
+  // fresh nodes per x-node) could hit the hard arena cap, pre-reserve the
+  // arena so no reallocation happens mid-swap, and suspend the governor so
+  // injected faults and budget trips cannot fire inside the rewrite. The
+  // budget is re-checked by the caller between swaps (sift polls after each
+  // step), so suspension here delays a trip by at most one swap.
+  ResourceGovernor::Suspend suspend;
+  const size_t worst_new = 2 * static_cast<size_t>(subtables_[xv].count);
+  if (nodes_.size() + worst_new > kMaxArenaNodes)
+    throw BudgetExceeded(
+        BudgetExceeded::Kind::kNodes,
+        "BDD arena would exceed the handle-space cap during a level swap");
+  try {
+    nodes_.reserve(nodes_.size() + worst_new);
+    // Pre-grow both subtables so no insertion during the rewrite can trigger
+    // a (potentially throwing) growth: x's table can end up holding its old
+    // nodes plus two fresh children per rewritten node (≤ 3× its count), y's
+    // gains at most every stolen node.
+    Subtable& stx_pre = subtables_[xv];
+    Subtable& sty_pre = subtables_[yv];
+    if (stx_pre.buckets.empty()) stx_pre.buckets.assign(kInitBuckets, kNil);
+    if (sty_pre.buckets.empty()) sty_pre.buckets.assign(kInitBuckets, kNil);
+    while (3 * static_cast<size_t>(stx_pre.count) >
+           stx_pre.buckets.size() * kMaxChainLoad)
+      grow_subtable(stx_pre);
+    while (static_cast<size_t>(sty_pre.count) +
+               static_cast<size_t>(stx_pre.count) >
+           sty_pre.buckets.size() * kMaxChainLoad)
+      grow_subtable(sty_pre);
+  } catch (const std::bad_alloc&) {
+    throw BudgetExceeded(BudgetExceeded::Kind::kAllocation,
+                         "BDD arena reservation for a level swap failed");
+  }
+
   // Only nodes labelled x can change: a node x ? f1 : f0 whose cofactors
   // depend on y is relabelled, in place, to
   //   y ? (x ? f11 : f01) : (x ? f10 : f00),
@@ -1039,6 +1145,12 @@ void BddManager::set_order(const std::vector<int>& order) {
     seen[static_cast<size_t>(v)] = true;
   }
 
+  // Like swap_adjacent_levels: the rebuild is a reorganization, not growth
+  // (old and new arenas only coexist transiently), so suspend the governor —
+  // a budget trip or injected fault mid-transfer would leave nothing for the
+  // caller to degrade to. Charges are still recorded; the caller's next
+  // governed operation re-checks the budget.
+  ResourceGovernor::Suspend suspend;
   BddManager scratch;
   for (int i = 0; i < num_vars(); ++i) scratch.new_var(names_[static_cast<size_t>(i)]);
   scratch.invperm_ = order;
@@ -1126,6 +1238,20 @@ void BddManager::garbage_collect() {
   if (before > nodes_.size()) {
     ++stats_.gc_runs;
     stats_.nodes_reclaimed += before - nodes_.size();
+    // Refund the compacted-away nodes so a governor metering several
+    // manager lifetimes tracks live usage. Clamped to what was actually
+    // charged (a manager created outside any governor scope charges 0).
+    const std::uint64_t freed = before - nodes_.size();
+    const std::uint64_t node_refund = std::min(freed, gov_charged_nodes_);
+    const std::uint64_t byte_refund =
+        std::min(freed * sizeof(Node), gov_charged_bytes_);
+    if (node_refund != 0 || byte_refund != 0) {
+      gov_charged_nodes_ -= node_refund;
+      gov_charged_bytes_ -= byte_refund;
+      ResourceGovernor::charge_arena_current(
+          -static_cast<int64_t>(node_refund),
+          -static_cast<int64_t>(byte_refund));
+    }
   }
   if (span.armed()) {
     span.arg("arena_before", before);

@@ -268,6 +268,13 @@ class BddManager {
   /// Total node slots in the arena (live + garbage + free).
   size_t arena_size() const { return nodes_.size(); }
 
+  /// Bytes held by the node arena and computed cache — what the governor's
+  /// arena-bytes cap meters.
+  size_t arena_bytes() const {
+    return nodes_.capacity() * sizeof(Node) +
+           cache_.capacity() * sizeof(CacheEntry);
+  }
+
   /// Nodes currently threaded on the unique-table chains (live + garbage,
   /// excluding recycled free slots). The gap to the physically live count is
   /// the garbage a `prune_dead_nodes` would reclaim — the sifting loop's
@@ -519,6 +526,11 @@ class BddManager {
   std::uint64_t cache_inserts_at_resize_ = 0;
   KernelStats stats_;
   KernelStats flushed_stats_;  // high-water mark of flush_stats_to_obs
+  // Nodes/bytes this manager has charged to the ambient ResourceGovernor
+  // (refunded on GC compaction and at destruction, so a governor outliving
+  // many managers meters live usage, not cumulative traffic).
+  std::uint64_t gov_charged_nodes_ = 0;
+  std::uint64_t gov_charged_bytes_ = 0;
 };
 
 // --- Inline handle lifecycle -----------------------------------------------------

@@ -5,6 +5,7 @@
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/governor.hpp"
 
 namespace polis::bdd {
 
@@ -24,10 +25,12 @@ void publish_sift_telemetry(const SiftTelemetry& tel) {
     obs::MetricsRegistry::Id saved = reg.counter("sift.nodes_saved");
     obs::MetricsRegistry::Id peak = reg.max_gauge("sift.peak_arena");
     obs::MetricsRegistry::Id shrink = reg.histogram("sift.run_shrink_nodes");
+    obs::MetricsRegistry::Id stopped = reg.counter("sift.stopped_early");
   };
   static const Ids ids;
   obs::MetricsRegistry& reg = ids.reg;
   reg.add(ids.runs, 1);
+  if (tel.stopped_early) reg.add(ids.stopped, 1);
   reg.add(ids.swaps, tel.swaps);
   reg.add(ids.evals, tel.size_evaluations);
   reg.add(ids.passes, static_cast<std::uint64_t>(tel.passes_run));
@@ -176,7 +179,19 @@ size_t sift(BddManager& mgr,
     blocks_up[static_cast<size_t>(below)][static_cast<size_t>(above)] = 1;
   }
 
-  for (int pass = 0; pass < options.passes; ++pass) {
+  // Sifting is an anytime optimization: when the ambient governor's
+  // deadline, node budget or cancel flag trips, the current candidate still
+  // settles to its best position (swaps run under their own governor
+  // suspension, so settling cannot throw) and the sift returns the best
+  // order found so far. Callers in --on-budget=fail mode fail at their next
+  // poll; in degrade mode this IS the degraded result.
+  ResourceGovernor* const gov = ResourceGovernor::current();
+  const auto over_budget = [gov]() {
+    return gov != nullptr && gov->should_stop();
+  };
+  bool stopped = false;
+
+  for (int pass = 0; pass < options.passes && !stopped; ++pass) {
     bool improved_this_pass = false;
     for (int v : sift_candidates(mgr, options)) {
       OBS_SPAN(var_span, "sift.var", "reorder");
@@ -212,7 +227,7 @@ size_t sift(BddManager& mgr,
       };
 
       // Walk down to the bottom of the legal window, measuring each stop.
-      while (level + 1 < n &&
+      while (!over_budget() && level + 1 < n &&
              !blocks_down[static_cast<size_t>(v)]
                          [static_cast<size_t>(mgr.var_at_level(level + 1))]) {
         tel.swaps += 1;
@@ -225,7 +240,7 @@ size_t sift(BddManager& mgr,
       }
       // Walk back up to the top of the window. `<=` so that among equal
       // minima the topmost position wins, like the rebuild reference.
-      while (level > 0 &&
+      while (!over_budget() && level > 0 &&
              !blocks_up[static_cast<size_t>(v)]
                        [static_cast<size_t>(mgr.var_at_level(level - 1))]) {
         tel.swaps += 1;
@@ -258,6 +273,14 @@ size_t sift(BddManager& mgr,
       if (best_size < current) {
         current = best_size;
         improved_this_pass = true;
+      }
+      if (over_budget()) {
+        // The candidate above has already settled to its best position;
+        // stop visiting further candidates and keep the order as-is.
+        stopped = true;
+        tel.stopped_early = true;
+        gov->note_degradation("sift stopped early on budget/deadline");
+        break;
       }
     }
     ++tel.passes_run;

@@ -42,6 +42,11 @@ struct SiftTelemetry {
   int passes_run = 0;
   /// Live size at the end of each executed pass.
   std::vector<size_t> pass_sizes;
+  /// True when an ambient ResourceGovernor deadline/budget/cancel stopped
+  /// the sift before all candidates were visited. The order in the manager
+  /// is still the best one found — sifting is an anytime optimization, so a
+  /// truncated run is a correct (just less minimized) result.
+  bool stopped_early = false;
 };
 
 struct SiftOptions {

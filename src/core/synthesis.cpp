@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/governor.hpp"
 #include "util/thread_pool.hpp"
 
 namespace polis {
@@ -21,40 +23,78 @@ SynthesisResult synthesize(std::shared_ptr<const cfsm::Cfsm> machine,
   if (span.armed()) span.arg("machine", machine->name());
 
   SynthesisResult result;
+  const bool degrade = options.on_budget == OnBudget::kDegrade ||
+                       options.build.degrade_on_budget;
+  ResourceGovernor* const gov = ResourceGovernor::current();
+  const auto note = [&](const char* what) {
+    if (gov != nullptr) gov->note_degradation(what);
+    result.degradations.emplace_back(what);
+  };
+  sgraph::BuildOptions build_options = options.build;
+  build_options.degrade_on_budget = degrade;
+
   result.machine = machine;
   result.manager = std::make_shared<bdd::BddManager>();
   {
     OBS_SPAN(stage, "cfsm.reactive_function", "pipeline");
-    result.reactive =
-        std::make_shared<cfsm::ReactiveFunction>(*machine, *result.manager);
+    try {
+      result.reactive =
+          std::make_shared<cfsm::ReactiveFunction>(*machine, *result.manager);
+    } catch (const BudgetExceeded&) {
+      // χ is not optional; in degrade mode rebuild it ungoverned in a fresh
+      // manager (the half-built one refunds its charges on destruction).
+      if (!degrade) throw;
+      note("characteristic function over budget; ungoverned rebuild");
+      ResourceGovernor::Suspend suspend;
+      result.manager = std::make_shared<bdd::BddManager>();
+      result.reactive =
+          std::make_shared<cfsm::ReactiveFunction>(*machine, *result.manager);
+    }
   }
   result.graph = std::make_shared<sgraph::Sgraph>(
-      sgraph::build_sgraph(*result.reactive, options.scheme, options.build));
+      sgraph::build_sgraph(*result.reactive, options.scheme, build_options));
   {
-    OBS_SPAN(stage, "vm.compile", "pipeline");
-    vm::CompileOptions compile_options;
-    compile_options.optimize_copy_in = options.optimize_copy_in;
-    result.compiled = std::make_shared<vm::CompiledReaction>(vm::compile(
-        *result.graph, vm::SymbolInfo::from(*machine), compile_options));
-  }
-  {
-    OBS_SPAN(stage, "codegen.generate_c", "pipeline");
-    codegen::CCodegenOptions c_options;
-    c_options.optimize_copy_in = options.optimize_copy_in;
-    result.c_code = codegen::generate_c(*result.graph, *machine, c_options);
-    result.vm_size_bytes = result.compiled->program.size_bytes(options.target);
+    // Once an s-graph exists, compile and codegen always complete: in
+    // degrade mode they run with the governor suspended so an already-blown
+    // deadline cannot interrupt the final (cheap, BDD-free) stages.
+    std::optional<ResourceGovernor::Suspend> grace;
+    if (degrade) grace.emplace();
+    {
+      OBS_SPAN(stage, "vm.compile", "pipeline");
+      vm::CompileOptions compile_options;
+      compile_options.optimize_copy_in = options.optimize_copy_in;
+      result.compiled = std::make_shared<vm::CompiledReaction>(vm::compile(
+          *result.graph, vm::SymbolInfo::from(*machine), compile_options));
+    }
+    {
+      OBS_SPAN(stage, "codegen.generate_c", "pipeline");
+      codegen::CCodegenOptions c_options;
+      c_options.optimize_copy_in = options.optimize_copy_in;
+      result.c_code = codegen::generate_c(*result.graph, *machine, c_options);
+      result.vm_size_bytes =
+          result.compiled->program.size_bytes(options.target);
+    }
   }
 
   {
     OBS_SPAN(stage, "estim.estimate", "pipeline");
-    estim::CostModel local_model;
-    const estim::CostModel* model = options.cost_model;
-    if (model == nullptr) {
-      local_model = estim::calibrate(options.target);
-      model = &local_model;
+    try {
+      estim::CostModel local_model;
+      const estim::CostModel* model = options.cost_model;
+      if (model == nullptr) {
+        local_model = estim::calibrate(options.target);
+        model = &local_model;
+      }
+      result.estimate =
+          estim::estimate(*result.graph, *model, estim::context_for(*machine));
+    } catch (const BudgetExceeded&) {
+      // The estimate is advisory (schedulability inputs); the ladder drops
+      // it rather than the synthesized code.
+      if (!degrade) throw;
+      result.estimate_skipped = true;
+      result.estimate = {};
+      note("estimator skipped on budget");
     }
-    result.estimate =
-        estim::estimate(*result.graph, *model, estim::context_for(*machine));
   }
 
   // Fold this machine's kernel counters into the global registry now rather
@@ -82,7 +122,21 @@ NetworkSynthesis synthesize_network(const cfsm::Network& network,
   SynthesisOptions shared = options;
   estim::CostModel local_model;
   if (shared.cost_model == nullptr) {
-    local_model = estim::calibrate(shared.target);
+    // Calibration compiles sample programs through the governed BDD kernel.
+    // The model feeds every machine's estimate, so in degrade mode a budget
+    // trip here recalibrates ungoverned (small, deterministic) rather than
+    // aborting the whole fan-out.
+    try {
+      local_model = estim::calibrate(shared.target);
+    } catch (const BudgetExceeded&) {
+      if (options.on_budget != OnBudget::kDegrade &&
+          !options.build.degrade_on_budget)
+        throw;
+      if (ResourceGovernor* gov = ResourceGovernor::current())
+        gov->note_degradation("calibration over budget; ungoverned rerun");
+      ResourceGovernor::Suspend suspend;
+      local_model = estim::calibrate(shared.target);
+    }
     shared.cost_model = &local_model;
   }
 
@@ -113,6 +167,10 @@ NetworkSynthesis synthesize_network(const cfsm::Network& network,
       shared.num_threads > 0 ? static_cast<size_t>(shared.num_threads)
                              : ThreadPool::default_threads();
   const size_t threads = std::min(want, machines.size());
+  // The ambient governor is thread-local: re-install the caller's instance
+  // inside each pool job so budgets/deadline/cancellation span the whole
+  // parallel fan-out (they all charge the same shared atomics).
+  ResourceGovernor* const gov = ResourceGovernor::current();
   if (threads > 1) {
     ThreadPool pool(threads);
     for (size_t i = 0; i < machines.size(); ++i) {
@@ -121,6 +179,7 @@ NetworkSynthesis synthesize_network(const cfsm::Network& network,
         // each pool thread wins, later calls are idempotent re-inserts.
         obs::TraceRecorder::global().name_this_thread(
             "synthesis worker #" + std::to_string(obs::this_thread_id()));
+        ResourceGovernor::Scope scope(gov);
         try {
           results[i] = synthesize(machines[i], per_machine[i]);
         } catch (...) {

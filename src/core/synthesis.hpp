@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bdd/bdd.hpp"
 #include "cfsm/cfsm.hpp"
@@ -16,6 +17,7 @@
 #include "estim/calibrate.hpp"
 #include "estim/estimate.hpp"
 #include "sgraph/build.hpp"
+#include "util/governor.hpp"
 #include "vm/compile.hpp"
 #include "vm/isa.hpp"
 
@@ -43,6 +45,12 @@ struct SynthesisOptions {
   /// machines without an entry keep the shared `build.care_filter` (usually
   /// none). Filters must be thread-safe — they run on the worker threads.
   std::map<std::string, cfsm::CareFilter> care_filter_by_machine;
+  /// Reaction to an ambient ResourceGovernor budget trip. kFail unwinds the
+  /// run with the recoverable error; kDegrade walks the ladder: the χ/s-graph
+  /// stages retry ungoverned after GC, the estimator is skipped, and compile/
+  /// codegen always complete from whatever order is current. Cancellation
+  /// always propagates. Implies `build.degrade_on_budget`.
+  OnBudget on_budget = OnBudget::kFail;
 };
 
 struct SynthesisResult {
@@ -55,6 +63,11 @@ struct SynthesisResult {
   estim::Estimate estimate;   // size + min/max cycles under the cost model
   long long vm_size_bytes = 0;  // measured code size on the VM target
   double synthesis_seconds = 0;
+  /// Degradation ladder rungs taken for this machine (empty on a clean run).
+  std::vector<std::string> degradations;
+  /// True when the estimator was skipped on budget (kDegrade only); the
+  /// estimate fields are then defaulted and max_cycles is not meaningful.
+  bool estimate_skipped = false;
 };
 
 /// Runs the full flow for one CFSM.

@@ -1,6 +1,7 @@
 #include "frontend/lexer.hpp"
 
 #include <cctype>
+#include <limits>
 
 #include "frontend/parser.hpp"
 
@@ -46,7 +47,10 @@ std::vector<Token> lex(std::string_view src) {
       size_t j = i;
       std::int64_t v = 0;
       while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j]))) {
-        v = v * 10 + (src[j] - '0');
+        const std::int64_t digit = src[j] - '0';
+        if (v > (std::numeric_limits<std::int64_t>::max() - digit) / 10)
+          throw ParseError(line, "number literal too large");
+        v = v * 10 + digit;
         ++j;
       }
       Token t;

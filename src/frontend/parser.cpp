@@ -8,6 +8,7 @@
 #include "frontend/lexer.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/governor.hpp"
 
 namespace polis::frontend {
 
@@ -47,7 +48,12 @@ class Parser {
   bool at_keyword(const char* kw) const {
     return at(Tok::kIdent) && cur().text == kw;
   }
-  Token take() { return tokens_[pos_++]; }
+  Token take() {
+    // Deadline/cancel backstop for adversarial inputs (the mutation sweep):
+    // every parser loop consumes tokens, so this bounds any parse.
+    ResourceGovernor::poll_current();
+    return tokens_[pos_++];
+  }
   [[noreturn]] void fail(const std::string& message) const {
     throw ParseError(cur().line, message);
   }
@@ -75,6 +81,10 @@ class Parser {
     expect(Tok::kLBracket, "'['");
     const Token n = expect(Tok::kNumber, "domain size");
     if (n.number < 2) throw ParseError(n.line, "domain must be at least 2");
+    // Domains are enumerated (one BDD variable per log2 bit, concrete-space
+    // sweeps elsewhere); cap them before the int cast can truncate.
+    if (n.number > (std::int64_t{1} << 20))
+      throw ParseError(n.line, "domain too large (max 2^20)");
     expect(Tok::kRBracket, "']'");
     return static_cast<int>(n.number);
   }

@@ -8,6 +8,7 @@
 #include "obs/obs.hpp"
 #include "rtos/vcd.hpp"
 #include "util/check.hpp"
+#include "util/governor.hpp"
 #include "util/rng.hpp"
 
 namespace polis::rtos {
@@ -594,6 +595,10 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
   long long now = 0;
   try {
     while (now <= horizon) {
+      // Amortized deadline/cancel check: a pathological schedule (dense
+      // deliveries, runaway preemption) stays bounded by the ambient
+      // governor instead of running to the horizon.
+      ResourceGovernor::poll_current();
       deliver_due(now);
       check_starvation(now);
       while (!isr_ready.empty()) {  // §IV-C immediate attention (idle CPU)

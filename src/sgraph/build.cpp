@@ -8,6 +8,7 @@
 #include "obs/obs.hpp"
 #include "sgraph/eval.hpp"
 #include "util/check.hpp"
+#include "util/governor.hpp"
 
 namespace polis::sgraph {
 
@@ -74,6 +75,7 @@ class Builder {
   // The recursive `build` of §III-B2, memoised on (level, χ-cofactor) so the
   // result is reduced exactly like the underlying BDD.
   NodeId rec(size_t level, const bdd::Bdd& f) {
+    ResourceGovernor::poll_current();
     if (level == order_.size()) return graph_.end();
     if (f.is_zero()) return graph_.end();  // unconstrained: nothing to do
 
@@ -158,6 +160,7 @@ class FreeOrderBuilder {
 
  private:
   NodeId rec(const bdd::Bdd& f_in) {
+    ResourceGovernor::poll_current();
     auto it = memo_.find(f_in.raw_index());
     if (it != memo_.end()) return it->second;
     live_.push_back(f_in);
@@ -238,7 +241,8 @@ class FreeOrderBuilder {
 bdd::Bdd restricted_chi(cfsm::ReactiveFunction& rf,
                         const BuildOptions& options) {
   bdd::Bdd chi = rf.chi();
-  if (options.use_care_set) {
+  if (!options.use_care_set) return chi;
+  try {
     if (auto care = rf.reachable_care_set(options.care_enum_limit,
                                           options.care_filter);
         care && !care->is_zero()) {
@@ -246,8 +250,32 @@ bdd::Bdd restricted_chi(cfsm::ReactiveFunction& rf,
       // valuations (false paths, §III-C) as don't cares.
       chi = rf.manager().restrict(chi, *care);
     }
+  } catch (const BudgetExceeded&) {
+    // The restriction is an optimisation: dropping it only costs code size.
+    if (!options.degrade_on_budget) throw;
+    if (ResourceGovernor* gov = ResourceGovernor::current())
+      gov->note_degradation("care-set restriction over budget; raw chi");
   }
   return chi;
+}
+
+/// Runs `fn` (a complete s-graph construction) under the degradation ladder:
+/// a budget trip discards the partial build (releasing its cofactor roots),
+/// garbage-collects, and retries once with the governor suspended so the
+/// build is guaranteed to complete. Deterministic for node/byte budgets: the
+/// retry starts from the same χ and order. Cancelled is not caught.
+template <typename Fn>
+Sgraph build_degradable(bdd::BddManager& mgr, bool degrade, Fn&& fn) {
+  if (!degrade) return fn();
+  try {
+    return fn();
+  } catch (const BudgetExceeded&) {
+    if (ResourceGovernor* gov = ResourceGovernor::current())
+      gov->note_degradation("s-graph build over budget; ungoverned retry");
+    ResourceGovernor::Suspend suspend;
+    mgr.garbage_collect();
+    return fn();
+  }
 }
 
 }  // namespace
@@ -264,9 +292,11 @@ Sgraph build_sgraph_with_order(cfsm::ReactiveFunction& rf,
                     "variable " << v << " is not part of this CFSM");
     POLIS_CHECK_MSG(seen.insert(v).second, "duplicate variable " << v);
   }
-  const bdd::Bdd chi = restricted_chi(rf, options);
-  Builder builder(rf, order);
-  return builder.run(chi);
+  return build_degradable(rf.manager(), options.degrade_on_budget, [&] {
+    const bdd::Bdd chi = restricted_chi(rf, options);
+    Builder builder(rf, order);
+    return builder.run(chi);
+  });
 }
 
 Sgraph build_sgraph(cfsm::ReactiveFunction& rf, OrderingScheme scheme,
@@ -288,9 +318,12 @@ Sgraph build_sgraph(cfsm::ReactiveFunction& rf, OrderingScheme scheme,
   std::vector<int> order;
 
   if (scheme == OrderingScheme::kFreeOrder) {
-    const bdd::Bdd chi = restricted_chi(rf, options);
-    FreeOrderBuilder builder(rf);
-    Sgraph graph = builder.run(chi);
+    Sgraph graph =
+        build_degradable(mgr, options.degrade_on_budget, [&] {
+          const bdd::Bdd chi = restricted_chi(rf, options);
+          FreeOrderBuilder builder(rf);
+          return builder.run(chi);
+        });
     publish(graph);
     return graph;
   }
@@ -329,15 +362,25 @@ Sgraph build_sgraph(cfsm::ReactiveFunction& rf, OrderingScheme scheme,
       for (const cfsm::ActionVariable& a : rf.actions())
         start.push_back(a.bdd_var);
       mgr.set_order(start);
-      const auto precedence =
-          scheme == OrderingScheme::kSiftOutputsAfterInputs
-              ? rf.precedence_outputs_after_all_inputs()
-              : rf.precedence_outputs_after_support();
-      bdd::SiftOptions sift_options;
-      sift_options.passes = options.sift_passes;
-      sift_options.max_vars = options.sift_max_vars;
-      sift_options.telemetry = options.sift_telemetry;
-      bdd::sift(mgr, precedence, sift_options);
+      // The ordering step is an optimisation: support-precedence extraction
+      // (smooth/cofactor of χ) and sifting both allocate nodes and can trip
+      // the budget. In degrade mode keep whatever order exists at the trip —
+      // the naive start, or the best order a partially-run sift settled on.
+      try {
+        const auto precedence =
+            scheme == OrderingScheme::kSiftOutputsAfterInputs
+                ? rf.precedence_outputs_after_all_inputs()
+                : rf.precedence_outputs_after_support();
+        bdd::SiftOptions sift_options;
+        sift_options.passes = options.sift_passes;
+        sift_options.max_vars = options.sift_max_vars;
+        sift_options.telemetry = options.sift_telemetry;
+        bdd::sift(mgr, precedence, sift_options);
+      } catch (const BudgetExceeded&) {
+        if (!options.degrade_on_budget) throw;
+        if (ResourceGovernor* gov = ResourceGovernor::current())
+          gov->note_degradation("sift ordering over budget; current order kept");
+      }
       order = mgr.current_order();
       break;
     }

@@ -1,0 +1,42 @@
+#include "util/atomic_file.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace polis {
+
+void write_file_atomic(const std::filesystem::path& path,
+                       const std::string& content) {
+  // Uniquify the temp name per process and per call so concurrent writers
+  // to different targets in the same directory never collide.
+  static std::atomic<uint64_t> seq{0};
+  std::filesystem::path tmp = path;
+  tmp += ".tmp." + std::to_string(seq.fetch_add(1));
+
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("cannot open " + tmp.string());
+    os.write(content.data(),
+             static_cast<std::streamsize>(content.size()));
+    os.flush();
+    if (!os) {
+      os.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error("failed writing " + tmp.string());
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm_ec;
+    std::filesystem::remove(tmp, rm_ec);
+    throw std::runtime_error("failed renaming " + tmp.string() + " -> " +
+                             path.string() + ": " + ec.message());
+  }
+}
+
+}  // namespace polis

@@ -1,0 +1,20 @@
+// Atomic output writes: content is written to a sibling temp file and
+// renamed over the target, so an interrupted or failed `polisc` run never
+// leaves a truncated generated C / s-graph / report file. rename(2) within a
+// directory is atomic on POSIX; on failure the temp file is removed and the
+// old target (if any) is untouched.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace polis {
+
+/// Writes `content` to `path` atomically (temp file + rename). Throws
+/// std::runtime_error if the temp file cannot be written or the rename
+/// fails; the previous contents of `path`, if any, survive every failure
+/// mode.
+void write_file_atomic(const std::filesystem::path& path,
+                       const std::string& content);
+
+}  // namespace polis

@@ -1,0 +1,163 @@
+#include "util/governor.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace polis {
+
+constinit thread_local ResourceGovernor* ResourceGovernor::tls_current_ = nullptr;
+constinit thread_local bool ResourceGovernor::tls_suspended_ = false;
+
+namespace {
+
+// splitmix64 — the same generator family the RTOS FaultPlan uses; one draw
+// per growth decision keyed by (seed, draw index) so failure points replay
+// exactly for a fixed seed and serial draw order.
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double unit_double(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+ResourceGovernor::ResourceGovernor(const GovernorLimits& limits,
+                                   CancellationToken token)
+    : limits_(limits), token_(std::move(token)) {}
+
+void ResourceGovernor::set_alloc_fault_plan(const AllocFaultPlan& plan) {
+  fault_plan_ = plan;
+}
+
+bool ResourceGovernor::deadline_expired() const {
+  if (limits_.deadline_ms <= 0) return false;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+             .count() >= limits_.deadline_ms;
+}
+
+bool ResourceGovernor::nodes_over_budget() const {
+  if (limits_.max_nodes == 0) return false;
+  return charged_nodes_.load(std::memory_order_relaxed) > limits_.max_nodes;
+}
+
+void ResourceGovernor::poll_slow() {
+  if (tls_suspended_) return;
+  if (token_.cancel_requested()) {
+    budget_hits_.fetch_add(1, std::memory_order_relaxed);
+    throw Cancelled();
+  }
+  if (deadline_expired()) {
+    std::ostringstream os;
+    os << "wall-clock deadline of " << limits_.deadline_ms << " ms exceeded";
+    throw_budget(BudgetExceeded::Kind::kDeadline, os.str());
+  }
+  if (nodes_over_budget()) {
+    std::ostringstream os;
+    os << "live BDD node budget exceeded ("
+       << charged_nodes_.load(std::memory_order_relaxed) << " > "
+       << limits_.max_nodes << ")";
+    throw_budget(BudgetExceeded::Kind::kNodes, os.str());
+  }
+}
+
+void ResourceGovernor::charge_arena(int64_t nodes, int64_t bytes) {
+  // Refunds (GC, manager teardown) must never throw — they run on unwind
+  // paths. fetch_add with a negative delta wraps benignly only if callers
+  // never refund more than they charged; the BDD kernel charges per node
+  // created and refunds per node destroyed, so the running sum is exact.
+  const uint64_t new_nodes =
+      charged_nodes_.fetch_add(static_cast<uint64_t>(nodes),
+                               std::memory_order_relaxed) +
+      static_cast<uint64_t>(nodes);
+  const uint64_t new_bytes =
+      charged_bytes_.fetch_add(static_cast<uint64_t>(bytes),
+                               std::memory_order_relaxed) +
+      static_cast<uint64_t>(bytes);
+  if (nodes <= 0 && bytes <= 0) return;
+  if (tls_suspended_) return;
+  if (limits_.max_nodes != 0 && new_nodes > limits_.max_nodes) {
+    std::ostringstream os;
+    os << "live BDD node budget exceeded (" << new_nodes << " > "
+       << limits_.max_nodes << ")";
+    throw_budget(BudgetExceeded::Kind::kNodes, os.str());
+  }
+  if (limits_.max_arena_bytes != 0 && new_bytes > limits_.max_arena_bytes) {
+    std::ostringstream os;
+    os << "BDD arena byte budget exceeded (" << new_bytes << " > "
+       << limits_.max_arena_bytes << ")";
+    throw_budget(BudgetExceeded::Kind::kBytes, os.str());
+  }
+}
+
+void ResourceGovernor::draw_alloc_fault(const char* site) {
+  if (!fault_plan_.enabled() || tls_suspended_) return;
+  const uint64_t draw = fault_draws_.fetch_add(1, std::memory_order_relaxed);
+  if (alloc_faults_injected_.load(std::memory_order_relaxed) >=
+      fault_plan_.max_failures)
+    return;
+  bool fail = false;
+  if (fault_plan_.fail_first_n > 0 && draw >= fault_plan_.fail_after &&
+      draw < fault_plan_.fail_after + fault_plan_.fail_first_n)
+    fail = true;
+  if (!fail && fault_plan_.probability > 0.0 &&
+      unit_double(splitmix64(fault_plan_.seed ^ (draw * 0x9e3779b97f4a7c15ull))) <
+          fault_plan_.probability)
+    fail = true;
+  if (!fail) return;
+  alloc_faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream os;
+  os << "injected allocation failure at " << site << " (draw " << draw
+     << ", seed " << fault_plan_.seed << ")";
+  throw_budget(BudgetExceeded::Kind::kAllocation, os.str());
+}
+
+void ResourceGovernor::throw_budget(BudgetExceeded::Kind kind,
+                                    const std::string& message) {
+  budget_hits_.fetch_add(1, std::memory_order_relaxed);
+  throw BudgetExceeded(kind, message);
+}
+
+void ResourceGovernor::note_degradation(const char* what) {
+  degradations_.fetch_add(1, std::memory_order_relaxed);
+  auto& reg = obs::MetricsRegistry::global();
+  static const obs::MetricsRegistry::Id id =
+      reg.counter("governor.degradations");
+  reg.add(id, 1);
+  (void)what;
+}
+
+void ResourceGovernor::flush_stats_to_obs() const {
+  auto& reg = obs::MetricsRegistry::global();
+  struct Ids {
+    obs::MetricsRegistry::Id polls, budget_hits, alloc_faults, peak_nodes;
+  };
+  static const Ids ids = {
+      reg.counter("governor.polls"),
+      reg.counter("governor.budget_hits"),
+      reg.counter("governor.alloc_faults_injected"),
+      reg.max_gauge("governor.peak_charged_nodes"),
+  };
+  // Counters are cumulative in the registry; report deltas since the last
+  // flush so repeated flushes don't double-count.
+  const uint64_t polls = polls_.load(std::memory_order_relaxed);
+  const uint64_t hits = budget_hits_.load(std::memory_order_relaxed);
+  const uint64_t faults =
+      alloc_faults_injected_.load(std::memory_order_relaxed);
+  reg.add(ids.polls, polls - flushed_polls_);
+  reg.add(ids.budget_hits, hits - flushed_hits_);
+  reg.add(ids.alloc_faults, faults - flushed_faults_);
+  reg.set(ids.peak_nodes,
+          static_cast<int64_t>(charged_nodes_.load(std::memory_order_relaxed)));
+  flushed_polls_ = polls;
+  flushed_hits_ = hits;
+  flushed_faults_ = faults;
+}
+
+}  // namespace polis

@@ -184,8 +184,12 @@ CheckResult check_property(const TransitionSystem& tr, const ReachResult& reach,
   const bdd::Bdd bad =
       reach.reached & violating_set(enc, property, enum_limit);
   if (bad.is_zero()) {
-    // Sound even when `reached` is an overapproximation.
-    result.verdict = Verdict::kProved;
+    // Sound when `reached` covers every reachable state — exact, or widened
+    // to an overapproximation. A non-converged run (iteration cap, deadline,
+    // cancellation) UNDERapproximates: the empty intersection proves
+    // nothing, so stay honestly unknown.
+    result.verdict =
+        reach.stats.converged ? Verdict::kProved : Verdict::kUnknown;
     return result;
   }
   result.violating_states = mgr.sat_count(bad, enc.num_present_vars());
@@ -212,6 +216,7 @@ LostEventReport check_no_lost_events(const TransitionSystem& tr,
   NetworkEncoding& enc = *tr.enc;
   bdd::BddManager& mgr = enc.manager();
   LostEventReport report;
+  report.sound = reach.stats.converged;
   for (const Cluster& c : tr.clusters) {
     const bdd::Bdd risky = reach.reached & c.overwrite_risk;
     if (risky.is_zero()) continue;

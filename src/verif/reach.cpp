@@ -5,6 +5,7 @@
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/governor.hpp"
 
 namespace polis::verif {
 
@@ -19,7 +20,9 @@ void publish_reach_stats(const ReachStats& s) {
     obs::MetricsRegistry::Id iters = reg.counter("reach.iterations");
     obs::MetricsRegistry::Id gcs = reg.counter("reach.gc_runs");
     obs::MetricsRegistry::Id widenings = reg.counter("reach.widenings");
+    obs::MetricsRegistry::Id recoveries = reg.counter("reach.budget_recoveries");
     obs::MetricsRegistry::Id inexact = reg.counter("reach.inexact_runs");
+    obs::MetricsRegistry::Id unconverged = reg.counter("reach.unconverged_runs");
     obs::MetricsRegistry::Id peak = reg.max_gauge("reach.peak_live_nodes");
     obs::MetricsRegistry::Id depth = reg.histogram("reach.fixpoint_depth");
   };
@@ -29,7 +32,9 @@ void publish_reach_stats(const ReachStats& s) {
   reg.add(ids.iters, static_cast<std::uint64_t>(s.iterations));
   reg.add(ids.gcs, s.gc_runs);
   reg.add(ids.widenings, static_cast<std::uint64_t>(s.widenings));
+  reg.add(ids.recoveries, static_cast<std::uint64_t>(s.budget_recoveries));
   if (!s.exact) reg.add(ids.inexact, 1);
+  if (!s.converged) reg.add(ids.unconverged, 1);
   reg.set(ids.peak, static_cast<std::int64_t>(s.peak_live_nodes));
   reg.observe(ids.depth, static_cast<std::uint64_t>(s.iterations));
 }
@@ -71,12 +76,33 @@ ReachResult reachable_states(const TransitionSystem& tr,
   if (options.keep_layers) result.layers.push_back(frontier);
   result.stats.peak_live_nodes = mgr.live_node_count();
 
+  // Degradation ladder: in `degrade_on_budget` mode a governor node/byte/
+  // allocation trip mid-image falls back to the same widening the static
+  // node_budget uses (the set only grows, so an empty bad-intersection still
+  // proves safety); a deadline or cancellation ends the run honestly
+  // non-converged (the reached set UNDERapproximates — `converged` gates
+  // every kProved downstream). Without the flag governor errors propagate.
+  ResourceGovernor* const gov = ResourceGovernor::current();
+  const auto stop_unconverged = [&result]() {
+    result.stats.exact = false;
+    result.stats.converged = false;
+    result.layers.clear();
+  };
+
   while (!frontier.is_zero()) {
     if (options.max_iterations > 0 &&
         result.stats.iterations >= options.max_iterations) {
-      result.stats.exact = false;
-      result.layers.clear();
+      stop_unconverged();
       break;
+    }
+    if (gov != nullptr) {
+      if (!options.degrade_on_budget) {
+        gov->poll();  // fail mode: throws past deadline / on cancel
+      } else if (gov->deadline_expired() || gov->cancel_requested()) {
+        gov->note_degradation("verif fixpoint stopped at deadline/cancel");
+        stop_unconverged();
+        break;
+      }
     }
     ++result.stats.iterations;
 
@@ -88,9 +114,53 @@ ReachResult reachable_states(const TransitionSystem& tr,
       layer_span.arg("frontier_nodes", mgr.node_count(frontier));
     }
 
-    const bdd::Bdd img = image(tr, frontier);
-    frontier = img & !result.reached;
-    result.reached = result.reached | frontier;
+    if (options.degrade_on_budget) {
+      bool recovered = false;
+      try {
+        const bdd::Bdd img = image(tr, frontier);
+        frontier = img & !result.reached;
+        result.reached = result.reached | frontier;
+      } catch (const Cancelled&) {
+        if (gov != nullptr)
+          gov->note_degradation("verif fixpoint cancelled mid-image");
+        stop_unconverged();
+        break;
+      } catch (const BudgetExceeded& e) {
+        if (e.kind() == BudgetExceeded::Kind::kDeadline) {
+          if (gov != nullptr)
+            gov->note_degradation("verif fixpoint stopped at deadline");
+          stop_unconverged();
+          break;
+        }
+        // Node/byte/allocation pressure: widen under governor suspension
+        // (the recovery itself must not re-trip), reclaim memory, restart
+        // the frontier from the enlarged set.
+        ResourceGovernor::Suspend suspend;
+        ++result.stats.budget_recoveries;
+        if (gov != nullptr)
+          gov->note_degradation("verif image over budget; widening");
+        const bdd::Bdd widened = widen(enc, result.reached);
+        if (widened == result.reached) {
+          // Nothing left to smooth: the abstraction cannot get coarser, so
+          // stop with an honest non-verdict instead of spinning.
+          stop_unconverged();
+          break;
+        }
+        result.reached = widened;
+        frontier = result.reached;
+        result.layers.clear();
+        result.stats.exact = false;
+        ++result.stats.widenings;
+        mgr.garbage_collect();
+        ++result.stats.gc_runs;
+        recovered = true;
+      }
+      if (recovered) continue;
+    } else {
+      const bdd::Bdd img = image(tr, frontier);
+      frontier = img & !result.reached;
+      result.reached = result.reached | frontier;
+    }
     if (options.keep_layers && !frontier.is_zero())
       result.layers.push_back(frontier);
 

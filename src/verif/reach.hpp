@@ -25,6 +25,13 @@ struct ReachOptions {
   int max_iterations = 0;
   /// Keep the BFS onion layers (needed for counterexample extraction).
   bool keep_layers = true;
+  /// Degrade instead of failing when the ambient ResourceGovernor trips
+  /// mid-fixpoint: a node/byte/allocation budget hit falls back to widening
+  /// (overapproximation, like `node_budget`); a deadline or cancellation
+  /// stops the iteration with `converged == false` (underapproximation —
+  /// verdicts become kUnknown). When false, governor errors propagate and
+  /// fail the run.
+  bool degrade_on_budget = false;
 };
 
 struct ReachStats {
@@ -34,7 +41,14 @@ struct ReachStats {
   double reached_states = 0;        // sat_count over the present variables
   std::uint64_t gc_runs = 0;        // in-fixpoint garbage collections
   int widenings = 0;                // budget-triggered overapproximations
+  int budget_recoveries = 0;        // governor trips recovered by widening
   bool exact = true;
+  /// True iff the fixpoint ran until the frontier emptied. A widened run is
+  /// converged-but-inexact: `reached` OVERapproximates, so an empty bad
+  /// intersection still proves safety. A non-converged run (iteration cap,
+  /// deadline, cancellation) leaves an UNDERapproximation — nothing can be
+  /// proved from it, only found (verdicts degrade to kUnknown).
+  bool converged = true;
 };
 
 struct ReachResult {

@@ -1,0 +1,161 @@
+// Deterministic mutation sweep over every example RSL source: truncations,
+// token deletions and garbage injection. The contract under test is the
+// robustness half of the error taxonomy — no input may crash the frontend,
+// trip a fatal invariant check, or hang: every outcome is either a clean
+// parse or a frontend::ParseError carrying a source line. The whole sweep
+// runs under a governor deadline so a pathological mutant would surface as
+// a bounded BudgetExceeded (also a failure here) instead of a wedged test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontend/parser.hpp"
+#include "util/governor.hpp"
+
+namespace polis {
+namespace {
+
+std::vector<std::filesystem::path> example_sources() {
+  std::vector<std::filesystem::path> out;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(POLIS_EXAMPLES_DIR)) {
+    if (entry.path().extension() == ".rsl") out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// splitmix64: the same deterministic generator family the fault plans use.
+uint64_t mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Parses one mutant and asserts the robustness contract. Returns the number
+/// of mutants that produced a ParseError (so callers can sanity-check the
+/// sweep actually exercised failure paths).
+int check_mutant(const std::string& source, const std::string& what) {
+  try {
+    (void)frontend::parse(source);
+    return 0;
+  } catch (const frontend::ParseError& e) {
+    EXPECT_GE(e.line(), 1) << what << ": ParseError without a line number: "
+                           << e.what();
+    return 1;
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << what << ": non-ParseError escaped the frontend: "
+                  << e.what();
+    return 0;
+  }
+}
+
+TEST(ParserRobustness, TruncationsNeverCrash) {
+  GovernorLimits limits;
+  limits.deadline_ms = 60000;
+  ResourceGovernor gov(limits);
+  ResourceGovernor::Scope scope(&gov);
+
+  int parse_errors = 0;
+  for (const auto& path : example_sources()) {
+    const std::string source = slurp(path);
+    ASSERT_FALSE(source.empty()) << path;
+    // ~48 evenly spaced cut points per file, plus the pathological 0/1-byte
+    // prefixes.
+    const size_t step = std::max<size_t>(source.size() / 48, 1);
+    for (size_t cut = 0; cut < source.size(); cut += step) {
+      parse_errors += check_mutant(
+          source.substr(0, cut),
+          path.filename().string() + " truncated at " + std::to_string(cut));
+    }
+  }
+  EXPECT_GT(parse_errors, 0) << "sweep never reached a failure path";
+}
+
+TEST(ParserRobustness, TokenDeletionsNeverCrash) {
+  GovernorLimits limits;
+  limits.deadline_ms = 60000;
+  ResourceGovernor gov(limits);
+  ResourceGovernor::Scope scope(&gov);
+
+  int parse_errors = 0;
+  for (const auto& path : example_sources()) {
+    const std::string source = slurp(path);
+    // Whitespace-delimited tokens; deleting each one in turn hits missing
+    // keywords, unbalanced braces, dangling operators, ...
+    std::vector<std::pair<size_t, size_t>> tokens;  // (begin, length)
+    size_t i = 0;
+    while (i < source.size()) {
+      while (i < source.size() &&
+             std::isspace(static_cast<unsigned char>(source[i])))
+        ++i;
+      size_t j = i;
+      while (j < source.size() &&
+             !std::isspace(static_cast<unsigned char>(source[j])))
+        ++j;
+      if (j > i) tokens.emplace_back(i, j - i);
+      i = j;
+    }
+    for (size_t t = 0; t < tokens.size(); ++t) {
+      std::string mutant = source;
+      mutant.erase(tokens[t].first, tokens[t].second);
+      parse_errors += check_mutant(
+          mutant, path.filename().string() + " minus token #" +
+                      std::to_string(t));
+    }
+  }
+  EXPECT_GT(parse_errors, 0);
+}
+
+TEST(ParserRobustness, GarbageInjectionNeverCrashes) {
+  GovernorLimits limits;
+  limits.deadline_ms = 60000;
+  ResourceGovernor gov(limits);
+  ResourceGovernor::Scope scope(&gov);
+
+  // Pool of hostile bytes: operators, braces, control chars, high bytes,
+  // digits long enough to overflow naive accumulators.
+  const std::string pool = "{}()[];:=<>!&|%#\t\x01\x7f\xff 9999999999999999999";
+  int parse_errors = 0;
+  uint64_t rng = 0x706f6c6973ull;  // deterministic seed
+  for (const auto& path : example_sources()) {
+    const std::string source = slurp(path);
+    for (int round = 0; round < 64; ++round) {
+      std::string mutant = source;
+      const int edits = 1 + static_cast<int>(mix(rng++) % 4);
+      for (int e = 0; e < edits; ++e) {
+        const size_t at = mix(rng++) % (mutant.size() + 1);
+        const size_t len = 1 + mix(rng++) % 8;
+        std::string chunk;
+        for (size_t k = 0; k < len; ++k)
+          chunk += pool[mix(rng++) % pool.size()];
+        if (mix(rng++) % 2 == 0 && at < mutant.size()) {
+          mutant.replace(at, std::min(len, mutant.size() - at), chunk);
+        } else {
+          mutant.insert(at, chunk);
+        }
+      }
+      parse_errors += check_mutant(
+          mutant, path.filename().string() + " garbage round " +
+                      std::to_string(round));
+    }
+  }
+  EXPECT_GT(parse_errors, 0);
+}
+
+}  // namespace
+}  // namespace polis

@@ -11,6 +11,8 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -27,6 +29,9 @@
 #include "rtos/trace.hpp"
 #include "rtos/vcd.hpp"
 #include "sched/sched.hpp"
+#include "util/atomic_file.hpp"
+#include "util/check.hpp"
+#include "util/governor.hpp"
 #include "util/rng.hpp"
 #include "verif/verif.hpp"
 #include "sgraph/io.hpp"
@@ -58,6 +63,11 @@ struct Args {
   std::string out_dir;
   std::string trace_file;    // Chrome trace-event JSON (--trace)
   std::string metrics_file;  // metrics snapshot JSON (--metrics)
+  // Resource governor (see util/governor.hpp): 0 = unlimited.
+  long long deadline_ms = 0;
+  unsigned long long max_nodes = 0;
+  long long max_arena_mb = 0;
+  std::string on_budget = "fail";  // fail | degrade
 };
 
 void usage() {
@@ -91,7 +101,16 @@ void usage() {
       "                         lanes share the VCD timebase\n"
       "  --metrics FILE         write a JSON snapshot of all counters,\n"
       "                         gauges, histograms and per-phase wall times\n"
-      "  (--trace=FILE / --metrics=FILE forms are also accepted)\n";
+      "  --deadline-ms N        wall-clock budget for the whole run\n"
+      "  --max-nodes N          live BDD-node budget across the run\n"
+      "  --max-arena-mb N       BDD arena cap in MiB\n"
+      "  --on-budget M          what to do when a budget trips:\n"
+      "                         fail (default) unwinds with exit code 4;\n"
+      "                         degrade walks the degradation ladder and\n"
+      "                         still emits correct (less optimized) code\n"
+      "  (--trace=FILE / --metrics=FILE forms are also accepted)\n"
+      "exit codes: 0 ok, 1 error, 2 usage, 3 parse error, 4 budget\n"
+      "            exceeded, 5 cancelled, 6 internal invariant failure\n";
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -154,10 +173,23 @@ bool parse_args(int argc, char** argv, Args& args) {
     else if (a == "--out") args.out_dir = value();
     else if (a == "--trace") args.trace_file = value();
     else if (a == "--metrics") args.metrics_file = value();
+    else if (a == "--deadline-ms") args.deadline_ms = std::stoll(value());
+    else if (a == "--max-nodes") args.max_nodes = std::stoull(value());
+    else if (a == "--max-arena-mb") args.max_arena_mb = std::stoll(value());
+    else if (a == "--on-budget") args.on_budget = value();
     else {
       std::cerr << "polisc: unknown option '" << tokens[i].raw << "'\n";
       return false;
     }
+  }
+  if (args.on_budget != "fail" && args.on_budget != "degrade") {
+    std::cerr << "polisc: --on-budget must be 'fail' or 'degrade' (got '"
+              << args.on_budget << "')\n";
+    return false;
+  }
+  if (args.deadline_ms < 0 || args.max_arena_mb < 0) {
+    std::cerr << "polisc: budgets must be non-negative\n";
+    return false;
   }
   return true;
 }
@@ -179,9 +211,23 @@ void write_artifact(const Args& args, const std::string& name,
   }
   std::filesystem::create_directories(args.out_dir);
   const std::string path = args.out_dir + "/" + name;
-  std::ofstream out(path);
-  out << content;
+  // Temp-file + rename: an interrupted or budget-killed run never leaves a
+  // truncated artifact behind.
+  write_file_atomic(path, content);
   std::cout << "wrote " << path << "\n";
+}
+
+OnBudget budget_mode(const Args& args) {
+  return args.on_budget == "degrade" ? OnBudget::kDegrade : OnBudget::kFail;
+}
+
+/// Prints the degradation-ladder rungs a synthesis run took; deterministic
+/// for node/byte budgets, so degraded runs stay byte-for-byte comparable.
+void report_degradations(const std::string& name, const SynthesisResult& r) {
+  for (const std::string& d : r.degradations)
+    std::cout << "degraded " << name << ": " << d << "\n";
+  if (r.estimate_skipped)
+    std::cout << "degraded " << name << ": estimates are placeholders\n";
 }
 
 SynthesisResult synthesize_one(std::shared_ptr<const cfsm::Cfsm> machine,
@@ -196,6 +242,7 @@ SynthesisResult synthesize_one(std::shared_ptr<const cfsm::Cfsm> machine,
   options.optimize_copy_in = args.opt_copyin;
   options.target = target;
   options.cost_model = &model;
+  options.on_budget = budget_mode(args);
   return synthesize(std::move(machine), options);
 }
 
@@ -203,11 +250,17 @@ SynthesisResult synthesize_one(std::shared_ptr<const cfsm::Cfsm> machine,
 /// clauses + the built-in lost-event property) and a replay confirmation for
 /// every counterexample. Returns the per-machine care filters (empty unless
 /// the reached set is exact).
-std::map<std::string, cfsm::CareFilter> run_verify(const cfsm::Network& net) {
-  const verif::VerifyResult v = verif::verify_network(net);
+std::map<std::string, cfsm::CareFilter> run_verify(const cfsm::Network& net,
+                                                   OnBudget on_budget) {
+  verif::VerifyOptions options;
+  options.reach.degrade_on_budget = on_budget == OnBudget::kDegrade;
+  const verif::VerifyResult v = verif::verify_network(net, options);
   std::cout << "verify: " << v.reach.reached_states << " reachable states in "
             << v.reach.iterations << " iterations ("
-            << (v.reach.exact ? "exact" : "overapproximate") << "), "
+            << (!v.reach.converged
+                    ? "incomplete"
+                    : v.reach.exact ? "exact" : "overapproximate")
+            << "), "
             << v.clusters << " clusters / " << v.transitions
             << " transitions, peak " << v.reach.peak_live_nodes
             << " live nodes\n";
@@ -233,8 +286,11 @@ std::map<std::string, cfsm::CareFilter> run_verify(const cfsm::Network& net) {
       std::cout << "  lost-event risk: a step of '" << subject
                 << "' can overwrite a pending event (in " << states
                 << " reachable states)\n";
-  } else {
+  } else if (v.lost_events.sound) {
     std::cout << "  no reachable state can lose an event\n";
+  } else {
+    std::cout << "  no lost event found (exploration incomplete; "
+                 "not a proof)\n";
   }
   return v.care_filters;
 }
@@ -261,7 +317,24 @@ int run(const Args& args) {
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
-  const frontend::ParsedFile file = frontend::parse(buffer.str());
+  // The parser polls the governor so hostile input cannot wedge the run past
+  // the deadline. In degrade mode a deadline that expires mid-parse re-parses
+  // ungoverned instead: parsing terminates on any finite input, and nothing
+  // downstream can degrade without a parse tree.
+  const frontend::ParsedFile file = [&] {
+    const std::string source = buffer.str();
+    if (budget_mode(args) != OnBudget::kDegrade) return frontend::parse(source);
+    try {
+      return frontend::parse(source);
+    } catch (const BudgetExceeded&) {
+      if (ResourceGovernor* gov = ResourceGovernor::current())
+        gov->note_degradation("parse over deadline; ungoverned re-parse");
+      std::cerr << "degraded frontend: parse over deadline; re-parsing"
+                   " ungoverned\n";
+      ResourceGovernor::Suspend suspend;
+      return frontend::parse(source);
+    }
+  }();
 
   if (args.list) {
     std::cout << "modules:";
@@ -277,7 +350,22 @@ int run(const Args& args) {
 
   const vm::TargetProfile target =
       args.target == "risc32" ? vm::risc32_like() : vm::hc11_like();
-  const estim::CostModel model = estim::calibrate(target);
+  // Calibration compiles sample programs through the governed BDD kernel, so
+  // an expired deadline can trip inside it; the cost model is mandatory for
+  // estimation, so degrade mode recalibrates ungoverned (it is small and
+  // deterministic) instead of dropping the run.
+  const estim::CostModel model = [&] {
+    if (budget_mode(args) != OnBudget::kDegrade) return estim::calibrate(target);
+    try {
+      return estim::calibrate(target);
+    } catch (const BudgetExceeded&) {
+      if (ResourceGovernor* gov = ResourceGovernor::current())
+        gov->note_degradation("calibration over budget; ungoverned rerun");
+      std::cerr << "degraded calibration: over budget; rerunning ungoverned\n";
+      ResourceGovernor::Suspend suspend;
+      return estim::calibrate(target);
+    }
+  }();
   Table report({"task", "s-graph", "est bytes", "meas bytes", "est cycles",
                 "meas cycles", "synth ms"});
 
@@ -288,6 +376,7 @@ int run(const Args& args) {
       return 1;
     }
     const SynthesisResult r = synthesize_one(it->second, args, model, target);
+    report_degradations(args.module, r);
     write_artifact(args, "cfsm_" + c_identifier(args.module) + ".c", r.c_code);
     if (args.dot) {
       std::ostringstream dot;
@@ -310,7 +399,7 @@ int run(const Args& args) {
     const cfsm::Network& net = *it->second;
 
     std::map<std::string, cfsm::CareFilter> care_filters;
-    if (args.verify) care_filters = run_verify(net);
+    if (args.verify) care_filters = run_verify(net, budget_mode(args));
 
     rtos::RtosConfig config;
     if (args.policy == "prio")
@@ -333,7 +422,18 @@ int run(const Args& args) {
     net_options.target = target;
     net_options.cost_model = &model;
     net_options.care_filter_by_machine = care_filters;
+    net_options.on_budget = budget_mode(args);
     const NetworkSynthesis synth = synthesize_network(net, net_options);
+
+    // Degradations are per distinct machine; report them once each.
+    {
+      std::set<std::string> seen;
+      for (const cfsm::Instance& inst : net.instances()) {
+        if (!seen.insert(inst.machine->name()).second) continue;
+        report_degradations(inst.machine->name(),
+                            synth.per_instance.at(inst.name));
+      }
+    }
 
     for (const cfsm::Instance& inst : net.instances()) {
       const SynthesisResult& r = synth.per_instance.at(inst.name);
@@ -350,7 +450,7 @@ int run(const Args& args) {
     }
     if (args.report) report.print(std::cout);
 
-    if (args.simulate > 0) {
+    if (args.simulate > 0) try {
       // §I-H step 4: static schedulability of the periodic workload the
       // simulator runs below — estimator WCETs against the source period.
       {
@@ -406,13 +506,23 @@ int run(const Args& args) {
       for (const auto& [n, lost] : stats.lost_events)
         std::cout << "  lost on " << n << ": " << lost << "\n";
       if (!args.vcd.empty()) {
-        std::ofstream vcd(args.vcd);
+        std::ostringstream vcd;
         rtos::write_vcd(net, stats, vcd);
+        write_file_atomic(args.vcd, vcd.str());
         std::cout << "wrote " << args.vcd << " (" << stats.log.size()
                   << " log events)\n";
       }
       // The simulated-cycle lanes of the trace: same clock as the VCD.
       if (!args.trace_file.empty()) rtos::record_sim_trace(net, stats);
+    } catch (const BudgetExceeded& e) {
+      // The simulation is advisory — the synthesized artifacts above are
+      // already on disk — so in degrade mode a budget trip drops it rather
+      // than the whole run. Cancellation still propagates.
+      if (budget_mode(args) != OnBudget::kDegrade) throw;
+      if (ResourceGovernor* gov = ResourceGovernor::current())
+        gov->note_degradation("simulation dropped on budget");
+      std::cerr << "degraded simulation: dropped on budget ("
+                << BudgetExceeded::kind_name(e.kind()) << ")\n";
     }
     return 0;
   }
@@ -428,44 +538,88 @@ int run(const Args& args) {
 // one wants to look at.
 void write_obs_outputs(const Args& args) {
   if (!args.trace_file.empty()) {
-    std::ofstream out(args.trace_file);
-    obs::TraceRecorder::global().write_chrome_json(out);
-    if (out)
+    try {
+      std::ostringstream out;
+      obs::TraceRecorder::global().write_chrome_json(out);
+      polis::write_file_atomic(args.trace_file, out.str());
       std::cout << "wrote " << args.trace_file << " (Chrome trace)\n";
-    else
-      std::cerr << "polisc: cannot write " << args.trace_file << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "polisc: cannot write " << args.trace_file << ": "
+                << e.what() << "\n";
+    }
   }
   if (!args.metrics_file.empty()) {
-    std::ofstream out(args.metrics_file);
-    obs::write_metrics_json(out);
-    if (out)
+    try {
+      std::ostringstream out;
+      obs::write_metrics_json(out);
+      polis::write_file_atomic(args.metrics_file, out.str());
       std::cout << "wrote " << args.metrics_file << " (metrics snapshot)\n";
-    else
-      std::cerr << "polisc: cannot write " << args.metrics_file << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "polisc: cannot write " << args.metrics_file << ": "
+                << e.what() << "\n";
+    }
   }
 }
 
 int main(int argc, char** argv) {
+  using namespace polis;
   Args args;
+  bool args_ok = false;
   try {
-    if (!parse_args(argc, argv, args)) {
-      usage();
-      return 2;
-    }
-    if (!args.trace_file.empty()) {
-      obs::TraceRecorder::global().set_enabled(true);
-      obs::TraceRecorder::global().name_this_thread("polisc main");
-    }
-    const int rc = run(args);
+    args_ok = parse_args(argc, argv, args);
+  } catch (const std::exception& e) {
+    std::cerr << "polisc: " << e.what() << "\n";
+    args_ok = false;
+  }
+  if (!args_ok) {
+    usage();
+    return kExitUsage;
+  }
+  if (!args.trace_file.empty()) {
+    obs::TraceRecorder::global().set_enabled(true);
+    obs::TraceRecorder::global().name_this_thread("polisc main");
+  }
+
+  // One governor spans the whole run; every phase charges/polls it through
+  // the thread-local ambient pointer (worker threads re-install it).
+  GovernorLimits limits;
+  limits.deadline_ms = args.deadline_ms;
+  limits.max_nodes = args.max_nodes;
+  limits.max_arena_bytes =
+      static_cast<uint64_t>(args.max_arena_mb) * (uint64_t{1} << 20);
+  ResourceGovernor governor(limits);
+  std::optional<ResourceGovernor::Scope> scope;
+  if (limits.any()) scope.emplace(&governor);
+
+  const auto finish = [&] {
+    if (limits.any()) governor.flush_stats_to_obs();
     write_obs_outputs(args);
+  };
+  try {
+    const int rc = run(args);
+    finish();
     return rc;
   } catch (const frontend::ParseError& e) {
     std::cerr << "polisc: " << args.input << ": " << e.what() << "\n";
-    write_obs_outputs(args);
-    return 1;
+    finish();
+    return kExitParse;
+  } catch (const Cancelled& e) {
+    std::cerr << "polisc: " << e.what() << "\n";
+    finish();
+    return kExitCancelled;
+  } catch (const BudgetExceeded& e) {
+    std::cerr << "polisc: budget exceeded ("
+              << BudgetExceeded::kind_name(e.kind()) << "): " << e.what()
+              << "\n";
+    finish();
+    return kExitBudget;
+  } catch (const CheckError& e) {
+    std::cerr << "polisc: internal invariant failure: " << e.what() << "\n";
+    finish();
+    return kExitInternal;
   } catch (const std::exception& e) {
     std::cerr << "polisc: " << e.what() << "\n";
-    write_obs_outputs(args);
-    return 1;
+    finish();
+    return kExitError;
   }
 }
