@@ -57,6 +57,8 @@
 #include <functional>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
@@ -152,6 +154,13 @@ struct KernelStats {
   std::uint64_t and_exists_calls = 0;       // top-level invocations
   std::uint64_t and_exists_recursions = 0;  // recursive steps taken
   std::uint64_t and_exists_cache_hits = 0;  // computed-cache hits on kOpAndExists
+  // Simultaneous variable substitution (rename).
+  std::uint64_t rename_calls = 0;  // top-level invocations
+  // Cross-manager migration (copy_across; counters on the destination).
+  std::uint64_t copy_across_calls = 0;     // top-level invocations
+  std::uint64_t copy_nodes = 0;            // nodes materialised in this manager
+  std::uint64_t copy_cache_hits = 0;       // translation-cache hits
+  std::uint64_t copy_cache_resets = 0;     // cache invalidations (epoch/rebind)
 
   double cache_hit_rate() const {
     return cache_lookups == 0
@@ -159,6 +168,40 @@ struct KernelStats {
                : static_cast<double>(cache_hits) /
                      static_cast<double>(cache_lookups);
   }
+};
+
+/// Memoised node-translation cache for `BddManager::copy_across`. Maps
+/// regular source handles to their images in the destination manager; the
+/// values are registered `Bdd` handles, so they both survive and are
+/// retargeted by destination-side garbage collection — a warm cache stays
+/// valid across destination GCs. Source-side validity is tracked by the
+/// source manager's structure epoch: any operation that can reuse or
+/// renumber source arena slots (compaction, pruning, reordering) bumps the
+/// epoch and the next `copy_across` discards the cache. One cache binds one
+/// (source, destination) pair; pass it back to the same pair to reuse
+/// translations across calls (the parallel reachability engine keeps one
+/// per direction per worker for exactly this).
+class CopyCache {
+ public:
+  CopyCache() = default;
+  CopyCache(const CopyCache&) = delete;
+  CopyCache& operator=(const CopyCache&) = delete;
+
+  /// Cached translations currently held.
+  std::size_t size() const { return map_.size(); }
+  /// Drops all translations (the binding is re-established on next use).
+  void clear() {
+    map_.clear();
+    src_ = nullptr;
+    dst_ = nullptr;
+  }
+
+ private:
+  friend class BddManager;
+  const BddManager* src_ = nullptr;
+  BddManager* dst_ = nullptr;
+  std::uint64_t src_epoch_ = 0;
+  std::unordered_map<std::uint32_t, Bdd> map_;  // regular src handle -> dst
 };
 
 /// Owns the node arena, per-variable unique subtables, computed cache and
@@ -229,6 +272,39 @@ class BddManager {
 
   /// Substitutes `g` for variable `var` in `f`.
   Bdd compose(const Bdd& f, int var, const Bdd& g);
+
+  /// Registers a simultaneous variable substitution (every `first` becomes
+  /// `second`, all at once) for use with `rename`. Maps are immutable and
+  /// live for the manager's lifetime; the returned id is a stable computed
+  /// cache key, so renames memoise across calls — in the reachability
+  /// fixpoint the next→present relabel of an unchanged image subgraph is a
+  /// cache hit on the next iteration.
+  int register_rename(const std::vector<std::pair<int, int>>& from_to);
+
+  /// Simultaneous substitution of variables for variables (CUDD's permute).
+  /// One memoised pass over `f`; when a target variable sits above both
+  /// renamed children — the interleaved present/next encoding guarantees
+  /// this for next→present — each step is a single `find_or_add`, making
+  /// the relabel O(nodes) instead of one `compose` traversal per variable.
+  /// Falls back to ITE per node for arbitrary (support-overlapping) maps.
+  Bdd rename(const Bdd& f, int map_id);
+
+  /// Migrates `f` from its own manager into this one, structurally —
+  /// memoised `find_or_add` per source node, no text round-trip and no ITE
+  /// rebuild. Requires both managers to have the same variables in the same
+  /// order. `cache` memoises source-node translations across calls (see
+  /// `CopyCache`); it is (re)bound to this (source, destination) pair and
+  /// invalidated automatically when the source's structure epoch moves.
+  /// Copying preserves the complement-edge canonical form: the image of a
+  /// regular handle is regular, so equal functions land on equal handles.
+  Bdd copy_across(const Bdd& f, CopyCache& cache);
+
+  /// Monotone counter bumped by every operation that can renumber or
+  /// recycle arena slots (`garbage_collect`, `prune_dead_nodes`,
+  /// `set_order`, `swap_adjacent_levels`). While it holds still, a raw node
+  /// index keeps denoting the same function — the validity contract of
+  /// `CopyCache` entries keyed on this manager as source.
+  std::uint64_t structure_epoch() const { return structure_epoch_; }
 
   /// Coudert–Madre restrict (sibling substitution): a function equal to `f`
   /// wherever `care` holds, heuristically minimised using ¬care as don't
@@ -397,6 +473,7 @@ class BddManager {
     kOpCompose,    // b = g, c = var; key stored regular
     kOpRestrict,   // b = care
     kOpAndExists,  // b = second conjunct, c = positive cube of the vars
+    kOpRename,     // b = rename map id; key stored regular
   };
 
   // Tagged-handle encoding: handle = node index << 1 | complement bit. The
@@ -418,7 +495,14 @@ class BddManager {
   // straight to `kJumpCacheEntries` (see `maybe_resize_cache`).
   static constexpr size_t kInitCacheEntries = 1u << 13;
   static constexpr size_t kJumpCacheEntries = 1u << 16;
-  static constexpr size_t kMaxCacheEntries = 1u << 22;
+  // The ceiling matters for long symbolic fixpoints: full-dash reachability
+  // issues ~10^9 cache lookups over a ~7M-node working set, and capping the
+  // cache at 4Mi entries (64 MiB) evicted 455M live entries — raising the
+  // cap to 64Mi entries (1 GiB, reached only after the windowed policy has
+  // doubled through eleven sustained-hit-rate checkpoints) cut that run
+  // from ~260 s to ~55 s. Small managers never get near it; the governor's
+  // arena-bytes cap still meters the cache, so budgeted runs stay bounded.
+  static constexpr size_t kMaxCacheEntries = 1u << 26;
   /// Arena ceiling (2^27 nodes ≈ 2 GiB of Node storage). Keeps every tagged
   /// handle below 2^28 so cache keys can carry the op tag in their top bits.
   static constexpr size_t kMaxArenaNodes = 1u << 27;
@@ -481,7 +565,11 @@ class BddManager {
   std::uint32_t and_exists_rec(std::uint32_t f, std::uint32_t g,
                                std::uint32_t cube);
   std::uint32_t compose_rec(std::uint32_t f, int var, std::uint32_t g);
+  std::uint32_t rename_rec(std::uint32_t f, const std::vector<int>& map,
+                           std::uint32_t map_id);
   std::uint32_t restrict_rec(std::uint32_t f, std::uint32_t care);
+  std::uint32_t copy_rec(const BddManager& src, std::uint32_t f,
+                         CopyCache& cache);
   /// Positive cube (ordered conjunction) of `vars`, built bottom-up.
   std::uint32_t make_cube(const std::vector<int>& vars);
   std::uint32_t transfer_from(BddManager& src, std::uint32_t f,
@@ -512,6 +600,8 @@ class BddManager {
   std::vector<int> perm_;     // var -> level
   std::vector<int> invperm_;  // level -> var
   std::vector<std::string> names_;
+  std::vector<std::vector<int>> rename_maps_;  // map id -> var -> new var
+  std::uint64_t structure_epoch_ = 0;
   Bdd* handle_head_ = nullptr;  // intrusive doubly-linked handle registry
   // Epoch-marked visit buffer for allocation-free traversals; one slot per
   // tagged handle (2 × arena slots).

@@ -353,4 +353,63 @@ std::vector<std::shared_ptr<const cfsm::Cfsm>> microwave_modules() {
           module_of(file, "magnetron"), module_of(file, "beeper")};
 }
 
+std::string generated_dash_source(int channels) {
+  POLIS_CHECK_MSG(channels >= 1, "generated dashboard needs >= 1 channel");
+  std::string out = R"rsl(
+# --- Generated N-channel dashboard (scaling family) ---------------------------
+# N independent wheel-speed chains sharing one sampling timer; emitted by
+# systems::generated_dash_source / tools/gen_dash.
+
+module debounce {
+  input raw;                 # raw sensor pulse
+  input tick;                # sampling timer
+  output clean;              # debounced pulse
+  state cnt : int[4] = 0;
+
+  when present(raw) && cnt < 2  -> { cnt := cnt + 1; }
+  when present(raw) && cnt >= 2 -> { emit clean; cnt := 3; }
+  when !present(raw) && present(tick) -> { cnt := 0; }
+}
+
+module pulse_counter {
+  input pulse;               # debounced pulse
+  input tick;                # window timer
+  output count : int[8];     # pulses in the closed window
+  state n : int[8] = 0;
+
+  when present(tick)                   -> { emit count(n); n := 0; }
+  when present(pulse) && !present(tick) -> { n := n + 1; }
+}
+
+module speedometer {
+  input count : int[8];
+  output pwm : int[16];      # gauge duty cycle
+  state last : int[8] = 0;
+
+  when present(count) && value(count) != last ->
+    { last := value(count); emit pwm(value(count) * 2); }
+  when present(count) && value(count) == last -> { }
+}
+
+network dash_gen {
+)rsl";
+  for (int c = 0; c < channels; ++c) {
+    const std::string i = std::to_string(c);
+    out += "  instance deb" + i + " : debounce      (raw = raw" + i +
+           ", tick = timer, clean = clean" + i + ");\n";
+    out += "  instance cnt" + i + " : pulse_counter (pulse = clean" + i +
+           ", tick = timer, count = count" + i + ");\n";
+    out += "  instance spd" + i + " : speedometer   (count = count" + i +
+           ", pwm = pwm" + i + ");\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::shared_ptr<cfsm::Network> generated_dash_network(int channels) {
+  const frontend::ParsedFile file =
+      frontend::parse(generated_dash_source(channels));
+  return network_of(file, "dash_gen");
+}
+
 }  // namespace polis::systems

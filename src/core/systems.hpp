@@ -59,4 +59,15 @@ frontend::ParsedFile microwave();
 std::shared_ptr<cfsm::Network> microwave_network();
 std::vector<std::shared_ptr<const cfsm::Cfsm>> microwave_modules();
 
+/// RSL source of a generated `channels`-channel dashboard: `channels`
+/// independent wheel-speed chains (debounce → pulse counter → speedometer)
+/// sharing one sampling timer, as network `dash_gen`. The state space grows
+/// multiplicatively per channel while the cluster count grows linearly
+/// (4 per channel + the timer), which makes the family the scaling axis for
+/// the parallel-verification benchmarks (`bench_verif`) and the
+/// `tools/gen_dash` generator. Requires `channels` >= 1.
+std::string generated_dash_source(int channels);
+/// Parsed `dash_gen` network of `generated_dash_source(channels)`.
+std::shared_ptr<cfsm::Network> generated_dash_network(int channels);
+
 }  // namespace polis::systems

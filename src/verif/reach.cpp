@@ -1,11 +1,15 @@
 #include "verif/reach.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <set>
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/governor.hpp"
+#include "util/thread_pool.hpp"
+#include "verif/par_image.hpp"
 
 namespace polis::verif {
 
@@ -37,6 +41,20 @@ void publish_reach_stats(const ReachStats& s) {
   if (!s.converged) reg.add(ids.unconverged, 1);
   reg.set(ids.peak, static_cast<std::int64_t>(s.peak_live_nodes));
   reg.observe(ids.depth, static_cast<std::uint64_t>(s.iterations));
+  if (s.shards > 0) {
+    struct ParIds {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+      obs::MetricsRegistry::Id shards = reg.max_gauge("reach.shards");
+      obs::MetricsRegistry::Id worker_peak =
+          reg.max_gauge("reach.worker_peak_nodes");
+      obs::MetricsRegistry::Id worker_gcs = reg.counter("reach.worker_gc_runs");
+    };
+    static const ParIds par_ids;
+    reg.set(par_ids.shards, s.shards);
+    for (const std::size_t peak : s.worker_peak_nodes)
+      reg.set(par_ids.worker_peak, static_cast<std::int64_t>(peak));
+    reg.add(par_ids.worker_gcs, s.worker_gc_runs);
+  }
 }
 
 /// Budget exceeded: existentially smooth the present variable contributing
@@ -71,11 +89,24 @@ ReachResult reachable_states(const TransitionSystem& tr,
   OBS_SPAN(span, "verif.reach", "verif");
 
   ReachResult result;
-  result.reached = enc.initial_set();
+  {
+    // The initial set is tiny but its kernel ops still hit the amortized
+    // governor poll: in degrade mode a pre-cancelled / past-deadline run
+    // must reach the loop head (which stops honestly) instead of throwing
+    // from setup.
+    std::optional<ResourceGovernor::Suspend> setup_guard;
+    if (options.degrade_on_budget) setup_guard.emplace();
+    result.reached = enc.initial_set();
+  }
   bdd::Bdd frontier = result.reached;
   if (options.keep_layers) result.layers.push_back(frontier);
   result.stats.peak_live_nodes = mgr.live_node_count();
 
+  // Parallel image engine: sharded per-cluster images on private worker
+  // managers, merged deterministically back here (see par_image.hpp). The
+  // merged image is the same canonical BDD the serial path computes, so
+  // everything downstream — layers, verdicts, counterexamples — is
+  // bit-identical at every thread count.
   // Degradation ladder: in `degrade_on_budget` mode a governor node/byte/
   // allocation trip mid-image falls back to the same widening the static
   // node_budget uses (the set only grows, so an empty bad-intersection still
@@ -83,6 +114,32 @@ ReachResult reachable_states(const TransitionSystem& tr,
   // non-converged (the reached set UNDERapproximates — `converged` gates
   // every kProved downstream). Without the flag governor errors propagate.
   ResourceGovernor* const gov = ResourceGovernor::current();
+
+  const int threads =
+      options.num_threads == 0
+          ? static_cast<int>(ThreadPool::default_threads())
+          : options.num_threads;
+  std::unique_ptr<ParallelImage> par;
+  if (threads > 1 && tr.clusters.size() > 1) {
+    if (!options.degrade_on_budget) {
+      par = std::make_unique<ParallelImage>(tr, threads);
+    } else {
+      // Worker setup migrates the whole relation into per-worker managers —
+      // a real allocation that can trip an already-tight budget or land
+      // after a cancellation. Degrade to the serial image path (which has
+      // its own recovery ladder below) instead of failing the run; the
+      // loop head re-checks deadline/cancel before the first image.
+      try {
+        par = std::make_unique<ParallelImage>(tr, threads);
+      } catch (const RecoverableError&) {
+        if (gov != nullptr)
+          gov->note_degradation("parallel image setup over budget; serial");
+      }
+    }
+  }
+  const auto step_image = [&](const bdd::Bdd& from) {
+    return par != nullptr ? par->image(from) : image(tr, from);
+  };
   const auto stop_unconverged = [&result]() {
     result.stats.exact = false;
     result.stats.converged = false;
@@ -117,7 +174,7 @@ ReachResult reachable_states(const TransitionSystem& tr,
     if (options.degrade_on_budget) {
       bool recovered = false;
       try {
-        const bdd::Bdd img = image(tr, frontier);
+        const bdd::Bdd img = step_image(frontier);
         frontier = img & !result.reached;
         result.reached = result.reached | frontier;
       } catch (const Cancelled&) {
@@ -153,11 +210,15 @@ ReachResult reachable_states(const TransitionSystem& tr,
         ++result.stats.widenings;
         mgr.garbage_collect();
         ++result.stats.gc_runs;
+        // The trip may have left worker arenas bloated mid-image; collect
+        // them all before retrying on the widened set.
+        if (par != nullptr)
+          result.stats.worker_gc_runs += par->collect_garbage(1);
         recovered = true;
       }
       if (recovered) continue;
     } else {
-      const bdd::Bdd img = image(tr, frontier);
+      const bdd::Bdd img = step_image(frontier);
       frontier = img & !result.reached;
       result.reached = result.reached | frontier;
     }
@@ -184,13 +245,28 @@ ReachResult reachable_states(const TransitionSystem& tr,
       mgr.garbage_collect();
       ++result.stats.gc_runs;
     }
+    if (par != nullptr)
+      result.stats.worker_gc_runs += par->collect_garbage(options.gc_threshold);
     if (layer_span.armed())
       layer_span.arg("reached_nodes", mgr.node_count(result.reached));
   }
 
-  result.stats.reached_nodes = mgr.node_count(result.reached);
-  result.stats.reached_states =
-      mgr.sat_count(result.reached, enc.num_present_vars());
+  if (par != nullptr) {
+    result.stats.shards = par->shards();
+    for (const ParallelImage::WorkerStats& w : par->worker_stats())
+      result.stats.worker_peak_nodes.push_back(w.peak_nodes);
+  }
+
+  {
+    // Final bookkeeping must complete even when the loop stopped on a
+    // deadline/cancel trip — the partial result is the whole point of
+    // degrading (same rationale as the setup guard above).
+    std::optional<ResourceGovernor::Suspend> teardown_guard;
+    if (options.degrade_on_budget) teardown_guard.emplace();
+    result.stats.reached_nodes = mgr.node_count(result.reached);
+    result.stats.reached_states =
+        mgr.sat_count(result.reached, enc.num_present_vars());
+  }
   if (span.armed()) {
     span.arg("iterations", result.stats.iterations);
     span.arg("reached_nodes", result.stats.reached_nodes);

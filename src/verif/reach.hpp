@@ -19,8 +19,19 @@ struct ReachOptions {
   /// widening (overapproximation, `exact` turns false). 0 = unlimited.
   std::size_t node_budget = 0;
   /// Run BddManager::garbage_collect between iterations once the unique
-  /// table holds more than this many nodes. 0 = never collect.
-  std::size_t gc_threshold = std::size_t{1} << 18;
+  /// table holds more than this many nodes. 0 = never collect. The default
+  /// is deliberately generous (8 Mi nodes ≈ 128 MiB of arena): every
+  /// collection also clears the computed cache, and long fixpoints live on
+  /// inter-iteration cache reuse — on full dash, collecting at 4 Mi nodes
+  /// instead of 8 Mi makes the run 4.5× slower. Memory-bounded runs should
+  /// cap via the governor's byte budget, not a tight GC threshold.
+  std::size_t gc_threshold = std::size_t{8} << 20;
+  /// Image-computation workers. 1 = serial (in the main manager);
+  /// N > 1 shards the transition-relation clusters across N private
+  /// per-thread managers (see ParallelImage) — bit-identical results, the
+  /// partial images are merged deterministically on the main manager.
+  /// 0 = one worker per hardware thread.
+  int num_threads = 1;
   /// Iteration cap; exceeding it stops with `exact == false`. 0 = none.
   int max_iterations = 0;
   /// Keep the BFS onion layers (needed for counterexample extraction).
@@ -42,6 +53,10 @@ struct ReachStats {
   std::uint64_t gc_runs = 0;        // in-fixpoint garbage collections
   int widenings = 0;                // budget-triggered overapproximations
   int budget_recoveries = 0;        // governor trips recovered by widening
+  int shards = 0;                   // image workers (0 = serial path)
+  /// Per-worker high-water arena sizes (parallel path only; index = shard).
+  std::vector<std::size_t> worker_peak_nodes;
+  std::uint64_t worker_gc_runs = 0;  // collections across worker managers
   bool exact = true;
   /// True iff the fixpoint ran until the frontier emptied. A widened run is
   /// converged-but-inexact: `reached` OVERapproximates, so an empty bad

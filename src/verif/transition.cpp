@@ -174,6 +174,8 @@ TransitionSystem build_transition_system(NetworkEncoding& enc,
     }
     tr.clusters.push_back(std::move(c));
   }
+  for (Cluster& c : tr.clusters)
+    c.rename_map = register_next_to_present(mgr, c.modified);
   if (span.armed()) {
     span.arg("clusters", tr.clusters.size());
     std::uint64_t transitions = 0;
@@ -184,6 +186,14 @@ TransitionSystem build_transition_system(NetworkEncoding& enc,
   return tr;
 }
 
+int register_next_to_present(bdd::BddManager& mgr,
+                             const std::vector<VarPair>& modified) {
+  std::vector<std::pair<int, int>> map;
+  map.reserve(modified.size());
+  for (const VarPair& b : modified) map.emplace_back(b.next, b.present);
+  return mgr.register_rename(map);
+}
+
 bdd::Bdd image_one(const TransitionSystem& tr, const Cluster& cluster,
                    const bdd::Bdd& from) {
   bdd::BddManager& mgr = tr.enc->manager();
@@ -191,9 +201,10 @@ bdd::Bdd image_one(const TransitionSystem& tr, const Cluster& cluster,
   // away; unmodified bits pass through untouched.
   bdd::Bdd img =
       mgr.and_exists(from, cluster.relation, cluster.quantify_present);
-  for (const VarPair& b : cluster.modified)
-    img = mgr.compose(img, b.next, mgr.var(b.present));
-  return img;
+  // After quantification the present twins are gone from the support, and
+  // the interleaved order keeps each next bit directly below its present
+  // twin — the relabel is a pure structural pass (see BddManager::rename).
+  return mgr.rename(img, cluster.rename_map);
 }
 
 bdd::Bdd image(const TransitionSystem& tr, const bdd::Bdd& from) {

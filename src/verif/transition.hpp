@@ -46,6 +46,9 @@ struct Cluster {
   bdd::Bdd overwrite_risk;
   /// Concrete transitions encoded (enumeration telemetry).
   std::uint64_t transitions = 0;
+  /// Rename-map id (on the encoding's manager) relabelling this cluster's
+  /// next bits to their present twins — the image's final substitution.
+  int rename_map = -1;
 };
 
 struct TransitionSystem {
@@ -63,9 +66,15 @@ struct TransitionOptions {
 TransitionSystem build_transition_system(NetworkEncoding& enc,
                                          const TransitionOptions& options = {});
 
+/// Registers the next→present relabel of `modified` on `mgr` and returns
+/// the map id. Used once per cluster at build time, and again by the
+/// parallel reachability engine for each worker manager's cluster copies.
+int register_next_to_present(bdd::BddManager& mgr,
+                             const std::vector<VarPair>& modified);
+
 /// Forward image of `from` under one cluster: rename-free result over the
-/// present variables (and_exists over the modified present bits, then
-/// next → present renaming by composition).
+/// present variables (and_exists over the modified present bits, then a
+/// single-pass next → present relabel).
 bdd::Bdd image_one(const TransitionSystem& tr, const Cluster& cluster,
                    const bdd::Bdd& from);
 
