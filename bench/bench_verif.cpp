@@ -148,6 +148,9 @@ int main() {
   const estim::CostModel model = estim::calibrate(vm::hc11_like());
   bench::Report report("bench_verif");
   obs::TraceRecorder::global().set_enabled(true);
+  // Layer epochs tick once per fixpoint BFS layer while the recorder is on,
+  // so the report's series.* entries cover the verification runs below.
+  obs::SeriesRecorder::global().set_enabled(true);
 
   std::cout << "Symbolic reachability & verification\n";
   Table verify_table({"network", "reached", "iters", "peak nodes", "gc",
@@ -168,6 +171,8 @@ int main() {
   std::cout << "\nParallel image scaling (generated dash family)\n";
   run_scaling(report);
   report.capture_phases();
+  report.capture_series();
+  obs::SeriesRecorder::global().set_enabled(false);
   obs::TraceRecorder::global().set_enabled(false);
   report.write("BENCH_VERIF.json");
   std::cout << "\nwrote BENCH_VERIF.json\n";

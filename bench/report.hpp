@@ -29,6 +29,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/series.hpp"
 #include "obs/trace.hpp"
 
 namespace polis::bench {
@@ -77,6 +79,31 @@ class Report {
   void capture_phases(
       const obs::TraceRecorder& recorder = obs::TraceRecorder::global()) {
     phases_ = recorder.span_totals_ms();
+  }
+
+  /// Folds the registry's histograms through the quantile sketch into one
+  /// `series.<hist>` entry each (count/sum/p50/p90/p99) and records how many
+  /// epochs each series timebase ticked, so bench_diff sees distributional
+  /// shifts (a fatter latency tail) and coverage changes (fewer fixpoint
+  /// layers), not just totals.
+  void capture_series(
+      const obs::MetricsRegistry& registry = obs::MetricsRegistry::global()) {
+    const obs::MetricsRegistry::Snapshot snap = registry.snapshot();
+    for (const auto& [name, h] : snap.histograms) {
+      if (h.count == 0) continue;
+      const obs::QuantileSketch sk = obs::QuantileSketch::from_histogram(h);
+      entry("series." + name)
+          .metric("count", h.count)
+          .metric("sum", h.sum)
+          .metric("p50", sk.quantile(0.5))
+          .metric("p90", sk.quantile(0.9))
+          .metric("p99", sk.quantile(0.99));
+    }
+    const obs::SeriesRecorder& rec = obs::SeriesRecorder::global();
+    entry("series.epochs")
+        .metric("wall", rec.total_epochs(obs::Timebase::kWall))
+        .metric("cycles", rec.total_epochs(obs::Timebase::kSim))
+        .metric("layer", rec.total_epochs(obs::Timebase::kLayer));
   }
 
   /// Writes the report; complains on stderr (but does not throw) when the

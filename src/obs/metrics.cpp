@@ -16,21 +16,29 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 int MetricsRegistry::bucket_of(std::uint64_t value) {
-  if (value == 0) return 0;
-  const int width = std::bit_width(value);  // 1..64
-  return width > kBuckets - 1 ? kBuckets - 1 : width;
+  // Log-linear: the top kSubBits+1 significant bits select the bucket, so
+  // every octave splits into 2^kSubBits equal-width sub-buckets and values
+  // below 2^(kSubBits+1) are exact.
+  if (value < (1u << (kSubBits + 1))) return static_cast<int>(value);
+  const int width = std::bit_width(value);  // kSubBits+2 .. 64
+  const int sub = static_cast<int>((value >> (width - kSubBits - 1)) &
+                                   ((1u << kSubBits) - 1));
+  return ((width - kSubBits) << kSubBits) + sub;
 }
 
 std::uint64_t MetricsRegistry::bucket_lo(int bucket) {
   POLIS_CHECK(bucket >= 0 && bucket < kBuckets);
-  return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+  if (bucket < (1 << (kSubBits + 1))) return static_cast<std::uint64_t>(bucket);
+  const int octave = bucket >> kSubBits;          // 2 .. 64-kSubBits
+  const int sub = bucket & ((1 << kSubBits) - 1);  // 0 .. 2^kSubBits-1
+  return (std::uint64_t{1 << kSubBits} + static_cast<std::uint64_t>(sub))
+         << (octave - 1);
 }
 
 std::uint64_t MetricsRegistry::bucket_hi(int bucket) {
   POLIS_CHECK(bucket >= 0 && bucket < kBuckets);
-  if (bucket == 0) return 0;
   if (bucket == kBuckets - 1) return ~std::uint64_t{0};
-  return (std::uint64_t{1} << bucket) - 1;
+  return bucket_lo(bucket + 1) - 1;
 }
 
 MetricsRegistry::Id MetricsRegistry::register_named(Kind kind,
@@ -259,6 +267,15 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   };
   ratio("bdd.cache_hit_rate", "bdd.cache_hits", "bdd.cache_lookups");
   ratio("bdd.unique_hit_rate", "bdd.unique_hits", "bdd.unique_lookups");
+  // Histogram means from the exact merged sums carried through snapshot() —
+  // never reconstructed from bucket midpoints, which would be off by up to
+  // the bucket's relative error.
+  for (const auto& [name, h] : snap.histograms) {
+    if (h.count == 0) continue;
+    os << (first ? "" : ",") << "\n    \"" << json::escape(name + "_avg")
+       << "\": " << static_cast<double>(h.sum) / static_cast<double>(h.count);
+    first = false;
+  }
   os << "\n  }\n}\n";
 }
 

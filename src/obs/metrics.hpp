@@ -1,10 +1,10 @@
-// Metrics registry: named counters, gauges and log2-bucket histograms with a
-// lock-free fast path. Updates go to a per-thread shard (preallocated arrays
-// of relaxed atomics — no lock, no allocation, no hash lookup once an Id is
-// held); `snapshot` merges the shards under the registry mutex. The layer the
-// pipeline's ad-hoc telemetry structs (`BddManager::stats`, SiftTelemetry,
-// ReachStats, rtos::SimStats) mirror into, so one `--metrics` snapshot covers
-// the whole flow.
+// Metrics registry: named counters, gauges and log-linear-bucket histograms
+// with a lock-free fast path. Updates go to a per-thread shard (preallocated
+// arrays of relaxed atomics — no lock, no allocation, no hash lookup once an
+// Id is held); `snapshot` merges the shards under the registry mutex. The
+// layer the pipeline's ad-hoc telemetry structs (`BddManager::stats`,
+// SiftTelemetry, ReachStats, rtos::SimStats) mirror into, so one `--metrics`
+// snapshot covers the whole flow.
 //
 // Concurrency model: registration (name → Id) takes a mutex and is expected
 // at setup time or at coarse flush points; `add`/`set`/`observe` are safe
@@ -30,12 +30,21 @@ class MetricsRegistry {
   using Id = std::uint32_t;
   static constexpr Id kInvalidId = 0xffffffffu;
 
-  /// Histogram buckets: bucket 0 holds the value 0; bucket b (1..63) holds
-  /// [2^(b-1), 2^b - 1]; the last bucket absorbs everything above.
-  static constexpr int kBuckets = 64;
+  /// Histogram buckets are log-linear (HdrHistogram-style): each power-of-two
+  /// octave is split into 2^kSubBits linear sub-buckets, so values 0..15 land
+  /// in their own exact bucket and every wider bucket spans at most a
+  /// 1/(2*2^kSubBits) = ~6% relative error around its midpoint — tight enough
+  /// that p50/p90/p99 read off the buckets are honest. Bucket b < 16 holds
+  /// exactly the value b; bucket b >= 16 with octave o = b >> kSubBits and
+  /// sub-index m = b & 7 holds [(8+m) << (o-1), ((9+m) << (o-1)) - 1]. The
+  /// last bucket's upper bound is UINT64_MAX.
+  static constexpr int kSubBits = 3;
+  // Highest bucket index is ((64 - kSubBits) << kSubBits) | (2^kSubBits - 1).
+  static constexpr int kBuckets = (64 - kSubBits + 1) * (1 << kSubBits);  // 496
 
   // Per-shard capacity; registering more of a kind is a CheckError. Sized so
-  // a shard stays ~20 KiB — cheap enough to preallocate per thread.
+  // a shard stays ~130 KiB (histogram bucket arrays dominate) — still cheap
+  // enough to preallocate per thread.
   static constexpr std::uint32_t kMaxCounters = 256;
   static constexpr std::uint32_t kMaxGauges = 64;
   static constexpr std::uint32_t kMaxHistograms = 32;
@@ -82,8 +91,11 @@ class MetricsRegistry {
   /// Machine-readable snapshot:
   ///   { "counters": {..}, "gauges": {..},
   ///     "histograms": { name: {"count","sum","buckets":[[lo,hi,n],..]} },
-  ///     "derived": { "bdd.cache_hit_rate": .. } }
-  /// Histogram bucket triples list only non-empty buckets.
+  ///     "derived": { "bdd.cache_hit_rate": .., "<hist>_avg": .. } }
+  /// Histogram bucket triples list only non-empty buckets. Derived
+  /// `<hist>_avg` values divide the *exact* merged per-shard sums by the
+  /// merged counts — never bucket midpoints, which would skew the mean by up
+  /// to the bucket's relative error.
   void write_json(std::ostream& os) const;
 
   static int bucket_of(std::uint64_t value);

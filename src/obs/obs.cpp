@@ -5,19 +5,31 @@
 #include <sstream>
 
 #include "obs/json.hpp"
+#include "obs/series.hpp"
 
 namespace polis::obs {
 
 void write_metrics_json(std::ostream& os, const MetricsRegistry& registry,
                         const TraceRecorder* recorder) {
-  // Render the registry body, then splice the phase table in before the
-  // closing brace so both land in one document.
+  // Render the registry body, then splice the quantile summaries and phase
+  // table in before the closing brace so all land in one document.
   std::ostringstream body;
   registry.write_json(body);
   std::string text = body.str();
   const size_t close = text.rfind('}');
   if (close != std::string::npos) text.resize(close);
-  os << text << ",\n  \"phases\": {";
+  os << text << ",\n  \"quantiles\": {";
+  bool first_q = true;
+  for (const auto& [name, h] : registry.snapshot().histograms) {
+    if (h.count == 0) continue;
+    const QuantileSketch sk = QuantileSketch::from_histogram(h);
+    os << (first_q ? "" : ",") << "\n    \"" << json::escape(name)
+       << "\": { \"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"p50\": " << sk.quantile(0.5) << ", \"p90\": " << sk.quantile(0.9)
+       << ", \"p99\": " << sk.quantile(0.99) << " }";
+    first_q = false;
+  }
+  os << "\n  },\n  \"phases\": {";
   bool first = true;
   if (recorder != nullptr) {
     for (const auto& [name, ms] : recorder->span_totals_ms()) {

@@ -12,9 +12,11 @@
 namespace polis::obs {
 
 /// Combined machine-readable snapshot, the payload behind `polisc
-/// --metrics`: the registry's counters/gauges/histograms plus a per-phase
+/// --metrics`: the registry's counters/gauges/histograms, per-histogram
+/// quantile summaries (p50/p90/p99 through QuantileSketch), plus a per-phase
 /// wall-time breakdown aggregated from the recorder's spans.
 ///   { "counters": .., "gauges": .., "histograms": .., "derived": ..,
+///     "quantiles": { "hist": {"count","sum","p50","p90","p99"}, ... },
 ///     "phases": { "span name": milliseconds, ... } }
 void write_metrics_json(
     std::ostream& os,

@@ -1,0 +1,43 @@
+#include "obs/prometheus.hpp"
+
+#include <ostream>
+
+#include "obs/series.hpp"
+
+namespace polis::obs {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "polis_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snap = registry.snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = prometheus_name(name) + "_total";
+    os << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = prometheus_name(name);
+    os << "# TYPE " << p << " gauge\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    if (h.count == 0) continue;
+    const std::string p = prometheus_name(name);
+    const QuantileSketch sk = QuantileSketch::from_histogram(h);
+    os << "# TYPE " << p << " summary\n";
+    os << p << "{quantile=\"0.5\"} " << sk.quantile(0.5) << "\n";
+    os << p << "{quantile=\"0.9\"} " << sk.quantile(0.9) << "\n";
+    os << p << "{quantile=\"0.99\"} " << sk.quantile(0.99) << "\n";
+    os << p << "_sum " << h.sum << "\n";
+    os << p << "_count " << h.count << "\n";
+  }
+}
+
+}  // namespace polis::obs

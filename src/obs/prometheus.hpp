@@ -1,0 +1,24 @@
+// Prometheus text exposition (version 0.0.4) of a registry snapshot — the
+// body a future `polisd /metrics` endpoint serves, and what the CI line
+// validator checks. Counters gain the conventional `_total` suffix,
+// histograms export as summaries (p50/p90/p99 through QuantileSketch plus
+// exact `_sum`/`_count`), and metric names are sanitised into the Prometheus
+// alphabet with a `polis_` prefix ("bdd.ite_calls" → "polis_bdd_ite_calls").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace polis::obs {
+
+/// "bdd.cache_hit_rate" → "polis_bdd_cache_hit_rate"; any character outside
+/// [a-zA-Z0-9_:] becomes '_'.
+std::string prometheus_name(const std::string& name);
+
+void write_prometheus(std::ostream& os,
+                      const MetricsRegistry& registry =
+                          MetricsRegistry::global());
+
+}  // namespace polis::obs

@@ -1,0 +1,278 @@
+#include "obs/series.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace polis::obs {
+
+// --- QuantileSketch ----------------------------------------------------------
+
+void QuantileSketch::observe(std::uint64_t value) {
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++buckets_[static_cast<size_t>(MetricsRegistry::bucket_of(value))];
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  for (int b = 0; b < MetricsRegistry::kBuckets; ++b)
+    buckets_[static_cast<size_t>(b)] += other.buckets_[static_cast<size_t>(b)];
+}
+
+QuantileSketch QuantileSketch::from_histogram(
+    const MetricsRegistry::HistogramView& h) {
+  // Lossless: the sketch shares the registry's bucket boundaries, so the
+  // transfer is a copy plus bucket-bound min/max.
+  QuantileSketch s;
+  s.count_ = h.count;
+  s.sum_ = h.sum;
+  for (int b = 0; b < MetricsRegistry::kBuckets; ++b) {
+    const std::uint64_t n = h.buckets[static_cast<size_t>(b)];
+    if (n == 0) continue;
+    s.buckets_[static_cast<size_t>(b)] = n;
+    const std::uint64_t lo = MetricsRegistry::bucket_lo(b);
+    const std::uint64_t hi = MetricsRegistry::bucket_hi(b);
+    if (lo < s.min_) s.min_ = lo;
+    if (hi > s.max_) s.max_ = hi;
+  }
+  return s;
+}
+
+std::uint64_t QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * count), clamped into [1, count]. The epsilon keeps values like
+  // 0.9 * 10 = 9.000000000000002 from ceiling to 10.
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(target);
+  if (static_cast<double>(rank) + 1e-9 < target) ++rank;
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t cum = 0;
+  for (int b = 0; b < MetricsRegistry::kBuckets; ++b) {
+    cum += buckets_[static_cast<size_t>(b)];
+    if (cum >= rank) {
+      const std::uint64_t lo = MetricsRegistry::bucket_lo(b);
+      const std::uint64_t hi = MetricsRegistry::bucket_hi(b);
+      std::uint64_t mid = lo + (hi - lo) / 2;
+      if (mid < min_) mid = min_;
+      if (mid > max_) mid = max_;
+      return mid;
+    }
+  }
+  return max_;
+}
+
+// --- Epoch rendering ---------------------------------------------------------
+
+const char* timebase_clock_name(Timebase tb) {
+  switch (tb) {
+    case Timebase::kWall:
+      return "wall";
+    case Timebase::kSim:
+      return "cycles";
+    case Timebase::kLayer:
+      return "layer";
+  }
+  return "?";
+}
+
+double counter_rate(const EpochSample& prev, const EpochSample& cur,
+                    const std::string& name) {
+  const auto it = cur.counter_deltas.find(name);
+  if (it == cur.counter_deltas.end()) return 0.0;
+  const std::int64_t dt = cur.ts - prev.ts;
+  if (dt <= 0) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(dt);
+}
+
+void write_epoch_jsonl(std::ostream& os, const EpochSample& sample) {
+  os << "{\"epoch\":" << sample.epoch << ",\"clock\":\""
+     << timebase_clock_name(sample.timebase) << "\",\"ts\":" << sample.ts
+     << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, delta] : sample.counter_deltas) {
+    os << (first ? "" : ",") << "\"" << json::escape(name) << "\":" << delta;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : sample.gauges) {
+    os << (first ? "" : ",") << "\"" << json::escape(name) << "\":" << value;
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : sample.hists) {
+    os << (first ? "" : ",") << "\"" << json::escape(name)
+       << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"p50\":" << h.p50 << ",\"p90\":" << h.p90 << ",\"p99\":" << h.p99
+       << "}";
+    first = false;
+  }
+  os << "}}";
+}
+
+// --- SeriesRecorder ----------------------------------------------------------
+
+SeriesRecorder& SeriesRecorder::global() {
+  static SeriesRecorder* recorder = new SeriesRecorder();  // never destroyed
+  return *recorder;
+}
+
+SeriesRecorder::~SeriesRecorder() { stop_wall_sampler(); }
+
+void SeriesRecorder::set_capacity(std::size_t max_epochs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = max_epochs == 0 ? 1 : max_epochs;
+  for (auto& st : states_)
+    while (st.ring.size() > capacity_) st.ring.pop_front();
+}
+
+std::size_t SeriesRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void SeriesRecorder::set_sink(std::ostream* os) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = os;
+}
+
+void SeriesRecorder::set_trace_counters(TraceRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_ = recorder;
+}
+
+void SeriesRecorder::begin_series(Timebase tb,
+                                  const MetricsRegistry& registry) {
+  const auto snap = registry.snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  TimebaseState& st = states_[static_cast<size_t>(tb)];
+  st.next_epoch = 0;
+  st.baselined = true;
+  st.prev_counters = snap.counters;
+  st.ring.clear();
+}
+
+void SeriesRecorder::tick_epoch(Timebase tb, std::int64_t ts,
+                                const MetricsRegistry& registry) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  tick_locked(tb, ts, registry);
+}
+
+void SeriesRecorder::tick_locked(Timebase tb, std::int64_t ts,
+                                 const MetricsRegistry& registry) {
+  const auto snap = registry.snapshot();
+  TimebaseState& st = states_[static_cast<size_t>(tb)];
+
+  EpochSample sample;
+  sample.timebase = tb;
+  sample.epoch = st.next_epoch++;
+  sample.ts = ts;
+  for (const auto& [name, value] : snap.counters) {
+    std::uint64_t prev = 0;
+    if (st.baselined) {
+      const auto it = st.prev_counters.find(name);
+      if (it != st.prev_counters.end()) prev = it->second;
+    }
+    if (value > prev) sample.counter_deltas[name] = value - prev;
+  }
+  sample.gauges = snap.gauges;
+  for (const auto& [name, h] : snap.histograms) {
+    if (h.count == 0) continue;
+    const QuantileSketch sk = QuantileSketch::from_histogram(h);
+    EpochSample::HistSummary s;
+    s.count = h.count;
+    s.sum = h.sum;
+    s.p50 = sk.quantile(0.5);
+    s.p90 = sk.quantile(0.9);
+    s.p99 = sk.quantile(0.99);
+    sample.hists[name] = s;
+  }
+  st.prev_counters = snap.counters;
+  st.baselined = true;
+  ++st.total;
+
+  if (sink_ != nullptr) {
+    write_epoch_jsonl(*sink_, sample);
+    *sink_ << '\n';
+    sink_->flush();  // abort-killed runs still yield every completed epoch
+  }
+  if (trace_ != nullptr && trace_->enabled()) {
+    const int pid = tb == Timebase::kSim ? kPidSim : kPidPipeline;
+    for (const auto& [name, delta] : sample.counter_deltas) {
+      TraceEvent e;
+      e.name = name;
+      e.cat = "series";
+      e.ph = 'C';
+      e.ts = ts;
+      e.pid = pid;
+      e.tid = 0;
+      e.args.push_back({"value", std::to_string(delta)});
+      trace_->record(std::move(e));
+    }
+  }
+
+  st.ring.push_back(std::move(sample));
+  while (st.ring.size() > capacity_) st.ring.pop_front();
+}
+
+std::vector<EpochSample> SeriesRecorder::samples(Timebase tb) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimebaseState& st = states_[static_cast<size_t>(tb)];
+  return std::vector<EpochSample>(st.ring.begin(), st.ring.end());
+}
+
+std::uint64_t SeriesRecorder::total_epochs(Timebase tb) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_[static_cast<size_t>(tb)].total;
+}
+
+void SeriesRecorder::start_wall_sampler(std::int64_t interval_ms,
+                                        const MetricsRegistry& registry) {
+  POLIS_CHECK(interval_ms > 0);
+  stop_wall_sampler();
+  begin_series(Timebase::kWall, registry);
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    sampler_stop_ = false;
+  }
+  const MetricsRegistry* reg = &registry;
+  sampler_ = std::thread([this, interval_ms, reg] {
+    std::unique_lock<std::mutex> lock(sampler_mu_);
+    for (;;) {
+      sampler_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                           [this] { return sampler_stop_; });
+      if (sampler_stop_) return;
+      lock.unlock();
+      tick_epoch(Timebase::kWall, now_us(), *reg);
+      lock.lock();
+    }
+  });
+}
+
+void SeriesRecorder::stop_wall_sampler() {
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+}
+
+}  // namespace polis::obs

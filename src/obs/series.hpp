@@ -1,0 +1,201 @@
+// Streaming telemetry: epoch sampling of registry snapshots into a bounded
+// ring of deltas, plus the fixed-size mergeable quantile sketch that fleet
+// aggregation merges across instances.
+//
+// Timebases. A series is a sequence of epochs on one of three clocks:
+//   * kWall  — wall microseconds since the trace epoch, driven by the
+//     background sampler thread (`--metrics-interval-ms`);
+//   * kSim   — simulated cycles, ticked by the RTOS simulator loop at
+//     `RtosConfig::metrics_epoch_cycles` boundaries;
+//   * kLayer — BFS depth, ticked once per verif fixpoint layer.
+// Sim and layer epochs are driven entirely by deterministic integer state, so
+// their JSONL lines are byte-identical across identical runs: every rendered
+// field (epoch index, timestamp, counter deltas, gauges, sketch quantiles) is
+// integral, and the wall sampler only *reads* the registry. The one caveat:
+// wall-dependent gauges (governor deadline headroom_ms) do vary, so runs
+// under a --budget-ms deadline trade sim-line identity for liveness data.
+//
+// Memory bound. The ring holds at most `capacity()` EpochSample values per
+// timebase (default 4096); each sample stores only nonzero counter deltas,
+// current gauges, and a five-number summary per histogram — never full bucket
+// arrays — so a million ticks stay within capacity * O(metrics) bytes.
+//
+// Concurrency. `tick_epoch` serialises samplers under one mutex and is a
+// single relaxed load when the recorder is disabled; registry writers stay on
+// their lock-free shard path, so ticking from a sampler thread races hot-path
+// `add`/`observe` calls cleanly (TSan-checked in series_test).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace polis::obs {
+
+class TraceRecorder;
+
+/// Fixed-size mergeable quantile sketch over the registry's log-linear bucket
+/// geometry. Merge is elementwise addition — associative and commutative —
+/// and `from_histogram` is lossless because the sketch shares
+/// MetricsRegistry's bucket boundaries. Quantiles are nearest-rank over the
+/// cumulative bucket counts, reported as the bucket midpoint clamped to the
+/// observed [min, max], so relative error is bounded by the bucket geometry
+/// (~6%, exact below 16).
+class QuantileSketch {
+ public:
+  void observe(std::uint64_t value);
+  void merge(const QuantileSketch& other);
+  static QuantileSketch from_histogram(const MetricsRegistry::HistogramView& h);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  /// Smallest/largest observation (bucket lower/upper bound when built via
+  /// `from_histogram`); both 0 when the sketch is empty.
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+
+  /// Nearest-rank quantile, q in [0, 1]; deterministic integer result.
+  std::uint64_t quantile(double q) const;
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+  std::array<std::uint64_t, MetricsRegistry::kBuckets> buckets_{};
+};
+
+enum class Timebase : int { kWall = 0, kSim = 1, kLayer = 2 };
+constexpr int kNumTimebases = 3;
+/// JSONL "clock" field: "wall" / "cycles" / "layer".
+const char* timebase_clock_name(Timebase tb);
+
+/// One epoch: counter *deltas* since the previous epoch on the same timebase,
+/// current gauges, and cumulative five-number histogram summaries.
+struct EpochSample {
+  Timebase timebase = Timebase::kWall;
+  std::uint64_t epoch = 0;  // per-timebase index, 0-based from the baseline
+  std::int64_t ts = 0;      // wall us / sim cycle / layer depth
+  std::map<std::string, std::uint64_t> counter_deltas;  // nonzero only
+  std::map<std::string, std::int64_t> gauges;
+  struct HistSummary {
+    std::uint64_t count = 0;  // cumulative, like the registry's histograms
+    std::uint64_t sum = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+  };
+  std::map<std::string, HistSummary> hists;  // count > 0 only
+};
+
+/// Counter rate between two consecutive samples of one series, in units of
+/// the series' clock (per microsecond / per cycle / per layer).
+double counter_rate(const EpochSample& prev, const EpochSample& cur,
+                    const std::string& name);
+
+/// Renders one epoch as a single JSON line (no trailing newline). Integral
+/// fields only — the byte-identity contract for sim/layer series.
+void write_epoch_jsonl(std::ostream& os, const EpochSample& sample);
+
+class SeriesRecorder {
+ public:
+  /// The process-wide recorder OBS_TICK_EPOCH targets.
+  static SeriesRecorder& global();
+
+  SeriesRecorder() = default;
+  SeriesRecorder(const SeriesRecorder&) = delete;
+  SeriesRecorder& operator=(const SeriesRecorder&) = delete;
+  ~SeriesRecorder();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Ring bound per timebase; older epochs are evicted (they were already
+  /// streamed to the sink, if any).
+  void set_capacity(std::size_t max_epochs);
+  std::size_t capacity() const;
+
+  /// Streaming JSONL sink, one epoch per line, flushed per line so an
+  /// abort-killed run still yields the series (not owned; null to detach).
+  void set_sink(std::ostream* os);
+
+  /// When set (and the trace recorder is enabled), every tick also emits
+  /// Chrome counter ('C') events so rates render beside spans (not owned).
+  void set_trace_counters(TraceRecorder* recorder);
+
+  /// Re-baselines a timebase: captures the registry's current snapshot as
+  /// epoch -1 and resets the epoch index, so the first subsequent tick
+  /// reports deltas relative to *now*. The RTOS simulator calls this at run
+  /// start, which is what makes two identical runs' sim series byte-equal
+  /// even when earlier pipeline work differed in wall time.
+  void begin_series(Timebase tb, const MetricsRegistry& registry =
+                                     MetricsRegistry::global());
+
+  /// Captures one epoch: snapshots the registry, diffs counters against the
+  /// previous epoch on `tb`, summarises histograms through QuantileSketch,
+  /// appends to the ring, and streams to the sink. A relaxed-load no-op when
+  /// disabled. Without a prior begin_series the baseline is the empty
+  /// snapshot (deltas equal cumulative values).
+  void tick_epoch(Timebase tb, std::int64_t ts,
+                  const MetricsRegistry& registry = MetricsRegistry::global());
+
+  /// Copy of the ring for one timebase, oldest first.
+  std::vector<EpochSample> samples(Timebase tb) const;
+  /// Epochs ever ticked on `tb` (monotonic; unaffected by ring eviction).
+  std::uint64_t total_epochs(Timebase tb) const;
+
+  /// Background wall-clock sampler: ticks kWall every `interval_ms`.
+  /// Idempotent stop; the destructor also stops it.
+  void start_wall_sampler(std::int64_t interval_ms,
+                          const MetricsRegistry& registry =
+                              MetricsRegistry::global());
+  void stop_wall_sampler();
+
+ private:
+  struct TimebaseState {
+    std::uint64_t next_epoch = 0;
+    std::uint64_t total = 0;
+    bool baselined = false;
+    std::map<std::string, std::uint64_t> prev_counters;
+    std::deque<EpochSample> ring;
+  };
+
+  void tick_locked(Timebase tb, std::int64_t ts,
+                   const MetricsRegistry& registry);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::size_t capacity_ = 4096;
+  std::ostream* sink_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
+  std::array<TimebaseState, kNumTimebases> states_;
+
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
+  std::thread sampler_;
+};
+
+}  // namespace polis::obs
+
+// OBS_TICK_EPOCH(timebase, ts) captures one epoch on the global recorder; a
+// single relaxed load when series recording is off, nothing at all under
+// POLIS_OBS_DISABLED.
+#ifdef POLIS_OBS_DISABLED
+#define OBS_TICK_EPOCH(tb, ts) \
+  do {                         \
+  } while (0)
+#else
+#define OBS_TICK_EPOCH(tb, ts) \
+  ::polis::obs::SeriesRecorder::global().tick_epoch((tb), (ts))
+#endif

@@ -48,7 +48,7 @@ struct TraceArg {
 struct TraceEvent {
   std::string name;
   const char* cat = "";
-  char ph = 'X';  // 'X' complete, 'i' instant, 'M' metadata
+  char ph = 'X';  // 'X' complete, 'i' instant, 'M' metadata, 'C' counter
   std::int64_t ts = 0;
   std::int64_t dur = 0;  // 'X' only
   int pid = kPidPipeline;

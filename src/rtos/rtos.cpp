@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "obs/series.hpp"
 #include "rtos/vcd.hpp"
 #include "util/check.hpp"
 #include "util/governor.hpp"
@@ -16,41 +17,71 @@ namespace polis::rtos {
 namespace {
 constexpr long long kInf = std::numeric_limits<long long>::max() / 4;
 
-// Mirrors a finished run into the global registry (once per run; nothing is
-// published from inside the event loop).
-void publish_sim_stats(const SimStats& stats) {
-  struct Ids {
-    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
-    obs::MetricsRegistry::Id runs = reg.counter("rtos.runs");
-    obs::MetricsRegistry::Id reactions = reg.counter("rtos.reactions_run");
-    obs::MetricsRegistry::Id empty = reg.counter("rtos.empty_reactions");
-    obs::MetricsRegistry::Id busy = reg.counter("rtos.busy_cycles");
-    obs::MetricsRegistry::Id overhead = reg.counter("rtos.overhead_cycles");
-    obs::MetricsRegistry::Id lost = reg.counter("rtos.lost_events");
-    obs::MetricsRegistry::Id misses = reg.counter("rtos.deadline_misses");
-    obs::MetricsRegistry::Id aborted = reg.counter("rtos.aborted_runs");
-    obs::MetricsRegistry::Id watchdog = reg.counter("rtos.watchdog_fires");
-    obs::MetricsRegistry::Id faults = reg.counter("rtos.injected_faults");
-    obs::MetricsRegistry::Id span = reg.histogram("rtos.run_cycles");
-  };
-  static const Ids ids;
+struct SimStatIds {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::MetricsRegistry::Id runs = reg.counter("rtos.runs");
+  obs::MetricsRegistry::Id reactions = reg.counter("rtos.reactions_run");
+  obs::MetricsRegistry::Id empty = reg.counter("rtos.empty_reactions");
+  obs::MetricsRegistry::Id busy = reg.counter("rtos.busy_cycles");
+  obs::MetricsRegistry::Id overhead = reg.counter("rtos.overhead_cycles");
+  obs::MetricsRegistry::Id lost = reg.counter("rtos.lost_events");
+  obs::MetricsRegistry::Id misses = reg.counter("rtos.deadline_misses");
+  obs::MetricsRegistry::Id aborted = reg.counter("rtos.aborted_runs");
+  obs::MetricsRegistry::Id watchdog = reg.counter("rtos.watchdog_fires");
+  obs::MetricsRegistry::Id faults = reg.counter("rtos.injected_faults");
+  obs::MetricsRegistry::Id span = reg.histogram("rtos.run_cycles");
+  obs::MetricsRegistry::Id latency = reg.histogram("rtos.latency_cycles");
+};
+const SimStatIds& sim_stat_ids() {
+  static const SimStatIds ids;
+  return ids;
+}
+
+// How much of the in-flight SimStats has already been mirrored into the
+// registry; the per-epoch publisher drains against this so the end-of-run
+// publish never double-counts.
+struct PublishedSim {
+  long long reactions = 0;
+  long long empty = 0;
+  long long busy = 0;
+  long long overhead = 0;
+  long long lost = 0;
+  long long misses = 0;
+  long long faults = 0;
+};
+
+// Mirrors the monotonic pieces of a (possibly mid-run) SimStats into the
+// registry as deltas since the last publish. Called per metrics epoch and
+// once at run end.
+void publish_sim_deltas(const SimStats& stats, PublishedSim& pub) {
+  const SimStatIds& ids = sim_stat_ids();
   obs::MetricsRegistry& reg = ids.reg;
+  auto drain = [&](obs::MetricsRegistry::Id id, long long now,
+                   long long& last) {
+    if (now > last) reg.add(id, static_cast<std::uint64_t>(now - last));
+    last = now;
+  };
+  drain(ids.reactions, stats.reactions_run, pub.reactions);
+  drain(ids.empty, stats.empty_reactions, pub.empty);
+  drain(ids.busy, stats.busy_cycles, pub.busy);
+  drain(ids.overhead, stats.overhead_cycles, pub.overhead);
+  long long lost = 0;
+  for (const auto& [net, n] : stats.lost_events) lost += n;
+  drain(ids.lost, lost, pub.lost);
+  long long misses = 0;
+  for (const auto& [task, n] : stats.deadline_misses) misses += n;
+  drain(ids.misses, misses, pub.misses);
+  drain(ids.faults, stats.injected.total(), pub.faults);
+}
+
+// End-of-run publish: the remaining deltas plus the once-per-run outcomes.
+void publish_sim_stats(const SimStats& stats, PublishedSim& pub) {
+  const SimStatIds& ids = sim_stat_ids();
+  obs::MetricsRegistry& reg = ids.reg;
+  publish_sim_deltas(stats, pub);
   reg.add(ids.runs, 1);
-  reg.add(ids.reactions, static_cast<std::uint64_t>(stats.reactions_run));
-  reg.add(ids.empty, static_cast<std::uint64_t>(stats.empty_reactions));
-  reg.add(ids.busy, static_cast<std::uint64_t>(stats.busy_cycles));
-  reg.add(ids.overhead, static_cast<std::uint64_t>(stats.overhead_cycles));
-  std::uint64_t lost = 0;
-  for (const auto& [net, n] : stats.lost_events)
-    lost += static_cast<std::uint64_t>(n);
-  reg.add(ids.lost, lost);
-  std::uint64_t misses = 0;
-  for (const auto& [task, n] : stats.deadline_misses)
-    misses += static_cast<std::uint64_t>(n);
-  reg.add(ids.misses, misses);
   if (stats.aborted) reg.add(ids.aborted, 1);
   if (stats.watchdog_fired) reg.add(ids.watchdog, 1);
-  reg.add(ids.faults, static_cast<std::uint64_t>(stats.injected.total()));
   reg.observe(ids.span, static_cast<std::uint64_t>(stats.end_time));
 }
 
@@ -279,6 +310,9 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
       // External output: observed by the environment.
       stats.outputs.push_back(ObservedEmission{now, net, value, producer});
       stats.input_to_output_latency[net].push_back(now - stimulus);
+      if (now >= stimulus)  // lock-free shard path; epoch sketches read this
+        sim_stat_ids().reg.observe(
+            sim_stat_ids().latency, static_cast<std::uint64_t>(now - stimulus));
       reactions_since_output = 0;
       return;
     }
@@ -592,9 +626,30 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
   };
 
   // --- Main loop ----------------------------------------------------------------
+  // Streaming epochs: one metrics epoch per metrics_epoch_cycles boundary the
+  // simulated clock crosses, driven only by deterministic integer state.
+  PublishedSim published;
+  const long long epoch_cycles = config_.metrics_epoch_cycles;
+  long long next_epoch = epoch_cycles > 0 ? epoch_cycles : kInf;
+#ifndef POLIS_OBS_DISABLED
+  const bool epochs_on =
+      epoch_cycles > 0 && obs::SeriesRecorder::global().enabled();
+  // Re-baseline so the sim series starts from this run's state regardless of
+  // what earlier pipeline phases did to the registry.
+  if (epochs_on) obs::SeriesRecorder::global().begin_series(obs::Timebase::kSim);
+#endif
   long long now = 0;
   try {
     while (now <= horizon) {
+      while (now >= next_epoch) {
+#ifndef POLIS_OBS_DISABLED
+        if (epochs_on) {
+          publish_sim_deltas(stats, published);
+          OBS_TICK_EPOCH(obs::Timebase::kSim, next_epoch);
+        }
+#endif
+        next_epoch += epoch_cycles;
+      }
       // Amortized deadline/cancel check: a pathological schedule (dense
       // deliveries, runaway preemption) stays bounded by the ambient
       // governor instead of running to the horizon.
@@ -649,7 +704,7 @@ SimStats RtosSimulation::run(const std::vector<ExternalEvent>& events,
     run_span.arg("reactions", stats.reactions_run);
     run_span.arg("aborted", stats.aborted);
   }
-  publish_sim_stats(stats);
+  publish_sim_stats(stats, published);
   return stats;
 }
 

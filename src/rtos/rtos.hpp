@@ -93,6 +93,14 @@ struct RtosConfig {
   /// Livelock/starvation watchdog; disabled by default.
   WatchdogConfig watchdog;
 
+  /// Streaming telemetry: when > 0 (and series recording is enabled), the
+  /// simulator publishes SimStats deltas into the metrics registry and ticks
+  /// one simulated-cycle epoch every `metrics_epoch_cycles` cycles. Epochs
+  /// are driven purely by deterministic simulation state, so the resulting
+  /// JSONL series is byte-identical across identical runs. 0 = end-of-run
+  /// publishing only (the historical behavior).
+  long long metrics_epoch_cycles = 0;
+
   /// Observability probes, e.g. for confirming a verif counterexample by
   /// replay. `on_task_start` fires at every dispatch with the frozen input
   /// snapshot and the pre-reaction state; `on_task_end` fires at completion

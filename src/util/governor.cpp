@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "obs/series.hpp"
 
 namespace polis {
 
@@ -49,6 +50,45 @@ bool ResourceGovernor::nodes_over_budget() const {
 
 void ResourceGovernor::poll_slow() {
   if (tls_suspended_) return;
+#ifndef POLIS_OBS_DISABLED
+  // Budget-headroom gauges for the streaming series: published only while a
+  // series recorder is live (a relaxed load otherwise) and only for budgets
+  // that are actually set, so default runs keep their byte-identical sim
+  // series (headroom_ms is wall-dependent by nature).
+  if (obs::SeriesRecorder::global().enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    struct Ids {
+      obs::MetricsRegistry::Id nodes, bytes, ms;
+    };
+    static const Ids ids = {
+        obs::MetricsRegistry::global().gauge("governor.headroom_nodes"),
+        obs::MetricsRegistry::global().gauge("governor.headroom_bytes"),
+        obs::MetricsRegistry::global().gauge("governor.headroom_ms"),
+    };
+    if (limits_.max_nodes != 0) {
+      const uint64_t used = charged_nodes_.load(std::memory_order_relaxed);
+      reg.set(ids.nodes, used >= limits_.max_nodes
+                             ? 0
+                             : static_cast<int64_t>(limits_.max_nodes - used));
+    }
+    if (limits_.max_arena_bytes != 0) {
+      const uint64_t used = charged_bytes_.load(std::memory_order_relaxed);
+      reg.set(ids.bytes,
+              used >= limits_.max_arena_bytes
+                  ? 0
+                  : static_cast<int64_t>(limits_.max_arena_bytes - used));
+    }
+    if (limits_.deadline_ms > 0) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      const int64_t elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+              .count();
+      reg.set(ids.ms, limits_.deadline_ms > elapsed_ms
+                          ? limits_.deadline_ms - elapsed_ms
+                          : 0);
+    }
+  }
+#endif
   if (token_.cancel_requested()) {
     budget_hits_.fetch_add(1, std::memory_order_relaxed);
     throw Cancelled();

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "obs/obs.hpp"
+#include "obs/series.hpp"
 #include "util/check.hpp"
 #include "util/governor.hpp"
 #include "util/thread_pool.hpp"
@@ -249,6 +250,29 @@ ReachResult reachable_states(const TransitionSystem& tr,
       result.stats.worker_gc_runs += par->collect_garbage(options.gc_threshold);
     if (layer_span.armed())
       layer_span.arg("reached_nodes", mgr.node_count(result.reached));
+
+#ifndef POLIS_OBS_DISABLED
+    if (obs::SeriesRecorder::global().enabled()) {
+      // Per-layer telemetry for the layer-timebase series: current BDD set
+      // sizes as gauges (node_count walks the BDD, so only behind the gate)
+      // and the kernel counters drained so each layer's deltas carry the
+      // apply/cache activity of that image step. Deterministic: driven only
+      // by BFS state, never by the clock.
+      struct LayerIds {
+        obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+        obs::MetricsRegistry::Id frontier = reg.gauge("reach.frontier_nodes");
+        obs::MetricsRegistry::Id reached = reg.gauge("reach.reached_nodes");
+      };
+      static const LayerIds layer_ids;
+      layer_ids.reg.set(layer_ids.frontier,
+                        static_cast<std::int64_t>(mgr.node_count(frontier)));
+      layer_ids.reg.set(layer_ids.reached,
+                        static_cast<std::int64_t>(
+                            mgr.node_count(result.reached)));
+      mgr.flush_stats_to_obs();
+      OBS_TICK_EPOCH(obs::Timebase::kLayer, result.stats.iterations);
+    }
+#endif
   }
 
   if (par != nullptr) {

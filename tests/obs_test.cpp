@@ -21,19 +21,30 @@ namespace {
 
 // --- Histogram bucket geometry ----------------------------------------------
 
-TEST(MetricsBuckets, Log2BoundariesAreExact) {
-  // Bucket 0 holds the value 0; bucket b holds [2^(b-1), 2^b - 1].
-  EXPECT_EQ(MetricsRegistry::bucket_of(0), 0);
-  EXPECT_EQ(MetricsRegistry::bucket_of(1), 1);
-  EXPECT_EQ(MetricsRegistry::bucket_of(2), 2);
-  EXPECT_EQ(MetricsRegistry::bucket_of(3), 2);
-  EXPECT_EQ(MetricsRegistry::bucket_of(4), 3);
-  EXPECT_EQ(MetricsRegistry::bucket_of(7), 3);
-  EXPECT_EQ(MetricsRegistry::bucket_of(8), 4);
-  EXPECT_EQ(MetricsRegistry::bucket_of(1023), 10);
-  EXPECT_EQ(MetricsRegistry::bucket_of(1024), 11);
+TEST(MetricsBuckets, LogLinearBoundariesAreExact) {
+  // Values below 2^(kSubBits+1) = 16 land in their own bucket; above, each
+  // octave splits into 8 linear sub-buckets.
+  for (std::uint64_t v = 0; v < 16; ++v)
+    EXPECT_EQ(MetricsRegistry::bucket_of(v), static_cast<int>(v)) << v;
+  EXPECT_EQ(MetricsRegistry::bucket_of(16), 16);
+  EXPECT_EQ(MetricsRegistry::bucket_of(17), 16);  // [16,17] share a bucket
+  EXPECT_EQ(MetricsRegistry::bucket_of(18), 17);
+  EXPECT_EQ(MetricsRegistry::bucket_of(31), 23);
+  EXPECT_EQ(MetricsRegistry::bucket_of(32), 24);
+  EXPECT_EQ(MetricsRegistry::bucket_of(1023), 63);   // [960,1023]
+  EXPECT_EQ(MetricsRegistry::bucket_of(1024), 64);   // [1024,1151]
   EXPECT_EQ(MetricsRegistry::bucket_of(UINT64_MAX),
             MetricsRegistry::kBuckets - 1);
+}
+
+TEST(MetricsBuckets, RelativeErrorIsBounded) {
+  // Midpoint error ≤ half the bucket width over the bucket's lower bound:
+  // 1/(2 * 2^kSubBits) at worst, ~6%.
+  for (int b = 16; b + 1 < MetricsRegistry::kBuckets; ++b) {
+    const double lo = static_cast<double>(MetricsRegistry::bucket_lo(b));
+    const double hi = static_cast<double>(MetricsRegistry::bucket_hi(b));
+    EXPECT_LE((hi - lo) / 2.0 / lo, 1.0 / 16.0) << "bucket " << b;
+  }
 }
 
 TEST(MetricsBuckets, LoHiRoundTripThroughBucketOf) {
@@ -148,9 +159,42 @@ TEST(Metrics, JsonSnapshotParsesAndDerivesRates) {
   ASSERT_TRUE(bucket_list->is_array());
   ASSERT_EQ(bucket_list->array.size(), 1u);  // only non-empty buckets listed
   ASSERT_EQ(bucket_list->array[0].array.size(), 3u);  // [lo, hi, n]
-  EXPECT_EQ(bucket_list->array[0].array[0].number, 8.0);
-  EXPECT_EQ(bucket_list->array[0].array[1].number, 15.0);
+  EXPECT_EQ(bucket_list->array[0].array[0].number, 12.0);  // 12 is exact
+  EXPECT_EQ(bucket_list->array[0].array[1].number, 12.0);
   EXPECT_EQ(bucket_list->array[0].array[2].number, 1.0);
+  const json::Value* avg = derived->find("h_avg");
+  ASSERT_NE(avg, nullptr);
+  EXPECT_DOUBLE_EQ(avg->number, 12.0);
+}
+
+// Satellite regression: derived averages must come from the exact per-shard
+// sums merged through snapshot(), never from bucket midpoints. 1000 lands in
+// bucket [960,1023] (midpoint 991), so a midpoint-based mean would read
+// ~991 — the exact mean is 1000 even when observations span many threads.
+TEST(Metrics, DerivedAverageUsesExactCrossThreadSums) {
+  MetricsRegistry reg;
+  const auto h = reg.histogram("lat");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&reg, h] {
+      for (int i = 0; i < kPerThread; ++i) reg.observe(h, 1000);
+    });
+  for (auto& t : threads) t.join();
+
+  const auto view = reg.snapshot().histograms.at("lat");
+  EXPECT_EQ(view.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(view.sum, static_cast<std::uint64_t>(kThreads) * kPerThread * 1000);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const json::Value v = json::parse(os.str());
+  const json::Value* derived = v.find("derived");
+  ASSERT_NE(derived, nullptr);
+  const json::Value* avg = derived->find("lat_avg");
+  ASSERT_NE(avg, nullptr);
+  EXPECT_DOUBLE_EQ(avg->number, 1000.0);  // not the 991.5 a midpoint gives
 }
 
 // The TSan target: readers (snapshot, write_json) racing writers of every

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cfsm/cfsm.hpp"
+#include "cfsm/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/series.hpp"
+#include "rtos/rtos.hpp"
+
+namespace polis::obs {
+namespace {
+
+// Deterministic value stream for sketch tests (splitmix64).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+TEST(SeriesRing, WrapAroundKeepsMemoryBounded) {
+  MetricsRegistry reg;
+  const MetricsRegistry::Id ticks = reg.counter("ticks");
+  SeriesRecorder rec;
+  rec.set_enabled(true);
+  rec.set_capacity(64);
+
+  constexpr std::uint64_t kEpochs = 1'000'000;
+  for (std::uint64_t i = 0; i < kEpochs; ++i) {
+    reg.add(ticks, 1);
+    rec.tick_epoch(Timebase::kSim, static_cast<std::int64_t>(i), reg);
+  }
+
+  EXPECT_EQ(rec.total_epochs(Timebase::kSim), kEpochs);
+  const std::vector<EpochSample> ring = rec.samples(Timebase::kSim);
+  ASSERT_EQ(ring.size(), 64u);  // ring bound held through ~15k wraps
+  // Oldest surviving epoch is kEpochs - capacity; newest is the last tick.
+  EXPECT_EQ(ring.front().epoch, kEpochs - 64);
+  EXPECT_EQ(ring.back().epoch, kEpochs - 1);
+  EXPECT_EQ(ring.back().ts, static_cast<std::int64_t>(kEpochs - 1));
+  // Every epoch saw exactly one counter increment.
+  for (const EpochSample& s : ring)
+    EXPECT_EQ(s.counter_deltas.at("ticks"), 1u);
+}
+
+TEST(Series, CounterDeltasAndRatesMatchHandComputed) {
+  MetricsRegistry reg;
+  const MetricsRegistry::Id work = reg.counter("work");
+  const MetricsRegistry::Id depth = reg.gauge("depth");
+  SeriesRecorder rec;
+  rec.set_enabled(true);
+  rec.begin_series(Timebase::kSim, reg);
+
+  reg.add(work, 5);
+  reg.set(depth, 3);
+  rec.tick_epoch(Timebase::kSim, 100, reg);
+  reg.add(work, 20);
+  reg.set(depth, 7);
+  rec.tick_epoch(Timebase::kSim, 300, reg);
+  rec.tick_epoch(Timebase::kSim, 400, reg);  // idle epoch: no delta
+
+  const std::vector<EpochSample> s = rec.samples(Timebase::kSim);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].counter_deltas.at("work"), 5u);
+  EXPECT_EQ(s[0].gauges.at("depth"), 3);
+  EXPECT_EQ(s[1].counter_deltas.at("work"), 20u);
+  EXPECT_EQ(s[1].gauges.at("depth"), 7);
+  // Deltas store changed counters only.
+  EXPECT_EQ(s[2].counter_deltas.count("work"), 0u);
+
+  // rate = delta / (ts_cur - ts_prev), in per-clock-unit terms.
+  EXPECT_DOUBLE_EQ(counter_rate(s[0], s[1], "work"), 20.0 / 200.0);
+  EXPECT_DOUBLE_EQ(counter_rate(s[1], s[2], "work"), 0.0);
+}
+
+TEST(Series, BaselineExcludesPriorHistory) {
+  MetricsRegistry reg;
+  const MetricsRegistry::Id work = reg.counter("work");
+  SeriesRecorder rec;
+  rec.set_enabled(true);
+
+  reg.add(work, 1000);  // "pipeline phase" work before the series starts
+  rec.begin_series(Timebase::kSim, reg);
+  reg.add(work, 7);
+  rec.tick_epoch(Timebase::kSim, 1, reg);
+
+  const std::vector<EpochSample> s = rec.samples(Timebase::kSim);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].epoch, 0u);
+  EXPECT_EQ(s[0].counter_deltas.at("work"), 7u);
+}
+
+TEST(QuantileSketch, MergeIsAssociativeAndCommutative) {
+  QuantileSketch a, b, c;
+  for (int i = 0; i < 3000; ++i) a.observe(mix(i) % 100'000);
+  for (int i = 0; i < 2000; ++i) b.observe(mix(i + 7777) % 1'000);
+  for (int i = 0; i < 500; ++i) c.observe(mix(i + 12345));  // full-range
+
+  auto merged = [](const QuantileSketch& x, const QuantileSketch& y) {
+    QuantileSketch m = x;
+    m.merge(y);
+    return m;
+  };
+  const QuantileSketch ab_c = merged(merged(a, b), c);
+  const QuantileSketch a_bc = merged(a, merged(b, c));
+  const QuantileSketch ba_c = merged(merged(b, a), c);
+
+  auto expect_same = [](const QuantileSketch& x, const QuantileSketch& y) {
+    EXPECT_EQ(x.count(), y.count());
+    EXPECT_EQ(x.sum(), y.sum());
+    EXPECT_EQ(x.min(), y.min());
+    EXPECT_EQ(x.max(), y.max());
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+      EXPECT_EQ(x.quantile(q), y.quantile(q)) << "q=" << q;
+  };
+  expect_same(ab_c, a_bc);
+  expect_same(ab_c, ba_c);
+  EXPECT_EQ(ab_c.count(), 5500u);
+}
+
+TEST(QuantileSketch, QuantilesTrackExactSortedReference) {
+  std::vector<std::uint64_t> values;
+  QuantileSketch sketch;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = mix(i) % 5'000'000;
+    values.push_back(v);
+    sketch.observe(v);
+  }
+  std::sort(values.begin(), values.end());
+
+  for (double q : {0.5, 0.9, 0.99}) {
+    // Nearest-rank reference: ceil(q * N)-th smallest (1-based).
+    std::size_t rank = static_cast<std::size_t>(q * values.size());
+    if (static_cast<double>(rank) < q * values.size()) ++rank;
+    const std::uint64_t exact = values[rank == 0 ? 0 : rank - 1];
+    const std::uint64_t est = sketch.quantile(q);
+    // The estimate lands in the exact value's bucket; the bucket's width is
+    // at most lo/8, so the midpoint is within 1/8 relative of any member.
+    const double rel =
+        std::fabs(static_cast<double>(est) - static_cast<double>(exact)) /
+        static_cast<double>(exact);
+    EXPECT_LE(rel, 0.125) << "q=" << q << " exact=" << exact
+                          << " est=" << est;
+  }
+  // Extremes clamp into the observed range and stay within the min/max
+  // value's own bucket.
+  const std::uint64_t lo = values.front();
+  const std::uint64_t hi = values.back();
+  EXPECT_GE(sketch.quantile(0.0), lo);
+  EXPECT_LE(sketch.quantile(0.0),
+            MetricsRegistry::bucket_hi(MetricsRegistry::bucket_of(lo)));
+  EXPECT_LE(sketch.quantile(1.0), hi);
+  EXPECT_GE(sketch.quantile(1.0),
+            MetricsRegistry::bucket_lo(MetricsRegistry::bucket_of(hi)));
+}
+
+TEST(QuantileSketch, FromHistogramMatchesDirectObservation) {
+  MetricsRegistry reg;
+  const MetricsRegistry::Id lat = reg.histogram("lat");
+  QuantileSketch direct;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = mix(i) % 100'000;
+    reg.observe(lat, v);
+    direct.observe(v);
+  }
+  const QuantileSketch from_hist =
+      QuantileSketch::from_histogram(reg.snapshot().histograms.at("lat"));
+  EXPECT_EQ(from_hist.count(), direct.count());
+  EXPECT_EQ(from_hist.sum(), direct.sum());
+  // The bucket populations transfer losslessly; only min/max widen to bucket
+  // bounds, so a quantile may clamp differently within its bucket but must
+  // land in the same bucket.
+  for (double q : {0.5, 0.9, 0.99})
+    EXPECT_EQ(MetricsRegistry::bucket_of(from_hist.quantile(q)),
+              MetricsRegistry::bucket_of(direct.quantile(q)))
+        << "q=" << q;
+}
+
+// TSan target: epoch ticks serialize on the recorder mutex while registry
+// writers stay on their lock-free shard path; the combination must be free
+// of data races and torn reads.
+TEST(Series, TickRacesHotPathWritersCleanly) {
+  MetricsRegistry reg;
+  const MetricsRegistry::Id hits = reg.counter("hits");
+  const MetricsRegistry::Id level = reg.gauge("level");
+  const MetricsRegistry::Id lat = reg.histogram("lat");
+  SeriesRecorder rec;
+  rec.set_enabled(true);
+  rec.set_capacity(128);
+
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 50'000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        reg.add(hits, 1);
+        reg.set(level, i);
+        reg.observe(lat, mix(w * kOpsPerWriter + i) % 10'000);
+      }
+    });
+  for (int e = 0; e < 2000; ++e)
+    rec.tick_epoch(Timebase::kWall, e, reg);
+  for (std::thread& t : writers) t.join();
+  rec.tick_epoch(Timebase::kWall, 2000, reg);
+
+  // After the final tick the cumulative deltas add up to every write.
+  const std::vector<EpochSample> ring = rec.samples(Timebase::kWall);
+  ASSERT_FALSE(ring.empty());
+  EXPECT_EQ(ring.back().hists.at("lat").count,
+            static_cast<std::uint64_t>(kWriters) * kOpsPerWriter);
+}
+
+// The acceptance property behind `--metrics-out`: two identical simulations
+// emit byte-identical simulated-cycle series. Uses the global recorder (the
+// one the RTOS loop ticks) with the registry reset before each run so the
+// cumulative histogram summaries restart from the same state a fresh process
+// would have. The simulator's tick sites are compiled out under
+// POLIS_OBS=OFF, so the property only exists in instrumented builds.
+#ifndef POLIS_OBS_DISABLED
+std::shared_ptr<cfsm::Cfsm> relay(const std::string& name) {
+  return std::make_shared<cfsm::Cfsm>(
+      name, std::vector<cfsm::Signal>{{"i", 1}},
+      std::vector<cfsm::Signal>{{"o", 1}}, std::vector<cfsm::StateVar>{},
+      std::vector<cfsm::Rule>{
+          cfsm::Rule{cfsm::presence("i"), {cfsm::Emit{"o", nullptr}}, {}}});
+}
+
+TEST(Series, SimTimebaseSeriesIsByteIdenticalAcrossRuns) {
+  auto run_once = [] {
+    MetricsRegistry::global().reset();
+    std::ostringstream sink;
+    SeriesRecorder& rec = SeriesRecorder::global();
+    rec.set_sink(&sink);
+    rec.set_enabled(true);
+
+    cfsm::Network net("pipe");
+    net.add_instance("a", relay("r1"), {{"i", "in"}, {"o", "mid"}});
+    net.add_instance("b", relay("r2"), {{"i", "mid"}, {"o", "out"}});
+    rtos::RtosConfig config;
+    config.metrics_epoch_cycles = 500;
+    rtos::RtosSimulation sim(net, config);
+    sim.set_reference_task("a", 100);
+    sim.set_reference_task("b", 100);
+    std::vector<rtos::ExternalEvent> events;
+    for (long long t = 0; t < 10'000; t += 700) events.push_back({t, "in", 0});
+    sim.run(events, 20'000);
+
+    rec.set_enabled(false);
+    rec.set_sink(nullptr);
+    return sink.str();
+  };
+
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // All lines are simulated-cycle epochs and there are enough of them to be
+  // a real series, not a single end-of-run snapshot.
+  int lines = 0;
+  std::istringstream is(first);
+  std::string line;
+  while (std::getline(is, line)) {
+    EXPECT_NE(line.find("\"clock\":\"cycles\""), std::string::npos) << line;
+    ++lines;
+  }
+  EXPECT_GE(lines, 10);
+}
+#endif  // POLIS_OBS_DISABLED
+
+TEST(Series, JsonlLineIsStrictJsonWithIntegralFields) {
+  MetricsRegistry reg;
+  const MetricsRegistry::Id work = reg.counter("work");
+  const MetricsRegistry::Id lat = reg.histogram("lat");
+  SeriesRecorder rec;
+  std::ostringstream sink;
+  rec.set_sink(&sink);
+  rec.set_enabled(true);
+  rec.begin_series(Timebase::kLayer, reg);
+  reg.add(work, 3);
+  reg.observe(lat, 12);
+  rec.tick_epoch(Timebase::kLayer, 1, reg);
+  rec.set_sink(nullptr);
+
+  const std::string line = sink.str();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line, "{\"epoch\":0,\"clock\":\"layer\",\"ts\":1,"
+                  "\"counters\":{\"work\":3},\"gauges\":{},"
+                  "\"histograms\":{\"lat\":{\"count\":1,\"sum\":12,"
+                  "\"p50\":12,\"p90\":12,\"p99\":12}}}\n");
+}
+
+}  // namespace
+}  // namespace polis::obs

@@ -1,0 +1,246 @@
+// bench_diff — CI perf-regression gate over two BENCH_*.json reports
+// (bench/report.hpp shape). Compares a baseline report against a current one
+// and exits nonzero when a *gated* metric regressed past the threshold.
+//
+// Gating is direction-aware and noise-aware:
+//   * higher-is-better:  *per_sec*, *_rate         (regression = drop)
+//   * lower-is-better:   *seconds*, *_ms, *wall*   (regression = growth)
+//   * everything else (counts, sizes, config echoes) is informational only —
+//     a peak_nodes change is worth seeing but machines differ legitimately.
+//   * sub-floor timings are never gated: a 0.2 ms microbench swinging 2x is
+//     scheduler noise, not a regression. Rate metrics inherit the floor from
+//     the entry's wall_seconds when present.
+//
+// Entries present in the baseline but missing from the current report fail
+// the gate too — silently dropped coverage must not read as "no regressions".
+//
+// Usage:
+//   bench_diff BASELINE.json CURRENT.json
+//              [--threshold FRAC]            gate at |rel change| > FRAC (0.25)
+//              [--noise-floor-seconds SEC]   skip timings under SEC (0.005)
+//              [--list-all]                  print unchanged metrics too
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using polis::obs::json::Value;
+
+struct Report {
+  std::string bench;
+  // entry name -> metric name -> value; numeric metrics only.
+  std::map<std::string, std::map<std::string, double>> entries;
+  std::map<std::string, double> phases;
+};
+
+[[noreturn]] void die(const std::string& msg) {
+  std::cerr << "bench_diff: " << msg << "\n";
+  std::exit(2);
+}
+
+Report load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) die("cannot open " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  Value doc;
+  try {
+    doc = polis::obs::json::parse(buf.str());
+  } catch (const std::exception& e) {
+    die(path + ": " + e.what());
+  }
+  if (!doc.is_object()) die(path + ": top level is not an object");
+  Report r;
+  if (const Value* b = doc.find("bench"); b && b->is_string()) r.bench = b->str;
+  const Value* entries = doc.find("entries");
+  if (!entries || !entries->is_array())
+    die(path + ": missing \"entries\" array");
+  for (const Value& e : entries->array) {
+    const Value* name = e.find("name");
+    const Value* metrics = e.find("metrics");
+    if (!name || !name->is_string() || !metrics || !metrics->is_object())
+      die(path + ": entry without name/metrics");
+    auto& slot = r.entries[name->str];
+    for (const auto& [key, v] : metrics->object)
+      if (v.is_number()) slot[key] = v.number;
+  }
+  if (const Value* phases = doc.find("phases"); phases && phases->is_object())
+    for (const auto& [key, v] : phases->object)
+      if (v.is_number()) r.phases[key] = v.number;
+  return r;
+}
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::string suf(suffix);
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+enum class Direction { kHigherBetter, kLowerBetter, kNeutral };
+
+Direction direction_of(const std::string& metric) {
+  if (contains(metric, "per_sec") || ends_with(metric, "_rate"))
+    return Direction::kHigherBetter;
+  if (contains(metric, "seconds") || ends_with(metric, "_ms") ||
+      contains(metric, "wall"))
+    return Direction::kLowerBetter;
+  return Direction::kNeutral;
+}
+
+/// Timing value in seconds for the noise-floor check, or -1 if `metric`
+/// isn't a timing.
+double as_seconds(const std::string& metric, double value) {
+  if (contains(metric, "seconds")) return value;
+  if (ends_with(metric, "_ms")) return value / 1000.0;
+  return -1.0;
+}
+
+struct Options {
+  double threshold = 0.25;
+  double noise_floor_seconds = 0.005;
+  bool list_all = false;
+};
+
+int run(const Report& base, const Report& cur, const Options& opt) {
+  int regressions = 0;
+  std::printf("%-44s %14s %14s %9s  %s\n", "entry.metric", "baseline",
+              "current", "change", "verdict");
+  for (const auto& [entry, base_metrics] : base.entries) {
+    auto cur_it = cur.entries.find(entry);
+    if (cur_it == cur.entries.end()) {
+      std::printf("%-44s %14s %14s %9s  %s\n", entry.c_str(), "-", "-", "-",
+                  "FAIL (entry missing from current report)");
+      ++regressions;
+      continue;
+    }
+    for (const auto& [metric, base_val] : base_metrics) {
+      auto mv = cur_it->second.find(metric);
+      if (mv == cur_it->second.end()) continue;
+      const double cur_val = mv->second;
+      const std::string label = entry + "." + metric;
+      const double rel =
+          base_val == 0.0 ? (cur_val == 0.0 ? 0.0 : HUGE_VAL)
+                          : (cur_val - base_val) / std::fabs(base_val);
+      const Direction dir = direction_of(metric);
+
+      const char* verdict = "ok";
+      bool show = opt.list_all;
+      if (dir == Direction::kNeutral) {
+        if (rel != 0.0) {
+          verdict = "info (not gated)";
+          show = true;
+        }
+      } else {
+        // Noise floor: a timing metric is gated only when either side is at
+        // least the floor; a rate metric defers to its entry's wall time.
+        bool gated = true;
+        const double base_s = as_seconds(metric, base_val);
+        const double cur_s = as_seconds(metric, cur_val);
+        if (base_s >= 0.0 &&
+            base_s < opt.noise_floor_seconds &&
+            cur_s < opt.noise_floor_seconds)
+          gated = false;
+        if (dir == Direction::kHigherBetter) {
+          auto base_wall = base_metrics.find("wall_seconds");
+          auto cur_wall = cur_it->second.find("wall_seconds");
+          if (base_wall != base_metrics.end() &&
+              cur_wall != cur_it->second.end() &&
+              base_wall->second < opt.noise_floor_seconds &&
+              cur_wall->second < opt.noise_floor_seconds)
+            gated = false;
+        }
+        const bool regressed = dir == Direction::kHigherBetter
+                                   ? rel < -opt.threshold
+                                   : rel > opt.threshold;
+        if (!gated) {
+          if (regressed) {
+            verdict = "skip (below noise floor)";
+            show = true;
+          }
+        } else if (regressed) {
+          verdict = "REGRESSION";
+          show = true;
+          ++regressions;
+        } else if (std::fabs(rel) > opt.threshold) {
+          verdict = "improved";
+          show = true;
+        }
+      }
+      if (show)
+        std::printf("%-44s %14.6g %14.6g %+8.1f%%  %s\n", label.c_str(),
+                    base_val, cur_val, rel * 100.0, verdict);
+    }
+  }
+  for (const auto& [entry, metrics] : cur.entries) {
+    (void)metrics;
+    if (base.entries.find(entry) == base.entries.end())
+      std::printf("%-44s %14s %14s %9s  %s\n", entry.c_str(), "-", "-", "-",
+                  "new entry (not gated)");
+  }
+  // Phase wall-times are informational: sub-millisecond span totals swing
+  // with machine load, and the gated wall_seconds already cover the benches.
+  for (const auto& [phase, base_ms] : base.phases) {
+    auto it = cur.phases.find(phase);
+    if (it == cur.phases.end()) continue;
+    const double rel =
+        base_ms == 0.0 ? 0.0 : (it->second - base_ms) / base_ms;
+    if (opt.list_all || std::fabs(rel) > opt.threshold)
+      std::printf("%-44s %14.6g %14.6g %+8.1f%%  %s\n",
+                  ("phase." + phase).c_str(), base_ms, it->second, rel * 100.0,
+                  "info (not gated)");
+  }
+  if (regressions > 0) {
+    std::printf("\n%d gated regression%s past %.0f%% threshold\n", regressions,
+                regressions == 1 ? "" : "s", opt.threshold * 100.0);
+    return 1;
+  }
+  std::printf("\nno gated regressions (threshold %.0f%%)\n",
+              opt.threshold * 100.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) die("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--threshold")
+      opt.threshold = std::stod(value());
+    else if (a == "--noise-floor-seconds")
+      opt.noise_floor_seconds = std::stod(value());
+    else if (a == "--list-all")
+      opt.list_all = true;
+    else if (!a.empty() && a[0] == '-')
+      die("unknown option " + a +
+          "\nusage: bench_diff BASELINE.json CURRENT.json [--threshold FRAC] "
+          "[--noise-floor-seconds SEC] [--list-all]");
+    else
+      paths.push_back(a);
+  }
+  if (paths.size() != 2)
+    die("expected exactly two report paths (baseline, current)");
+  if (opt.threshold <= 0.0) die("--threshold must be positive");
+  const Report base = load(paths[0]);
+  const Report cur = load(paths[1]);
+  if (!base.bench.empty() && !cur.bench.empty() && base.bench != cur.bench)
+    std::cerr << "bench_diff: warning: comparing different benches (\""
+              << base.bench << "\" vs \"" << cur.bench << "\")\n";
+  return run(base, cur, opt);
+}

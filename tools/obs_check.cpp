@@ -7,12 +7,21 @@
 //   obs_check [--trace FILE [--require-span NAME]... [--require-nested]
 //                           [--require-sim-lanes]]
 //             [--metrics FILE [--require-metric NAME]...]
+//             [--series FILE [--require-epochs N] [--require-clock NAME]]
+//             [--prom FILE]
+//
+// --series validates a streaming JSONL export (`polisc --metrics-out`): every
+// line must be a standalone JSON object with integral epoch/ts, a known
+// clock, and well-formed counter/gauge/histogram-summary maps; epochs must
+// count up per clock. --prom validates Prometheus text exposition line by
+// line (TYPE comments, name charset, numeric values).
 //
 // Exit status 0 when every file parses and every requirement holds; 1 with
 // one diagnostic per failure on stderr otherwise.
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -82,18 +91,21 @@ std::vector<Event> check_trace_shape(const Value& doc) {
     if (tid == nullptr || !tid->is_number()) fail(at + ": bad tid");
     else out.tid = static_cast<std::int64_t>(tid->number);
     if (ph == nullptr || !ph->is_string() ||
-        (ph->str != "X" && ph->str != "i" && ph->str != "M")) {
-      fail(at + ": ph must be one of X/i/M");
+        (ph->str != "X" && ph->str != "i" && ph->str != "M" &&
+         ph->str != "C")) {
+      fail(at + ": ph must be one of X/i/M/C");
       continue;
     }
     out.ph = ph->str;
-    if (out.ph == "X" || out.ph == "i") {
+    if (out.ph == "X" || out.ph == "i" || out.ph == "C") {
       const Value* ts = e.find("ts");
       if (ts == nullptr || !ts->is_number() || ts->number < 0)
-        fail(at + ": X/i event needs a non-negative ts");
+        fail(at + ": X/i/C event needs a non-negative ts");
       else
         out.ts = static_cast<std::int64_t>(ts->number);
     }
+    if (out.ph == "C" && e.find("args") == nullptr)
+      fail(at + ": C event needs a counter value in args");
     if (out.ph == "X") {
       const Value* dur = e.find("dur");
       if (dur == nullptr || !dur->is_number() || dur->number < 0)
@@ -187,11 +199,185 @@ const Value* check_metrics_shape(const Value& doc) {
 
 void require_metric(const Value& doc, const std::string& name) {
   for (const char* section :
-       {"counters", "gauges", "histograms", "derived", "phases"}) {
+       {"counters", "gauges", "histograms", "derived", "quantiles", "phases"}) {
     const Value* s = doc.find(section);
     if (s != nullptr && s->is_object() && s->find(name) != nullptr) return;
   }
   fail("metrics: required metric \"" + name + "\" not found");
+}
+
+// --- Streaming series (JSONL) ------------------------------------------------
+
+bool is_integer(const Value& v) {
+  return v.is_number() && v.number == static_cast<double>(
+                              static_cast<long long>(v.number));
+}
+
+// Validates one JSONL file; returns epochs seen per clock name.
+std::map<std::string, std::int64_t> check_series(const std::string& path) {
+  std::map<std::string, std::int64_t> per_clock;
+  std::ifstream is(path);
+  if (!is) {
+    fail("cannot open " + path);
+    return per_clock;
+  }
+  std::map<std::string, std::int64_t> last_epoch;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::string at = "series: " + path + ":" + std::to_string(lineno);
+    Value doc;
+    try {
+      doc = polis::obs::json::parse(line);
+    } catch (const polis::obs::json::ParseError& e) {
+      fail(at + ": " + e.what());
+      continue;
+    }
+    if (!doc.is_object()) {
+      fail(at + ": line is not an object");
+      continue;
+    }
+    const Value* epoch = doc.find("epoch");
+    const Value* clock = doc.find("clock");
+    const Value* ts = doc.find("ts");
+    if (epoch == nullptr || !is_integer(*epoch) || epoch->number < 0) {
+      fail(at + ": bad epoch");
+      continue;
+    }
+    if (clock == nullptr || !clock->is_string() ||
+        (clock->str != "wall" && clock->str != "cycles" &&
+         clock->str != "layer")) {
+      fail(at + ": clock must be wall/cycles/layer");
+      continue;
+    }
+    if (ts == nullptr || !is_integer(*ts)) fail(at + ": bad ts");
+    // Epochs must count up within each clock (ring eviction never reorders
+    // the stream; a re-baseline restarts at 0).
+    const auto it = last_epoch.find(clock->str);
+    const std::int64_t e = static_cast<std::int64_t>(epoch->number);
+    if (it != last_epoch.end() && e != it->second + 1 && e != 0)
+      fail(at + ": epoch " + std::to_string(e) + " does not follow " +
+           std::to_string(it->second));
+    last_epoch[clock->str] = e;
+    per_clock[clock->str]++;
+    const Value* counters = doc.find("counters");
+    if (counters == nullptr || !counters->is_object()) {
+      fail(at + ": missing counters object");
+    } else {
+      for (const auto& [name, v] : counters->object)
+        if (!is_integer(v) || v.number < 0)
+          fail(at + ": counter \"" + name + "\" is not a non-negative int");
+    }
+    const Value* gauges = doc.find("gauges");
+    if (gauges == nullptr || !gauges->is_object()) {
+      fail(at + ": missing gauges object");
+    } else {
+      for (const auto& [name, v] : gauges->object)
+        if (!is_integer(v)) fail(at + ": gauge \"" + name + "\" is not an int");
+    }
+    const Value* hists = doc.find("histograms");
+    if (hists == nullptr || !hists->is_object()) {
+      fail(at + ": missing histograms object");
+    } else {
+      for (const auto& [name, h] : hists->object) {
+        if (!h.is_object()) {
+          fail(at + ": histogram \"" + name + "\" is not an object");
+          continue;
+        }
+        for (const char* field : {"count", "sum", "p50", "p90", "p99"}) {
+          const Value* f = h.find(field);
+          if (f == nullptr || !is_integer(*f) || f->number < 0)
+            fail(at + ": histogram \"" + name + "\" lacks integral " + field);
+        }
+        const Value* p50 = h.find("p50");
+        const Value* p99 = h.find("p99");
+        if (p50 != nullptr && p99 != nullptr && p50->number > p99->number)
+          fail(at + ": histogram \"" + name + "\" has p50 > p99");
+      }
+    }
+  }
+  return per_clock;
+}
+
+// --- Prometheus text exposition ----------------------------------------------
+
+bool prom_name_ok(const std::string& s) {
+  if (s.empty()) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    if (i == 0 ? !alpha : !(alpha || (c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+bool number_ok(const std::string& s) {
+  if (s.empty()) return false;
+  try {
+    size_t used = 0;
+    (void)std::stod(s, &used);
+    return used == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void check_prometheus(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    fail("cannot open " + path);
+    return;
+  }
+  std::string line;
+  size_t lineno = 0;
+  size_t samples = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string at = "prom: " + path + ":" + std::to_string(lineno);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only "# TYPE <name> <counter|gauge|summary|histogram|untyped>" and
+      // "# HELP <name> <text>" comments are meaningful.
+      std::istringstream ls(line);
+      std::string hash, kind, name, rest;
+      ls >> hash >> kind >> name;
+      if (kind == "TYPE") {
+        ls >> rest;
+        if (!prom_name_ok(name)) fail(at + ": bad metric name in TYPE");
+        if (rest != "counter" && rest != "gauge" && rest != "summary" &&
+            rest != "histogram" && rest != "untyped")
+          fail(at + ": unknown TYPE \"" + rest + "\"");
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value [timestamp]
+    const size_t sp = line.find(' ');
+    if (sp == std::string::npos) {
+      fail(at + ": no value on sample line");
+      continue;
+    }
+    std::string name = line.substr(0, sp);
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      if (name.back() != '}') {
+        fail(at + ": unterminated label set");
+        continue;
+      }
+      name = name.substr(0, brace);
+    }
+    if (!prom_name_ok(name)) {
+      fail(at + ": bad metric name \"" + name + "\"");
+      continue;
+    }
+    const std::string value = line.substr(sp + 1);
+    if (!number_ok(value.substr(0, value.find(' '))))
+      fail(at + ": bad sample value \"" + value + "\"");
+    ++samples;
+  }
+  if (samples == 0) fail("prom: " + path + " contains no samples");
 }
 
 }  // namespace
@@ -200,10 +386,14 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   std::string trace_file;
   std::string metrics_file;
+  std::string series_file;
+  std::string prom_file;
   std::vector<std::string> spans;
   std::vector<std::string> metrics;
   bool want_nested = false;
   bool want_sim_lanes = false;
+  std::int64_t require_epochs = 0;
+  std::string require_clock;
 
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -216,19 +406,26 @@ int main(int argc, char** argv) {
     };
     if (a == "--trace") trace_file = value();
     else if (a == "--metrics") metrics_file = value();
+    else if (a == "--series") series_file = value();
+    else if (a == "--prom") prom_file = value();
     else if (a == "--require-span") spans.push_back(value());
     else if (a == "--require-metric") metrics.push_back(value());
     else if (a == "--require-nested") want_nested = true;
     else if (a == "--require-sim-lanes") want_sim_lanes = true;
+    else if (a == "--require-epochs") require_epochs = std::stoll(value());
+    else if (a == "--require-clock") require_clock = value();
     else {
       std::cerr << "obs_check: unknown argument " << a << "\n";
       return 2;
     }
   }
-  if (trace_file.empty() && metrics_file.empty()) {
+  if (trace_file.empty() && metrics_file.empty() && series_file.empty() &&
+      prom_file.empty()) {
     std::cerr << "usage: obs_check [--trace FILE [--require-span NAME]... "
                  "[--require-nested] [--require-sim-lanes]] "
-                 "[--metrics FILE [--require-metric NAME]...]\n";
+                 "[--metrics FILE [--require-metric NAME]...] "
+                 "[--series FILE [--require-epochs N] [--require-clock NAME]] "
+                 "[--prom FILE]\n";
     return 2;
   }
 
@@ -260,6 +457,30 @@ int main(int argc, char** argv) {
         fail("metrics: " + std::string(e.what()));
       }
     }
+  }
+  if (!series_file.empty()) {
+    const std::map<std::string, std::int64_t> per_clock =
+        check_series(series_file);
+    std::int64_t total = 0;
+    for (const auto& [clock, n] : per_clock) total += n;
+    if (!require_clock.empty() && per_clock.count(require_clock) == 0)
+      fail("series: no epochs on the \"" + require_clock + "\" clock");
+    const std::int64_t counted = require_clock.empty()
+                                     ? total
+                                     : (per_clock.count(require_clock)
+                                            ? per_clock.at(require_clock)
+                                            : 0);
+    if (require_epochs > 0 && counted < require_epochs)
+      fail("series: " + std::to_string(counted) + " epochs < required " +
+           std::to_string(require_epochs));
+    if (failures == 0)
+      std::cout << "obs_check: " << series_file << ": " << total
+                << " epochs ok\n";
+  }
+  if (!prom_file.empty()) {
+    check_prometheus(prom_file);
+    if (failures == 0)
+      std::cout << "obs_check: " << prom_file << ": ok\n";
   }
   return failures == 0 ? 0 : 1;
 }

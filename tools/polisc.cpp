@@ -22,6 +22,8 @@
 #include "estim/calibrate.hpp"
 #include "frontend/parser.hpp"
 #include "obs/obs.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/series.hpp"
 #include "rtos/codegen.hpp"
 #include "rtos/rtos.hpp"
 #include "rtos/sim_trace.hpp"
@@ -63,7 +65,11 @@ struct Args {
   std::string vcd;
   std::string out_dir;
   std::string trace_file;    // Chrome trace-event JSON (--trace)
-  std::string metrics_file;  // metrics snapshot JSON (--metrics)
+  bool metrics = false;      // write a final metrics snapshot
+  std::string metrics_file;  // --metrics destination ("" = stderr)
+  std::string metrics_out;       // streaming JSONL epochs (--metrics-out)
+  long long metrics_interval_ms = 0;  // wall-clock sampler cadence; 0 = off
+  std::string metrics_prom;  // Prometheus text exposition (--metrics-prom)
   // Resource governor (see util/governor.hpp): 0 = unlimited.
   long long deadline_ms = 0;
   unsigned long long max_nodes = 0;
@@ -105,8 +111,18 @@ void usage() {
       "                         them as Chrome trace-event JSON (loadable in\n"
       "                         Perfetto / chrome://tracing); simulated-cycle\n"
       "                         lanes share the VCD timebase\n"
-      "  --metrics FILE         write a JSON snapshot of all counters,\n"
-      "                         gauges, histograms and per-phase wall times\n"
+      "  --metrics [FILE]       write a JSON snapshot of all counters,\n"
+      "                         gauges, histograms, quantiles and per-phase\n"
+      "                         wall times at exit (to stderr without FILE)\n"
+      "  --metrics-out FILE     stream metrics epochs to FILE as JSONL, one\n"
+      "                         epoch per line, flushed per line (simulated-\n"
+      "                         cycle epochs from the RTOS loop, per-layer\n"
+      "                         epochs from --verify, wall epochs from\n"
+      "                         --metrics-interval-ms)\n"
+      "  --metrics-interval-ms N  sample a wall-clock metrics epoch every\n"
+      "                         N ms on a background thread\n"
+      "  --metrics-prom FILE    write the final snapshot in Prometheus text\n"
+      "                         exposition format (the polisd /metrics body)\n"
       "  --deadline-ms N        wall-clock budget for the whole run\n"
       "  --max-nodes N          live BDD-node budget across the run\n"
       "  --max-arena-mb N       BDD arena cap in MiB\n"
@@ -179,7 +195,19 @@ bool parse_args(int argc, char** argv, Args& args) {
     else if (a == "--dot") { if (!no_value()) return false; args.dot = true; }
     else if (a == "--out") args.out_dir = value();
     else if (a == "--trace") args.trace_file = value();
-    else if (a == "--metrics") args.metrics_file = value();
+    else if (a == "--metrics") {
+      // Optional value: "--metrics=FILE" and "--metrics FILE" bind the file;
+      // a following option (or nothing) leaves the snapshot on stderr.
+      args.metrics = true;
+      if (i + 1 < tokens.size() &&
+          (tokens[i + 1].eq_value ? tokens[i + 1].raw == tokens[i].raw
+                                  : tokens[i + 1].text.rfind("--", 0) != 0))
+        args.metrics_file = value();
+    }
+    else if (a == "--metrics-out") args.metrics_out = value();
+    else if (a == "--metrics-interval-ms")
+      args.metrics_interval_ms = std::stoll(value());
+    else if (a == "--metrics-prom") args.metrics_prom = value();
     else if (a == "--deadline-ms") args.deadline_ms = std::stoll(value());
     else if (a == "--max-nodes") args.max_nodes = std::stoull(value());
     else if (a == "--max-arena-mb") args.max_arena_mb = std::stoll(value());
@@ -201,6 +229,11 @@ bool parse_args(int argc, char** argv, Args& args) {
   }
   if (args.deadline_ms < 0 || args.max_arena_mb < 0) {
     std::cerr << "polisc: budgets must be non-negative\n";
+    return false;
+  }
+  if (args.metrics_interval_ms < 0) {
+    std::cerr << "polisc: --metrics-interval-ms must be >= 0 (got "
+              << args.metrics_interval_ms << ")\n";
     return false;
   }
   return true;
@@ -426,6 +459,12 @@ int run(const Args& args) {
     config.preemptive = args.preemptive;
     if (args.polling)
       config.delivery = rtos::RtosConfig::HwDelivery::kPolling;
+    // ~50 simulated-cycle epochs over the horizon (same cadence as the
+    // periodic workload below) — deterministic, so two identical runs emit
+    // byte-identical "cycles" series.
+    if (args.simulate > 0)
+      config.metrics_epoch_cycles =
+          std::max<long long>(args.simulate / 50, 1);
 
     write_artifact(args, "polis_rt.h", rtos::generate_rt_header(net));
     write_artifact(args, "polis_rtos.c", rtos::generate_rtos_c(net, config));
@@ -567,14 +606,30 @@ void write_obs_outputs(const Args& args) {
                 << e.what() << "\n";
     }
   }
-  if (!args.metrics_file.empty()) {
+  if (args.metrics) {
+    if (args.metrics_file.empty()) {
+      // No file: the final snapshot goes to stderr, as it always has.
+      obs::write_metrics_json(std::cerr);
+    } else {
+      try {
+        std::ostringstream out;
+        obs::write_metrics_json(out);
+        polis::write_file_atomic(args.metrics_file, out.str());
+        std::cout << "wrote " << args.metrics_file << " (metrics snapshot)\n";
+      } catch (const std::exception& e) {
+        std::cerr << "polisc: cannot write " << args.metrics_file << ": "
+                  << e.what() << "\n";
+      }
+    }
+  }
+  if (!args.metrics_prom.empty()) {
     try {
       std::ostringstream out;
-      obs::write_metrics_json(out);
-      polis::write_file_atomic(args.metrics_file, out.str());
-      std::cout << "wrote " << args.metrics_file << " (metrics snapshot)\n";
+      obs::write_prometheus(out);
+      polis::write_file_atomic(args.metrics_prom, out.str());
+      std::cout << "wrote " << args.metrics_prom << " (Prometheus text)\n";
     } catch (const std::exception& e) {
-      std::cerr << "polisc: cannot write " << args.metrics_file << ": "
+      std::cerr << "polisc: cannot write " << args.metrics_prom << ": "
                 << e.what() << "\n";
     }
   }
@@ -599,6 +654,39 @@ int main(int argc, char** argv) {
     obs::TraceRecorder::global().name_this_thread("polisc main");
   }
 
+  // Streaming series: a JSONL sink and/or a wall-clock sampler turn the
+  // recorder on; the rtos/verif probe sites then tick their own timebases.
+  std::ofstream series_sink;
+  if (!args.metrics_out.empty() || args.metrics_interval_ms > 0) {
+#ifdef POLIS_OBS_DISABLED
+    std::cerr << "polisc: streaming metrics unavailable (built with "
+                 "POLIS_OBS=OFF); ignoring --metrics-out / "
+                 "--metrics-interval-ms\n";
+#else
+    obs::SeriesRecorder& series = obs::SeriesRecorder::global();
+    if (!args.metrics_out.empty()) {
+      // The sink opens before run() creates --out, so an in---out path needs
+      // its directory brought into existence here.
+      const auto parent = std::filesystem::path(args.metrics_out).parent_path();
+      if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+      }
+      series_sink.open(args.metrics_out, std::ios::out | std::ios::trunc);
+      if (!series_sink) {
+        std::cerr << "polisc: cannot open " << args.metrics_out << "\n";
+        return kExitError;
+      }
+      series.set_sink(&series_sink);
+    }
+    if (!args.trace_file.empty())
+      series.set_trace_counters(&obs::TraceRecorder::global());
+    series.set_enabled(true);
+    if (args.metrics_interval_ms > 0)
+      series.start_wall_sampler(args.metrics_interval_ms);
+#endif
+  }
+
   // One governor spans the whole run; every phase charges/polls it through
   // the thread-local ambient pointer (worker threads re-install it).
   GovernorLimits limits;
@@ -612,6 +700,14 @@ int main(int argc, char** argv) {
 
   const auto finish = [&] {
     if (limits.any()) governor.flush_stats_to_obs();
+#ifndef POLIS_OBS_DISABLED
+    // Stop the sampler and detach the sink before the stream closes; each
+    // epoch line was already flushed, so even this running on an error path
+    // leaves a complete JSONL file behind.
+    obs::SeriesRecorder::global().stop_wall_sampler();
+    obs::SeriesRecorder::global().set_sink(nullptr);
+    obs::SeriesRecorder::global().set_enabled(false);
+#endif
     write_obs_outputs(args);
   };
   try {
